@@ -1,0 +1,61 @@
+//! §5.3 overhead benchmark: SYMI's newly introduced components (popularity
+//! all-reduce, Expert Placement Scheduler, metadata update) against a full
+//! training iteration — the paper reports they aggregate to ~1% of
+//! iteration time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symi::{compute_placement, LayerMetadataStore, SymiPolicy};
+use symi_bench::runs::experiment_corpus;
+use symi_model::{ModelConfig, Trainer};
+use symi_workload::SyntheticTraceConfig;
+
+fn bench_symi_components(c: &mut Criterion) {
+    let trace = SyntheticTraceConfig { expert_classes: 16, iterations: 8, ..Default::default() }
+        .generate();
+    let popularity = trace.iterations[0].clone();
+
+    c.bench_function("component/scheduler_16e_64s", |b| {
+        b.iter(|| std::hint::black_box(compute_placement(&popularity, 64)))
+    });
+
+    c.bench_function("component/metadata_record", |b| {
+        let mut store = LayerMetadataStore::new(2, 64);
+        b.iter(|| {
+            store.record(0, popularity.clone());
+            std::hint::black_box(store.latest(0));
+        })
+    });
+
+    // The popularity "all-reduce" payload is one u64 per class — benchmark
+    // the local reduction work the collective performs per rank.
+    c.bench_function("component/popularity_fold_16e", |b| {
+        let contributions: Vec<Vec<u64>> = (0..16).map(|_| popularity.clone()).collect();
+        b.iter(|| {
+            let mut acc = vec![0u64; 16];
+            for contrib in &contributions {
+                for (a, v) in acc.iter_mut().zip(contrib) {
+                    *a += v;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    // A full training step of the small model, for the ratio the paper
+    // reports. Components above are microseconds; this is milliseconds+.
+    let cfg = ModelConfig::tiny();
+    let mut corpus = experiment_corpus(&cfg);
+    let mut trainer = Trainer::new(cfg, Box::new(SymiPolicy { total_slots: cfg.total_slots }));
+    let batch = corpus.next_batch();
+    let mut g = c.benchmark_group("iteration");
+    g.sample_size(20);
+    g.bench_function("full_training_step_tiny", |b| {
+        b.iter(|| std::hint::black_box(trainer.step(&batch).ce_loss))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_symi_components, bench_full_iteration);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Appendix A.1 ablation: partitioning the optimizer into k groups of N/k
+//! nodes. The per-rank cost bound grows linearly in k; k = 1 (SYMI's
+//! uniform partitioning) is optimal and, crucially, *independent of the
+//! expert popularity distribution*.
+
+use symi_bench::output::{write_csv, Table};
+use symi_netsim::topology::HardwareSpec;
+use symi_netsim::{CommCostModel, SystemKind};
+
+fn main() {
+    let gb = 1.0e9f64; // the paper's worked example uses decimal GB
+    let model = CommCostModel {
+        nodes: 2048,
+        expert_classes: 64,
+        slots_per_rank: 2,
+        grad_bytes: 3.375 * gb,
+        weight_bytes: 3.375 * gb,
+        optimizer_bytes: 27.0 * gb,
+        hw: HardwareSpec::paper_analysis_example(),
+    };
+
+    println!("# Appendix A.1 — k-group optimizer partitioning ablation\n");
+    let mut t = Table::new(&[
+        "k (groups)",
+        "worst-group T_G bound (s)",
+        "worst-group T_W bound (s)",
+        "vs k=1",
+    ]);
+    let mut rows = Vec::new();
+    let base = model.kpart_cost_bound(1, model.grad_bytes)
+        + model.kpart_cost_bound(1, model.weight_bytes);
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let tg = model.kpart_cost_bound(k, model.grad_bytes);
+        let tw = model.kpart_cost_bound(k, model.weight_bytes);
+        let row = vec![
+            k.to_string(),
+            format!("{tg:.4}"),
+            format!("{tw:.4}"),
+            format!("{:.2}x", (tg + tw) / base),
+        ];
+        t.row(row.clone());
+        rows.push(row);
+    }
+    write_csv(
+        &std::path::PathBuf::from("results"),
+        "ablation_partitioning.csv",
+        &["k", "t_grad_s", "t_weight_s", "vs_k1"],
+        &rows,
+    );
+    println!("{}", t.render());
+
+    // k = 1 must coincide with the SYMI closed form.
+    let symi = model.costs(SystemKind::Symi);
+    assert!((model.kpart_cost_bound(1, model.grad_bytes) - symi.t_grad).abs() < 1e-9);
+
+    // Exact per-group cost under a popularity skew: the group owning the
+    // hot experts pays the bound; a cold group pays less — the imbalance
+    // k = 1 eliminates.
+    println!("## Exact group costs under skew (k = 4, hot group hosts the popular experts)\n");
+    let mut t2 = Table::new(&["group", "remote instances", "T_G (s)"]);
+    // 4 groups x 512 nodes; sN = 4096 instances. Hot group's experts hold
+    // most replicas; remote instances for its nodes are near the (sN - s)
+    // worst case; the cold group's experts are barely replicated.
+    for (label, remote) in [("hot", 4096 - 2 - 64), ("warm", 2048), ("cool", 512), ("cold", 64)] {
+        let cost = model.kpart_cost_exact(4, 64 / 4, remote, model.grad_bytes);
+        t2.row(vec![label.to_string(), remote.to_string(), format!("{cost:.4}")]);
+    }
+    println!("{}", t2.render());
+    println!(
+        "The iteration completes at the *slowest* group's pace, so k > 1 loses\n\
+         even before the k-factor bound; SYMI (k = 1) keeps every rank at the\n\
+         same constant cost regardless of the popularity distribution."
+    );
+}

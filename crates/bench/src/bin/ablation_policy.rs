@@ -1,0 +1,53 @@
+//! Placement-policy ablation (§3.4 / §6): replays a measured popularity
+//! trace under different replica policies and scores token survival.
+//! Quantifies how close the paper's simple previous-iteration proxy gets
+//! to the unattainable same-iteration oracle, and what smoothing or peak
+//! provisioning would change.
+
+use symi::TracePolicy;
+use symi::policies::evaluate_policy_on_trace;
+use symi_bench::output::{write_csv, Table};
+use symi_bench::runs::{cli_args, load_or_run, SystemChoice};
+use symi_model::ModelConfig;
+
+fn main() {
+    let (iters, out) = cli_args();
+    let cfg = ModelConfig::small_sim();
+    // Use the SYMI run's trace — adaptive routing dynamics included.
+    let run = load_or_run(&out, SystemChoice::Symi, cfg, iters);
+    let trace = &run.popularity[0];
+    let slot_capacity = cfg.slot_capacity() as f64;
+
+    println!("# Policy ablation — mean token survival on the measured trace\n");
+    let policies = [
+        TracePolicy::Static,
+        TracePolicy::PrevIteration,
+        TracePolicy::EmaPercent(30),
+        TracePolicy::EmaPercent(70),
+        TracePolicy::WindowMax(3),
+        TracePolicy::WindowMax(10),
+        TracePolicy::Oracle,
+    ];
+    let mut table = Table::new(&["policy", "mean survival (%)", "gap to oracle (pp)"]);
+    let oracle =
+        evaluate_policy_on_trace(trace, TracePolicy::Oracle, cfg.total_slots, slot_capacity);
+    let mut rows = Vec::new();
+    for policy in policies {
+        let s = evaluate_policy_on_trace(trace, policy, cfg.total_slots, slot_capacity);
+        let row = vec![
+            policy.label(),
+            format!("{:.2}", s * 100.0),
+            format!("{:.2}", (oracle - s) * 100.0),
+        ];
+        table.row(row.clone());
+        rows.push(row);
+    }
+    write_csv(&out, "ablation_policy.csv", &["policy", "survival_pct", "oracle_gap_pp"], &rows);
+    println!("{}", table.render());
+    println!(
+        "The paper's takeaway (§3.4): previous-iteration popularity is already\n\
+         a reliable proxy — the gap to the same-iteration oracle is small, and\n\
+         fancier estimators buy little. Static replication leaves the most on\n\
+         the table."
+    );
+}

@@ -1,0 +1,28 @@
+//! Diagnostic: how much do token drops actually cost convergence in this
+//! setup? Trains the static system at several capacity factors and prints
+//! the loss trajectory. Used to calibrate the experiment configuration
+//! (documented in EXPERIMENTS.md); not part of the paper's artifact set.
+
+use symi_bench::runs::{cli_args, run_system, SystemChoice};
+use symi_model::ModelConfig;
+
+fn main() {
+    let (iters, _) = cli_args();
+    let base = ModelConfig::small_sim();
+    for cf in [0.5f32, 1.0, 4.0, 100.0] {
+        let cfg = ModelConfig { capacity_factor: cf, ..base };
+        let run = run_system(SystemChoice::DeepSpeed, cfg, iters);
+        let n = run.losses.len();
+        let tail = &run.losses[n.saturating_sub(20)..];
+        let quarters: Vec<String> = [0.25, 0.5, 0.75]
+            .iter()
+            .map(|f| format!("{:.3}", run.losses[((n as f64 * f) as usize).min(n - 1)]))
+            .collect();
+        println!(
+            "cf={cf:<5} survival={:5.1}%  loss@[25,50,75]%=[{}]  final={:.3}",
+            run.mean_survival() * 100.0,
+            quarters.join(", "),
+            tail.iter().sum::<f32>() / tail.len() as f32
+        );
+    }
+}

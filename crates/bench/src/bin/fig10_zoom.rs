@@ -1,0 +1,69 @@
+//! Figure 10: zoomed popularity-vs-replication view on the spikiest window
+//! of the SYMI run — validating that previous-iteration popularity is a
+//! good replica-count proxy even through spikes.
+
+use symi_bench::output::{write_csv, Table};
+use symi_bench::runs::{cli_args, load_or_run, SystemChoice};
+use symi_model::ModelConfig;
+
+fn main() {
+    let (iters, out) = cli_args();
+    let cfg = ModelConfig::small_sim();
+    let run = load_or_run(&out, SystemChoice::Symi, cfg, iters);
+    let trace = &run.popularity[0];
+    let n = trace.len();
+    let e = trace.expert_classes();
+    let total_slots = run.replicas[0][0].iter().sum::<usize>();
+
+    // Find the spikiest (expert, window-start): largest one-step popularity
+    // jump anywhere in the run.
+    let mut best = (0usize, 0usize, 0.0f64);
+    for exp in 0..e {
+        for t in 1..n {
+            let a = trace.normalized(t - 1)[exp];
+            let b = trace.normalized(t)[exp];
+            let jump = (b - a).abs();
+            if jump > best.2 {
+                best = (exp, t, jump);
+            }
+        }
+    }
+    let (exp, center, jump) = best;
+    let lo = center.saturating_sub(10);
+    let hi = (center + 10).min(n);
+
+    println!("# Figure 10 — zoomed popularity vs replication (spiky expert)\n");
+    println!(
+        "Spikiest expert: {exp}, iteration {center} (popularity share jumped {:.1} pp)\n",
+        jump * 100.0
+    );
+
+    let header = vec!["iteration", "popularity_share", "replica_share", "lag_error"];
+    let mut rows = Vec::new();
+    let mut table = Table::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
+    let mut total_err = 0.0f64;
+    for t in lo..hi {
+        let pop = trace.normalized(t)[exp];
+        let rep = run.replicas[0][t][exp] as f64 / total_slots as f64;
+        // replicas[t] were derived FROM popularity[t] and serve t+1, so the
+        // realized lag error compares them against popularity at t+1.
+        let realized = if t + 1 < n { trace.normalized(t + 1)[exp] } else { pop };
+        let err = (rep - realized).abs();
+        total_err += err;
+        let row = vec![
+            t.to_string(),
+            format!("{pop:.4}"),
+            format!("{rep:.4}"),
+            format!("{err:.4}"),
+        ];
+        table.row(row.clone());
+        rows.push(row);
+    }
+    write_csv(&out, "fig10_zoom.csv", &["iteration", "popularity_share", "replica_share", "lag_error"], &rows);
+    println!("{}", table.render());
+    println!(
+        "Mean |replica share − next-iteration popularity| over the window: {:.4}\n\
+         (small values mean the previous-iteration proxy tracks even spikes).",
+        total_err / (hi - lo) as f64
+    );
+}

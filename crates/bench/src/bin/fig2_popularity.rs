@@ -1,0 +1,79 @@
+//! Figure 2: expert popularity distribution during training of the
+//! GPT-Small stand-in extended with 32 experts per layer. Shows the
+//! normalized popularity heat over iterations and the largest
+//! within-k-iterations swing (the paper highlights >16× within 3
+//! iterations, e.g. iterations 72–75).
+
+use symi_bench::output::{write_csv, Table};
+use symi_bench::runs::{cli_args, load_or_run, SystemChoice};
+use symi_model::ModelConfig;
+
+fn main() {
+    let (iters, out) = cli_args();
+    let cfg = ModelConfig::fig2_sim(); // 32 experts per layer
+    let run = load_or_run(&out, SystemChoice::DeepSpeed, cfg, iters);
+    let trace = &run.popularity[0];
+
+    // CSV: per-iteration normalized popularity for every expert.
+    let header: Vec<String> = std::iter::once("iteration".to_string())
+        .chain((0..trace.expert_classes()).map(|e| format!("expert_{e}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..trace.len())
+        .map(|t| {
+            std::iter::once(t.to_string())
+                .chain(trace.normalized(t).iter().map(|p| format!("{p:.5}")))
+                .collect()
+        })
+        .collect();
+    write_csv(&out, "fig2_popularity.csv", &header_refs, &rows);
+
+    println!("# Figure 2 — expert popularity dynamics ({} experts, {iters} iterations)\n", trace.expert_classes());
+    // Heatmap of normalized popularity (a subset of experts), scaled so the
+    // busiest expert saturates the shade ramp.
+    let norm_max = (0..trace.len())
+        .flat_map(|t| trace.normalized(t))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let labels: Vec<String> = (0..trace.expert_classes().min(12))
+        .map(|e| format!("expert {e}"))
+        .collect();
+    let hrows: Vec<(&str, Vec<f64>)> = labels
+        .iter()
+        .enumerate()
+        .map(|(e, label)| {
+            let series: Vec<f64> =
+                (0..trace.len()).map(|t| trace.normalized(t)[e] / norm_max).collect();
+            (label.as_str(), series)
+        })
+        .collect();
+    println!("{}", symi_bench::plot::heatmap(&hrows, 72));
+    let mut t = Table::new(&["window (iters)", "max popularity swing (x)"]);
+    for k in [2usize, 3, 5, 10, 50] {
+        t.row(vec![k.to_string(), format!("{:.1}", trace.max_shift_within(k))]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper's observation: swings exceeding 16x within 3 iterations.\n\
+         Measured here (synthetic drifting-topic corpus): {:.1}x within 3.",
+        trace.max_shift_within(3)
+    );
+
+    // Show the skew at a few snapshots.
+    let mut snap = Table::new(&["iteration", "max share", "min share", "skew (max/min)"]);
+    for &t_at in &[0usize, iters / 4, iters / 2, iters.saturating_sub(1)] {
+        if t_at >= trace.len() {
+            continue;
+        }
+        let norm = trace.normalized(t_at);
+        let max = norm.iter().cloned().fold(0.0, f64::max);
+        let min = norm.iter().cloned().fold(1.0, f64::min).max(1e-9);
+        snap.row(vec![
+            t_at.to_string(),
+            format!("{max:.3}"),
+            format!("{min:.3}"),
+            format!("{:.1}", max / min),
+        ]);
+    }
+    println!("{}", snap.render());
+}

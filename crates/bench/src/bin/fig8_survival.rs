@@ -1,0 +1,58 @@
+//! Figure 8: fraction of survived (not dropped) tokens over training, per
+//! system, plus the paper's headline "SYMI dropped X% fewer tokens"
+//! comparisons.
+
+use symi_bench::output::{write_csv, Table};
+use symi_bench::runs::{cli_args, load_or_run_all};
+use symi_model::ModelConfig;
+
+fn main() {
+    let (iters, out) = cli_args();
+    let cfg = ModelConfig::small_sim();
+    let runs = load_or_run_all(&out, cfg, iters);
+
+    let header: Vec<String> = std::iter::once("iteration".to_string())
+        .chain(runs.iter().map(|r| r.system.clone()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..iters)
+        .map(|t| {
+            std::iter::once(t.to_string())
+                .chain(runs.iter().map(|r| format!("{:.4}", r.survival[t])))
+                .collect()
+        })
+        .collect();
+    write_csv(&out, "fig8_survival.csv", &header_refs, &rows);
+
+    println!("# Figure 8 — token survival per system ({iters} iterations)\n");
+    let as_f32: Vec<Vec<f32>> =
+        runs.iter().map(|r| r.survival.iter().map(|&v| v as f32).collect()).collect();
+    let series: Vec<(&str, &[f32])> = runs
+        .iter()
+        .zip(&as_f32)
+        .map(|(r, s)| (r.system.as_str(), s.as_slice()))
+        .collect();
+    println!("{}", symi_bench::plot::line_chart(&series, 72, 12));
+    let mut t = Table::new(&["system", "mean survival (%)", "total dropped (%)"]);
+    for run in &runs {
+        t.row(vec![
+            run.system.clone(),
+            format!("{:.2}", run.mean_survival() * 100.0),
+            format!("{:.2}", (1.0 - run.mean_survival()) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // "SYMI dropped N% fewer tokens than <system>" (paper: 69/64/62/43%).
+    let symi = runs.iter().find(|r| r.system == "SYMI").expect("symi run");
+    let symi_drop = 1.0 - symi.mean_survival();
+    let mut t2 = Table::new(&["vs system", "SYMI drops fewer tokens by (%)", "paper"]);
+    let paper = [("DeepSpeed", 69.0), ("FlexMoE-100", 64.0), ("FlexMoE-50", 62.0), ("FlexMoE-10", 43.0)];
+    for (name, paper_pct) in paper {
+        let other = runs.iter().find(|r| r.system == name).expect("run");
+        let other_drop = 1.0 - other.mean_survival();
+        let fewer = (1.0 - symi_drop / other_drop.max(1e-9)) * 100.0;
+        t2.row(vec![name.to_string(), format!("{fewer:.1}"), format!("{paper_pct:.0}")]);
+    }
+    println!("{}", t2.render());
+}

@@ -1,0 +1,126 @@
+//! Figure 9: normalized expert popularity vs replication degree for three
+//! expert archetypes (shrinking, growing, spiky), under DeepSpeed (flat
+//! replication) and SYMI (adaptive).
+
+use symi_bench::output::write_csv;
+use symi_bench::runs::{cli_args, load_or_run, RunResult, SystemChoice};
+use symi_model::ModelConfig;
+
+/// Picks the experts whose popularity best matches the three archetypes.
+fn archetypes(run: &RunResult) -> (usize, usize, usize) {
+    let trace = &run.popularity[0];
+    let e = trace.expert_classes();
+    let n = trace.len();
+    let half = n / 2;
+    let mut shrink = (0usize, f64::MAX);
+    let mut grow = (0usize, f64::MIN);
+    let mut spiky = (0usize, f64::MIN);
+    for exp in 0..e {
+        let series = trace.series(exp);
+        let first: f64 = series[..half].iter().map(|&v| v as f64).sum::<f64>() / half as f64;
+        let second: f64 =
+            series[half..].iter().map(|&v| v as f64).sum::<f64>() / (n - half) as f64;
+        let trend = second - first;
+        if trend < shrink.1 {
+            shrink = (exp, trend);
+        }
+        if trend > grow.1 {
+            grow = (exp, trend);
+        }
+        let mean: f64 = series.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            series.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean.max(1.0);
+        if cv > spiky.1 {
+            spiky = (exp, cv);
+        }
+    }
+    (shrink.0, grow.0, spiky.0)
+}
+
+fn dump(run: &RunResult, label: &str, experts: (usize, usize, usize), out: &std::path::Path) {
+    let trace = &run.popularity[0];
+    let n = trace.len();
+    let header = vec![
+        "iteration",
+        "shrink_pop",
+        "shrink_replicas",
+        "grow_pop",
+        "grow_replicas",
+        "spiky_pop",
+        "spiky_replicas",
+    ];
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|t| {
+            let norm = trace.normalized(t);
+            let reps = &run.replicas[0][t];
+            vec![
+                t.to_string(),
+                format!("{:.4}", norm[experts.0]),
+                reps[experts.0].to_string(),
+                format!("{:.4}", norm[experts.1]),
+                reps[experts.1].to_string(),
+                format!("{:.4}", norm[experts.2]),
+                reps[experts.2].to_string(),
+            ]
+        })
+        .collect();
+    write_csv(out, &format!("fig9_{label}.csv"), &header, &rows);
+}
+
+/// Correlation between normalized popularity and replica share for one
+/// expert over the run.
+fn tracking_correlation(run: &RunResult, expert: usize) -> f64 {
+    let trace = &run.popularity[0];
+    let n = trace.len();
+    let xs: Vec<f64> = (0..n).map(|t| trace.normalized(t)[expert]).collect();
+    // Replicas were computed FROM iteration t for t+1, so align r[t] with
+    // popularity at t.
+    let ys: Vec<f64> = (0..n).map(|t| run.replicas[0][t][expert] as f64).collect();
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+fn main() {
+    let (iters, out) = cli_args();
+    let cfg = ModelConfig::small_sim();
+    let ds = load_or_run(&out, SystemChoice::DeepSpeed, cfg, iters);
+    let symi = load_or_run(&out, SystemChoice::Symi, cfg, iters);
+
+    let picks = archetypes(&symi);
+    dump(&ds, "deepspeed", picks, &out);
+    dump(&symi, "symi", picks, &out);
+
+    println!("# Figure 9 — popularity vs replication degree\n");
+    println!(
+        "Archetype experts (from the SYMI run): shrinking = expert {}, growing = expert {}, spiky = expert {}\n",
+        picks.0, picks.1, picks.2
+    );
+    let mut t = symi_bench::output::Table::new(&[
+        "system",
+        "corr(popularity, replicas) shrink",
+        "grow",
+        "spiky",
+    ]);
+    for (label, run) in [("DeepSpeed", &ds), ("SYMI", &symi)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3}", tracking_correlation(run, picks.0)),
+            format!("{:.3}", tracking_correlation(run, picks.1)),
+            format!("{:.3}", tracking_correlation(run, picks.2)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper's shape: DeepSpeed's replication is flat (correlation ~0, large\n\
+         popularity-replication divergence); SYMI tracks popularity closely\n\
+         under all three behaviours (correlation near 1)."
+    );
+}

@@ -1,0 +1,63 @@
+//! The paper's core claim measured in real bytes: sweeping the number of
+//! moved replicas, SYMI's optimizer-phase traffic stays flat while a
+//! coupled (FlexMoE-style) design pays per-move migration of weights +
+//! optimizer state.
+
+use symi_baselines::RebalanceCostHarness;
+use symi_bench::output::{write_csv, Table};
+
+fn main() {
+    let harness = RebalanceCostHarness {
+        nodes: 8,
+        slots_per_rank: 4,
+        expert_classes: 8,
+        param_count: 4096,
+    };
+    let uniform = vec![4usize; 8];
+
+    println!("# Rebalance traffic sweep — decoupled (SYMI) vs coupled state\n");
+    let mut t = Table::new(&[
+        "replicas moved",
+        "SYMI total bytes",
+        "coupled total bytes",
+        "coupled / SYMI",
+    ]);
+    let mut rows = Vec::new();
+    for moved in [0usize, 1, 2, 4, 8, 12] {
+        // Move `moved` replicas from the tail classes to class 0.
+        let mut counts = uniform.clone();
+        let mut left = moved;
+        for c in (1..8).rev() {
+            let take = left.min(counts[c] - 1);
+            counts[c] -= take;
+            counts[0] += take;
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        let symi = harness.symi_traffic(&uniform, &counts);
+        let coupled = harness.coupled_traffic(&uniform, &counts);
+        let row = vec![
+            moved.to_string(),
+            symi.total_bytes().to_string(),
+            coupled.total_bytes().to_string(),
+            format!("{:.2}", coupled.total_bytes() as f64 / symi.total_bytes() as f64),
+        ];
+        t.row(row.clone());
+        rows.push(row);
+    }
+    write_csv(
+        &std::path::PathBuf::from("results"),
+        "rebalance_traffic.csv",
+        &["moved", "symi_bytes", "coupled_bytes", "ratio"],
+        &rows,
+    );
+    println!("{}", t.render());
+    println!(
+        "SYMI's column is constant — adaptive re-placement rides the weight\n\
+         update it already pays. The coupled column grows linearly with moves\n\
+         (each move drags weights + 3x-weights of Adam state across the\n\
+         network), which is why FlexMoE must rebalance rarely."
+    );
+}

@@ -1,0 +1,97 @@
+//! Plain-text table and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table (markdown-flavoured).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as a markdown table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Writes rows as CSV under `dir/name`, creating the directory.
+pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    std::fs::create_dir_all(dir).expect("output dir must be creatable");
+    let mut text = header.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("csv write");
+    eprintln!("[csv] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(&["sys", "value"]);
+        t.row(vec!["SYMI".into(), "1.0".into()]);
+        t.row(vec!["DeepSpeed".into(), "2.25".into()]);
+        let s = t.render();
+        assert!(s.contains("| SYMI      | 1.0   |"));
+        assert!(s.lines().count() == 4);
+        assert!(s.lines().nth(1).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trips_through_fs() {
+        let dir = std::env::temp_dir().join(format!("symi_csv_test_{}", std::process::id()));
+        write_csv(&dir, "x.csv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let text = std::fs::read_to_string(dir.join("x.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

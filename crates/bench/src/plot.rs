@@ -1,0 +1,139 @@
+//! Terminal plotting: line charts and heatmaps for the figure binaries.
+//!
+//! The paper's artifacts are plots; a reproduction that only prints tables
+//! makes shapes hard to eyeball. These render compact ASCII charts so
+//! `fig7_loss` and friends show the curve, not just summary statistics.
+
+/// Renders one or more series as an ASCII line chart of the given size.
+/// Series are downsampled by bucket-averaging; each gets a distinct glyph.
+pub fn line_chart(series: &[(&str, &[f32])], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3, "chart too small");
+    assert!(!series.is_empty(), "need at least one series");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+    // Downsample each series to `width` buckets.
+    let sampled: Vec<Vec<f32>> = series
+        .iter()
+        .map(|(_, data)| {
+            assert!(!data.is_empty(), "empty series");
+            (0..width)
+                .map(|i| {
+                    let lo = i * data.len() / width;
+                    let hi = (((i + 1) * data.len()) / width).max(lo + 1).min(data.len());
+                    data[lo..hi].iter().sum::<f32>() / (hi - lo) as f32
+                })
+                .collect()
+        })
+        .collect();
+
+    let min = sampled.iter().flatten().cloned().fold(f32::INFINITY, f32::min);
+    let max = sampled.iter().flatten().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, data) in sampled.iter().enumerate() {
+        let glyph = glyphs[s % glyphs.len()];
+        for (x, &v) in data.iter().enumerate() {
+            let y = ((max - v) / span * (height - 1) as f32).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max:>9.3} ")
+        } else if i == height - 1 {
+            format!("{min:>9.3} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(11));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(s, (name, _))| format!("{} {}", glyphs[s % glyphs.len()], name))
+        .collect();
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    out
+}
+
+/// Renders a matrix of values in `[0, 1]` as a shaded heatmap (rows =
+/// series, columns = downsampled time).
+pub fn heatmap(rows: &[(&str, Vec<f64>)], width: usize) -> String {
+    assert!(width >= 4, "heatmap too narrow");
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for (name, data) in rows {
+        assert!(!data.is_empty(), "empty heatmap row");
+        let sampled: Vec<f64> = (0..width)
+            .map(|i| {
+                let lo = i * data.len() / width;
+                let hi = (((i + 1) * data.len()) / width).max(lo + 1).min(data.len());
+                data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect();
+        out.push_str(&format!("{name:>12} |"));
+        for v in sampled {
+            let idx = (v.clamp(0.0, 1.0) * (shades.len() - 1) as f64).round() as usize;
+            out.push(shades[idx]);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_places_extremes_on_edges() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let chart = line_chart(&[("ramp", &data)], 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Buckets average 100 points into 40 columns, so the extremes are
+        // the top/bottom bucket means (~98 and ~1), not the raw 99 and 0.
+        let top: f32 = lines[0].split('|').next().unwrap().trim().parse().unwrap();
+        let bottom: f32 = lines[9].split('|').next().unwrap().trim().parse().unwrap();
+        assert!(top > 95.0, "max labels the top row: {top}");
+        assert!(bottom < 5.0, "min labels the bottom row: {bottom}");
+        // Monotone ramp: top-right and bottom-left populated.
+        assert!(lines[0].trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn line_chart_multi_series_legend() {
+        let a: Vec<f32> = vec![1.0; 20];
+        let b: Vec<f32> = vec![2.0; 20];
+        let chart = line_chart(&[("alpha", &a), ("beta", &b)], 20, 5);
+        assert!(chart.contains("* alpha"));
+        assert!(chart.contains("o beta"));
+    }
+
+    #[test]
+    fn heatmap_shades_by_value() {
+        let rows = vec![("hot", vec![1.0; 8]), ("cold", vec![0.0; 8])];
+        let map = heatmap(&rows, 8);
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines[0].contains("@@@@@@@@"));
+        assert!(lines[1].contains("|        |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        let _ = line_chart(&[("x", &[1.0f32][..])], 2, 2);
+    }
+}

@@ -1,0 +1,571 @@
+//! Collective operations: ring all-reduce, reduce-scatter, all-gather,
+//! broadcast, and all-to-all(v).
+//!
+//! The ring algorithms are the ones whose volume the paper reasons about:
+//! a ring all-reduce over `r` ranks moves `2(r−1)/r` of the buffer per rank
+//! (§4.1), a reduce-scatter half of that. All operations are SPMD: every
+//! member of the group must call the same operation with the same base tag.
+
+use crate::ctx::RankCtx;
+use crate::error::CommError;
+use crate::group::CommGroup;
+
+/// Boundaries of chunk `i` when splitting `len` elements into `parts`
+/// near-equal contiguous chunks (remainder spread over the first chunks).
+pub fn chunk_range(len: usize, parts: usize, i: usize) -> (usize, usize) {
+    debug_assert!(i < parts);
+    let base = len / parts;
+    let rem = len % parts;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    (start, start + size)
+}
+
+impl RankCtx {
+    /// In-place ring all-reduce (sum) of `data` across `group`.
+    ///
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank is not a member.
+    pub fn allreduce_sum(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        data: &mut [f32],
+    ) -> Result<(), CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        if m == 1 || data.is_empty() {
+            return Ok(());
+        }
+        self.reduce_scatter_in_place(group, idx, tag, data)?;
+        self.all_gather_in_place(group, idx, Self::step_tag(tag, 0x5151), data)?;
+        Ok(())
+    }
+
+    /// Ring reduce-scatter over the full buffer: on return, this rank's
+    /// owned chunk (`chunk_range(len, m, (idx + 1) % m)`) holds the global
+    /// sum; other regions hold partial sums and must be treated as scratch.
+    fn reduce_scatter_in_place(
+        &mut self,
+        group: &CommGroup,
+        idx: usize,
+        tag: u64,
+        data: &mut [f32],
+    ) -> Result<(), CommError> {
+        let m = group.size();
+        let next = group.ranks()[(idx + 1) % m];
+        let prev = group.ranks()[(idx + m - 1) % m];
+        for step in 0..m - 1 {
+            let send_chunk = (idx + m - step) % m;
+            let recv_chunk = (idx + m - step - 1) % m;
+            let (ss, se) = chunk_range(data.len(), m, send_chunk);
+            self.send(next, Self::step_tag(tag, step as u64), data[ss..se].to_vec())?;
+            let incoming = self.recv_f32(prev, Self::step_tag(tag, step as u64))?;
+            let (rs, re) = chunk_range(data.len(), m, recv_chunk);
+            debug_assert_eq!(incoming.len(), re - rs);
+            for (d, v) in data[rs..re].iter_mut().zip(&incoming) {
+                *d += v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ring all-gather assuming rank `idx` currently owns reduced chunk
+    /// `(idx + 1) % m`; on return all chunks are globally reduced.
+    fn all_gather_in_place(
+        &mut self,
+        group: &CommGroup,
+        idx: usize,
+        tag: u64,
+        data: &mut [f32],
+    ) -> Result<(), CommError> {
+        let m = group.size();
+        let next = group.ranks()[(idx + 1) % m];
+        let prev = group.ranks()[(idx + m - 1) % m];
+        for step in 0..m - 1 {
+            let send_chunk = (idx + 1 + m - step) % m;
+            let recv_chunk = (idx + m - step) % m;
+            let (ss, se) = chunk_range(data.len(), m, send_chunk);
+            self.send(next, Self::step_tag(tag, step as u64), data[ss..se].to_vec())?;
+            let incoming = self.recv_f32(prev, Self::step_tag(tag, step as u64))?;
+            let (rs, re) = chunk_range(data.len(), m, recv_chunk);
+            debug_assert_eq!(incoming.len(), re - rs);
+            data[rs..re].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// Reduce-scatter (sum): each member contributes `data` and receives the
+    /// globally-summed chunk it owns, `chunk_range(len, m, idx)`, returned
+    /// together with its offset.
+    pub fn reduce_scatter_sum(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        data: &[f32],
+    ) -> Result<(usize, Vec<f32>), CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        let mut scratch = data.to_vec();
+        if m > 1 && !data.is_empty() {
+            self.reduce_scatter_in_place(group, idx, tag, &mut scratch)?;
+        }
+        // reduce_scatter_in_place leaves rank idx owning chunk (idx+1)%m;
+        // rotate ownership so the public contract is "rank idx owns chunk idx",
+        // which costs one extra hop only when m > 1.
+        let owned = (idx + 1) % m;
+        let (os, oe) = chunk_range(data.len(), m, owned);
+        let owned_data = scratch[os..oe].to_vec();
+        if m == 1 {
+            return Ok((0, owned_data));
+        }
+        // Send the chunk we hold to the rank that should own it and receive
+        // ours from the rank holding it.
+        let holder_of_mine = (idx + m - 1) % m; // that rank reduced chunk idx
+        let dest = group.ranks()[owned]; // we reduced chunk `owned`
+        let src = group.ranks()[holder_of_mine];
+        let t = Self::step_tag(tag, 0xa11c);
+        self.send(dest, t, owned_data)?;
+        let mine = self.recv_f32(src, t)?;
+        let (ms, _) = chunk_range(data.len(), m, idx);
+        Ok((ms, mine))
+    }
+
+    /// All-gather: each member contributes `chunk`; returns the
+    /// concatenation ordered by group index. Chunks may have different
+    /// lengths (implemented as a ring of variable-size hops).
+    pub fn all_gather_varsize(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        chunk: Vec<f32>,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        let mut parts: Vec<Option<Vec<f32>>> = vec![None; m];
+        parts[idx] = Some(chunk);
+        let next = group.ranks()[(idx + 1) % m];
+        let prev = group.ranks()[(idx + m - 1) % m];
+        for step in 0..m - 1 {
+            let send_idx = (idx + m - step) % m;
+            let recv_idx = (idx + m - step - 1) % m;
+            let outgoing = parts[send_idx].clone().expect("ring invariant: chunk present");
+            self.send(next, Self::step_tag(tag, step as u64), outgoing)?;
+            let incoming = self.recv_f32(prev, Self::step_tag(tag, step as u64))?;
+            parts[recv_idx] = Some(incoming);
+        }
+        Ok(parts.into_iter().map(|p| p.expect("all chunks gathered")).collect())
+    }
+
+    /// Broadcast from the group member with global rank `root`.
+    /// The root passes `Some(data)`; everyone receives the root's buffer.
+    pub fn broadcast(
+        &mut self,
+        group: &CommGroup,
+        root: usize,
+        tag: u64,
+        data: Option<Vec<f32>>,
+    ) -> Result<Vec<f32>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let root_idx = group.index_of(root).ok_or(CommError::NotInGroup { rank: root })?;
+        let m = group.size();
+        // Binomial tree on indices rotated so the root is virtual index 0:
+        // in round i, every active node v < 2^i sends to v + 2^i.
+        let vidx = (idx + m - root_idx) % m;
+        let to_global = |v: usize| group.ranks()[(v + root_idx) % m];
+        let buf = if vidx == 0 {
+            data.expect("broadcast root must supply data")
+        } else {
+            // First become active: receive from vidx with its highest bit
+            // cleared, at round h = floor(log2(vidx)).
+            let h = usize::BITS - 1 - vidx.leading_zeros();
+            self.recv_f32(to_global(vidx - (1 << h)), tag)?
+        };
+        let mut bit = 1usize;
+        while bit < m {
+            if bit > vidx && vidx + bit < m {
+                self.send(to_global(vidx + bit), tag, buf.clone())?;
+            }
+            bit <<= 1;
+        }
+        Ok(buf)
+    }
+
+    /// All-reduce (sum) of small `u64` counters via gather-to-root +
+    /// broadcast. Used for the per-iteration expert-popularity aggregation
+    /// (§3.4) whose tensors hold one element per expert class.
+    pub fn allreduce_u64_sum(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        data: &mut [u64],
+    ) -> Result<(), CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        if m == 1 {
+            return Ok(());
+        }
+        let root = group.ranks()[0];
+        if idx == 0 {
+            for &peer in &group.ranks()[1..] {
+                let contrib = self.recv_u64(peer, tag)?;
+                debug_assert_eq!(contrib.len(), data.len());
+                for (d, v) in data.iter_mut().zip(&contrib) {
+                    *d += v;
+                }
+            }
+            for &peer in &group.ranks()[1..] {
+                self.send(peer, Self::step_tag(tag, 1), data.to_vec())?;
+            }
+        } else {
+            self.send(root, tag, data.to_vec())?;
+            let summed = self.recv_u64(root, Self::step_tag(tag, 1))?;
+            data.copy_from_slice(&summed);
+        }
+        Ok(())
+    }
+
+    /// Gathers every member's buffer at `root` (ordered by group index);
+    /// non-root members receive an empty vector.
+    pub fn gather_f32(
+        &mut self,
+        group: &CommGroup,
+        root: usize,
+        tag: u64,
+        data: Vec<f32>,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let root_idx = group.index_of(root).ok_or(CommError::NotInGroup { rank: root })?;
+        if idx != root_idx {
+            self.send(root, Self::step_tag(tag, idx as u64), data)?;
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(group.size());
+        for (j, &peer) in group.ranks().iter().enumerate() {
+            if j == root_idx {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv_f32(peer, Self::step_tag(tag, j as u64))?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scatters per-member buffers from `root`: member `i` receives
+    /// `bufs[i]`. Only the root passes `Some(bufs)`.
+    pub fn scatterv_f32(
+        &mut self,
+        group: &CommGroup,
+        root: usize,
+        tag: u64,
+        bufs: Option<Vec<Vec<f32>>>,
+    ) -> Result<Vec<f32>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let root_idx = group.index_of(root).ok_or(CommError::NotInGroup { rank: root })?;
+        if idx == root_idx {
+            let mut bufs = bufs.expect("scatter root must supply buffers");
+            assert_eq!(bufs.len(), group.size(), "one buffer per group member");
+            let own = std::mem::take(&mut bufs[root_idx]);
+            for (j, buf) in bufs.into_iter().enumerate() {
+                if j != root_idx {
+                    self.send(group.ranks()[j], Self::step_tag(tag, j as u64), buf)?;
+                }
+            }
+            Ok(own)
+        } else {
+            self.recv_f32(root, Self::step_tag(tag, idx as u64))
+        }
+    }
+
+    /// Variable-size all-to-all of `f32` buffers: member `i` of the group
+    /// receives `sendbufs[i]` from every member (including its own, moved,
+    /// not copied). `sendbufs.len()` must equal the group size.
+    pub fn alltoallv_f32(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        mut sendbufs: Vec<Vec<f32>>,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        assert_eq!(sendbufs.len(), m, "one send buffer per group member");
+        let own = std::mem::take(&mut sendbufs[idx]);
+        for (j, buf) in sendbufs.into_iter().enumerate() {
+            if j != idx {
+                self.send(group.ranks()[j], tag, buf)?;
+            }
+        }
+        let mut out = Vec::with_capacity(m);
+        for (j, &peer) in group.ranks().iter().enumerate() {
+            if j == idx {
+                out.push(own.clone());
+            } else {
+                out.push(self.recv_f32(peer, tag)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Variable-size all-to-all of `u64` metadata buffers.
+    pub fn alltoallv_u64(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        mut sendbufs: Vec<Vec<u64>>,
+    ) -> Result<Vec<Vec<u64>>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        assert_eq!(sendbufs.len(), m, "one send buffer per group member");
+        let own = std::mem::take(&mut sendbufs[idx]);
+        for (j, buf) in sendbufs.into_iter().enumerate() {
+            if j != idx {
+                self.send(group.ranks()[j], tag, buf)?;
+            }
+        }
+        let mut out = Vec::with_capacity(m);
+        for (j, &peer) in group.ranks().iter().enumerate() {
+            if j == idx {
+                out.push(own.clone());
+            } else {
+                out.push(self.recv_u64(peer, tag)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+    use crate::group::CommGroup;
+
+    #[test]
+    fn chunk_range_covers_exactly() {
+        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 8), (16, 4), (0, 3)] {
+            let mut covered = 0;
+            for i in 0..parts {
+                let (s, e) = chunk_range(len, parts, i);
+                assert_eq!(s, covered, "chunks must be contiguous");
+                covered = e;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_all_ranks() {
+        for n in [2usize, 3, 4, 7, 16] {
+            let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+                let group = ctx.groups().world();
+                let mut data: Vec<f32> =
+                    (0..10).map(|i| (ctx.rank() * 10 + i) as f32).collect();
+                ctx.allreduce_sum(&group, 42, &mut data).unwrap();
+                data
+            });
+            let expect: Vec<f32> = (0..10)
+                .map(|i| (0..n).map(|r| (r * 10 + i) as f32).sum())
+                .collect();
+            for (r, res) in results.iter().enumerate() {
+                for (a, b) in res.iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-3, "n={n} rank={r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_on_subgroup_leaves_others_untouched() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().range(1, 2); // ranks 1,2
+            let mut data = vec![ctx.rank() as f32; 4];
+            if group.contains(ctx.rank()) {
+                ctx.allreduce_sum(&group, 7, &mut data).unwrap();
+            }
+            data[0]
+        });
+        assert_eq!(results, vec![0.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn allreduce_volume_matches_ring_formula() {
+        // Ring all-reduce over m ranks moves 2(m-1)/m * L floats per rank.
+        let n = 4;
+        let len = 64usize;
+        let (_, report) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let mut data = vec![1.0f32; len];
+            ctx.allreduce_sum(&group, 3, &mut data).unwrap();
+        });
+        let expect = (n as u64) * 2 * (n as u64 - 1) / (n as u64) * (len as u64) * 4 / 1;
+        assert_eq!(report.total_bytes(), expect);
+    }
+
+    #[test]
+    fn reduce_scatter_returns_owned_chunk() {
+        let n = 4;
+        let len = 8;
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let data: Vec<f32> = (0..len).map(|i| (i + ctx.rank()) as f32).collect();
+            ctx.reduce_scatter_sum(&group, 5, &data).unwrap()
+        });
+        for (rank, (offset, chunk)) in results.iter().enumerate() {
+            let (s, e) = chunk_range(len, n, rank);
+            assert_eq!(*offset, s);
+            assert_eq!(chunk.len(), e - s);
+            for (k, v) in chunk.iter().enumerate() {
+                let i = s + k;
+                let expect: f32 = (0..n).map(|r| (i + r) as f32).sum();
+                assert!((v - expect).abs() < 1e-4, "rank {rank} pos {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_varsize_concatenates_in_order() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(3), |ctx| {
+            let group = ctx.groups().world();
+            let chunk = vec![ctx.rank() as f32; ctx.rank() + 1];
+            ctx.all_gather_varsize(&group, 8, chunk).unwrap()
+        });
+        for res in &results {
+            assert_eq!(res[0], vec![0.0]);
+            assert_eq!(res[1], vec![1.0, 1.0]);
+            assert_eq!(res[2], vec![2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_buffer() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for root in [0usize, n - 1, n / 2] {
+                let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+                    let group = ctx.groups().world();
+                    let data =
+                        (ctx.rank() == root).then(|| vec![3.25f32, -1.0, root as f32]);
+                    ctx.broadcast(&group, root, 11, data).unwrap()
+                });
+                for r in results {
+                    assert_eq!(r, vec![3.25, -1.0, root as f32], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_on_subgroup() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(5), |ctx| {
+            let group = ctx.groups().range(2, 3); // ranks 2,3,4
+            if group.contains(ctx.rank()) {
+                let data = (ctx.rank() == 3).then(|| vec![7.0f32]);
+                ctx.broadcast(&group, 3, 9, data).unwrap()[0]
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(results, vec![-1.0, -1.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn u64_allreduce_sums_popularity_counters() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().world();
+            let mut counts = vec![ctx.rank() as u64, 1, 0];
+            ctx.allreduce_u64_sum(&group, 13, &mut counts).unwrap();
+            counts
+        });
+        for r in results {
+            assert_eq!(r, vec![6, 4, 0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_buffers() {
+        let n = 3;
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            // Rank r sends [r*10 + j] to member j.
+            let bufs: Vec<Vec<f32>> =
+                (0..n).map(|j| vec![(ctx.rank() * 10 + j) as f32]).collect();
+            ctx.alltoallv_f32(&group, 21, bufs).unwrap()
+        });
+        for (j, res) in results.iter().enumerate() {
+            for (r, buf) in res.iter().enumerate() {
+                assert_eq!(buf, &vec![(r * 10 + j) as f32], "dest {j} from {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_buffers() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(3), |ctx| {
+            let group = ctx.groups().world();
+            // Only rank 0 sends anything, and only to rank 2.
+            let bufs: Vec<Vec<f32>> = (0..3)
+                .map(|j| {
+                    if ctx.rank() == 0 && j == 2 {
+                        vec![5.0]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect();
+            ctx.alltoallv_f32(&group, 33, bufs).unwrap()
+        });
+        assert_eq!(results[2][0], vec![5.0]);
+        assert!(results[0].iter().all(|b| b.is_empty()));
+        assert!(results[1].iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn gather_collects_in_group_order() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().world();
+            let data = vec![ctx.rank() as f32; ctx.rank() + 1];
+            ctx.gather_f32(&group, 2, 17, data).unwrap()
+        });
+        assert!(results[0].is_empty() && results[1].is_empty() && results[3].is_empty());
+        let at_root = &results[2];
+        for (r, buf) in at_root.iter().enumerate() {
+            assert_eq!(buf, &vec![r as f32; r + 1]);
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_member_buffers() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().world();
+            let bufs = (ctx.rank() == 1)
+                .then(|| (0..4).map(|j| vec![j as f32 * 10.0]).collect::<Vec<_>>());
+            ctx.scatterv_f32(&group, 1, 19, bufs).unwrap()
+        });
+        for (r, buf) in results.iter().enumerate() {
+            assert_eq!(buf, &vec![r as f32 * 10.0]);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(3), |ctx| {
+            let group = ctx.groups().world();
+            let mine = vec![ctx.rank() as f32 + 0.5];
+            let gathered = ctx.gather_f32(&group, 0, 23, mine.clone()).unwrap();
+            let bufs = (ctx.rank() == 0).then_some(gathered);
+            ctx.scatterv_f32(&group, 0, 29, bufs).unwrap()
+        });
+        for (r, buf) in results.iter().enumerate() {
+            assert_eq!(buf, &vec![r as f32 + 0.5], "round trip must be identity");
+        }
+    }
+
+    #[test]
+    fn non_member_gets_error() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(3), |ctx| {
+            let group = CommGroup::range(0, 2);
+            let mut data = vec![0.0f32];
+            ctx.allreduce_sum(&group, 1, &mut data).is_err()
+        });
+        assert_eq!(results, vec![false, false, true]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the cluster runtime.
+
+use std::fmt;
+
+/// Errors surfaced by communication primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's mailbox was closed (its rank thread exited or panicked).
+    PeerGone { rank: usize },
+    /// A collective was invoked by a rank that is not a member of the group.
+    NotInGroup { rank: usize },
+    /// Payload had a different variant or length than the receiver expected.
+    PayloadMismatch { expected: &'static str, got: &'static str },
+    /// A group lookup failed (range not registered).
+    UnknownGroup { start: usize, len: usize },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerGone { rank } => write!(f, "peer rank {rank} is gone"),
+            CommError::NotInGroup { rank } => {
+                write!(f, "rank {rank} invoked a collective on a group it is not part of")
+            }
+            CommError::PayloadMismatch { expected, got } => {
+                write!(f, "payload mismatch: expected {expected}, got {got}")
+            }
+            CommError::UnknownGroup { start, len } => {
+                write!(f, "communicator group [{start}, {}) was never registered", start + len)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CommError::UnknownGroup { start: 3, len: 4 };
+        assert!(e.to_string().contains("[3, 7)"));
+        assert!(CommError::PeerGone { rank: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,154 @@
+//! Communicator groups and the contiguous-range registry of §4.2.
+//!
+//! NCCL requires collectives to run over explicitly constructed communicator
+//! groups, and constructing one is a blocking, cluster-wide operation — the
+//! paper cites >1000 s for N=2048. Because SYMI's placement scheduler assigns
+//! each expert's replicas to *consecutive* ranks (Algorithm 1), only
+//! contiguous rank ranges can ever be needed, and there are just
+//! `N(N−1)/2 + N` of those. [`GroupRegistry::contiguous`] pre-registers all
+//! of them at startup so that per-iteration re-grouping costs nothing.
+
+use std::sync::Arc;
+
+/// An ordered set of ranks participating in a collective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommGroup {
+    ranks: Vec<usize>,
+}
+
+impl CommGroup {
+    /// A group over an explicit rank list (must be non-empty, sorted,
+    /// duplicate-free).
+    pub fn new(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "empty communicator group");
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must be sorted and unique");
+        Self { ranks }
+    }
+
+    /// Contiguous range `[start, start + len)`.
+    pub fn range(start: usize, len: usize) -> Self {
+        Self::new((start..start + len).collect())
+    }
+
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Position of `rank` inside the group, if a member.
+    pub fn index_of(&self, rank: usize) -> Option<usize> {
+        self.ranks.binary_search(&rank).ok()
+    }
+
+    pub fn contains(&self, rank: usize) -> bool {
+        self.index_of(rank).is_some()
+    }
+
+    /// Whether the group is a contiguous rank range.
+    pub fn is_contiguous(&self) -> bool {
+        self.ranks.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+}
+
+/// Pre-registered communicator groups for all contiguous rank ranges.
+#[derive(Debug)]
+pub struct GroupRegistry {
+    world: usize,
+    /// `groups[start]` holds ranges starting at `start`, indexed by `len-1`.
+    groups: Vec<Vec<Arc<CommGroup>>>,
+}
+
+impl GroupRegistry {
+    /// Registers every contiguous range within a world of `n` ranks:
+    /// `n` singletons plus `n(n−1)/2` longer ranges.
+    pub fn contiguous(n: usize) -> Self {
+        let mut groups = Vec::with_capacity(n);
+        for start in 0..n {
+            let mut per_start = Vec::with_capacity(n - start);
+            for len in 1..=(n - start) {
+                per_start.push(Arc::new(CommGroup::range(start, len)));
+            }
+            groups.push(per_start);
+        }
+        Self { world: n, groups }
+    }
+
+    /// Total number of registered groups.
+    pub fn count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Looks up the pre-registered group `[start, start + len)`.
+    pub fn range(&self, start: usize, len: usize) -> Arc<CommGroup> {
+        assert!(len >= 1 && start + len <= self.world, "range [{start}, {}) out of world {}", start + len, self.world);
+        Arc::clone(&self.groups[start][len - 1])
+    }
+
+    /// The all-ranks group.
+    pub fn world(&self) -> Arc<CommGroup> {
+        self.range(0, self.world)
+    }
+
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_triangular_count() {
+        // n singletons + n(n-1)/2 longer ranges = n(n+1)/2 total.
+        for n in [1usize, 2, 5, 16] {
+            let reg = GroupRegistry::contiguous(n);
+            assert_eq!(reg.count(), n * (n + 1) / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn range_lookup_matches_construction() {
+        let reg = GroupRegistry::contiguous(8);
+        let g = reg.range(2, 3);
+        assert_eq!(g.ranks(), &[2, 3, 4]);
+        assert!(g.is_contiguous());
+    }
+
+    #[test]
+    fn world_covers_all_ranks() {
+        let reg = GroupRegistry::contiguous(4);
+        assert_eq!(reg.world().size(), 4);
+    }
+
+    #[test]
+    fn index_of_finds_members_only() {
+        let g = CommGroup::range(3, 4); // ranks 3,4,5,6
+        assert_eq!(g.index_of(5), Some(2));
+        assert_eq!(g.index_of(7), None);
+        assert!(g.contains(3));
+        assert!(!g.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn unsorted_group_rejected() {
+        let _ = CommGroup::new(vec![3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of world")]
+    fn out_of_range_lookup_panics() {
+        let reg = GroupRegistry::contiguous(4);
+        let _ = reg.range(2, 3);
+    }
+
+    #[test]
+    fn non_contiguous_group_is_detectable() {
+        let g = CommGroup::new(vec![0, 2, 4]);
+        assert!(!g.is_contiguous());
+    }
+}

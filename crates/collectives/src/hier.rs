@@ -1,0 +1,202 @@
+//! The intra+inter rank all-reduce of §4.1.
+//!
+//! Stock NCCL all-reduce synchronizes one tensor per *rank*, which forbids
+//! placing two replicas of the same expert class on the same GPU — a
+//! restriction the paper measured to cost up to 20% extra token drops.
+//! SYMI's variant removes it in three steps (Figure 6):
+//!
+//! 1. each rank elects a *slot representative* for the expert class and sums
+//!    its other local replicas into it (HBM-local, no link traffic);
+//! 2. a standard ring all-reduce runs across the representative ranks only;
+//! 3. the representative writes the reduced (optionally normalized) tensor
+//!    back to its co-located replica slots.
+//!
+//! Besides enabling arbitrary placements, step 2's ring spans fewer ranks
+//! than instances, so inter-node traffic shrinks whenever the scheduler
+//! packs replicas of one class onto one rank — exactly what Algorithm 1's
+//! contiguous assignment does.
+
+use crate::ctx::RankCtx;
+use crate::error::CommError;
+use crate::group::CommGroup;
+
+/// Reduction semantics for replica synchronization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Plain sum over all instances — correct when each instance's gradient
+    /// is already a partial sum over its share of tokens.
+    Sum,
+    /// Sum divided by the total instance count — classic data-parallel mean.
+    Mean,
+}
+
+impl RankCtx {
+    /// Synchronizes all instances of one expert class.
+    ///
+    /// `locals` holds this rank's replica tensors for the class (one entry
+    /// per local slot hosting it; at least one — ranks without a replica are
+    /// not group members and must not call). `group` is the set of ranks
+    /// hosting ≥1 replica; `total_instances` is the global replica count
+    /// used by [`ReduceMode::Mean`].
+    ///
+    /// On return every tensor in `locals` holds the synchronized value.
+    pub fn expert_allreduce(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        locals: &mut [Vec<f32>],
+        total_instances: usize,
+        mode: ReduceMode,
+    ) -> Result<(), CommError> {
+        assert!(!locals.is_empty(), "caller must hold at least one local replica");
+        let len = locals[0].len();
+        assert!(locals.iter().all(|l| l.len() == len), "replica tensors must have equal shape");
+        assert!(total_instances >= 1, "total_instances must be positive");
+
+        // Step 1: fold local replicas into the representative (slot 0).
+        let (rep, rest) = locals.split_first_mut().expect("non-empty");
+        for other in rest.iter() {
+            for (r, v) in rep.iter_mut().zip(other) {
+                *r += v;
+            }
+        }
+
+        // Step 2: inter-rank ring all-reduce across representatives.
+        self.allreduce_sum(group, tag, rep)?;
+
+        // Step 3: normalize and copy back to the remaining local slots.
+        if mode == ReduceMode::Mean {
+            let inv = 1.0 / total_instances as f32;
+            for v in rep.iter_mut() {
+                *v *= inv;
+            }
+        }
+        let rep_snapshot = rep.to_vec();
+        for other in rest.iter_mut() {
+            other.copy_from_slice(&rep_snapshot);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+
+    /// 4 ranks; expert hosted on ranks 1..3 with 2 replicas on rank 1 and
+    /// one each on ranks 2, 3 (4 instances total).
+    fn placement(rank: usize) -> usize {
+        match rank {
+            1 => 2,
+            2 | 3 => 1,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn sums_across_and_within_ranks() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let n_local = placement(ctx.rank());
+            if n_local == 0 {
+                return vec![];
+            }
+            let group = ctx.groups().range(1, 3);
+            // Instance value = 100*rank + slot.
+            let mut locals: Vec<Vec<f32>> = (0..n_local)
+                .map(|s| vec![(100 * ctx.rank() + s) as f32; 3])
+                .collect();
+            ctx.expert_allreduce(&group, 77, &mut locals, 4, ReduceMode::Sum).unwrap();
+            locals.into_iter().flatten().collect::<Vec<f32>>()
+        });
+        // Sum = (100 + 101) + 200 + 300 = 701 in every element of every slot.
+        let expect = 701.0f32;
+        for rank in 1..4 {
+            for v in &results[rank] {
+                assert!((v - expect).abs() < 1e-3, "rank {rank}: {v}");
+            }
+        }
+        assert_eq!(results[1].len(), 6, "two local slots synchronized");
+        assert!(results[0].is_empty());
+    }
+
+    #[test]
+    fn mean_divides_by_instances() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let n_local = placement(ctx.rank());
+            if n_local == 0 {
+                return 0.0;
+            }
+            let group = ctx.groups().range(1, 3);
+            let mut locals: Vec<Vec<f32>> = (0..n_local).map(|_| vec![8.0f32]).collect();
+            ctx.expert_allreduce(&group, 78, &mut locals, 4, ReduceMode::Mean).unwrap();
+            locals[0][0]
+        });
+        for rank in 1..4 {
+            assert!((results[rank] - 8.0).abs() < 1e-4, "mean of equal values is the value");
+        }
+    }
+
+    #[test]
+    fn single_rank_many_slots_needs_no_network() {
+        let (results, report) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() != 0 {
+                return 0.0;
+            }
+            let group = ctx.groups().range(0, 1);
+            let mut locals = vec![vec![1.0f32], vec![2.0], vec![3.0]];
+            ctx.expert_allreduce(&group, 5, &mut locals, 3, ReduceMode::Sum).unwrap();
+            locals[2][0]
+        });
+        assert_eq!(results[0], 6.0);
+        assert_eq!(report.total_bytes(), 0, "intra-rank folding must be link-free");
+    }
+
+    #[test]
+    fn packed_placement_moves_fewer_inter_node_bytes_than_spread() {
+        // 4 instances of one expert, tensor of 1024 floats.
+        // Packed: 2 ranks x 2 slots -> ring over 2 ranks.
+        // Spread: 4 ranks x 1 slot  -> ring over 4 ranks.
+        let len = 1024usize;
+        let (_, packed) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            if ctx.rank() < 2 {
+                let group = ctx.groups().range(0, 2);
+                let mut locals = vec![vec![1.0f32; len], vec![2.0f32; len]];
+                ctx.expert_allreduce(&group, 1, &mut locals, 4, ReduceMode::Sum).unwrap();
+            }
+        });
+        let (_, spread) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().range(0, 4);
+            let mut locals = vec![vec![1.5f32; len]];
+            ctx.expert_allreduce(&group, 1, &mut locals, 4, ReduceMode::Sum).unwrap();
+        });
+        assert!(
+            packed.inter_node_bytes < spread.inter_node_bytes,
+            "packed {} should beat spread {}",
+            packed.inter_node_bytes,
+            spread.inter_node_bytes
+        );
+        // Ring volume: per rank 2(m-1)/m * len * 4 bytes.
+        assert_eq!(packed.inter_node_bytes, 2 * (2 * 1024 * 4 / 2));
+        assert_eq!(spread.inter_node_bytes, 4 * (2 * 3 * 1024 * 4 / 4));
+    }
+
+    #[test]
+    fn result_matches_flat_allreduce() {
+        // The hierarchical reduce must produce numerically the same result
+        // as a flat sum over all instance tensors.
+        let (results, _) = Cluster::run(ClusterSpec::flat(3), |ctx| {
+            let n_local = ctx.rank() + 1; // 1, 2, 3 instances
+            let group = ctx.groups().range(0, 3);
+            let mut locals: Vec<Vec<f32>> = (0..n_local)
+                .map(|s| vec![(ctx.rank() * 10 + s) as f32 * 0.5; 4])
+                .collect();
+            ctx.expert_allreduce(&group, 3, &mut locals, 6, ReduceMode::Sum).unwrap();
+            locals[0][0]
+        });
+        // Instances: 0.0 | 5.0, 5.5 | 10.0, 10.5, 11.0 -> sum 42.0.
+        for r in &results {
+            assert!((r - 42.0).abs() < 1e-3, "{r}");
+        }
+    }
+}

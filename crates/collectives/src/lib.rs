@@ -1,0 +1,48 @@
+//! # symi-collectives
+//!
+//! A from-scratch, thread-per-rank SPMD cluster runtime with the collective
+//! communication primitives the SYMI paper builds on — the stand-in for
+//! NCCL/`torch.distributed` in this reproduction (the paper's cluster is
+//! 16 A100 GPUs; here every rank is an OS thread and every link is a typed
+//! channel, but the *algorithms* and therefore the data-volume formulas are
+//! the real ones).
+//!
+//! What this crate provides:
+//!
+//! - [`cluster::Cluster`]: spawns one thread per rank and runs an SPMD
+//!   closure on each, with panic propagation and deterministic teardown.
+//! - [`ctx::RankCtx`]: per-rank handle with tagged point-to-point `send` /
+//!   `recv`, barriers, and the collectives below.
+//! - Ring all-reduce, reduce-scatter, all-gather, broadcast, gather,
+//!   all-to-all(v) ([`coll`]), matching the volume formulas in §3.3/A.2 of
+//!   the paper (e.g. ring all-reduce moves `2(r−1)/r · G` per rank).
+//! - Batched point-to-point transfers ([`p2p`]) — the paper's
+//!   `batch_isend_irecv` used by the SYMI optimizer's gradient-collection
+//!   and weight-materialization phases (§4.3–4.4).
+//! - The **intra+inter rank all-reduce** of §4.1 ([`hier`]): elect a slot
+//!   representative inside each rank, all-reduce across representative
+//!   ranks only, then fan back out to local slots.
+//! - A contiguous-range communicator registry ([`group`]) — §4.2's
+//!   `N(N−1)/2` pre-registered groups that make per-iteration regrouping
+//!   free.
+//! - Per-link-class traffic accounting ([`traffic`]): every payload byte is
+//!   attributed to the intra-node (PCIe/NVLink-class) or inter-node
+//!   (network-class) link it crossed, so `symi-netsim` can price a real
+//!   execution with the paper's α–β model.
+
+pub mod cluster;
+pub mod coll;
+pub mod ctx;
+pub mod error;
+pub mod group;
+pub mod hier;
+pub mod p2p;
+pub mod payload;
+pub mod traffic;
+
+pub use cluster::{Cluster, ClusterSpec};
+pub use ctx::RankCtx;
+pub use error::CommError;
+pub use group::{CommGroup, GroupRegistry};
+pub use payload::Payload;
+pub use traffic::{LinkClass, TrafficReport, TrafficStats};

@@ -1,0 +1,107 @@
+//! Message payloads carried between ranks.
+
+use bytes::Bytes;
+
+/// A typed payload. Collectives carrying tensor data use [`Payload::F32`];
+/// routing metadata (token→expert assignments, popularity counts) travels as
+/// [`Payload::U64`]; opaque blobs as [`Payload::Raw`].
+#[derive(Debug, Clone)]
+pub enum Payload {
+    F32(Vec<f32>),
+    U64(Vec<u64>),
+    Raw(Bytes),
+}
+
+impl Payload {
+    /// Wire size in bytes, used for traffic accounting.
+    pub fn byte_len(&self) -> u64 {
+        match self {
+            Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::U64(v) => (v.len() * 8) as u64,
+            Payload::Raw(b) => b.len() as u64,
+        }
+    }
+
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "F32",
+            Payload::U64(_) => "U64",
+            Payload::Raw(_) => "Raw",
+        }
+    }
+
+    /// Extracts the `F32` payload.
+    pub fn into_f32(self) -> Result<Vec<f32>, crate::CommError> {
+        match self {
+            Payload::F32(v) => Ok(v),
+            other => Err(crate::CommError::PayloadMismatch {
+                expected: "F32",
+                got: other.variant_name(),
+            }),
+        }
+    }
+
+    /// Extracts the `U64` payload.
+    pub fn into_u64(self) -> Result<Vec<u64>, crate::CommError> {
+        match self {
+            Payload::U64(v) => Ok(v),
+            other => Err(crate::CommError::PayloadMismatch {
+                expected: "U64",
+                got: other.variant_name(),
+            }),
+        }
+    }
+
+    /// Extracts the `Raw` payload.
+    pub fn into_raw(self) -> Result<Bytes, crate::CommError> {
+        match self {
+            Payload::Raw(b) => Ok(b),
+            other => Err(crate::CommError::PayloadMismatch {
+                expected: "Raw",
+                got: other.variant_name(),
+            }),
+        }
+    }
+}
+
+impl From<Vec<f32>> for Payload {
+    fn from(v: Vec<f32>) -> Self {
+        Payload::F32(v)
+    }
+}
+
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Self {
+        Payload::U64(v)
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::Raw(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_len_accounts_element_width() {
+        assert_eq!(Payload::F32(vec![0.0; 10]).byte_len(), 40);
+        assert_eq!(Payload::U64(vec![0; 10]).byte_len(), 80);
+        assert_eq!(Payload::Raw(Bytes::from_static(b"abc")).byte_len(), 3);
+    }
+
+    #[test]
+    fn wrong_variant_is_an_error() {
+        let p = Payload::U64(vec![1, 2]);
+        assert!(p.into_f32().is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let v = vec![1.5f32, -2.5];
+        assert_eq!(Payload::from(v.clone()).into_f32().unwrap(), v);
+    }
+}

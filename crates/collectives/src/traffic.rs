@@ -1,0 +1,174 @@
+//! Per-link-class traffic accounting.
+//!
+//! Every byte a rank sends is attributed to a [`LinkClass`] based on whether
+//! the destination rank lives on the same node. `symi-netsim` prices these
+//! counters with the paper's bandwidth parameters; the counters are also how
+//! the test suite verifies the paper's data-volume identities (e.g.
+//! `D_G = sNG` for both SYMI and the static baseline, §3.3-II).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which physical link a transfer crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Same node: NVLink/PCIe-class transfer between co-located GPUs, or a
+    /// local host↔device copy.
+    IntraNode,
+    /// Different nodes: backend network (InfiniBand/Ethernet-class).
+    InterNode,
+    /// Host↔device staging for the offloaded optimizer (PCIe). Recorded
+    /// explicitly by the optimizer engines rather than by `send`.
+    HostDevice,
+}
+
+/// Shared, thread-safe traffic counters for one cluster execution.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    intra_bytes: AtomicU64,
+    inter_bytes: AtomicU64,
+    host_dev_bytes: AtomicU64,
+    intra_msgs: AtomicU64,
+    inter_msgs: AtomicU64,
+    per_rank_sent: Mutex<Vec<u64>>,
+    per_rank_recv: Mutex<Vec<u64>>,
+}
+
+impl TrafficStats {
+    pub fn new(ranks: usize) -> Arc<Self> {
+        Arc::new(Self {
+            per_rank_sent: Mutex::new(vec![0; ranks]),
+            per_rank_recv: Mutex::new(vec![0; ranks]),
+            ..Default::default()
+        })
+    }
+
+    /// Records a point-to-point transfer of `bytes` from `from` to `to`.
+    pub fn record(&self, class: LinkClass, from: usize, to: usize, bytes: u64) {
+        match class {
+            LinkClass::IntraNode => {
+                self.intra_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.intra_msgs.fetch_add(1, Ordering::Relaxed);
+            }
+            LinkClass::InterNode => {
+                self.inter_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.inter_msgs.fetch_add(1, Ordering::Relaxed);
+            }
+            LinkClass::HostDevice => {
+                self.host_dev_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+        self.per_rank_sent.lock()[from] += bytes;
+        self.per_rank_recv.lock()[to] += bytes;
+    }
+
+    /// Records a host↔device staging transfer on `rank` (optimizer offload
+    /// traffic; does not involve a peer).
+    pub fn record_host_device(&self, rank: usize, bytes: u64) {
+        self.host_dev_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.per_rank_sent.lock()[rank] += bytes;
+    }
+
+    /// Snapshot of the counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            intra_node_bytes: self.intra_bytes.load(Ordering::Relaxed),
+            inter_node_bytes: self.inter_bytes.load(Ordering::Relaxed),
+            host_device_bytes: self.host_dev_bytes.load(Ordering::Relaxed),
+            intra_node_msgs: self.intra_msgs.load(Ordering::Relaxed),
+            inter_node_msgs: self.inter_msgs.load(Ordering::Relaxed),
+            per_rank_sent_bytes: self.per_rank_sent.lock().clone(),
+            per_rank_recv_bytes: self.per_rank_recv.lock().clone(),
+        }
+    }
+
+    /// Resets all counters (used between measured phases).
+    pub fn reset(&self) {
+        self.intra_bytes.store(0, Ordering::Relaxed);
+        self.inter_bytes.store(0, Ordering::Relaxed);
+        self.host_dev_bytes.store(0, Ordering::Relaxed);
+        self.intra_msgs.store(0, Ordering::Relaxed);
+        self.inter_msgs.store(0, Ordering::Relaxed);
+        self.per_rank_sent.lock().iter_mut().for_each(|v| *v = 0);
+        self.per_rank_recv.lock().iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+/// Immutable snapshot of traffic counters.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    pub intra_node_bytes: u64,
+    pub inter_node_bytes: u64,
+    pub host_device_bytes: u64,
+    pub intra_node_msgs: u64,
+    pub inter_node_msgs: u64,
+    pub per_rank_sent_bytes: Vec<u64>,
+    pub per_rank_recv_bytes: Vec<u64>,
+}
+
+impl TrafficReport {
+    /// Total bytes moved over any link.
+    pub fn total_bytes(&self) -> u64 {
+        self.intra_node_bytes + self.inter_node_bytes + self.host_device_bytes
+    }
+
+    /// Maximum bytes sent by any single rank — a hotspot indicator used by
+    /// the gradient-collection load-balance ablation (§4.3).
+    pub fn max_rank_sent(&self) -> u64 {
+        self.per_rank_sent_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the busiest sender to the mean sender (1.0 = perfectly
+    /// balanced).
+    pub fn send_imbalance(&self) -> f64 {
+        let n = self.per_rank_sent_bytes.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.per_rank_sent_bytes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.max_rank_sent() as f64 / (total as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splits_by_class() {
+        let t = TrafficStats::new(4);
+        t.record(LinkClass::IntraNode, 0, 1, 100);
+        t.record(LinkClass::InterNode, 1, 2, 250);
+        t.record_host_device(3, 42);
+        let r = t.report();
+        assert_eq!(r.intra_node_bytes, 100);
+        assert_eq!(r.inter_node_bytes, 250);
+        assert_eq!(r.host_device_bytes, 42);
+        assert_eq!(r.total_bytes(), 392);
+        assert_eq!(r.per_rank_sent_bytes, vec![100, 250, 0, 42]);
+        assert_eq!(r.per_rank_recv_bytes, vec![0, 100, 250, 0]);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_traffic_is_one() {
+        let t = TrafficStats::new(4);
+        for r in 0..4 {
+            t.record(LinkClass::InterNode, r, (r + 1) % 4, 10);
+        }
+        assert!((t.report().send_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = TrafficStats::new(2);
+        t.record(LinkClass::InterNode, 0, 1, 99);
+        t.reset();
+        assert_eq!(t.report().total_bytes(), 0);
+        assert_eq!(t.report().per_rank_sent_bytes, vec![0, 0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the collective algorithms: for random world
+//! sizes, buffer lengths, and contents, every collective must agree with its
+//! sequential specification.
+
+use proptest::prelude::*;
+use symi_collectives::hier::ReduceMode;
+use symi_collectives::{Cluster, ClusterSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_sequential_sum(
+        n in 1usize..9,
+        len in 0usize..40,
+        seedv in prop::collection::vec(-100.0f32..100.0, 8 * 40),
+    ) {
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let mut data: Vec<f32> = (0..len)
+                .map(|i| seedv[ctx.rank() * 40 + i])
+                .collect();
+            ctx.allreduce_sum(&group, 1, &mut data).unwrap();
+            data
+        });
+        let expect: Vec<f32> = (0..len)
+            .map(|i| (0..n).map(|r| seedv[r * 40 + i]).sum())
+            .collect();
+        for res in &results {
+            for (a, b) in res.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_root(n in 1usize..9, root_sel in 0usize..8, len in 1usize..30) {
+        let root = root_sel % n;
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let data = (ctx.rank() == root)
+                .then(|| (0..len).map(|i| i as f32 * 1.5).collect::<Vec<f32>>());
+            ctx.broadcast(&group, root, 2, data).unwrap()
+        });
+        for res in results {
+            prop_assert_eq!(res.len(), len);
+            for (i, v) in res.iter().enumerate() {
+                prop_assert_eq!(*v, i as f32 * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(n in 1usize..7) {
+        // out[dest][src] must equal in[src][dest] for arbitrary sizes.
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let bufs: Vec<Vec<f32>> = (0..n)
+                .map(|j| vec![(ctx.rank() * 100 + j) as f32; (ctx.rank() + j) % 3])
+                .collect();
+            ctx.alltoallv_f32(&group, 3, bufs).unwrap()
+        });
+        for (dest, inbox) in results.iter().enumerate() {
+            for (src, buf) in inbox.iter().enumerate() {
+                prop_assert_eq!(buf.len(), (src + dest) % 3);
+                for v in buf {
+                    prop_assert_eq!(*v, (src * 100 + dest) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_chunks_reassemble_allreduce(n in 1usize..7, len in 1usize..50) {
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().world();
+            let data: Vec<f32> = (0..len).map(|i| (i * (ctx.rank() + 1)) as f32).collect();
+            ctx.reduce_scatter_sum(&group, 4, &data).unwrap()
+        });
+        let total_rank_weight: usize = (1..=n).sum();
+        let mut assembled = vec![f32::NAN; len];
+        for (offset, chunk) in results {
+            for (k, v) in chunk.iter().enumerate() {
+                assembled[offset + k] = *v;
+            }
+        }
+        for (i, v) in assembled.iter().enumerate() {
+            prop_assert!((v - (i * total_rank_weight) as f32).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn hierarchical_allreduce_matches_flat_sum(
+        n in 1usize..5,
+        slots in prop::collection::vec(1usize..4, 4),
+        len in 1usize..16,
+    ) {
+        let slots_for = |rank: usize| slots[rank];
+        let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let group = ctx.groups().range(0, n);
+            let total: usize = (0..n).map(slots_for).sum();
+            let mut locals: Vec<Vec<f32>> = (0..slots_for(ctx.rank()))
+                .map(|s| vec![(ctx.rank() * 7 + s) as f32; len])
+                .collect();
+            ctx.expert_allreduce(&group, 5, &mut locals, total, ReduceMode::Sum).unwrap();
+            locals
+        });
+        let expect: f32 = (0..n)
+            .flat_map(|r| (0..slots_for(r)).map(move |s| (r * 7 + s) as f32))
+            .sum();
+        for per_rank in &results {
+            for slot in per_rank {
+                for v in slot {
+                    prop_assert!((v - expect).abs() < 1e-2);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The distributed SYMI MoE-layer engine: one instance per rank, executing
+//! the full per-iteration pipeline of Figure 4 over real message-passing
+//! collectives.
+//!
+//! Per iteration (numbers = the paper's step labels):
+//!
+//! 1. **Route** the rank's local tokens and ① all-reduce the per-class
+//!    token counts (a tensor with one element per class — negligible cost)
+//!    into the Layer Metadata Store.
+//! 2. ② Enforce per-class capacity (sender-side even quota split) and
+//!    load-balance surviving tokens across the class's replica slots, then
+//!    dispatch via all-to-all.
+//! 3. Run each local slot's expert, return outputs via the reverse
+//!    all-to-all, combine gated outputs, and evaluate the loss.
+//! 4. ③ Backward through the experts and synchronize replica gradients
+//!    with the intra+inter-rank all-reduce of §4.1 over the pre-registered
+//!    contiguous groups of §4.2.
+//! 5. ④⑤ Collect gradient shards to the statically-sharded optimizer
+//!    (Algorithm 2), ⑥ compute the next placement (Algorithm 1) from the
+//!    metadata store, ⑦ step Adam, and ⑧ scatter updated weight shards
+//!    according to the **new** placement — materializing the rebalance for
+//!    free.
+//!
+//! The engine trains the expert MLPs against a caller-supplied regression
+//! target (the surrounding dense transformer is orthogonal to SYMI's
+//! contribution and is exercised by the functional trainer in
+//! `symi-model`; the integration suite cross-checks the two).
+
+use crate::metadata::LayerMetadataStore;
+use crate::optimizer::SymiOptimizer;
+use crate::placement::ExpertPlacement;
+use crate::scheduler::compute_placement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symi_collectives::hier::ReduceMode;
+use symi_collectives::{CommError, RankCtx};
+use symi_model::expert::ExpertFfn;
+use symi_tensor::ops::softmax_rows;
+use symi_tensor::{init, AdamConfig, Matrix};
+
+/// Engine configuration (one MoE layer).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    pub d_model: usize,
+    pub d_ff: usize,
+    pub expert_classes: usize,
+    pub slots_per_rank: usize,
+    /// Tokens one expert slot can absorb per iteration (§3.4).
+    pub slot_capacity: usize,
+    pub adam: AdamConfig,
+    pub seed: u64,
+    /// Distinguishes the message tag space of multiple engines (one per
+    /// transformer layer) sharing the same ranks.
+    pub layer_id: usize,
+}
+
+impl EngineConfig {
+    pub fn total_slots(&self, nodes: usize) -> usize {
+        self.slots_per_rank * nodes
+    }
+}
+
+/// Statistics from one engine iteration, identical on every rank.
+#[derive(Clone, Debug)]
+pub struct IterStats {
+    /// Mean squared error of the gated expert outputs vs the targets
+    /// (global mean over tokens).
+    pub loss: f32,
+    /// Globally aggregated per-class popularity.
+    pub popularity: Vec<u64>,
+    pub survived: usize,
+    pub dropped: usize,
+    /// Replica counts used this iteration.
+    pub replicas: Vec<usize>,
+}
+
+/// Per-rank SYMI engine for one MoE layer.
+pub struct MoeLayerEngine {
+    cfg: EngineConfig,
+    rank: usize,
+    nodes: usize,
+    /// Physical expert instances, one per local slot.
+    slots: Vec<ExpertFfn>,
+    pub placement: ExpertPlacement,
+    optimizer: SymiOptimizer,
+    pub metadata: LayerMetadataStore,
+    /// Shared (replicated, frozen) router weights — router training is
+    /// plain data parallelism and orthogonal to the mechanism under test.
+    router_w: Matrix,
+    iteration: u64,
+}
+
+impl MoeLayerEngine {
+    /// Builds the rank-local engine. All ranks construct identical initial
+    /// expert weights, router, and placement from `cfg.seed`.
+    pub fn new(rank: usize, nodes: usize, cfg: EngineConfig) -> Self {
+        let placement =
+            ExpertPlacement::uniform(cfg.expert_classes, nodes, cfg.slots_per_rank);
+        // Canonical initial weights per class (deterministic in class id).
+        let class_params: Vec<Vec<f32>> = (0..cfg.expert_classes)
+            .map(|class| {
+                ExpertFfn::new(cfg.d_model, cfg.d_ff, cfg.seed ^ (0xe0 + class as u64))
+                    .flat_params()
+            })
+            .collect();
+        let slots = placement
+            .slots_of_rank(rank)
+            .map(|slot| {
+                let class = placement.class_of_slot(slot);
+                let mut e = ExpertFfn::new(cfg.d_model, cfg.d_ff, 0);
+                e.load_flat(&class_params[class]);
+                e
+            })
+            .collect();
+        let optimizer = SymiOptimizer::new(rank, nodes, cfg.adam, &class_params);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70c7);
+        let router_w = init::normal(cfg.d_model, cfg.expert_classes, 0.3, &mut rng);
+        Self {
+            cfg,
+            rank,
+            nodes,
+            slots,
+            placement,
+            optimizer,
+            metadata: LayerMetadataStore::new(1, 64),
+            router_w,
+            iteration: 0,
+        }
+    }
+
+    /// Flat weights currently loaded in a local slot (testing support).
+    pub fn slot_weights(&self, local_slot: usize) -> Vec<f32> {
+        self.slots[local_slot].flat_params()
+    }
+
+    /// The optimizer's fp32 master shard for a class (testing support).
+    pub fn master_shard(&self, class: usize) -> &[f32] {
+        self.optimizer.master_shard(class)
+    }
+
+    fn tag(&self, phase: u64) -> u64 {
+        ((self.cfg.layer_id as u64) << 56) ^ (self.iteration << 32) ^ (phase << 28)
+    }
+
+    /// Runs one full training iteration on this rank's token shard.
+    ///
+    /// `x_local` is `T_loc × d_model`; `target_local` the regression target
+    /// of the same shape. All ranks must call collectively with equal
+    /// `T_loc`.
+    pub fn iteration(
+        &mut self,
+        ctx: &mut RankCtx,
+        x_local: &Matrix,
+        target_local: &Matrix,
+    ) -> Result<IterStats, CommError> {
+        assert_eq!(x_local.cols(), self.cfg.d_model, "input width mismatch");
+        assert_eq!(
+            (x_local.rows(), x_local.cols()),
+            (target_local.rows(), target_local.cols()),
+            "target shape mismatch"
+        );
+        let e = self.cfg.expert_classes;
+        let n = self.nodes;
+        let world = ctx.groups().world();
+        let t_loc = x_local.rows();
+
+        // ---- Step 1: route locally, aggregate popularity globally. ----
+        let logits = x_local.matmul(&self.router_w);
+        let probs = softmax_rows(&logits);
+        let mut assignment = Vec::with_capacity(t_loc);
+        let mut gates = Vec::with_capacity(t_loc);
+        let mut popularity = vec![0u64; e];
+        for t in 0..t_loc {
+            let row = probs.row(t);
+            let (best, &p) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                .expect("at least one class");
+            assignment.push(best);
+            gates.push(p);
+            popularity[best] += 1;
+        }
+        ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+        self.metadata.record(0, popularity.clone());
+
+        // ---- Step 2: capacity + replica load balancing + dispatch. ----
+        let replicas = self.placement.replica_counts();
+        // Sender-side quota: class capacity split evenly over ranks
+        // (deterministic; remainder to low ranks).
+        let quota: Vec<usize> = (0..e)
+            .map(|c| {
+                let cap = self.cfg.slot_capacity * replicas[c];
+                cap / n + usize::from(self.rank < cap % n)
+            })
+            .collect();
+        let mut taken = vec![0usize; e];
+        let mut kept: Vec<usize> = Vec::with_capacity(t_loc); // local token ids
+        let mut kept_slot: Vec<usize> = Vec::with_capacity(t_loc); // global slot
+        for t in 0..t_loc {
+            let class = assignment[t];
+            if taken[class] >= quota[class] {
+                continue;
+            }
+            // Load-balance across the class's replica slots by global
+            // token index (router extension, §3.2 step 2).
+            let class_slots = self.placement.slots_of_class(class);
+            let gid = self.rank * t_loc + t;
+            let slot = class_slots[gid % class_slots.len()];
+            taken[class] += 1;
+            kept.push(t);
+            kept_slot.push(slot);
+        }
+        let survived_local = kept.len();
+
+        // Build per-destination buffers: token rows + slot metadata.
+        let s = self.cfg.slots_per_rank;
+        let mut row_bufs: Vec<Vec<f32>> = vec![Vec::new(); n];
+        let mut meta_bufs: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for (i, &t) in kept.iter().enumerate() {
+            let slot = kept_slot[i];
+            let dest = slot / s;
+            row_bufs[dest].extend_from_slice(x_local.row(t));
+            meta_bufs[dest].push(slot as u64);
+        }
+        let in_rows = ctx.alltoallv_f32(&world, self.tag(2), row_bufs)?;
+        let in_meta = ctx.alltoallv_u64(&world, self.tag(3), meta_bufs)?;
+
+        // Assemble per-slot inputs; remember (src, j) → (slot, row).
+        let d = self.cfg.d_model;
+        let mut slot_inputs: Vec<Vec<f32>> = vec![Vec::new(); s];
+        let mut routing_map: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for src in 0..n {
+            for (j, &slot_id) in in_meta[src].iter().enumerate() {
+                let local_slot = slot_id as usize - self.rank * s;
+                let row = slot_inputs[local_slot].len() / d;
+                slot_inputs[local_slot]
+                    .extend_from_slice(&in_rows[src][j * d..(j + 1) * d]);
+                routing_map[src].push((local_slot, row));
+            }
+        }
+
+        // ---- Step 3: expert forward + combine. ----
+        let slot_outputs: Vec<Matrix> = self
+            .slots
+            .iter_mut()
+            .zip(&slot_inputs)
+            .map(|(expert, flat)| {
+                if flat.is_empty() {
+                    Matrix::zeros(0, d)
+                } else {
+                    expert.forward(&Matrix::from_vec(flat.len() / d, d, flat.clone()))
+                }
+            })
+            .collect();
+
+        // Return outputs in each source's original send order.
+        let mut back_bufs: Vec<Vec<f32>> = vec![Vec::new(); n];
+        for src in 0..n {
+            for &(slot, row) in &routing_map[src] {
+                back_bufs[src].extend_from_slice(slot_outputs[slot].row(row));
+            }
+        }
+        let returned = ctx.alltoallv_f32(&world, self.tag(4), back_bufs)?;
+
+        // Combine: y[t] = gate_t · expert(x_t) for kept tokens; dropped
+        // tokens contribute zero (residual semantics live outside).
+        let mut y = Matrix::zeros(t_loc, d);
+        let mut cursor = vec![0usize; n];
+        for (i, &t) in kept.iter().enumerate() {
+            let dest = kept_slot[i] / s;
+            let j = cursor[dest];
+            cursor[dest] += 1;
+            let row = &returned[dest][j * d..(j + 1) * d];
+            let g = gates[t];
+            for (c, &v) in row.iter().enumerate() {
+                y[(t, c)] += g * v;
+            }
+        }
+
+        // ---- Loss: global-mean squared error. ----
+        let t_global = (t_loc * n) as f32;
+        let mut dy = y.clone();
+        dy.axpy(-1.0, target_local);
+        let local_sq: f32 = dy.as_slice().iter().map(|v| v * v).sum();
+        let mut loss_acc = vec![local_sq];
+        // dLoss/dy = (y - target) / (T_global · d) for the mean.
+        dy.scale(1.0 / (t_global * d as f32));
+        ctx.allreduce_sum(&world, self.tag(5), &mut loss_acc)?;
+        let loss = loss_acc[0] / (t_global * d as f32);
+
+        // ---- Step 4: backward. Send gated upstream grads to the slots. ----
+        let mut gbufs: Vec<Vec<f32>> = vec![Vec::new(); n];
+        for (i, &t) in kept.iter().enumerate() {
+            let dest = kept_slot[i] / s;
+            let g = gates[t];
+            gbufs[dest].extend(dy.row(t).iter().map(|&v| v * g));
+        }
+        let in_grads = ctx.alltoallv_f32(&world, self.tag(6), gbufs)?;
+        // Scatter into per-slot upstream matrices using the same map.
+        let mut slot_dys: Vec<Vec<f32>> =
+            slot_inputs.iter().map(|f| vec![0.0f32; f.len()]).collect();
+        for src in 0..n {
+            for (j, &(slot, row)) in routing_map[src].iter().enumerate() {
+                slot_dys[slot][row * d..(row + 1) * d]
+                    .copy_from_slice(&in_grads[src][j * d..(j + 1) * d]);
+            }
+        }
+        for (local, expert) in self.slots.iter_mut().enumerate() {
+            expert.zero_grad();
+            if !slot_dys[local].is_empty() {
+                let rows = slot_dys[local].len() / d;
+                let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+            }
+        }
+
+        // ---- §4.1: intra+inter rank gradient all-reduce per class. ----
+        let mut class_grads: Vec<Option<Vec<f32>>> = vec![None; e];
+        for (class, locals) in self.placement.classes_on_rank(self.rank) {
+            let mut tensors: Vec<Vec<f32>> =
+                locals.iter().map(|&l| self.slots[l].flat_grads()).collect();
+            let (start, len) = self.placement.host_range(class);
+            let group = ctx.groups().range(start, len);
+            ctx.expert_allreduce(
+                &group,
+                self.tag(7) ^ ((class as u64) << 8),
+                &mut tensors,
+                self.placement.replica_counts()[class],
+                ReduceMode::Sum,
+            )?;
+            class_grads[class] = Some(tensors.swap_remove(0));
+        }
+
+        // ---- Steps 5–8: collect shards, schedule, step, materialize. ----
+        let grad_shards =
+            self.optimizer.collect_grads(ctx, &self.placement, &class_grads, self.tag(8))?;
+        let weight_shards = self.optimizer.step(&grad_shards);
+
+        let next_counts = compute_placement(
+            self.metadata.latest(0).expect("recorded this iteration"),
+            self.cfg.total_slots(n),
+        );
+        let next_placement =
+            ExpertPlacement::from_counts(&next_counts, self.cfg.slots_per_rank);
+
+        let new_weights = self.optimizer.distribute_weights(
+            ctx,
+            &next_placement,
+            &weight_shards,
+            self.tag(9),
+        )?;
+        for (local, weights) in new_weights.into_iter().enumerate() {
+            self.slots[local].load_flat(&weights);
+        }
+        self.placement = next_placement;
+        self.iteration += 1;
+
+        // Survived/dropped are global: derive via one more tiny all-reduce.
+        let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
+        ctx.allreduce_u64_sum(&world, self.tag(10), &mut counts)?;
+
+        Ok(IterStats {
+            loss,
+            popularity,
+            survived: counts[0] as usize,
+            dropped: counts[1] as usize,
+            replicas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_collectives::{Cluster, ClusterSpec};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            d_model: 8,
+            d_ff: 16,
+            expert_classes: 4,
+            slots_per_rank: 2,
+            slot_capacity: 1_000_000, // no drops: exact cross-checks
+            adam: AdamConfig::default(),
+            seed: 31,
+            layer_id: 0,
+        }
+    }
+
+    fn token_matrix(rank: usize, t_loc: usize, d: usize) -> Matrix {
+        Matrix::from_fn(t_loc, d, |r, c| {
+            (((rank * t_loc + r) * d + c) as f32 * 0.137).sin()
+        })
+    }
+
+    #[test]
+    fn loss_decreases_over_iterations() {
+        let nodes = 4;
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, cfg());
+            let x = token_matrix(ctx.rank(), 8, 8);
+            let target = Matrix::zeros(8, 8); // drive outputs to zero
+            let mut losses = Vec::new();
+            for _ in 0..10 {
+                losses.push(engine.iteration(ctx, &x, &target).unwrap().loss);
+            }
+            losses
+        });
+        for (rank, losses) in results.iter().enumerate() {
+            assert!(
+                losses.last().unwrap() < &(losses[0] * 0.8),
+                "rank {rank}: loss must fall, got {losses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree_on_stats_and_placement() {
+        let nodes = 4;
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, cfg());
+            let x = token_matrix(ctx.rank(), 6, 8);
+            let target = token_matrix(ctx.rank() + 100, 6, 8);
+            let stats = engine.iteration(ctx, &x, &target).unwrap();
+            (stats.popularity, stats.loss, engine.placement.replica_counts())
+        });
+        for r in 1..nodes {
+            assert_eq!(results[0].0, results[r].0, "popularity must be global");
+            assert!((results[0].1 - results[r].1).abs() < 1e-6, "loss must be global");
+            assert_eq!(results[0].2, results[r].2, "placement must be deterministic");
+        }
+    }
+
+    #[test]
+    fn placement_follows_popularity() {
+        let nodes = 4;
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, cfg());
+            let x = token_matrix(ctx.rank(), 16, 8);
+            let target = Matrix::zeros(16, 8);
+            let stats = engine.iteration(ctx, &x, &target).unwrap();
+            let hottest = (0..4)
+                .max_by_key(|&c| stats.popularity[c])
+                .expect("non-empty");
+            let counts = engine.placement.replica_counts();
+            (hottest, counts)
+        });
+        let (hottest, counts) = &results[0];
+        let max_class = (0..4).max_by_key(|&c| counts[c]).unwrap();
+        assert_eq!(
+            *hottest, max_class,
+            "the most popular class must get the most replicas: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn replicas_of_a_class_hold_identical_weights() {
+        let nodes = 2;
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, cfg());
+            let x = token_matrix(ctx.rank(), 8, 8);
+            let target = Matrix::zeros(8, 8);
+            let _ = engine.iteration(ctx, &x, &target).unwrap();
+            // Report (class, weights) of each local slot.
+            let s = engine.placement.slots_per_rank();
+            (0..s)
+                .map(|l| {
+                    let slot = ctx.rank() * s + l;
+                    (engine.placement.class_of_slot(slot), engine.slot_weights(l))
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut by_class: std::collections::HashMap<usize, Vec<f32>> =
+            std::collections::HashMap::new();
+        for per_rank in &results {
+            for (class, weights) in per_rank {
+                match by_class.get(class) {
+                    None => {
+                        by_class.insert(*class, weights.clone());
+                    }
+                    Some(reference) => {
+                        assert_eq!(
+                            reference, weights,
+                            "all replicas of class {class} must match bit-for-bit"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_quota_drops_excess_tokens() {
+        let nodes = 2;
+        let tight = EngineConfig { slot_capacity: 1, ..cfg() };
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, tight);
+            let x = token_matrix(ctx.rank(), 16, 8);
+            let target = Matrix::zeros(16, 8);
+            engine.iteration(ctx, &x, &target).unwrap()
+        });
+        let stats = &results[0];
+        assert!(stats.dropped > 0, "capacity 1/slot must drop tokens");
+        assert_eq!(stats.survived + stats.dropped, 32);
+        // Survivors fit inside the total capacity (4 slots/rank... 4 classes
+        // × replicas × 1 token each).
+        assert!(stats.survived <= tight.total_slots(nodes));
+    }
+}

@@ -1,0 +1,45 @@
+//! # symi — Efficient MoE Training via Model and Optimizer State Decoupling
+//!
+//! This crate implements the paper's primary contribution: **per-iteration
+//! adaptive expert replication with zero extra data movement**, achieved by
+//! decoupling each expert's parameters (fp16, replicated non-uniformly on
+//! the accelerators, re-placed every iteration) from its optimizer state
+//! (fp32 Adam state, statically and *uniformly* sharded across all `N`
+//! nodes' host memory).
+//!
+//! Components, mapping one-to-one onto the paper's design (§3–§4):
+//!
+//! - [`scheduler`] — the Expert Placement Scheduler (Algorithm 1):
+//!   popularity-proportional replica counts with a one-replica floor,
+//!   floor-and-correct rounding, and contiguous slot assignment; plus
+//!   [`scheduler::SymiPolicy`], the previous-iteration-popularity policy
+//!   pluggable into any trainer.
+//! - [`metadata`] — the Layer Metadata Store holding the globally
+//!   consistent per-iteration popularity counters.
+//! - [`placement`] — the expert-placement data model: slot↔class maps,
+//!   per-class host-rank ranges, communicator-group handles.
+//! - [`optimizer`] — the SYMI Optimizer: per-node [`symi_tensor::AdamShard`]s
+//!   covering a uniform `1/N` slice of *every* expert, the
+//!   gradient-collection schedule of Algorithm 2 (locality-first,
+//!   round-robin balanced), and the weight-materialization scatter that
+//!   realizes next iteration's placement using only the weight-update
+//!   traffic that static systems already pay (§3.3).
+//! - [`engine`] — the distributed per-rank MoE-layer engine tying it all
+//!   together over `symi-collectives`: route → popularity all-reduce →
+//!   dispatch (all-to-all) → expert compute → combine → backward →
+//!   intra+inter-rank gradient all-reduce (§4.1) → grad collection →
+//!   sharded Adam step → weight scatter under the new placement.
+
+pub mod engine;
+pub mod policies;
+pub mod metadata;
+pub mod optimizer;
+pub mod placement;
+pub mod scheduler;
+
+pub use engine::{EngineConfig, MoeLayerEngine};
+pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
+pub use metadata::LayerMetadataStore;
+pub use optimizer::SymiOptimizer;
+pub use placement::ExpertPlacement;
+pub use scheduler::{compute_placement, SymiPolicy};

@@ -1,0 +1,280 @@
+//! The SYMI Optimizer (§3.2 steps 4–8, §4.3–§4.4).
+//!
+//! Every node owns the same `1/N` slice of **every** expert's optimizer
+//! state — uniform static sharding, never relocated (Appendix A.1 proves
+//! this optimal). Each iteration the optimizer:
+//!
+//! 1. **Grad Communication Phase** (Algorithm 2): collects its gradient
+//!    shard for every class — locally when a replica is co-resident,
+//!    otherwise from a source replica chosen by round-robin over the
+//!    class's host ranks, spreading load so no replica becomes a hotspot.
+//! 2. Steps Adam on each shard (host-side; the staging across PCIe is
+//!    accounted via the traffic counters).
+//! 3. **Weight Communication Phase**: scatters the updated fp16 weight
+//!    shards to each slot of the **next** iteration's placement. Because
+//!    the slots must receive fresh weights anyway, re-placement is free —
+//!    the paper's central claim.
+
+use crate::placement::ExpertPlacement;
+use symi_collectives::coll::chunk_range;
+use symi_collectives::p2p::{RecvOp, SendOp};
+use symi_collectives::{CommError, RankCtx};
+use symi_tensor::{AdamConfig, AdamShard};
+
+/// Algorithm 2's `get_source`: which host rank serves `for_rank`'s shard
+/// of a class hosted on `host_ranks` (ascending).
+pub fn get_source(host_ranks: &[usize], for_rank: usize) -> usize {
+    debug_assert!(!host_ranks.is_empty(), "class must be hosted somewhere");
+    if host_ranks.binary_search(&for_rank).is_ok() {
+        return for_rank;
+    }
+    host_ranks[for_rank % host_ranks.len()]
+}
+
+/// Per-rank SYMI optimizer state: one Adam shard per expert class.
+pub struct SymiOptimizer {
+    rank: usize,
+    nodes: usize,
+    param_count: usize,
+    shards: Vec<AdamShard>,
+}
+
+impl SymiOptimizer {
+    /// Initializes this rank's shard of every class from the classes'
+    /// initial flat parameters (identical across ranks by construction).
+    pub fn new(rank: usize, nodes: usize, adam: AdamConfig, class_params: &[Vec<f32>]) -> Self {
+        assert!(!class_params.is_empty(), "need at least one expert class");
+        let param_count = class_params[0].len();
+        assert!(class_params.iter().all(|p| p.len() == param_count), "uneven expert sizes");
+        let (start, end) = chunk_range(param_count, nodes, rank);
+        let shards = class_params
+            .iter()
+            .map(|p| AdamShard::new(adam, start, &p[start..end]))
+            .collect();
+        Self { rank, nodes, param_count, shards }
+    }
+
+    /// This rank's shard boundaries within a flat expert parameter vector.
+    pub fn shard_range(&self) -> (usize, usize) {
+        chunk_range(self.param_count, self.nodes, self.rank)
+    }
+
+    pub fn expert_classes(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Optimizer-state bytes held on this rank (16 B/param accounting).
+    pub fn state_bytes(&self) -> u64 {
+        self.shards.iter().map(AdamShard::state_bytes).sum()
+    }
+
+    /// Grad Communication Phase: every rank ends up with its shard of every
+    /// class's (already EDP-synchronized) gradient.
+    ///
+    /// `local_grads[class]` is `Some(full flat gradient)` iff this rank
+    /// hosts a replica of `class` under `placement`.
+    pub fn collect_grads(
+        &self,
+        ctx: &mut RankCtx,
+        placement: &ExpertPlacement,
+        local_grads: &[Option<Vec<f32>>],
+        tag: u64,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let e = self.shards.len();
+        assert_eq!(local_grads.len(), e, "one (optional) gradient per class");
+        let n = self.nodes;
+
+        // Sends: for every class I host, serve the shard of every rank whose
+        // get_source picks me.
+        let mut sends = Vec::new();
+        for class in 0..e {
+            let Some(grad) = &local_grads[class] else { continue };
+            let hosts = placement.host_ranks(class);
+            debug_assert!(hosts.contains(&self.rank), "have grads only for hosted classes");
+            for dst in 0..n {
+                if dst == self.rank {
+                    continue;
+                }
+                if get_source(&hosts, dst) == self.rank {
+                    let (s, t) = chunk_range(self.param_count, n, dst);
+                    sends.push(SendOp {
+                        to: dst,
+                        tag: tag ^ (class as u64) << 20,
+                        data: grad[s..t].to_vec(),
+                    });
+                }
+            }
+        }
+
+        // Receives: my shard of every class, locally when possible.
+        let (ms, mt) = self.shard_range();
+        let mut recvs = Vec::new();
+        let mut local_copy: Vec<Option<Vec<f32>>> = vec![None; e];
+        for class in 0..e {
+            let hosts = placement.host_ranks(class);
+            let src = get_source(&hosts, self.rank);
+            if src == self.rank {
+                let grad = local_grads[class]
+                    .as_ref()
+                    .expect("get_source returned self, so the class is local");
+                local_copy[class] = Some(grad[ms..mt].to_vec());
+            } else {
+                recvs.push(RecvOp { from: src, tag: tag ^ (class as u64) << 20 });
+            }
+        }
+        let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+
+        // Stage every collected shard into host memory (PCIe leg of T_G).
+        let mut out = Vec::with_capacity(e);
+        for slot in local_copy {
+            let shard = match slot {
+                Some(local) => local,
+                None => received.next().expect("one receive per remote class"),
+            };
+            ctx.record_host_device_bytes(shard.len() as u64 * 4);
+            out.push(shard);
+        }
+        Ok(out)
+    }
+
+    /// Adam step over every class's shard; returns the updated fp16-rounded
+    /// weight shards.
+    pub fn step(&mut self, grad_shards: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(grad_shards.len(), self.shards.len(), "one gradient shard per class");
+        self.shards
+            .iter_mut()
+            .zip(grad_shards)
+            .map(|(shard, grad)| shard.step(grad))
+            .collect()
+    }
+
+    /// Weight Communication Phase: sends this rank's updated weight shard of
+    /// every class to every slot of the *new* placement, and assembles the
+    /// full weights for each local slot.
+    ///
+    /// Returns one flat weight vector per local slot (indexed by local slot
+    /// id), ready to load into the physical experts — thereby
+    /// *materializing* the new placement with zero extra traffic relative
+    /// to a static system's weight update (§3.3-II).
+    pub fn distribute_weights(
+        &self,
+        ctx: &mut RankCtx,
+        new_placement: &ExpertPlacement,
+        weight_shards: &[Vec<f32>],
+        tag: u64,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let n = self.nodes;
+        let s = new_placement.slots_per_rank();
+        assert_eq!(weight_shards.len(), self.shards.len(), "one weight shard per class");
+        assert_eq!(new_placement.ranks(), n, "placement rank count mismatch");
+
+        // The shard leaves host memory over PCIe once per class.
+        for shard in weight_shards {
+            ctx.record_host_device_bytes(shard.len() as u64 * 4);
+        }
+
+        // Send my shard of slot's class to every slot (self included via
+        // mailbox; remote slots via links).
+        let mut sends = Vec::new();
+        for slot in 0..new_placement.total_slots() {
+            let class = new_placement.class_of_slot(slot);
+            let host = new_placement.rank_of_slot(slot);
+            sends.push(SendOp {
+                to: host,
+                tag: tag ^ ((slot as u64) << 24) ^ ((self.rank as u64) << 8),
+                data: weight_shards[class].clone(),
+            });
+        }
+
+        // Receive all N shards for each of my slots.
+        let mut recvs = Vec::with_capacity(s * n);
+        for local in 0..s {
+            let slot = self.rank * s + local;
+            for src in 0..n {
+                recvs.push(RecvOp {
+                    from: src,
+                    tag: tag ^ ((slot as u64) << 24) ^ ((src as u64) << 8),
+                });
+            }
+        }
+        let received = ctx.batch_isend_irecv(sends, &recvs)?;
+
+        // Assemble per-slot full weights from the N ordered shards.
+        let mut out = Vec::with_capacity(s);
+        for local in 0..s {
+            let mut full = vec![0.0f32; self.param_count];
+            for src in 0..n {
+                let shard = &received[local * n + src];
+                let (a, b) = chunk_range(self.param_count, n, src);
+                assert_eq!(shard.len(), b - a, "shard length mismatch from rank {src}");
+                full[a..b].copy_from_slice(shard);
+            }
+            out.push(full);
+        }
+        Ok(out)
+    }
+
+    /// This rank's current fp32 master weights of `class`'s shard (testing
+    /// and checkpoint support).
+    pub fn master_shard(&self, class: usize) -> &[f32] {
+        self.shards[class].master_weights()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_source_prefers_local() {
+        assert_eq!(get_source(&[2, 5, 7], 5), 5);
+    }
+
+    #[test]
+    fn get_source_round_robins_across_hosts() {
+        let hosts = [2usize, 5, 7];
+        // Algorithm 2 picks hosts[rank % len] for non-host ranks.
+        let picks: Vec<usize> = (0..9)
+            .filter(|r| !hosts.contains(r))
+            .map(|r| get_source(&hosts, r))
+            .collect();
+        assert_eq!(picks, vec![2, 5, 2, 5, 2, 7]);
+        // No single host serves everyone (the hotspot §4.3 avoids).
+        for &h in &hosts {
+            assert!(picks.iter().filter(|&&p| p == h).count() < picks.len());
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_parameter_space() {
+        let params = vec![vec![0.5f32; 103]];
+        let mut covered = vec![false; 103];
+        for rank in 0..8 {
+            let opt = SymiOptimizer::new(rank, 8, AdamConfig::default(), &params);
+            let (a, b) = opt.shard_range();
+            for c in covered.iter_mut().take(b).skip(a) {
+                assert!(!*c, "overlap at rank {rank}");
+                *c = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every parameter must be sharded somewhere");
+    }
+
+    #[test]
+    fn state_bytes_are_uniform_across_ranks_and_classes() {
+        // §3.3-I: the footprint is EO in total, EO/N per node (±rounding).
+        let params: Vec<Vec<f32>> = (0..4).map(|_| vec![0.0f32; 160]).collect();
+        let per_rank: Vec<u64> = (0..8)
+            .map(|r| SymiOptimizer::new(r, 8, AdamConfig::default(), &params).state_bytes())
+            .collect();
+        let total: u64 = per_rank.iter().sum();
+        assert_eq!(total, 4 * 160 * 16, "EO total");
+        let max = per_rank.iter().max().unwrap();
+        let min = per_rank.iter().min().unwrap();
+        assert!(max - min <= 4 * 16, "uniform within one element per class");
+    }
+}

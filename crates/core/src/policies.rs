@@ -1,0 +1,299 @@
+//! Extended placement policies (§6: "the dynamic replication policy in
+//! SYMI is flexible — the expert scheduler may incorporate prediction,
+//! historical statistics, or even disregard popularity").
+//!
+//! All of these produce replica counts through the same Algorithm 1
+//! machinery; they differ only in the popularity *estimate* they feed it:
+//!
+//! - [`SymiPolicy`](crate::scheduler::SymiPolicy) (in `scheduler`):
+//!   previous iteration, the paper's choice;
+//! - [`EmaPolicy`]: exponential moving average — smoother, trades lag for
+//!   noise rejection;
+//! - [`WindowMaxPolicy`]: per-class peak over a trailing window —
+//!   conservative over-provisioning for spiky experts;
+//! - [`evaluate_policy_on_trace`]: an offline evaluator that replays a
+//!   recorded popularity trace under any of these (plus the static and
+//!   same-iteration-oracle bounds) and scores token survival — the
+//!   policy-ablation harness.
+
+use crate::scheduler::compute_placement;
+use std::collections::HashMap;
+use symi_model::PlacementPolicy;
+use symi_workload::PopularityTrace;
+
+/// EMA-smoothed popularity estimate.
+pub struct EmaPolicy {
+    pub total_slots: usize,
+    /// Weight of the newest observation (1.0 degenerates to SymiPolicy).
+    pub alpha: f64,
+    state: HashMap<usize, Vec<f64>>,
+}
+
+impl EmaPolicy {
+    pub fn new(total_slots: usize, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be a weight");
+        Self { total_slots, alpha, state: HashMap::new() }
+    }
+}
+
+impl PlacementPolicy for EmaPolicy {
+    fn name(&self) -> &'static str {
+        "symi-ema"
+    }
+
+    fn next_replicas(&mut self, layer: usize, popularity: &[u64], _iter: u64) -> Vec<usize> {
+        let ema = self
+            .state
+            .entry(layer)
+            .or_insert_with(|| popularity.iter().map(|&p| p as f64).collect());
+        assert_eq!(ema.len(), popularity.len(), "expert count changed");
+        for (e, &p) in ema.iter_mut().zip(popularity) {
+            *e = self.alpha * p as f64 + (1.0 - self.alpha) * *e;
+        }
+        let rounded: Vec<u64> = ema.iter().map(|&e| e.round().max(0.0) as u64).collect();
+        compute_placement(&rounded, self.total_slots)
+    }
+}
+
+/// Peak-demand estimate over a trailing window.
+pub struct WindowMaxPolicy {
+    pub total_slots: usize,
+    pub window: usize,
+    history: HashMap<usize, Vec<Vec<u64>>>,
+}
+
+impl WindowMaxPolicy {
+    pub fn new(total_slots: usize, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least one iteration");
+        Self { total_slots, window, history: HashMap::new() }
+    }
+}
+
+impl PlacementPolicy for WindowMaxPolicy {
+    fn name(&self) -> &'static str {
+        "symi-windowmax"
+    }
+
+    fn next_replicas(&mut self, layer: usize, popularity: &[u64], _iter: u64) -> Vec<usize> {
+        let h = self.history.entry(layer).or_default();
+        h.push(popularity.to_vec());
+        if h.len() > self.window {
+            h.remove(0);
+        }
+        let peak: Vec<u64> = (0..popularity.len())
+            .map(|e| h.iter().map(|row| row[e]).max().unwrap_or(0))
+            .collect();
+        compute_placement(&peak, self.total_slots)
+    }
+}
+
+/// Token survival if class `e` is provisioned `replicas[e]` slots of
+/// capacity `slot_capacity` against demand `popularity[e]`.
+pub fn survival_for_replicas(popularity: &[u64], replicas: &[usize], slot_capacity: f64) -> f64 {
+    assert_eq!(popularity.len(), replicas.len(), "shape mismatch");
+    let total: u64 = popularity.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let survived: f64 = popularity
+        .iter()
+        .zip(replicas)
+        .map(|(&p, &r)| (p as f64).min(slot_capacity * r as f64))
+        .sum();
+    survived / total as f64
+}
+
+/// Offline policy evaluation modes for [`evaluate_policy_on_trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePolicy {
+    /// Uniform static replication.
+    Static,
+    /// Previous-iteration popularity (the paper's SYMI policy).
+    PrevIteration,
+    /// EMA with the given alpha (in percent to stay `Eq`-friendly).
+    EmaPercent(u8),
+    /// Trailing-window max.
+    WindowMax(usize),
+    /// Same-iteration popularity — the unattainable upper bound (the
+    /// placement a system would pick if it could reshuffle *after*
+    /// routing, §3.4).
+    Oracle,
+}
+
+impl TracePolicy {
+    pub fn label(&self) -> String {
+        match self {
+            TracePolicy::Static => "static-uniform".into(),
+            TracePolicy::PrevIteration => "prev-iteration (SYMI)".into(),
+            TracePolicy::EmaPercent(a) => format!("ema-{:.2}", *a as f64 / 100.0),
+            TracePolicy::WindowMax(w) => format!("window-max-{w}"),
+            TracePolicy::Oracle => "oracle (same iteration)".into(),
+        }
+    }
+}
+
+/// Replays `trace` under `policy` and returns the mean token survival at
+/// the given geometry. Iteration 0 always runs uniform (no history yet).
+pub fn evaluate_policy_on_trace(
+    trace: &PopularityTrace,
+    policy: TracePolicy,
+    total_slots: usize,
+    slot_capacity: f64,
+) -> f64 {
+    let e = trace.expert_classes();
+    assert!(e > 0, "empty trace");
+    let uniform = vec![total_slots / e; e];
+    let mut survival_sum = 0.0;
+    let mut ema: Vec<f64> = vec![0.0; e];
+    let mut window: Vec<Vec<u64>> = Vec::new();
+
+    for t in 0..trace.len() {
+        let popularity = &trace.iterations[t];
+        let replicas = match policy {
+            TracePolicy::Static => uniform.clone(),
+            TracePolicy::Oracle => compute_placement(popularity, total_slots),
+            TracePolicy::PrevIteration => {
+                if t == 0 {
+                    uniform.clone()
+                } else {
+                    compute_placement(&trace.iterations[t - 1], total_slots)
+                }
+            }
+            TracePolicy::EmaPercent(a) => {
+                let alpha = a as f64 / 100.0;
+                let r = if t == 0 {
+                    uniform.clone()
+                } else {
+                    let rounded: Vec<u64> =
+                        ema.iter().map(|&v| v.round().max(0.0) as u64).collect();
+                    compute_placement(&rounded, total_slots)
+                };
+                for (s, &p) in ema.iter_mut().zip(popularity) {
+                    *s = if t == 0 { p as f64 } else { alpha * p as f64 + (1.0 - alpha) * *s };
+                }
+                r
+            }
+            TracePolicy::WindowMax(w) => {
+                let r = if window.is_empty() {
+                    uniform.clone()
+                } else {
+                    let peak: Vec<u64> = (0..e)
+                        .map(|c| window.iter().map(|row| row[c]).max().unwrap_or(0))
+                        .collect();
+                    compute_placement(&peak, total_slots)
+                };
+                window.push(popularity.clone());
+                if window.len() > w {
+                    window.remove(0);
+                }
+                r
+            }
+        };
+        survival_sum += survival_for_replicas(popularity, &replicas, slot_capacity);
+    }
+    survival_sum / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_workload::SyntheticTraceConfig;
+
+    fn trace() -> PopularityTrace {
+        SyntheticTraceConfig {
+            expert_classes: 8,
+            iterations: 120,
+            tokens_per_iteration: 4096,
+            zipf: 1.2,
+            drift_sigma: 0.2,
+            jolt_prob: 0.05,
+            seed: 11,
+        }
+        .generate()
+    }
+
+    const SLOTS: usize = 32;
+    const CAP: f64 = 4096.0 / SLOTS as f64;
+
+    #[test]
+    fn oracle_dominates_everything() {
+        let t = trace();
+        let oracle = evaluate_policy_on_trace(&t, TracePolicy::Oracle, SLOTS, CAP);
+        for policy in [
+            TracePolicy::Static,
+            TracePolicy::PrevIteration,
+            TracePolicy::EmaPercent(50),
+            TracePolicy::WindowMax(5),
+        ] {
+            let s = evaluate_policy_on_trace(&t, policy, SLOTS, CAP);
+            assert!(
+                oracle >= s - 1e-9,
+                "{} ({s:.4}) must not beat the oracle ({oracle:.4})",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn prev_iteration_beats_static_on_skewed_traces() {
+        let t = trace();
+        let stat = evaluate_policy_on_trace(&t, TracePolicy::Static, SLOTS, CAP);
+        let prev = evaluate_policy_on_trace(&t, TracePolicy::PrevIteration, SLOTS, CAP);
+        assert!(prev > stat + 0.02, "prev {prev:.4} vs static {stat:.4}");
+    }
+
+    #[test]
+    fn prev_iteration_is_near_oracle() {
+        // §3.4's claim: the previous iteration is a reliable proxy.
+        let t = trace();
+        let prev = evaluate_policy_on_trace(&t, TracePolicy::PrevIteration, SLOTS, CAP);
+        let oracle = evaluate_policy_on_trace(&t, TracePolicy::Oracle, SLOTS, CAP);
+        assert!(oracle - prev < 0.08, "gap to oracle too large: {:.4}", oracle - prev);
+    }
+
+    #[test]
+    fn ema_with_alpha_one_equals_prev_iteration() {
+        let t = trace();
+        let prev = evaluate_policy_on_trace(&t, TracePolicy::PrevIteration, SLOTS, CAP);
+        let ema = evaluate_policy_on_trace(&t, TracePolicy::EmaPercent(100), SLOTS, CAP);
+        assert!((prev - ema).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_policies_fill_slots_and_respect_floor() {
+        use symi_model::PlacementPolicy;
+        let t = trace();
+        let mut ema = EmaPolicy::new(SLOTS, 0.4);
+        let mut wmax = WindowMaxPolicy::new(SLOTS, 4);
+        for (i, popularity) in t.iterations.iter().enumerate().take(20) {
+            for r in [
+                ema.next_replicas(0, popularity, i as u64),
+                wmax.next_replicas(0, popularity, i as u64),
+            ] {
+                assert_eq!(r.iter().sum::<usize>(), SLOTS);
+                assert!(r.iter().all(|&c| c >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn window_max_overprovisions_spiky_experts() {
+        // A class that spikes every 3rd iteration: window-max keeps its
+        // replicas high between spikes, prev-iteration drops them.
+        let mut t = PopularityTrace::new();
+        for i in 0..30 {
+            let hot = if i % 3 == 0 { 3000u64 } else { 100 };
+            t.push(vec![hot, 500, 500, 500]);
+        }
+        let prev = evaluate_policy_on_trace(&t, TracePolicy::PrevIteration, 16, 4600.0 / 16.0);
+        let wmax = evaluate_policy_on_trace(&t, TracePolicy::WindowMax(3), 16, 4600.0 / 16.0);
+        assert!(wmax > prev, "window-max {wmax:.4} should beat prev {prev:.4} on spikes");
+    }
+
+    #[test]
+    fn survival_for_replicas_edges() {
+        assert_eq!(survival_for_replicas(&[0, 0], &[1, 1], 10.0), 1.0);
+        assert_eq!(survival_for_replicas(&[10, 10], &[1, 1], 10.0), 1.0);
+        assert_eq!(survival_for_replicas(&[20, 0], &[1, 1], 10.0), 0.5);
+    }
+}

@@ -1,0 +1,312 @@
+//! Multi-head causal self-attention with manual backprop.
+//!
+//! Operates on a `(batch·seq_len) × d_model` activation matrix; sequences
+//! are independent, so forward/backward loop over them. Head projections
+//! use column slices of fused `Wq/Wk/Wv` matrices.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::{init, Matrix};
+
+/// Per-sequence forward cache.
+struct SeqCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Softmax attention probabilities per head.
+    probs: Vec<Matrix>,
+    /// Concatenated head outputs (pre-`Wo`).
+    concat: Matrix,
+}
+
+/// Multi-head causal self-attention layer.
+pub struct CausalAttention {
+    pub wq: Matrix,
+    pub wk: Matrix,
+    pub wv: Matrix,
+    pub wo: Matrix,
+    pub wq_grad: Matrix,
+    pub wk_grad: Matrix,
+    pub wv_grad: Matrix,
+    pub wo_grad: Matrix,
+    n_heads: usize,
+    seq_len: usize,
+    cache: Vec<SeqCache>,
+}
+
+impl CausalAttention {
+    pub fn new(d_model: usize, n_heads: usize, seq_len: usize, seed: u64) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must divide by n_heads");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            wq: init::xavier_uniform(d_model, d_model, &mut rng),
+            wk: init::xavier_uniform(d_model, d_model, &mut rng),
+            wv: init::xavier_uniform(d_model, d_model, &mut rng),
+            wo: init::xavier_uniform(d_model, d_model, &mut rng),
+            wq_grad: Matrix::zeros(d_model, d_model),
+            wk_grad: Matrix::zeros(d_model, d_model),
+            wv_grad: Matrix::zeros(d_model, d_model),
+            wo_grad: Matrix::zeros(d_model, d_model),
+            n_heads,
+            seq_len,
+            cache: Vec::new(),
+        }
+    }
+
+    fn d_model(&self) -> usize {
+        self.wq.rows()
+    }
+
+    fn d_head(&self) -> usize {
+        self.d_model() / self.n_heads
+    }
+
+    /// Extracts head `h`'s column block from an `L × d_model` matrix.
+    fn head(&self, m: &Matrix, h: usize) -> Matrix {
+        let dh = self.d_head();
+        Matrix::from_fn(m.rows(), dh, |r, c| m[(r, h * dh + c)])
+    }
+
+    /// Adds a head block back into an `L × d_model` matrix.
+    fn add_head(&self, dst: &mut Matrix, src: &Matrix, h: usize) {
+        let dh = self.d_head();
+        for r in 0..src.rows() {
+            for c in 0..dh {
+                dst[(r, h * dh + c)] += src[(r, c)];
+            }
+        }
+    }
+
+    /// Forward over a `(batch·L) × d_model` input.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let l = self.seq_len;
+        assert_eq!(x.rows() % l, 0, "input must tile whole sequences");
+        let batch = x.rows() / l;
+        let scale = 1.0 / (self.d_head() as f32).sqrt();
+        let mut out = Matrix::zeros(x.rows(), self.d_model());
+        self.cache.clear();
+
+        for b in 0..batch {
+            let rows: Vec<usize> = (b * l..(b + 1) * l).collect();
+            let xs = x.gather_rows(&rows);
+            let q = xs.matmul(&self.wq);
+            let k = xs.matmul(&self.wk);
+            let v = xs.matmul(&self.wv);
+
+            let mut concat = Matrix::zeros(l, self.d_model());
+            let mut probs = Vec::with_capacity(self.n_heads);
+            for h in 0..self.n_heads {
+                let qh = self.head(&q, h);
+                let kh = self.head(&k, h);
+                let vh = self.head(&v, h);
+                let mut scores = qh.matmul_nt(&kh);
+                scores.scale(scale);
+                // Causal mask: position i attends to j ≤ i.
+                for i in 0..l {
+                    for j in i + 1..l {
+                        scores[(i, j)] = -1.0e9;
+                    }
+                }
+                let p = softmax_rows(&scores);
+                let oh = p.matmul(&vh);
+                self.add_head(&mut concat, &oh, h);
+                probs.push(p);
+            }
+            let y = concat.matmul(&self.wo);
+            for (i, &row) in rows.iter().enumerate() {
+                out.copy_row_from(row, &y, i);
+            }
+            self.cache.push(SeqCache { x: xs, q, k, v, probs, concat });
+        }
+        out
+    }
+
+    /// Backward; returns `dX` and accumulates weight gradients.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let l = self.seq_len;
+        let batch = dy.rows() / l;
+        assert_eq!(batch, self.cache.len(), "backward without matching forward");
+        let scale = 1.0 / (self.d_head() as f32).sqrt();
+        let mut dx = Matrix::zeros(dy.rows(), self.d_model());
+
+        for b in 0..batch {
+            let rows: Vec<usize> = (b * l..(b + 1) * l).collect();
+            let dys = dy.gather_rows(&rows);
+            let c = &self.cache[b];
+
+            // Y = concat · Wo
+            self.wo_grad.axpy(1.0, &c.concat.matmul_tn(&dys));
+            let dconcat = dys.matmul_nt(&self.wo);
+
+            let mut dq = Matrix::zeros(l, self.d_model());
+            let mut dk = Matrix::zeros(l, self.d_model());
+            let mut dv = Matrix::zeros(l, self.d_model());
+            for h in 0..self.n_heads {
+                let doh = self.head(&dconcat, h);
+                let p = &c.probs[h];
+                let vh = self.head(&c.v, h);
+                let qh = self.head(&c.q, h);
+                let kh = self.head(&c.k, h);
+
+                // Oh = P · Vh
+                let dp = doh.matmul_nt(&vh);
+                let dvh = p.matmul_tn(&doh);
+                // P = softmax(S); S = scale · Qh Khᵀ (masked entries have
+                // zero probability so their score grads vanish).
+                let mut ds = softmax_rows_backward(p, &dp);
+                ds.scale(scale);
+                let dqh = ds.matmul(&kh);
+                let dkh = ds.matmul_tn(&qh);
+
+                self.add_head(&mut dq, &dqh, h);
+                self.add_head(&mut dk, &dkh, h);
+                self.add_head(&mut dv, &dvh, h);
+            }
+
+            // Q = X Wq etc.
+            self.wq_grad.axpy(1.0, &c.x.matmul_tn(&dq));
+            self.wk_grad.axpy(1.0, &c.x.matmul_tn(&dk));
+            self.wv_grad.axpy(1.0, &c.x.matmul_tn(&dv));
+            let mut dxs = dq.matmul_nt(&self.wq);
+            dxs.axpy(1.0, &dk.matmul_nt(&self.wk));
+            dxs.axpy(1.0, &dv.matmul_nt(&self.wv));
+
+            for (i, &row) in rows.iter().enumerate() {
+                dx.copy_row_from(row, &dxs, i);
+            }
+        }
+        dx
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.wq, &mut self.wq_grad);
+        f(&mut self.wk, &mut self.wk_grad);
+        f(&mut self.wv, &mut self.wv_grad);
+        f(&mut self.wo, &mut self.wo_grad);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.wq_grad.fill_zero();
+        self.wk_grad.fill_zero();
+        self.wv_grad.fill_zero();
+        self.wo_grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_tensor::gradcheck::numerical_grad;
+
+    fn forward_fn(attn_template: &CausalAttention, x: &Matrix) -> Matrix {
+        // Rebuild a throwaway layer sharing the same weights for numeric
+        // probing (forward mutates the cache, so we clone).
+        let mut a = CausalAttention::new(
+            attn_template.d_model(),
+            attn_template.n_heads,
+            attn_template.seq_len,
+            0,
+        );
+        a.wq = attn_template.wq.clone();
+        a.wk = attn_template.wk.clone();
+        a.wv = attn_template.wv.clone();
+        a.wo = attn_template.wo.clone();
+        a.forward(x)
+    }
+
+    #[test]
+    fn causality_holds() {
+        // Changing a later token must not affect earlier outputs.
+        let mut attn = CausalAttention::new(8, 2, 4, 7);
+        let x1 = Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f32 * 0.1).sin());
+        let mut x2 = x1.clone();
+        for c in 0..8 {
+            x2[(3, c)] += 1.0; // perturb the last position
+        }
+        let y1 = attn.forward(&x1);
+        let y2 = attn.forward(&x2);
+        for i in 0..3 {
+            assert_eq!(y1.row(i), y2.row(i), "position {i} must ignore the future");
+        }
+        assert_ne!(y1.row(3), y2.row(3));
+    }
+
+    #[test]
+    fn sequences_in_a_batch_are_independent() {
+        let mut attn = CausalAttention::new(8, 2, 4, 7);
+        let x = Matrix::from_fn(8, 8, |r, c| ((r + c) as f32 * 0.2).cos());
+        let y_batch = attn.forward(&x);
+        let first: Vec<usize> = (0..4).collect();
+        let y_single = attn.forward(&x.gather_rows(&first));
+        for i in 0..4 {
+            assert_eq!(y_batch.row(i), y_single.row(i));
+        }
+    }
+
+    #[test]
+    fn backward_input_grad_matches_numeric() {
+        let mut attn = CausalAttention::new(8, 2, 4, 11);
+        let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) as f32 * 0.17).sin());
+        let dy = Matrix::from_fn(8, 8, |r, c| ((r + 2 * c) as f32 * 0.13).cos());
+
+        let _ = attn.forward(&x);
+        let dx = attn.backward(&dy);
+
+        let probe = CausalAttention::new(8, 2, 4, 11);
+        let ndx = numerical_grad(&x, &dy, |xp| forward_fn(&probe, xp));
+        assert!(dx.max_abs_diff(&ndx) < 2e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn backward_weight_grads_match_numeric() {
+        let mut attn = CausalAttention::new(8, 2, 4, 13);
+        let x = Matrix::from_fn(4, 8, |r, c| ((r * 5 + c) as f32 * 0.19).sin());
+        let dy = Matrix::from_fn(4, 8, |r, c| ((r * 2 + c) as f32 * 0.11).cos());
+
+        let _ = attn.forward(&x);
+        let _ = attn.backward(&dy);
+
+        for (name, grad, probe_w) in [
+            ("wq", attn.wq_grad.clone(), 0usize),
+            ("wk", attn.wk_grad.clone(), 1),
+            ("wv", attn.wv_grad.clone(), 2),
+            ("wo", attn.wo_grad.clone(), 3),
+        ] {
+            let base = [&attn.wq, &attn.wk, &attn.wv, &attn.wo][probe_w].clone();
+            let ngrad = numerical_grad(&base, &dy, |wp| {
+                let mut a = CausalAttention::new(8, 2, 4, 0);
+                a.wq = attn.wq.clone();
+                a.wk = attn.wk.clone();
+                a.wv = attn.wv.clone();
+                a.wo = attn.wo.clone();
+                match probe_w {
+                    0 => a.wq = wp.clone(),
+                    1 => a.wk = wp.clone(),
+                    2 => a.wv = wp.clone(),
+                    _ => a.wo = wp.clone(),
+                }
+                a.forward(&x)
+            });
+            assert!(
+                grad.max_abs_diff(&ngrad) < 2e-2,
+                "{name} grad diff {}",
+                grad.max_abs_diff(&ngrad)
+            );
+        }
+    }
+
+    #[test]
+    fn attention_rows_mix_only_the_past() {
+        // With V = identity-ish embedding, output at position 0 equals
+        // V's row 0 transformed — i.e. softmax over a single element.
+        let mut attn = CausalAttention::new(4, 1, 3, 3);
+        let x = Matrix::from_fn(3, 4, |r, c| if r == c { 1.0 } else { 0.1 });
+        let _ = attn.forward(&x);
+        // Probability matrix of the only head: row 0 must be [1, 0, 0].
+        let p = &attn.cache[0].probs[0];
+        assert!((p[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!(p[(0, 1)].abs() < 1e-6 && p[(0, 2)].abs() < 1e-6);
+    }
+}

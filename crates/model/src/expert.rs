@@ -1,0 +1,206 @@
+//! Expert feed-forward network with flat parameter serialization.
+//!
+//! Experts are the unit SYMI replicates and re-places: their parameters
+//! must round-trip through flat `f32` buffers because that is what the
+//! optimizer shards, the gradient-collection phase gathers, and the
+//! weight-communication phase scatters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symi_tensor::ops::{gelu, gelu_backward};
+use symi_tensor::{init, Matrix};
+
+/// A two-layer GELU FFN: `y = gelu(x·W1 + b1)·W2 + b2`.
+pub struct ExpertFfn {
+    pub w1: Matrix,
+    pub b1: Matrix,
+    pub w2: Matrix,
+    pub b2: Matrix,
+    pub w1_grad: Matrix,
+    pub b1_grad: Matrix,
+    pub w2_grad: Matrix,
+    pub b2_grad: Matrix,
+    cached_x: Matrix,
+    cached_pre: Matrix,
+}
+
+impl ExpertFfn {
+    pub fn new(d_model: usize, d_ff: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            w1: init::kaiming_normal(d_model, d_ff, &mut rng),
+            b1: Matrix::zeros(1, d_ff),
+            w2: init::kaiming_normal(d_ff, d_model, &mut rng),
+            b2: Matrix::zeros(1, d_model),
+            w1_grad: Matrix::zeros(d_model, d_ff),
+            b1_grad: Matrix::zeros(1, d_ff),
+            w2_grad: Matrix::zeros(d_ff, d_model),
+            b2_grad: Matrix::zeros(1, d_model),
+            cached_x: Matrix::zeros(0, 0),
+            cached_pre: Matrix::zeros(0, 0),
+        }
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.w1.rows()
+    }
+
+    pub fn d_ff(&self) -> usize {
+        self.w1.cols()
+    }
+
+    /// Total scalar parameters (`2·d·d_ff + d_ff + d`).
+    pub fn param_count(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()
+    }
+
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w1);
+        pre.add_bias(&self.b1);
+        let act = gelu(&pre);
+        let mut y = act.matmul(&self.w2);
+        y.add_bias(&self.b2);
+        self.cached_x = x.clone();
+        self.cached_pre = pre;
+        y
+    }
+
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let act = gelu(&self.cached_pre);
+        self.w2_grad.axpy(1.0, &act.matmul_tn(dy));
+        self.b2_grad.axpy(1.0, &dy.sum_rows());
+        let dact = dy.matmul_nt(&self.w2);
+        let dpre = gelu_backward(&self.cached_pre, &dact);
+        self.w1_grad.axpy(1.0, &self.cached_x.matmul_tn(&dpre));
+        self.b1_grad.axpy(1.0, &dpre.sum_rows());
+        dpre.matmul_nt(&self.w1)
+    }
+
+    /// Parameters as one flat buffer: `[W1 | b1 | W2 | b2]`.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        out.extend_from_slice(self.w1.as_slice());
+        out.extend_from_slice(self.b1.as_slice());
+        out.extend_from_slice(self.w2.as_slice());
+        out.extend_from_slice(self.b2.as_slice());
+        out
+    }
+
+    /// Gradients in the same flat layout.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        out.extend_from_slice(self.w1_grad.as_slice());
+        out.extend_from_slice(self.b1_grad.as_slice());
+        out.extend_from_slice(self.w2_grad.as_slice());
+        out.extend_from_slice(self.b2_grad.as_slice());
+        out
+    }
+
+    /// Loads parameters from a flat buffer produced by [`flat_params`].
+    ///
+    /// # Panics
+    /// Panics if the buffer length differs from [`param_count`].
+    ///
+    /// [`flat_params`]: ExpertFfn::flat_params
+    /// [`param_count`]: ExpertFfn::param_count
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        let (a, rest) = flat.split_at(self.w1.len());
+        let (b, rest) = rest.split_at(self.b1.len());
+        let (c, d) = rest.split_at(self.w2.len());
+        self.w1.as_mut_slice().copy_from_slice(a);
+        self.b1.as_mut_slice().copy_from_slice(b);
+        self.w2.as_mut_slice().copy_from_slice(c);
+        self.b2.as_mut_slice().copy_from_slice(d);
+    }
+
+    /// Visits `(param, grad)` pairs — used when an expert is trained as a
+    /// *dense* parameter (the shared expert of Llama-4/DeepSeek-style
+    /// architectures) rather than through the sharded expert optimizer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w1, &mut self.w1_grad);
+        f(&mut self.b1, &mut self.b1_grad);
+        f(&mut self.w2, &mut self.w2_grad);
+        f(&mut self.b2, &mut self.b2_grad);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w1_grad.fill_zero();
+        self.b1_grad.fill_zero();
+        self.w2_grad.fill_zero();
+        self.b2_grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_tensor::gradcheck::numerical_grad;
+
+    #[test]
+    fn backward_matches_numeric() {
+        let mut e = ExpertFfn::new(6, 10, 5);
+        let x = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.29).sin());
+        let dy = Matrix::from_fn(4, 6, |r, c| ((r + c) as f32 * 0.17).cos());
+
+        let _ = e.forward(&x);
+        let dx = e.backward(&dy);
+
+        let mut probe = ExpertFfn::new(6, 10, 5);
+        let ndx = numerical_grad(&x, &dy, |xp| probe.forward(xp));
+        assert!(dx.max_abs_diff(&ndx) < 2e-2, "dx diff {}", dx.max_abs_diff(&ndx));
+
+        // Spot-check W2's gradient numerically too.
+        let w2 = e.w2.clone();
+        let ndw2 = numerical_grad(&w2, &dy, |wp| {
+            let mut p = ExpertFfn::new(6, 10, 5);
+            p.w2 = wp.clone();
+            p.forward(&x)
+        });
+        assert!(e.w2_grad.max_abs_diff(&ndw2) < 2e-2);
+    }
+
+    #[test]
+    fn flat_round_trip_is_identity() {
+        let mut a = ExpertFfn::new(4, 8, 1);
+        let b = ExpertFfn::new(4, 8, 2);
+        let flat_b = b.flat_params();
+        a.load_flat(&flat_b);
+        assert_eq!(a.flat_params(), flat_b);
+        // Behaviour follows the loaded weights.
+        let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f32 * 0.3);
+        let mut b2 = ExpertFfn::new(4, 8, 2);
+        assert!(a.forward(&x).max_abs_diff(&b2.forward(&x)) < 1e-6);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let e = ExpertFfn::new(16, 64, 0);
+        assert_eq!(e.param_count(), 2 * 16 * 64 + 64 + 16);
+        assert_eq!(e.flat_params().len(), e.param_count());
+        assert_eq!(e.flat_grads().len(), e.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_flat_length_panics() {
+        let mut e = ExpertFfn::new(4, 8, 0);
+        e.load_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn grads_accumulate() {
+        let mut e = ExpertFfn::new(4, 6, 3);
+        let x = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        let dy = Matrix::from_fn(2, 4, |_, _| 0.5);
+        let _ = e.forward(&x);
+        let _ = e.backward(&dy);
+        let once = e.flat_grads();
+        let _ = e.forward(&x);
+        let _ = e.backward(&dy);
+        let twice = e.flat_grads();
+        for (o, t) in once.iter().zip(&twice) {
+            assert!((t - 2.0 * o).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The MoE layer: routing, capacity enforcement, token dropping, expert
+//! execution, and gated combination — with full manual backprop.
+//!
+//! Capacity semantics follow §3.4 exactly:
+//! `capacity(e) = slot_capacity × replicas(e)` where
+//! `slot_capacity = capacity_factor × tokens_per_batch / (sN)`. Assignments
+//! that arrive (in position order) after their class's capacity is
+//! exhausted are **dropped**: the expert contributes nothing for them, so
+//! the surrounding residual connection passes the token through unchanged
+//! and no expert gradient flows. This is the mechanism that couples
+//! replication policy to convergence speed (Figures 7/8).
+//!
+//! With `top_k > 1` each token fans out to several experts (GShard-style);
+//! a token counts as *dropped* only when every one of its assignments
+//! overflowed.
+
+use crate::expert::ExpertFfn;
+use crate::router::Router;
+use symi_tensor::Matrix;
+
+/// Per-iteration statistics from one MoE layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MoeStats {
+    /// Assignments the router made per class (pre-drop popularity — what
+    /// the Layer Metadata Store records).
+    pub popularity: Vec<u64>,
+    /// Tokens with at least one surviving assignment.
+    pub survived: usize,
+    /// Tokens whose every assignment was dropped.
+    pub dropped: usize,
+    /// Individual expert assignments kept / dropped (equals the token
+    /// counts when `top_k = 1`).
+    pub assignments_kept: usize,
+    pub assignments_dropped: usize,
+    /// Switch auxiliary loss value.
+    pub aux_loss: f32,
+}
+
+impl MoeStats {
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.survived + self.dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.survived as f64 / total as f64
+        }
+    }
+}
+
+/// Cached dispatch for backprop.
+struct DispatchCache {
+    /// Per expert: kept `(token, gate)` entries in processing order.
+    kept: Vec<Vec<(usize, f32)>>,
+    /// Expert output rows per expert, aligned with `kept`.
+    expert_out: Vec<Matrix>,
+}
+
+/// One MoE layer: a router plus `E` expert FFNs (one canonical instance per
+/// class — replica count only affects capacity in this functional model;
+/// the distributed engines in `symi`/`symi-baselines` materialize physical
+/// replicas).
+pub struct MoeLayer {
+    pub router: Router,
+    pub experts: Vec<ExpertFfn>,
+    /// Optional shared expert (Llama-4/DeepSeek-V3 style, §6): processes
+    /// every token unconditionally, is trained as a dense parameter, and is
+    /// never replicated or re-placed — SYMI optimizes placement for the
+    /// routed experts only.
+    pub shared: Option<ExpertFfn>,
+    slot_capacity: f32,
+    cache: Option<DispatchCache>,
+}
+
+impl MoeLayer {
+    pub fn new(
+        d_model: usize,
+        d_ff: usize,
+        experts: usize,
+        top_k: usize,
+        slot_capacity: f32,
+        aux_coef: f32,
+        seed: u64,
+    ) -> Self {
+        Self {
+            router: Router::new(d_model, experts, top_k, aux_coef, seed),
+            experts: (0..experts)
+                .map(|e| ExpertFfn::new(d_model, d_ff, seed ^ (0xe0 + e as u64)))
+                .collect(),
+            shared: None,
+            slot_capacity,
+            cache: None,
+        }
+    }
+
+    /// Adds a shared expert that every token passes through in addition to
+    /// its routed expert(s).
+    pub fn with_shared_expert(mut self, d_ff: usize, seed: u64) -> Self {
+        let d_model = self.router.w.rows();
+        self.shared = Some(ExpertFfn::new(d_model, d_ff, seed ^ 0x5a4e));
+        self
+    }
+
+    pub fn expert_classes(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Per-class token capacity under `replicas`.
+    pub fn capacity(&self, replicas: usize) -> usize {
+        (self.slot_capacity * replicas as f32).floor() as usize
+    }
+
+    /// Forward pass. `replicas[e]` scales class `e`'s capacity.
+    pub fn forward(&mut self, x: &Matrix, replicas: &[usize]) -> (Matrix, MoeStats) {
+        assert_eq!(replicas.len(), self.experts.len(), "one replica count per class");
+        let routing = self.router.forward(x);
+        let e = self.experts.len();
+        let t = x.rows();
+
+        // Capacity enforcement in arrival order, per assignment.
+        let caps: Vec<usize> = replicas.iter().map(|&r| self.capacity(r)).collect();
+        let mut kept: Vec<Vec<(usize, f32)>> = vec![Vec::new(); e];
+        let mut token_survived = vec![false; t];
+        let mut assignments_dropped = 0usize;
+        for (tok, picks) in routing.assignment.iter().enumerate() {
+            for &(class, gate) in picks {
+                if kept[class].len() < caps[class] {
+                    kept[class].push((tok, gate));
+                    token_survived[tok] = true;
+                } else {
+                    assignments_dropped += 1;
+                }
+            }
+        }
+        let assignments_kept: usize = kept.iter().map(Vec::len).sum();
+        let survived = token_survived.iter().filter(|&&s| s).count();
+
+        // Run each expert on its surviving tokens; scale by the gate.
+        let mut y = Matrix::zeros(t, x.cols());
+        let mut expert_out = Vec::with_capacity(e);
+        for (class, expert) in self.experts.iter_mut().enumerate() {
+            if kept[class].is_empty() {
+                expert_out.push(Matrix::zeros(0, x.cols()));
+                continue;
+            }
+            let indices: Vec<usize> = kept[class].iter().map(|&(tok, _)| tok).collect();
+            let xin = x.gather_rows(&indices);
+            let out = expert.forward(&xin);
+            for (i, &(tok, gate)) in kept[class].iter().enumerate() {
+                y.axpy_row_from(tok, gate, &out, i);
+            }
+            expert_out.push(out);
+        }
+
+        if let Some(shared) = &mut self.shared {
+            let out = shared.forward(x);
+            y.axpy(1.0, &out);
+        }
+
+        let stats = MoeStats {
+            popularity: routing.popularity.clone(),
+            survived,
+            dropped: t - survived,
+            assignments_kept,
+            assignments_dropped,
+            aux_loss: routing.aux_loss,
+        };
+        self.cache = Some(DispatchCache { kept, expert_out });
+        (y, stats)
+    }
+
+    /// Backward pass; returns `dX`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("backward before forward");
+        let t = dy.rows();
+        let mut dx = Matrix::zeros(t, dy.cols());
+
+        // Gate gradients, per token: only kept assignments contribute.
+        let mut dgates: Vec<Vec<(usize, f32)>> = vec![Vec::new(); t];
+        for (class, expert) in self.experts.iter_mut().enumerate() {
+            let kept = &cache.kept[class];
+            if kept.is_empty() {
+                continue;
+            }
+            // Upstream into the expert: g_t · dy_t.
+            let mut dexp = Matrix::zeros(kept.len(), dy.cols());
+            for (i, &(tok, gate)) in kept.iter().enumerate() {
+                dexp.axpy_row_from(i, gate, dy, tok);
+                let out_row = cache.expert_out[class].row(i);
+                let dgate: f32 =
+                    dy.row(tok).iter().zip(out_row).map(|(a, b)| a * b).sum();
+                dgates[tok].push((class, dgate));
+            }
+            let dxin = expert.backward(&dexp);
+            for (i, &(tok, _)) in kept.iter().enumerate() {
+                dx.axpy_row_from(tok, 1.0, &dxin, i);
+            }
+        }
+
+        // Shared-expert path: every token, ungated.
+        if let Some(shared) = &mut self.shared {
+            let dx_shared = shared.backward(dy);
+            dx.axpy(1.0, &dx_shared);
+        }
+
+        // Router path (gate + aux gradients).
+        let dx_router = self.router.backward(&dgates);
+        dx.axpy(1.0, &dx_router);
+        dx
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.router.zero_grad();
+        for e in &mut self.experts {
+            e.zero_grad();
+        }
+        if let Some(shared) = &mut self.shared {
+            shared.zero_grad();
+        }
+    }
+
+    /// Visits dense parameters (router and, if present, the shared expert)
+    /// — routed expert parameters are owned by the expert optimizer
+    /// machinery.
+    pub fn visit_dense_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.router.visit_params(f);
+        if let Some(shared) = &mut self.shared {
+            shared.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_tensor::gradcheck::numerical_grad_scalar;
+
+    fn layer(slot_cap: f32) -> MoeLayer {
+        MoeLayer::new(6, 10, 3, 1, slot_cap, 0.0, 9)
+    }
+
+    fn layer_topk(slot_cap: f32, k: usize) -> MoeLayer {
+        MoeLayer::new(6, 10, 3, k, slot_cap, 0.0, 9)
+    }
+
+    #[test]
+    fn no_drops_with_generous_capacity() {
+        let mut l = layer(100.0);
+        let x = Matrix::from_fn(12, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let (_, stats) = l.forward(&x, &[1, 1, 1]);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.survived, 12);
+        assert_eq!(stats.popularity.iter().sum::<u64>(), 12);
+        assert_eq!(stats.assignments_kept, 12);
+    }
+
+    #[test]
+    fn capacity_caps_each_class() {
+        let mut l = layer(2.0);
+        let x = Matrix::from_fn(12, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let (_, stats) = l.forward(&x, &[1, 1, 1]);
+        assert!(stats.assignments_kept <= 6);
+        assert_eq!(stats.survived + stats.dropped, 12);
+    }
+
+    #[test]
+    fn replicas_scale_capacity() {
+        let mut l = layer(2.0);
+        let x = Matrix::from_fn(12, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let (_, uniform) = l.forward(&x, &[1, 1, 1]);
+        let (_, boosted) = l.forward(&x, &[4, 4, 4]);
+        assert!(boosted.survived >= uniform.survived);
+        assert_eq!(boosted.dropped, 0, "4 replicas × cap 2 ≥ 12 tokens total");
+    }
+
+    #[test]
+    fn dropped_tokens_produce_zero_output_and_gradient() {
+        let mut l = layer(0.0); // capacity zero: every token drops
+        let x = Matrix::from_fn(6, 6, |r, c| ((r + c) as f32 * 0.3).cos());
+        let (y, stats) = l.forward(&x, &[1, 1, 1]);
+        assert_eq!(stats.survived, 0);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        let dy = Matrix::from_fn(6, 6, |_, _| 1.0);
+        let _ = l.backward(&dy);
+        for e in &l.experts {
+            assert!(e.flat_grads().iter().all(|&g| g == 0.0), "no expert grads on drops");
+        }
+    }
+
+    #[test]
+    fn backward_matches_numeric_loss() {
+        // Scalar loss = Σ (y ⊙ dy) with capacity high enough to keep all
+        // tokens (so the kept set — non-differentiable — is stable).
+        let mut l = layer(100.0);
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.21).sin());
+        let dy = Matrix::from_fn(5, 6, |r, c| ((r + c) as f32 * 0.4).cos());
+
+        let (_, _) = l.forward(&x, &[1, 1, 1]);
+        let dx = l.backward(&dy);
+
+        let ndx = numerical_grad_scalar(&x, |xp| {
+            let mut probe = layer(100.0);
+            let (y, _) = probe.forward(xp, &[1, 1, 1]);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        });
+        assert!(dx.max_abs_diff(&ndx) < 3e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn top2_backward_matches_numeric_loss() {
+        let mut l = layer_topk(100.0, 2);
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.27).sin());
+        let dy = Matrix::from_fn(5, 6, |r, c| ((r * 2 + c) as f32 * 0.33).cos());
+
+        let (_, stats) = l.forward(&x, &[1, 1, 1]);
+        assert_eq!(stats.popularity.iter().sum::<u64>(), 10, "2 assignments per token");
+        let dx = l.backward(&dy);
+
+        let ndx = numerical_grad_scalar(&x, |xp| {
+            let mut probe = layer_topk(100.0, 2);
+            let (y, _) = probe.forward(xp, &[1, 1, 1]);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        });
+        assert!(dx.max_abs_diff(&ndx) < 3e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn top2_survives_partial_drops() {
+        // Capacity 1 per class: most tokens keep at most one of their two
+        // assignments; a token is only "dropped" if both overflowed.
+        let mut l = layer_topk(1.0, 2);
+        let x = Matrix::from_fn(9, 6, |r, c| ((r * 2 + c) as f32 * 0.5).sin());
+        let (_, stats) = l.forward(&x, &[1, 1, 1]);
+        assert_eq!(stats.assignments_kept + stats.assignments_dropped, 18);
+        assert!(stats.assignments_kept <= 3, "one per class");
+        assert!(
+            stats.survived >= stats.assignments_kept.min(9) / 2,
+            "kept assignments imply surviving tokens"
+        );
+    }
+
+    #[test]
+    fn shared_expert_processes_every_token_even_dropped_ones() {
+        let mut l = layer(0.0).with_shared_expert(10, 77); // all routed drops
+        let x = Matrix::from_fn(6, 6, |r, c| ((r + c) as f32 * 0.3).cos());
+        let (y, stats) = l.forward(&x, &[1, 1, 1]);
+        assert_eq!(stats.survived, 0, "routed path fully dropped");
+        assert!(
+            y.as_slice().iter().any(|&v| v != 0.0),
+            "shared expert must still transform dropped tokens"
+        );
+        // Gradient reaches the shared expert for every token.
+        let dy = Matrix::from_fn(6, 6, |_, _| 1.0);
+        let _ = l.backward(&dy);
+        let shared = l.shared.as_ref().unwrap();
+        assert!(shared.w1_grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn shared_expert_backward_matches_numeric() {
+        let mut l = layer(100.0).with_shared_expert(10, 5);
+        let x = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.23).sin());
+        let dy = Matrix::from_fn(4, 6, |r, c| ((r + 2 * c) as f32 * 0.35).cos());
+        let (_, _) = l.forward(&x, &[1, 1, 1]);
+        let dx = l.backward(&dy);
+        let ndx = numerical_grad_scalar(&x, |xp| {
+            let mut probe = layer(100.0).with_shared_expert(10, 5);
+            let (y, _) = probe.forward(xp, &[1, 1, 1]);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        });
+        assert!(dx.max_abs_diff(&ndx) < 3e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn popularity_counts_are_pre_drop() {
+        let mut l = layer(0.0);
+        let x = Matrix::from_fn(9, 6, |r, c| ((r * 2 + c) as f32 * 0.5).sin());
+        let (_, stats) = l.forward(&x, &[1, 1, 1]);
+        // Even though everything dropped, popularity reflects assignments.
+        assert_eq!(stats.popularity.iter().sum::<u64>(), 9);
+    }
+
+    #[test]
+    fn drop_order_is_positional() {
+        // With capacity 1 per class, the *first* token routed to a class
+        // survives and later ones drop.
+        let mut l = layer(1.0);
+        let x = Matrix::from_fn(8, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let (y, _) = l.forward(&x, &[1, 1, 1]);
+        let cache_kept: Vec<usize> = {
+            let mut probe = layer(1.0);
+            let routing = probe.router.forward(&x);
+            let mut first = vec![None; 3];
+            for (t, picks) in routing.assignment.iter().enumerate() {
+                let a = picks[0].0;
+                if first[a].is_none() {
+                    first[a] = Some(t);
+                }
+            }
+            first.into_iter().flatten().collect()
+        };
+        for tok in cache_kept {
+            assert!(
+                y.row(tok).iter().any(|&v| v != 0.0),
+                "first-arriving token {tok} must be processed"
+            );
+        }
+    }
+}

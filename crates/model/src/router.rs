@@ -1,0 +1,283 @@
+//! The learned top-k router (gate network).
+//!
+//! The paper's evaluation uses Top-1 (Switch-style) routing; modern MoEs
+//! (GShard, Mixtral) route each token to its top-k experts. This router
+//! supports any `k ≥ 1`: each token receives up to `k` `(class, gate)`
+//! assignments, where the gate is the class's raw softmax probability (so
+//! `k = 1` reproduces Switch semantics exactly, gradients included).
+//!
+//! The popularity counters this router produces are exactly what SYMI's
+//! Layer Metadata Store aggregates (§3.4); with `k > 1` each token
+//! contributes `k` assignment counts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::{init, Matrix};
+
+/// Routing decision for one forward pass.
+#[derive(Clone, Debug)]
+pub struct Routing {
+    /// Per token: its top-k `(class, gate)` pairs, best first.
+    pub assignment: Vec<Vec<(usize, f32)>>,
+    /// Assignments per class — the popularity counters.
+    pub popularity: Vec<u64>,
+    /// Switch auxiliary load-balancing loss (already scaled by the coef),
+    /// computed over top-1 fractions.
+    pub aux_loss: f32,
+}
+
+impl Routing {
+    /// The primary (top-1) class of every token.
+    pub fn top1(&self) -> Vec<usize> {
+        self.assignment.iter().map(|a| a[0].0).collect()
+    }
+}
+
+/// Linear router: logits = `x · Wr`.
+pub struct Router {
+    pub w: Matrix,
+    pub w_grad: Matrix,
+    aux_coef: f32,
+    top_k: usize,
+    cached_x: Matrix,
+    cached_probs: Matrix,
+    cached_top1: Vec<usize>,
+}
+
+impl Router {
+    pub fn new(d_model: usize, experts: usize, top_k: usize, aux_coef: f32, seed: u64) -> Self {
+        assert!(top_k >= 1 && top_k <= experts, "top_k must be in [1, experts]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            w: init::normal(d_model, experts, 0.02, &mut rng),
+            w_grad: Matrix::zeros(d_model, experts),
+            aux_coef,
+            top_k,
+            cached_x: Matrix::zeros(0, 0),
+            cached_probs: Matrix::zeros(0, 0),
+            cached_top1: Vec::new(),
+        }
+    }
+
+    pub fn experts(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Routes every token (row of `x`) to its top-k experts.
+    pub fn forward(&mut self, x: &Matrix) -> Routing {
+        let logits = x.matmul(&self.w);
+        let probs = softmax_rows(&logits);
+        let e = self.experts();
+        let t = x.rows();
+        let k = self.top_k;
+
+        let mut assignment = Vec::with_capacity(t);
+        let mut popularity = vec![0u64; e];
+        let mut top1 = Vec::with_capacity(t);
+        for r in 0..t {
+            let row = probs.row(r);
+            let mut order: Vec<usize> = (0..e).collect();
+            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
+            let picks: Vec<(usize, f32)> =
+                order[..k].iter().map(|&c| (c, row[c])).collect();
+            top1.push(picks[0].0);
+            for &(c, _) in &picks {
+                popularity[c] += 1;
+            }
+            assignment.push(picks);
+        }
+
+        // Switch aux loss over top-1 fractions: coef · E · Σ_e f_e · P_e.
+        let tf = t as f32;
+        let mut aux = 0.0f32;
+        let mut f = vec![0.0f32; e];
+        for &a in &top1 {
+            f[a] += 1.0 / tf;
+        }
+        for class in 0..e {
+            let p_e: f32 = (0..t).map(|r| probs[(r, class)]).sum::<f32>() / tf;
+            aux += f[class] * p_e;
+        }
+        aux *= self.aux_coef * e as f32;
+
+        self.cached_x = x.clone();
+        self.cached_probs = probs;
+        self.cached_top1 = top1;
+        Routing { assignment, popularity, aux_loss: aux }
+    }
+
+    /// Backward pass. `dgates[t]` lists `(class, ∂L/∂gate)` for each of
+    /// token `t`'s kept assignments; the auxiliary-loss gradient (with
+    /// `f_e` constant, as in Switch) is added internally. Returns `dX`.
+    pub fn backward(&mut self, dgates: &[Vec<(usize, f32)>]) -> Matrix {
+        let t = self.cached_x.rows();
+        assert_eq!(dgates.len(), t, "one gate-gradient list per token");
+        let e = self.experts();
+        let tf = t as f32;
+
+        let mut f = vec![0.0f32; e];
+        for &a in &self.cached_top1 {
+            f[a] += 1.0 / tf;
+        }
+
+        let mut dprobs = Matrix::zeros(t, e);
+        for (r, gates) in dgates.iter().enumerate() {
+            for &(c, dg) in gates {
+                dprobs[(r, c)] += dg;
+            }
+            for c in 0..e {
+                dprobs[(r, c)] += self.aux_coef * e as f32 * f[c] / tf;
+            }
+        }
+        let dlogits = softmax_rows_backward(&self.cached_probs, &dprobs);
+        self.w_grad.axpy(1.0, &self.cached_x.matmul_tn(&dlogits));
+        dlogits.matmul_nt(&self.w)
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.w_grad);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w_grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_tensor::gradcheck::numerical_grad_scalar;
+    use symi_tensor::ops::softmax_rows;
+
+    #[test]
+    fn top1_assignment_is_argmax_and_popularity_sums() {
+        let mut r = Router::new(4, 3, 1, 0.0, 1);
+        let x = Matrix::from_fn(10, 4, |i, c| ((i * 4 + c) as f32 * 0.37).sin());
+        let routing = r.forward(&x);
+        assert_eq!(routing.assignment.len(), 10);
+        assert_eq!(routing.popularity.iter().sum::<u64>(), 10);
+        for (t, picks) in routing.assignment.iter().enumerate() {
+            assert_eq!(picks.len(), 1);
+            let probs = r.cached_probs.row(t);
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(picks[0].0, best);
+            assert!((picks[0].1 - probs[best]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn top2_selects_two_distinct_descending_classes() {
+        let mut r = Router::new(4, 5, 2, 0.0, 3);
+        let x = Matrix::from_fn(12, 4, |i, c| ((i + 2 * c) as f32 * 0.41).cos());
+        let routing = r.forward(&x);
+        assert_eq!(routing.popularity.iter().sum::<u64>(), 24, "two counts per token");
+        for picks in &routing.assignment {
+            assert_eq!(picks.len(), 2);
+            assert_ne!(picks[0].0, picks[1].0);
+            assert!(picks[0].1 >= picks[1].1, "gates ordered descending");
+        }
+    }
+
+    #[test]
+    fn gate_gradient_matches_numeric_top1() {
+        let mut r = Router::new(4, 3, 1, 0.0, 2);
+        let x = Matrix::from_fn(6, 4, |i, c| ((i + c) as f32 * 0.23).cos());
+        let routing = r.forward(&x);
+        let dgates: Vec<Vec<(usize, f32)>> =
+            routing.assignment.iter().map(|p| vec![(p[0].0, 1.0)]).collect();
+        let dx = r.backward(&dgates);
+
+        let assignment = routing.top1();
+        let w = r.w.clone();
+        let ndx = numerical_grad_scalar(&x, |xp| {
+            let probs = softmax_rows(&xp.matmul(&w));
+            (0..6).map(|t| probs[(t, assignment[t])]).sum()
+        });
+        assert!(dx.max_abs_diff(&ndx) < 1e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn gate_gradient_matches_numeric_top2() {
+        let mut r = Router::new(4, 4, 2, 0.0, 5);
+        let x = Matrix::from_fn(5, 4, |i, c| ((2 * i + c) as f32 * 0.31).sin());
+        let routing = r.forward(&x);
+        // Loss = sum of both gates per token.
+        let dgates: Vec<Vec<(usize, f32)>> = routing
+            .assignment
+            .iter()
+            .map(|p| p.iter().map(|&(c, _)| (c, 1.0)).collect())
+            .collect();
+        let dx = r.backward(&dgates);
+
+        let picks: Vec<Vec<usize>> = routing
+            .assignment
+            .iter()
+            .map(|p| p.iter().map(|&(c, _)| c).collect())
+            .collect();
+        let w = r.w.clone();
+        let ndx = numerical_grad_scalar(&x, |xp| {
+            let probs = softmax_rows(&xp.matmul(&w));
+            (0..5)
+                .map(|t| picks[t].iter().map(|&c| probs[(t, c)]).sum::<f32>())
+                .sum()
+        });
+        assert!(dx.max_abs_diff(&ndx) < 1e-2, "diff {}", dx.max_abs_diff(&ndx));
+    }
+
+    #[test]
+    fn aux_loss_gradient_matches_numeric() {
+        let coef = 0.5f32;
+        let mut r = Router::new(4, 3, 1, coef, 3);
+        let x = Matrix::from_fn(8, 4, |i, c| ((i * 2 + c) as f32 * 0.19).sin());
+        let routing = r.forward(&x);
+        let zero_dgates: Vec<Vec<(usize, f32)>> = vec![vec![]; 8];
+        let _ = r.backward(&zero_dgates); // only aux gradient
+        let dw = r.w_grad.clone();
+
+        let assignment = routing.top1();
+        let ndw = numerical_grad_scalar(&r.w.clone(), |wp| {
+            let probs = softmax_rows(&x.matmul(wp));
+            let e = 3usize;
+            let tf = 8.0f32;
+            let mut f = vec![0.0f32; e];
+            for &a in &assignment {
+                f[a] += 1.0 / tf;
+            }
+            let mut aux = 0.0f32;
+            for c in 0..e {
+                let p_c: f32 = (0..8).map(|t| probs[(t, c)]).sum::<f32>() / tf;
+                aux += f[c] * p_c;
+            }
+            aux * coef * e as f32
+        });
+        assert!(dw.max_abs_diff(&ndw) < 1e-2, "diff {}", dw.max_abs_diff(&ndw));
+    }
+
+    #[test]
+    fn aux_loss_sits_near_one_for_near_uniform_routing() {
+        let mut r = Router::new(8, 4, 1, 1.0, 4);
+        let x = Matrix::from_fn(64, 8, |i, c| ((i * 8 + c) as f32 * 0.61).sin());
+        let routing = r.forward(&x);
+        assert!(
+            (0.8..=4.0).contains(&routing.aux_loss),
+            "aux {:.4} out of plausible range",
+            routing.aux_loss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k must be in")]
+    fn oversized_k_rejected() {
+        let _ = Router::new(4, 3, 4, 0.0, 1);
+    }
+}

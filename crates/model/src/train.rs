@@ -1,0 +1,372 @@
+//! Training loop parameterized over a replica-placement policy.
+//!
+//! This is the *functional* training engine used for convergence
+//! experiments (Figures 7–10, Tables 1/3): it maintains exactly one
+//! canonical parameter set per expert class — mathematically identical to a
+//! fully synchronized distributed run (all replicas of a class hold the
+//! same weights after every optimizer step) — while the replica counts
+//! produced by the [`PlacementPolicy`] drive class capacities and therefore
+//! token drops. The physically-distributed engines in the `symi` and
+//! `symi-baselines` crates exercise the real communication paths and are
+//! cross-checked against this one in the integration tests.
+
+use crate::config::ModelConfig;
+use crate::model::{GptMoe, StepStats};
+use serde::{Deserialize, Serialize};
+use symi_tensor::{AdamConfig, AdamState};
+use symi_workload::{DriftingCorpus, PopularityTrace};
+
+/// Decides each layer's replica allocation for the next iteration.
+///
+/// Implementations: [`UniformPolicy`] (DeepSpeed-style static), the SYMI
+/// Expert Placement Scheduler (`symi::scheduler::SymiPolicy`, Algorithm 1),
+/// and the FlexMoE interval policy (`symi_baselines::flexmoe`).
+pub trait PlacementPolicy {
+    /// Human-readable system name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns next iteration's replica counts for `layer`, given the
+    /// popularity the router just observed. Counts must sum to the total
+    /// slot count and be ≥1 everywhere.
+    fn next_replicas(&mut self, layer: usize, popularity: &[u64], iteration: u64) -> Vec<usize>;
+}
+
+/// Static uniform replication (`r = sN/E`), as DeepSpeed provisions.
+pub struct UniformPolicy {
+    pub experts: usize,
+    pub total_slots: usize,
+}
+
+impl PlacementPolicy for UniformPolicy {
+    fn name(&self) -> &'static str {
+        "deepspeed-static"
+    }
+
+    fn next_replicas(&mut self, _layer: usize, _popularity: &[u64], _iter: u64) -> Vec<usize> {
+        assert_eq!(self.total_slots % self.experts, 0, "uniform replication must divide");
+        vec![self.total_slots / self.experts; self.experts]
+    }
+}
+
+/// Everything recorded over a training run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainRecord {
+    /// Cross-entropy loss per iteration.
+    pub losses: Vec<f32>,
+    /// Overall token survival per iteration.
+    pub survival: Vec<f64>,
+    /// Popularity trace per layer.
+    pub popularity: Vec<PopularityTrace>,
+    /// Replica allocation per layer per iteration (post-policy).
+    pub replicas: Vec<Vec<Vec<usize>>>,
+    /// Total replica moves (instances re-assigned) per iteration, summed
+    /// over layers — what coupled systems pay migration for.
+    pub moved_replicas: Vec<usize>,
+}
+
+impl TrainRecord {
+    /// First iteration whose smoothed loss reaches `target`, if any.
+    /// Smoothing: trailing mean over `window`.
+    pub fn iterations_to_loss(&self, target: f32, window: usize) -> Option<usize> {
+        let w = window.max(1);
+        for i in 0..self.losses.len() {
+            let lo = i.saturating_sub(w - 1);
+            let mean: f32 =
+                self.losses[lo..=i].iter().sum::<f32>() / (i - lo + 1) as f32;
+            if mean <= target {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Mean survival over the whole run.
+    pub fn mean_survival(&self) -> f64 {
+        if self.survival.is_empty() {
+            return 1.0;
+        }
+        self.survival.iter().sum::<f64>() / self.survival.len() as f64
+    }
+
+    /// Total dropped-token fraction complement, for Figure 8-style
+    /// comparisons ("dropped X% fewer tokens").
+    pub fn total_drop_fraction(&self) -> f64 {
+        1.0 - self.mean_survival()
+    }
+}
+
+/// The training driver.
+pub struct Trainer {
+    pub model: GptMoe,
+    policy: Box<dyn PlacementPolicy>,
+    dense_opt: Vec<AdamState>,
+    /// `[layer][class]` flat Adam over expert parameters.
+    expert_opt: Vec<Vec<AdamState>>,
+    /// Current replica allocation per layer.
+    replicas: Vec<Vec<usize>>,
+    pub record: TrainRecord,
+    iteration: u64,
+}
+
+impl Trainer {
+    pub fn new(cfg: ModelConfig, policy: Box<dyn PlacementPolicy>) -> Self {
+        let model = GptMoe::new(cfg);
+        let adam = AdamConfig { lr: cfg.lr, ..AdamConfig::default() };
+        let expert_opt = model
+            .blocks
+            .iter()
+            .map(|b| {
+                b.moe
+                    .experts
+                    .iter()
+                    .map(|e| AdamState::new(adam, &e.flat_params()))
+                    .collect()
+            })
+            .collect();
+        let mut uniform = UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots };
+        let initial = uniform.next_replicas(0, &[], 0);
+        let replicas = vec![initial; cfg.layers];
+        let record = TrainRecord {
+            popularity: vec![PopularityTrace::new(); cfg.layers],
+            ..Default::default()
+        };
+        Self {
+            model,
+            policy,
+            dense_opt: Vec::new(),
+            expert_opt,
+            replicas,
+            record,
+            iteration: 0,
+        }
+    }
+
+    /// System name of the installed policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current per-layer replica allocation.
+    pub fn replicas(&self) -> &[Vec<usize>] {
+        &self.replicas
+    }
+
+    /// Runs one training iteration: forward/backward, optimizer step,
+    /// popularity bookkeeping, and placement update for the next iteration.
+    pub fn step(&mut self, batch: &symi_workload::Batch) -> StepStats {
+        self.model.zero_grad();
+        let stats = self.model.forward_backward(batch, &self.replicas);
+
+        // Dense parameters: one Adam state per tensor, built lazily in
+        // visit order on the first step.
+        let adam = AdamConfig { lr: self.model.cfg.lr, ..AdamConfig::default() };
+        let dense_opt = &mut self.dense_opt;
+        let mut idx = 0usize;
+        self.model.visit_dense_params(&mut |param, grad| {
+            if dense_opt.len() == idx {
+                dense_opt.push(AdamState::new(adam, param.as_slice()));
+            }
+            let state = &mut dense_opt[idx];
+            state.step(grad.as_slice(), param.as_mut_slice());
+            idx += 1;
+        });
+
+        // Expert parameters: flat Adam per (layer, class).
+        for (layer, block) in self.model.blocks.iter_mut().enumerate() {
+            for (class, expert) in block.moe.experts.iter_mut().enumerate() {
+                let grads = expert.flat_grads();
+                let mut updated = vec![0.0f32; grads.len()];
+                self.expert_opt[layer][class].step(&grads, &mut updated);
+                expert.load_flat(&updated);
+            }
+        }
+
+        // Bookkeeping + placement for the next iteration.
+        let mut moved_total = 0usize;
+        for (layer, layer_stats) in stats.layers.iter().enumerate() {
+            self.record.popularity[layer].push(layer_stats.popularity.clone());
+            let next =
+                self.policy.next_replicas(layer, &layer_stats.popularity, self.iteration);
+            assert_eq!(
+                next.iter().sum::<usize>(),
+                self.model.cfg.total_slots,
+                "policy must fill all slots"
+            );
+            moved_total += self.replicas[layer]
+                .iter()
+                .zip(&next)
+                .map(|(&old, &new)| new.saturating_sub(old))
+                .sum::<usize>();
+            self.replicas[layer] = next;
+        }
+        if self.record.replicas.is_empty() {
+            self.record.replicas = vec![Vec::new(); self.model.cfg.layers];
+        }
+        for (layer, reps) in self.replicas.iter().enumerate() {
+            self.record.replicas[layer].push(reps.clone());
+        }
+        self.record.losses.push(stats.ce_loss);
+        self.record.survival.push(stats.survival_rate());
+        self.record.moved_replicas.push(moved_total);
+        self.iteration += 1;
+        stats
+    }
+
+    /// Runs `iterations` training steps against the corpus.
+    pub fn train(&mut self, corpus: &mut DriftingCorpus, iterations: usize) {
+        for _ in 0..iterations {
+            let batch = corpus.next_batch();
+            let _ = self.step(&batch);
+        }
+    }
+
+    /// Snapshots everything needed to resume training exactly: parameters,
+    /// optimizer states, the current placement, and the run record.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let mut dense_params = Vec::new();
+        self.model.visit_dense_params(&mut |param, _| dense_params.push(param.clone()));
+        let expert_params: Vec<Vec<Vec<f32>>> = self
+            .model
+            .blocks
+            .iter()
+            .map(|b| b.moe.experts.iter().map(|e| e.flat_params()).collect())
+            .collect();
+        Checkpoint {
+            iteration: self.iteration,
+            dense_params,
+            dense_opt: self.dense_opt.clone(),
+            expert_params,
+            expert_opt: self.expert_opt.clone(),
+            replicas: self.replicas.clone(),
+            record: self.record.clone(),
+        }
+    }
+
+    /// Restores a [`Checkpoint`] taken from an identically configured
+    /// trainer. Training resumed from here reproduces the original run
+    /// bit-for-bit (given the same data stream).
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's shapes don't match this model.
+    pub fn restore(&mut self, ckpt: Checkpoint) {
+        let mut idx = 0usize;
+        self.model.visit_dense_params(&mut |param, _| {
+            let saved = &ckpt.dense_params[idx];
+            assert_eq!(
+                (param.rows(), param.cols()),
+                (saved.rows(), saved.cols()),
+                "dense parameter {idx} shape mismatch"
+            );
+            *param = saved.clone();
+            idx += 1;
+        });
+        assert_eq!(idx, ckpt.dense_params.len(), "dense parameter count mismatch");
+        assert_eq!(
+            ckpt.expert_params.len(),
+            self.model.blocks.len(),
+            "layer count mismatch"
+        );
+        for (block, layer_params) in self.model.blocks.iter_mut().zip(&ckpt.expert_params) {
+            for (expert, params) in block.moe.experts.iter_mut().zip(layer_params) {
+                expert.load_flat(params);
+            }
+        }
+        self.dense_opt = ckpt.dense_opt;
+        self.expert_opt = ckpt.expert_opt;
+        self.replicas = ckpt.replicas;
+        self.record = ckpt.record;
+        self.iteration = ckpt.iteration;
+    }
+}
+
+/// A resumable training snapshot (serializable with serde).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub iteration: u64,
+    /// Dense parameters in `visit_dense_params` order.
+    pub dense_params: Vec<symi_tensor::Matrix>,
+    pub dense_opt: Vec<AdamState>,
+    /// `[layer][class]` flat expert parameters.
+    pub expert_params: Vec<Vec<Vec<f32>>>,
+    pub expert_opt: Vec<Vec<AdamState>>,
+    pub replicas: Vec<Vec<usize>>,
+    pub record: TrainRecord,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symi_workload::CorpusConfig;
+
+    fn corpus_for(cfg: &ModelConfig) -> DriftingCorpus {
+        DriftingCorpus::new(CorpusConfig {
+            vocab_size: cfg.vocab_size,
+            seq_len: cfg.seq_len,
+            batch_size: cfg.batch_size,
+            topics: 4,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let cfg = ModelConfig::tiny();
+        let mut corpus = corpus_for(&cfg);
+        let mut trainer = Trainer::new(
+            cfg,
+            Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots }),
+        );
+        trainer.train(&mut corpus, 60);
+        let first: f32 = trainer.record.losses[..10].iter().sum::<f32>() / 10.0;
+        let last: f32 =
+            trainer.record.losses[50..].iter().sum::<f32>() / 10.0;
+        assert!(
+            last < first - 0.2,
+            "training must reduce loss: first {first:.3} last {last:.3}"
+        );
+    }
+
+    #[test]
+    fn record_tracks_everything() {
+        let cfg = ModelConfig::tiny();
+        let mut corpus = corpus_for(&cfg);
+        let mut trainer = Trainer::new(
+            cfg,
+            Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots }),
+        );
+        trainer.train(&mut corpus, 5);
+        assert_eq!(trainer.record.losses.len(), 5);
+        assert_eq!(trainer.record.survival.len(), 5);
+        assert_eq!(trainer.record.popularity.len(), cfg.layers);
+        assert_eq!(trainer.record.popularity[0].len(), 5);
+        assert_eq!(trainer.record.replicas[0].len(), 5);
+        // Uniform policy never moves replicas.
+        assert!(trainer.record.moved_replicas.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn iterations_to_loss_finds_crossing() {
+        let mut r = TrainRecord::default();
+        r.losses = vec![5.0, 4.0, 3.0, 2.0];
+        assert_eq!(r.iterations_to_loss(3.5, 1), Some(3));
+        assert_eq!(r.iterations_to_loss(1.0, 1), None);
+        // Smoothed over window 2: means are 5, 4.5, 3.5, 2.5.
+        assert_eq!(r.iterations_to_loss(3.5, 2), Some(3));
+    }
+
+    #[test]
+    fn survival_is_high_with_uniform_data_and_low_with_skew() {
+        let cfg = ModelConfig::tiny();
+        // capacity_factor 1.0: drops depend on router skew; just check the
+        // rate is recorded in (0, 1].
+        let mut corpus = corpus_for(&cfg);
+        let mut trainer = Trainer::new(
+            cfg,
+            Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots }),
+        );
+        trainer.train(&mut corpus, 3);
+        for s in &trainer.record.survival {
+            assert!(*s > 0.0 && *s <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The paper's analytic communication-cost model: §3.3 items (I)–(III),
+//! Appendix A.2's full derivation, and Appendix A.1's k-group partitioning
+//! bound.
+//!
+//! Variables follow Table 2/4 of the paper:
+//! `N` nodes, `E` expert classes, `s` expert slots per rank, `r` replicas
+//! per expert (static baseline), `r_i` replicas of expert *i* (SYMI),
+//! `G`/`W` gradient/weight bytes per expert instance, `O` optimizer bytes
+//! per expert class.
+
+use crate::topology::HardwareSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which system's cost expression to evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Static uniform replication with the optimizer sharded across each
+    /// expert's EDP group (DeepSpeed + ZeRO-1 offload).
+    StaticBaseline,
+    /// SYMI: optimizer uniformly sharded across all N nodes.
+    Symi,
+}
+
+/// Inputs of the analytic model.
+///
+/// ```
+/// use symi_netsim::{CommCostModel, SystemKind};
+/// use symi_netsim::topology::HardwareSpec;
+///
+/// // §3.3's GPT3-175B worked example:
+/// let m = CommCostModel {
+///     nodes: 2048, expert_classes: 64, slots_per_rank: 2,
+///     grad_bytes: 3.375e9, weight_bytes: 3.375e9, optimizer_bytes: 27.0e9,
+///     hw: HardwareSpec::paper_analysis_example(),
+/// };
+/// // The adaptive system costs only ~1.52% more communication per rank…
+/// assert!((m.symi_overhead_ratio() - 0.0152).abs() < 2e-4);
+/// // …while the footprint and data volume are identical by construction.
+/// assert_eq!(m.optimizer_footprint_bytes(), 64.0 * 27.0e9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommCostModel {
+    /// Nodes in the cluster (`N`). One GPU per node, as in the paper's model.
+    pub nodes: usize,
+    /// Expert classes (`E`).
+    pub expert_classes: usize,
+    /// Expert slots per rank (`s`).
+    pub slots_per_rank: usize,
+    /// Gradient bytes per expert instance (`G`).
+    pub grad_bytes: f64,
+    /// Weight bytes per expert instance (`W`).
+    pub weight_bytes: f64,
+    /// Optimizer bytes per expert class (`O`).
+    pub optimizer_bytes: f64,
+    /// Hardware bandwidths.
+    pub hw: HardwareSpec,
+}
+
+/// Evaluated per-phase costs, in seconds per rank, plus totals.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommCosts {
+    /// Grad Communication Phase cost per rank (`T_G`).
+    pub t_grad: f64,
+    /// Weight Communication Phase cost per rank (`T_W`).
+    pub t_weight: f64,
+}
+
+impl CommCosts {
+    pub fn total(&self) -> f64 {
+        self.t_grad + self.t_weight
+    }
+}
+
+impl CommCostModel {
+    /// Total expert instances in the system: `sN` (equations (1)/(2)).
+    pub fn total_instances(&self) -> usize {
+        self.slots_per_rank * self.nodes
+    }
+
+    /// Uniform replication degree of the static baseline: `r = sN / E`.
+    ///
+    /// # Panics
+    /// Panics if `sN` is not divisible by `E` (the static baseline requires
+    /// uniform replication).
+    pub fn static_replicas(&self) -> usize {
+        let total = self.total_instances();
+        assert_eq!(
+            total % self.expert_classes,
+            0,
+            "static baseline needs sN divisible by E ({total} vs {})",
+            self.expert_classes
+        );
+        total / self.expert_classes
+    }
+
+    /// (I) Total optimizer memory footprint — identical for both systems:
+    /// `M = E · O`.
+    pub fn optimizer_footprint_bytes(&self) -> f64 {
+        self.expert_classes as f64 * self.optimizer_bytes
+    }
+
+    /// (II) Total data transferred in the Grad Communication Phase —
+    /// `D_G = sNG` for both systems.
+    pub fn grad_data_bytes(&self) -> f64 {
+        self.total_instances() as f64 * self.grad_bytes
+    }
+
+    /// (II) Total data transferred in the Weight Communication Phase —
+    /// `D_W = sNW` for both systems.
+    pub fn weight_data_bytes(&self) -> f64 {
+        self.total_instances() as f64 * self.weight_bytes
+    }
+
+    /// (III) Per-rank communication cost of both phases (Appendix A.2).
+    ///
+    /// Static baseline:
+    /// `T_X = (E/N)·X/BW_pci + ((sN−E)/N)·X/BW_net`
+    ///
+    /// SYMI:
+    /// `T_X = (E/N)·X/BW_pci + ((sN−s)/N)·X/BW_net`
+    pub fn costs(&self, system: SystemKind) -> CommCosts {
+        let n = self.nodes as f64;
+        let e = self.expert_classes as f64;
+        let s = self.slots_per_rank as f64;
+        let net_fraction = match system {
+            SystemKind::StaticBaseline => (s * n - e) / n,
+            SystemKind::Symi => (s * n - s) / n,
+        };
+        let pci_fraction = e / n;
+        let per_phase = |x: f64| pci_fraction * x / self.hw.bw_pci + net_fraction * x / self.hw.bw_net;
+        CommCosts { t_grad: per_phase(self.grad_bytes), t_weight: per_phase(self.weight_bytes) }
+    }
+
+    /// §3.3's closed-form relative overhead of SYMI over the static
+    /// baseline:
+    /// `ΔT/T_static = (E − s) / (sN − E(1 − BW_net/BW_pci))`.
+    pub fn symi_overhead_ratio(&self) -> f64 {
+        let n = self.nodes as f64;
+        let e = self.expert_classes as f64;
+        let s = self.slots_per_rank as f64;
+        (e - s) / (s * n - e * (1.0 - self.hw.bw_net / self.hw.bw_pci))
+    }
+
+    /// Appendix A.1's upper bound on the per-rank cost when the optimizer is
+    /// partitioned into `k` groups of `N/k` nodes each (each group owning
+    /// `E/k` experts):
+    /// `T_X ≤ (E/N)·X/BW_pci + k·((sN−s)/N)·X/BW_net`.
+    ///
+    /// The bound is attained by groups holding maximally popular experts;
+    /// SYMI is the `k = 1` point, proving uniform partitioning optimal.
+    pub fn kpart_cost_bound(&self, k: usize, phase_bytes: f64) -> f64 {
+        assert!(k >= 1 && self.nodes % k == 0, "k must divide N");
+        let n = self.nodes as f64;
+        let e = self.expert_classes as f64;
+        let s = self.slots_per_rank as f64;
+        e / n * phase_bytes / self.hw.bw_pci
+            + k as f64 * (s * n - s) / n * phase_bytes / self.hw.bw_net
+    }
+
+    /// Exact k-group per-rank cost for a *given* replica distribution
+    /// (Appendix A.1's pre-bound expression), for the group `g` owning
+    /// experts `group_experts`, where `remote_instances[i]` is the number of
+    /// instances of expert `i` hosted outside the nodes of group `g`.
+    ///
+    /// `T_X^g = (E/k)·(X/(N/k))/BW_pci + (X/(N/k))·Σ_{e_i∈g} remote_i /BW_net`
+    pub fn kpart_cost_exact(
+        &self,
+        k: usize,
+        group_experts: usize,
+        remote_instances_sum: usize,
+        phase_bytes: f64,
+    ) -> f64 {
+        assert!(k >= 1 && self.nodes % k == 0, "k must divide N");
+        let nodes_per_group = (self.nodes / k) as f64;
+        let shard = phase_bytes / nodes_per_group;
+        group_experts as f64 * shard / self.hw.bw_pci
+            + remote_instances_sum as f64 * shard / self.hw.bw_net
+    }
+
+    /// Cost of migrating one expert's *coupled* state (weights + optimizer)
+    /// across the network — what FlexMoE pays per moved replica (§2.2's
+    /// rebalancing-cost discussion).
+    pub fn coupled_migration_seconds(&self) -> f64 {
+        (self.weight_bytes + self.optimizer_bytes) / self.hw.bw_net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §3.3's running example: GPT3-175B layer with E = 64 experts,
+    /// N = 2048, s = 2, PCIe 64 GB/s, IB 400 Gbps, G = W = 3.375 GB,
+    /// O = 27 GB.
+    fn paper_example() -> CommCostModel {
+        CommCostModel {
+            nodes: 2048,
+            expert_classes: 64,
+            slots_per_rank: 2,
+            grad_bytes: 3.375e9,
+            weight_bytes: 3.375e9,
+            optimizer_bytes: 27.0e9,
+            hw: HardwareSpec::paper_analysis_example(),
+        }
+    }
+
+    #[test]
+    fn footprint_is_1_7tb_per_layer() {
+        // §3.3 (I): "~1.7 TB per layer" for both systems.
+        let m = paper_example();
+        let tb = m.optimizer_footprint_bytes() / 1e12;
+        assert!((tb - 1.728).abs() < 0.01, "footprint {tb} TB");
+    }
+
+    #[test]
+    fn data_volume_is_27tb_total() {
+        // §3.3 (II): 2048 nodes × 2 slots × (3.375 + 3.375) GB ≈ 27 TB.
+        let m = paper_example();
+        let total = (m.grad_data_bytes() + m.weight_data_bytes()) / 1e12;
+        assert!((total - 27.648).abs() < 0.1, "total {total} TB");
+    }
+
+    #[test]
+    fn per_rank_costs_match_paper_numbers() {
+        // §3.3 (III): "~0.273 s vs ~0.269 s total communication".
+        let m = paper_example();
+        let static_total = m.costs(SystemKind::StaticBaseline).total();
+        let symi_total = m.costs(SystemKind::Symi).total();
+        assert!((static_total - 0.269).abs() < 0.002, "static {static_total}");
+        assert!((symi_total - 0.273).abs() < 0.002, "symi {symi_total}");
+    }
+
+    #[test]
+    fn overhead_ratio_is_1_52_percent() {
+        let m = paper_example();
+        let ratio = m.symi_overhead_ratio();
+        assert!((ratio - 0.0152).abs() < 2e-4, "overhead {ratio}");
+        // Closed form must agree with the evaluated costs.
+        let static_total = m.costs(SystemKind::StaticBaseline).total();
+        let symi_total = m.costs(SystemKind::Symi).total();
+        let measured = (symi_total - static_total) / static_total;
+        assert!((ratio - measured).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_volume_is_system_invariant() {
+        // The paper's key claim: rebalancing moves zero extra data.
+        let m = paper_example();
+        // D_G and D_W do not take the system as a parameter at all — the
+        // identity sN·X holds for any replica assignment summing to sN.
+        assert_eq!(m.grad_data_bytes(), 2048.0 * 2.0 * 3.375e9);
+        assert_eq!(m.weight_data_bytes(), 2048.0 * 2.0 * 3.375e9);
+    }
+
+    #[test]
+    fn kpart_bound_grows_with_k_and_k1_matches_symi() {
+        let m = paper_example();
+        let symi = m.costs(SystemKind::Symi);
+        let b1 = m.kpart_cost_bound(1, m.grad_bytes);
+        assert!((b1 - symi.t_grad).abs() < 1e-9, "k=1 bound equals SYMI cost");
+        let mut prev = b1;
+        for k in [2usize, 4, 8, 16] {
+            let b = m.kpart_cost_bound(k, m.grad_bytes);
+            assert!(b > prev, "bound must increase with k");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn kpart_exact_reduces_to_symi_at_k1() {
+        let m = paper_example();
+        // k = 1: one group owns all E experts; remote instances are sN − s
+        // for a representative rank.
+        let exact = m.kpart_cost_exact(
+            1,
+            m.expert_classes,
+            m.total_instances() - m.slots_per_rank,
+            m.grad_bytes,
+        );
+        let symi = m.costs(SystemKind::Symi).t_grad;
+        assert!((exact - symi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_replicas_divides() {
+        assert_eq!(paper_example().static_replicas(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn static_replicas_panics_when_uneven() {
+        let mut m = paper_example();
+        m.expert_classes = 63;
+        let _ = m.static_replicas();
+    }
+
+    #[test]
+    fn coupled_migration_matches_intro_example() {
+        // §2.2: moving 3.375 GB weights over 400 Gbps ≈ 0.0675 s and 27 GB
+        // of optimizer state ≈ 0.54 s.
+        let m = paper_example();
+        let w = m.weight_bytes / m.hw.bw_net;
+        let o = m.optimizer_bytes / m.hw.bw_net;
+        assert!((w - 0.0675).abs() < 1e-4);
+        assert!((o - 0.54).abs() < 1e-3);
+        assert!((m.coupled_migration_seconds() - (w + o)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symi_overhead_shrinks_with_cluster_size() {
+        let mut m = paper_example();
+        let big = m.symi_overhead_ratio();
+        m.nodes = 128;
+        let small = m.symi_overhead_ratio();
+        assert!(big < small, "relative overhead must vanish as N grows");
+    }
+}

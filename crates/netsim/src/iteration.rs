@@ -1,0 +1,627 @@
+//! Per-iteration latency simulation for the three systems under study.
+//!
+//! The simulator composes one training iteration as a task graph whose
+//! durations come from byte/FLOP accounting (α–β model for communication,
+//! throughput model for compute). It produces the makespan (Figure 11's
+//! iteration latency), the per-component breakdown (Figure 12), the token
+//! survival fraction (Table 1 / Figure 8's analytic counterpart), and the
+//! per-rank GPU memory footprint used for FlexMoE's OOM check (§5.3).
+//!
+//! The straggler effect is modeled faithfully: expert compute and
+//! all-to-all phases take the **max over ranks**, driven by the actual
+//! placement (contiguous slot assignment, as Algorithm 1 produces).
+
+use crate::event::TaskGraph;
+use crate::topology::{HardwareSpec, ModelCostConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which system's iteration to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimSystem {
+    /// DeepSpeed: static uniform replication, replicas of one class on
+    /// distinct ranks, optimizer sharded across the EDP group (ZeRO-1).
+    DeepSpeedStatic,
+    /// SYMI: per-iteration adaptive replication, hierarchical all-reduce,
+    /// optimizer uniformly sharded across all nodes.
+    Symi,
+    /// FlexMoE: adaptive replication with optimizer state *coupled* to the
+    /// instances; pays a blocking migration on rebalancing iterations.
+    FlexMoE,
+}
+
+/// Extra work performed on a FlexMoE rebalancing iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceSpec {
+    /// Expert replicas moved per layer this iteration (0 ⇒ plain iteration).
+    pub moved_replicas_per_layer: usize,
+}
+
+/// One component of the simulated iteration.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Component {
+    pub name: &'static str,
+    pub seconds: f64,
+}
+
+/// Result of simulating one iteration.
+#[derive(Clone, Debug, Serialize)]
+pub struct IterationBreakdown {
+    pub components: Vec<Component>,
+    /// Fraction of routed tokens that fit under capacity.
+    pub survived_fraction: f64,
+    /// Peak GPU bytes on the most loaded rank.
+    pub gpu_peak_bytes: f64,
+}
+
+impl IterationBreakdown {
+    /// Iteration latency: sum of components (the phases chain serially; the
+    /// per-rank parallelism inside each phase is already folded into its
+    /// duration via rank maxima).
+    pub fn total_seconds(&self) -> f64 {
+        self.components.iter().map(|c| c.seconds).sum()
+    }
+
+    /// Forward-pass latency only (Table 1's latency column).
+    pub fn forward_seconds(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| matches!(c.name, "dense_fwd" | "a2a_fwd" | "expert_fwd" | "router_meta"))
+            .map(|c| c.seconds)
+            .sum()
+    }
+
+    pub fn component(&self, name: &str) -> f64 {
+        self.components.iter().filter(|c| c.name == name).map(|c| c.seconds).sum()
+    }
+}
+
+/// Iteration simulator configuration.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IterationSim {
+    pub model: ModelCostConfig,
+    pub hw: HardwareSpec,
+    /// Nodes (= ranks; one GPU per node as in the paper's testbed).
+    pub nodes: usize,
+    /// Expert slots per rank (`s`).
+    pub slots_per_rank: usize,
+    /// Expert classes (`E`).
+    pub expert_classes: usize,
+    /// Capacity factor (the paper evaluates 1.0).
+    pub capacity_factor: f64,
+    /// Sequence length (attention cost term).
+    pub seq_len: usize,
+}
+
+impl IterationSim {
+    /// The paper's evaluation setup for a given model: 16 ranks, 16 expert
+    /// classes, 4 slots per GPU, capacity factor 1.0, sequence length 512.
+    pub fn paper_eval(model: ModelCostConfig) -> Self {
+        Self {
+            model,
+            hw: HardwareSpec::paper_eval_cluster(),
+            nodes: 16,
+            slots_per_rank: 4,
+            expert_classes: 16,
+            capacity_factor: 1.0,
+            seq_len: 512,
+        }
+    }
+
+    fn total_slots(&self) -> usize {
+        self.nodes * self.slots_per_rank
+    }
+
+    /// Per-slot token capacity (§3.4): `cf × tokens_per_batch / (sN)`.
+    pub fn slot_capacity(&self) -> f64 {
+        self.capacity_factor * self.model.tokens_per_batch as f64 / self.total_slots() as f64
+    }
+
+    /// Simulates one iteration.
+    ///
+    /// `tokens_per_class[i]` is the router's global assignment for class
+    /// `i`; `replicas_per_class[i]` its replica count this iteration
+    /// (uniform `sN/E` for the static baseline). Replica counts must sum to
+    /// `sN`.
+    pub fn simulate(
+        &self,
+        tokens_per_class: &[f64],
+        replicas_per_class: &[usize],
+        system: SimSystem,
+        rebalance: RebalanceSpec,
+    ) -> IterationBreakdown {
+        assert_eq!(tokens_per_class.len(), self.expert_classes, "one token count per class");
+        assert_eq!(replicas_per_class.len(), self.expert_classes, "one replica count per class");
+        let total_replicas: usize = replicas_per_class.iter().sum();
+        assert_eq!(total_replicas, self.total_slots(), "replicas must fill all slots");
+        assert!(replicas_per_class.iter().all(|&r| r >= 1), "every class needs ≥1 replica");
+
+        let hw = &self.hw;
+        let m = &self.model;
+        let n = self.nodes;
+        let s = self.slots_per_rank;
+        let e = self.expert_classes;
+        let layers = m.layers as f64;
+        let g_bytes = m.expert_grad_bytes();
+        let w_bytes = m.expert_weight_bytes();
+        let o_bytes = m.expert_optimizer_bytes();
+
+        // ---- Token survival under per-class capacity (§3.4). ----
+        let slot_cap = self.slot_capacity();
+        let survived: Vec<f64> = tokens_per_class
+            .iter()
+            .zip(replicas_per_class)
+            .map(|(&t, &r)| t.min(slot_cap * r as f64))
+            .collect();
+        let total_tokens: f64 = tokens_per_class.iter().sum();
+        let total_survived: f64 = survived.iter().sum();
+        let survived_fraction =
+            if total_tokens > 0.0 { total_survived / total_tokens } else { 1.0 };
+
+        // ---- Placement: slot k hosts `slot_class[k]`. ----
+        // SYMI packs each class's replicas contiguously (Algorithm 1);
+        // DeepSpeed stripes classes round-robin so replicas land on distinct
+        // ranks (it has no intra-rank EDP, §4.1); FlexMoE likewise spreads
+        // replicas across ranks, greedily.
+        let slot_class: Vec<usize> = match system {
+            SimSystem::Symi => {
+                let mut v = Vec::with_capacity(self.total_slots());
+                for (class, &r) in replicas_per_class.iter().enumerate() {
+                    v.extend(std::iter::repeat(class).take(r));
+                }
+                v
+            }
+            SimSystem::DeepSpeedStatic => {
+                (0..self.total_slots()).map(|k| k % e).collect()
+            }
+            SimSystem::FlexMoE => {
+                // Greedy spread: replicas of each class go to the currently
+                // emptiest ranks, avoiding ranks already hosting the class.
+                let mut free = vec![s; n];
+                let mut hosts: Vec<Vec<bool>> = vec![vec![false; e]; n];
+                let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+                let mut order: Vec<usize> = (0..e).collect();
+                order.sort_by_key(|&c| std::cmp::Reverse(replicas_per_class[c]));
+                for &class in &order {
+                    for _ in 0..replicas_per_class[class] {
+                        let rank = (0..n)
+                            .filter(|&r| free[r] > 0)
+                            .max_by_key(|&r| (free[r], !hosts[r][class], std::cmp::Reverse(r)))
+                            .expect("slots available by the sum invariant");
+                        free[rank] -= 1;
+                        hosts[rank][class] = true;
+                        assignment[rank].push(class);
+                    }
+                }
+                assignment.into_iter().flatten().collect()
+            }
+        };
+        debug_assert_eq!(slot_class.len(), self.total_slots());
+
+        // Per-class distinct host ranks (EDP ring sizes) and per-rank load.
+        let mut host_ranks: Vec<Vec<usize>> = vec![Vec::new(); e];
+        let mut rank_tokens = vec![0.0f64; n];
+        let mut rank_classes: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (slot, &class) in slot_class.iter().enumerate() {
+            let rank = slot / s;
+            rank_tokens[rank] += survived[class] / replicas_per_class[class] as f64;
+            if !rank_classes[rank].contains(&class) {
+                rank_classes[rank].push(class);
+            }
+            if !host_ranks[class].contains(&rank) {
+                host_ranks[class].push(rank);
+            }
+        }
+        let ranks_hosting: Vec<usize> = host_ranks.iter().map(Vec::len).collect();
+        let static_ring = self.total_slots() / e;
+
+        // ---- Phase durations. ----
+        let tokens_per_rank = m.tokens_per_batch as f64 / n as f64;
+        let emb = m.token_embedding_bytes();
+        let gpu = hw.gpu_flops;
+
+        let dense_fwd = layers
+            * (tokens_per_rank * m.dense_flops_per_token(self.seq_len) / gpu
+                + hw.framework_layer_overhead);
+        let dense_bwd = 2.0 * dense_fwd;
+
+        // All-to-all: every rank sends its local survived tokens; the busiest
+        // rank receives `max(rank_tokens)`; α per peer message.
+        let max_recv_tokens = rank_tokens.iter().copied().fold(0.0, f64::max);
+        let sent_tokens = total_survived / n as f64;
+        let a2a_once = max_recv_tokens.max(sent_tokens) * emb / hw.bw_net
+            + hw.net_latency * (n as f64 - 1.0);
+        let a2a_fwd = layers * 2.0 * a2a_once; // dispatch + combine
+        let a2a_bwd = layers * 2.0 * a2a_once; // grad scatter + gather
+
+        let max_rank_flops = max_recv_tokens * m.expert_flops_per_token();
+        let expert_fwd = layers * max_rank_flops / gpu;
+        let expert_bwd = 2.0 * expert_fwd;
+
+        // Expert-data-parallel gradient synchronization (ring all-reduce,
+        // volume 2(m−1)/m · G per participating rank). SYMI's hierarchical
+        // variant rings over *ranks hosting the class* (fewer when packed);
+        // DeepSpeed rings over all r replicas (each on its own rank);
+        // FlexMoE inherits the spread-out placement constraint as well.
+        let ring = |mm: usize| {
+            if mm <= 1 {
+                0.0
+            } else {
+                2.0 * (mm as f64 - 1.0) / mm as f64 * g_bytes / hw.bw_net
+                    + 2.0 * hw.net_latency * (mm as f64 - 1.0)
+            }
+        };
+        // The ring size is the number of distinct host ranks per class —
+        // this is where SYMI's intra-rank packing pays off (rings shrink to
+        // 1 when a whole class fits on one rank) while DeepSpeed/FlexMoE
+        // ring over every replica.
+        let edp_sync = layers
+            * (0..n)
+                .map(|rank| {
+                    rank_classes[rank].iter().map(|&c| ring(ranks_hosting[c])).sum::<f64>()
+                })
+                .fold(0.0, f64::max);
+
+        // Grad Communication Phase (§3.3/A.2): shards → optimizer.
+        let (grad_net, grad_pcie) = match system {
+            SimSystem::Symi => (
+                // Shards of non-local classes fetched over the network,
+                // round-robin balanced (Algorithm 2).
+                (0..n)
+                    .map(|rank| {
+                        (e - rank_classes[rank].len()) as f64 * g_bytes / n as f64 / hw.bw_net
+                    })
+                    .fold(0.0, f64::max),
+                e as f64 * g_bytes / n as f64 / hw.bw_pci,
+            ),
+            // Coupled designs: the shard is local after the EDP all-reduce.
+            SimSystem::DeepSpeedStatic | SimSystem::FlexMoE => {
+                (0.0, s as f64 * g_bytes / static_ring as f64 / hw.bw_pci)
+            }
+        };
+        let grad_comm = layers * (grad_net + grad_pcie);
+
+        // Offloaded optimizer step over this rank's share of state:
+        // E·O/N bytes for every system (footprints are equal, §3.3-I).
+        let opt_step = layers * (e as f64 * o_bytes / n as f64) / hw.host_opt_bytes_per_s;
+
+        // Weight Communication Phase: updated weights → slots (new placement
+        // for SYMI — same volume either way, §3.3-II).
+        let (weight_net, weight_pcie) = match system {
+            SimSystem::Symi => (
+                (s as f64 * n as f64 - s as f64) / n as f64 * w_bytes / hw.bw_net,
+                e as f64 * w_bytes / n as f64 / hw.bw_pci,
+            ),
+            SimSystem::DeepSpeedStatic | SimSystem::FlexMoE => (
+                s as f64 * (static_ring as f64 - 1.0) / static_ring as f64 * w_bytes / hw.bw_net,
+                s as f64 * w_bytes / static_ring as f64 / hw.bw_pci,
+            ),
+        };
+        let weight_comm = layers * (weight_net + weight_pcie);
+
+        // SYMI's new components: popularity all-reduce + placement scheduler
+        // + metadata updates (§5.3 reports ~1% of iteration in aggregate).
+        let router_meta = match system {
+            SimSystem::Symi => {
+                let pop_ar = 2.0 * (n as f64).log2().ceil() * hw.net_latency
+                    + e as f64 * 8.0 / hw.bw_net;
+                let scheduler = e as f64 * 2.0e-6 + 1.0e-4;
+                let metadata = 5.0e-5;
+                layers * (pop_ar + scheduler + metadata)
+            }
+            _ => 0.0,
+        };
+
+        // FlexMoE's blocking rebalancing shuffle: each moved replica drags
+        // its weights AND coupled optimizer state across the network and
+        // through PCIe (§2.2), and the affected expert's communicator group
+        // must be re-created — a blocking synchronization (§4.2).
+        let migration = match system {
+            SimSystem::FlexMoE => {
+                let state_move = rebalance.moved_replicas_per_layer as f64
+                    * ((w_bytes + o_bytes) / hw.bw_net + (w_bytes + o_bytes) / hw.bw_pci);
+                let group_rebuild = rebalance.moved_replicas_per_layer as f64
+                    * hw.group_init_per_rank
+                    * (static_ring as f64 + 1.0);
+                layers * (state_move + group_rebuild)
+            }
+            _ => 0.0,
+        };
+
+        // ---- GPU memory on the most loaded rank. ----
+        // Weights+grads of the hosted slots, dense parameters, activations,
+        // plus FlexMoE's transient double-buffer of migrated coupled state.
+        let dense_params_bytes = layers * 12.0 * (m.d_model * m.d_model) as f64 * 2.0;
+        let activations = tokens_per_rank * m.d_model as f64 * layers * 34.0 * 2.0;
+        let expert_mem = layers * s as f64 * (w_bytes + g_bytes);
+        let coupled_opt_on_gpu = match system {
+            // FlexMoE couples optimizer state to the instance's device slot.
+            SimSystem::FlexMoE => layers * s as f64 * o_bytes / static_ring as f64,
+            _ => 0.0,
+        };
+        let migration_transient = match system {
+            SimSystem::FlexMoE if rebalance.moved_replicas_per_layer > 0 => {
+                // Current AND future state co-located during the move (§5.3).
+                layers * (w_bytes + o_bytes)
+            }
+            _ => 0.0,
+        };
+        let gpu_peak_bytes = dense_params_bytes
+            + activations
+            + expert_mem
+            + coupled_opt_on_gpu
+            + migration_transient;
+
+        // ---- Assemble the iteration as a serial task chain and read the
+        // breakdown back from the graph (keeps the graph machinery honest).
+        let phases: [(&'static str, f64); 11] = [
+            ("dense_fwd", dense_fwd),
+            ("router_meta", router_meta),
+            ("a2a_fwd", a2a_fwd),
+            ("expert_fwd", expert_fwd),
+            ("dense_bwd", dense_bwd),
+            ("a2a_bwd", a2a_bwd),
+            ("expert_bwd", expert_bwd),
+            ("edp_sync", edp_sync),
+            ("grad_comm", grad_comm),
+            ("opt_step", opt_step),
+            ("weight_comm", weight_comm),
+        ];
+        let mut graph = TaskGraph::new();
+        let mut prev = None;
+        for (name, dur) in phases {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(graph.add(name, dur, &deps));
+        }
+        if migration > 0.0 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(graph.add("migration", migration, &deps));
+        }
+        let schedule = graph.schedule();
+        let _ = prev;
+
+        let mut components: Vec<Component> =
+            phases.iter().map(|&(name, seconds)| Component { name, seconds }).collect();
+        if migration > 0.0 {
+            components.push(Component { name: "migration", seconds: migration });
+        }
+        debug_assert!(
+            (schedule.makespan() - components.iter().map(|c| c.seconds).sum::<f64>()).abs()
+                < 1e-9
+        );
+
+        IterationBreakdown { components, survived_fraction, gpu_peak_bytes }
+    }
+
+    /// Uniform static replication vector (`r = sN/E` each).
+    pub fn uniform_replicas(&self) -> Vec<usize> {
+        let r = self.total_slots() / self.expert_classes;
+        assert_eq!(r * self.expert_classes, self.total_slots(), "sN must divide by E");
+        vec![r; self.expert_classes]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> IterationSim {
+        IterationSim::paper_eval(ModelCostConfig::gpt_small())
+    }
+
+    fn uniform_tokens(sim: &IterationSim) -> Vec<f64> {
+        vec![sim.model.tokens_per_batch as f64 / sim.expert_classes as f64; sim.expert_classes]
+    }
+
+    fn skewed_tokens(sim: &IterationSim) -> Vec<f64> {
+        // Zipf-ish: class 0 gets half the tokens.
+        let e = sim.expert_classes;
+        let total = sim.model.tokens_per_batch as f64;
+        let mut t = vec![total * 0.5 / (e as f64 - 1.0); e];
+        t[0] = total * 0.5;
+        t
+    }
+
+    /// Popularity-proportional replicas for the skewed distribution (half
+    /// the slots to class 0), respecting the ≥1 minimum.
+    fn proportional_replicas(sim: &IterationSim, tokens: &[f64]) -> Vec<usize> {
+        let slots = sim.nodes * sim.slots_per_rank;
+        let total: f64 = tokens.iter().sum();
+        let mut r: Vec<usize> =
+            tokens.iter().map(|t| ((t / total * slots as f64).round() as usize).max(1)).collect();
+        // Fix rounding drift.
+        while r.iter().sum::<usize>() > slots {
+            let i = (0..r.len()).max_by_key(|&i| r[i]).unwrap();
+            r[i] -= 1;
+        }
+        while r.iter().sum::<usize>() < slots {
+            let i = (0..r.len()).max_by_key(|&i| r[i]).unwrap();
+            r[i] += 1;
+        }
+        r
+    }
+
+    #[test]
+    fn uniform_load_survives_fully_at_cf1() {
+        let s = sim();
+        let b = s.simulate(
+            &uniform_tokens(&s),
+            &s.uniform_replicas(),
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+        );
+        assert!((b.survived_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_load_drops_tokens_under_static_replication() {
+        let s = sim();
+        let b = s.simulate(
+            &skewed_tokens(&s),
+            &s.uniform_replicas(),
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+        );
+        assert!(b.survived_fraction < 0.7, "got {}", b.survived_fraction);
+    }
+
+    #[test]
+    fn proportional_replication_rescues_dropped_tokens() {
+        let s = sim();
+        let tokens = skewed_tokens(&s);
+        let static_b = s.simulate(
+            &tokens,
+            &s.uniform_replicas(),
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+        );
+        let r = proportional_replicas(&s, &tokens);
+        let symi_b = s.simulate(&tokens, &r, SimSystem::Symi, RebalanceSpec::default());
+        assert!(
+            symi_b.survived_fraction > static_b.survived_fraction + 0.2,
+            "symi {} vs static {}",
+            symi_b.survived_fraction,
+            static_b.survived_fraction
+        );
+    }
+
+    #[test]
+    fn higher_capacity_factor_raises_survival_and_latency() {
+        let mut s = sim();
+        let tokens = skewed_tokens(&s);
+        let mut prev_surv = 0.0;
+        let mut prev_lat = 0.0;
+        for cf in [1.0, 2.0, 4.0] {
+            s.capacity_factor = cf;
+            let b = s.simulate(
+                &tokens,
+                &s.uniform_replicas(),
+                SimSystem::DeepSpeedStatic,
+                RebalanceSpec::default(),
+            );
+            assert!(b.survived_fraction >= prev_surv);
+            assert!(b.forward_seconds() >= prev_lat, "cf {cf}");
+            prev_surv = b.survived_fraction;
+            prev_lat = b.forward_seconds();
+        }
+        // Even ×4 capacity cannot absorb a class holding half the batch
+        // (Table 1 tops out at ~75% survival too).
+        assert!(prev_surv > 0.7 && prev_surv < 1.0, "cf=4 survival {prev_surv}");
+    }
+
+    #[test]
+    fn flexmoe_rebalance_iteration_is_much_slower() {
+        let s = sim();
+        let tokens = skewed_tokens(&s);
+        let r = s.uniform_replicas();
+        let plain =
+            s.simulate(&tokens, &r, SimSystem::FlexMoE, RebalanceSpec::default());
+        let rebal = s.simulate(
+            &tokens,
+            &r,
+            SimSystem::FlexMoE,
+            RebalanceSpec { moved_replicas_per_layer: 2 },
+        );
+        let ratio = rebal.total_seconds() / plain.total_seconds();
+        assert!(ratio > 1.5, "migration must dominate, got ratio {ratio}");
+        assert!(rebal.component("migration") > 0.0);
+        assert_eq!(plain.component("migration"), 0.0);
+    }
+
+    #[test]
+    fn symi_router_meta_overhead_is_small() {
+        let s = sim();
+        let tokens = uniform_tokens(&s);
+        let b = s.simulate(
+            &tokens,
+            &s.uniform_replicas(),
+            SimSystem::Symi,
+            RebalanceSpec::default(),
+        );
+        let frac = b.component("router_meta") / b.total_seconds();
+        assert!(frac < 0.03, "router/scheduler/metadata must stay ~1%, got {frac}");
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn symi_iteration_beats_deepspeed_on_uniform_load() {
+        // §5.3: SYMI is slightly faster than DeepSpeed thanks to the packed
+        // hierarchical all-reduce (intra-rank replicas shrink the rings).
+        let s = sim();
+        let tokens = uniform_tokens(&s);
+        let symi = s.simulate(
+            &tokens,
+            &s.uniform_replicas(),
+            SimSystem::Symi,
+            RebalanceSpec::default(),
+        );
+        let ds = s.simulate(
+            &tokens,
+            &s.uniform_replicas(),
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+        );
+        assert!(
+            symi.total_seconds() < ds.total_seconds(),
+            "symi {} vs deepspeed {}",
+            symi.total_seconds(),
+            ds.total_seconds()
+        );
+        let gain = 1.0 - symi.total_seconds() / ds.total_seconds();
+        assert!(
+            (0.005..0.2).contains(&gain),
+            "the win must be modest (paper: 2.8–9.3%), got {gain}"
+        );
+    }
+
+    #[test]
+    fn flexmoe_migration_transient_raises_memory() {
+        let s = IterationSim::paper_eval(ModelCostConfig::gpt_large());
+        let tokens = uniform_tokens(&s);
+        let r = s.uniform_replicas();
+        let plain = s.simulate(&tokens, &r, SimSystem::FlexMoE, RebalanceSpec::default());
+        let rebal = s.simulate(
+            &tokens,
+            &r,
+            SimSystem::FlexMoE,
+            RebalanceSpec { moved_replicas_per_layer: 1 },
+        );
+        assert!(rebal.gpu_peak_bytes > plain.gpu_peak_bytes);
+        let symi = s.simulate(&tokens, &r, SimSystem::Symi, RebalanceSpec::default());
+        assert!(symi.gpu_peak_bytes < plain.gpu_peak_bytes, "decoupled state uses less HBM");
+    }
+
+    #[test]
+    fn larger_models_take_longer() {
+        let tokens_of = |s: &IterationSim| uniform_tokens(s);
+        let mut prev = 0.0;
+        for cfg in [
+            ModelCostConfig::gpt_small(),
+            ModelCostConfig::gpt_medium(),
+            ModelCostConfig::gpt_large(),
+        ] {
+            let s = IterationSim::paper_eval(cfg);
+            let b = s.simulate(
+                &tokens_of(&s),
+                &s.uniform_replicas(),
+                SimSystem::Symi,
+                RebalanceSpec::default(),
+            );
+            assert!(b.total_seconds() > prev, "{}", cfg.name);
+            prev = b.total_seconds();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas must fill all slots")]
+    fn replica_sum_mismatch_panics() {
+        let s = sim();
+        let mut r = s.uniform_replicas();
+        r[0] += 1;
+        let _ = s.simulate(
+            &uniform_tokens(&s),
+            &r,
+            SimSystem::Symi,
+            RebalanceSpec::default(),
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # symi-netsim
+//!
+//! Performance modeling for the SYMI reproduction: the cluster/hardware
+//! descriptions, the paper's analytic communication-cost formulas (§3.3
+//! items I–III, Appendix A.1 and A.2), and a task-graph latency simulator
+//! that turns byte and FLOP counts into the per-iteration latencies and
+//! component breakdowns reported in Table 1, Table 3, Figure 11 and
+//! Figure 12.
+//!
+//! Everything here is deterministic arithmetic over `f64` seconds and bytes;
+//! no wall-clock time is ever consulted. The real data movement happens in
+//! `symi-collectives`, whose traffic reports this crate prices.
+
+pub mod costmodel;
+pub mod event;
+pub mod iteration;
+pub mod topology;
+
+pub use costmodel::{CommCostModel, CommCosts, SystemKind};
+pub use event::{TaskGraph, TaskId};
+pub use iteration::{IterationBreakdown, IterationSim, RebalanceSpec};
+pub use topology::{HardwareSpec, ModelCostConfig};

@@ -1,0 +1,210 @@
+//! Hardware and model-scale descriptions used by the cost model and the
+//! latency simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidths, latencies, and compute throughputs of one cluster flavour.
+///
+/// Bandwidths are bytes/second; latencies are seconds; throughputs are
+/// FLOP/s. Two presets matter for the reproduction:
+/// [`HardwareSpec::paper_eval_cluster`] (the 16×A100 Azure testbed of §5)
+/// and [`HardwareSpec::paper_analysis_example`] (the GPT3-175B/H100-class
+/// example that §3.3 uses to instantiate its formulas).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// GPU↔host interconnect bandwidth (PCIe), bytes/s.
+    pub bw_pci: f64,
+    /// Cross-node GPU↔GPU network bandwidth, bytes/s.
+    pub bw_net: f64,
+    /// Per-message network latency (the α in the α–β model), seconds.
+    pub net_latency: f64,
+    /// Per-transfer PCIe latency, seconds.
+    pub pci_latency: f64,
+    /// Achievable GPU throughput, FLOP/s (peak × efficiency).
+    pub gpu_flops: f64,
+    /// Host-side throughput for the offloaded optimizer step, bytes/s of
+    /// optimizer state processed (memory-bandwidth-bound).
+    pub host_opt_bytes_per_s: f64,
+    /// GPU HBM capacity per rank, bytes (used for FlexMoE's OOM check).
+    pub hbm_bytes: f64,
+    /// Fixed framework overhead per transformer layer per forward pass
+    /// (kernel launches, router bookkeeping, Python dispatch, offload
+    /// synchronization), seconds. The backward pass pays twice this. This is
+    /// what makes measured DeepSpeed iterations ~1.5 s for a 125M model on
+    /// A100s — far above the raw FLOP/byte time.
+    pub framework_layer_overhead: f64,
+    /// Cost of constructing one NCCL-style communicator group, per member
+    /// rank, seconds. Group creation is a blocking, single-threaded
+    /// synchronization (§4.2 cites >1000 s to regroup an N=2048 cluster);
+    /// FlexMoE pays it on every rebalance, SYMI pre-registers all contiguous
+    /// groups at init and never pays it again.
+    pub group_init_per_rank: f64,
+}
+
+impl HardwareSpec {
+    /// §5's evaluation testbed: Azure NC24ads-v4 — one A100 80GB per node,
+    /// PCIe 4.0 ×16 (~32 GB/s), 100 Gbps ConnectX-5.
+    pub fn paper_eval_cluster() -> Self {
+        Self {
+            bw_pci: 32.0e9,
+            bw_net: 100.0e9 / 8.0,
+            net_latency: 10.0e-6,
+            pci_latency: 5.0e-6,
+            // A100 dense fp16 peak is 312 TFLOP/s; ~40% achieved efficiency
+            // is typical for moderate-size MoE GEMMs.
+            gpu_flops: 312.0e12 * 0.4,
+            host_opt_bytes_per_s: 50.0e9,
+            hbm_bytes: 80.0e9,
+            framework_layer_overhead: 25.0e-3,
+            group_init_per_rank: 10.0e-3,
+        }
+    }
+
+    /// §3.3's large-scale analysis example: 64 GB/s GPU–CPU interconnect and
+    /// 400 Gbps InfiniBand.
+    pub fn paper_analysis_example() -> Self {
+        Self {
+            bw_pci: 64.0e9,
+            bw_net: 400.0e9 / 8.0,
+            net_latency: 5.0e-6,
+            pci_latency: 5.0e-6,
+            gpu_flops: 989.0e12 * 0.4,
+            host_opt_bytes_per_s: 100.0e9,
+            hbm_bytes: 80.0e9,
+            framework_layer_overhead: 2.0e-3,
+            group_init_per_rank: 10.0e-3,
+        }
+    }
+}
+
+/// Byte/FLOP scale of one model configuration — everything the latency
+/// simulator needs to know about a GPT variant without running it.
+///
+/// Sizes follow the paper's accounting: weights and gradients are fp16
+/// (2 B/param), optimizer state is 16 B/param (fp32 master + two Adam
+/// moments + fp32 gradient staging, as in ZeRO/mixed-precision training).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ModelCostConfig {
+    /// Human-readable name ("GPT-Small", …).
+    pub name: &'static str,
+    /// Transformer layers (each carrying one MoE block).
+    pub layers: usize,
+    /// Model (hidden) dimension.
+    pub d_model: usize,
+    /// Expert FFN inner dimension (usually 4 × d_model).
+    pub d_ff: usize,
+    /// Tokens per global batch (sequence length × global batch size).
+    pub tokens_per_batch: usize,
+}
+
+impl ModelCostConfig {
+    /// GPT-Small (125M dense): 12 layers, d_model 768; the paper trains it
+    /// with sequence length 512 and global batch 64.
+    pub fn gpt_small() -> Self {
+        Self { name: "GPT-Small", layers: 12, d_model: 768, d_ff: 4 * 768, tokens_per_batch: 512 * 64 }
+    }
+
+    /// GPT-Medium (350M dense): 24 layers, d_model 1024.
+    pub fn gpt_medium() -> Self {
+        Self { name: "GPT-Medium", layers: 24, d_model: 1024, d_ff: 4 * 1024, tokens_per_batch: 512 * 64 }
+    }
+
+    /// GPT-Large (760M dense): 24 layers, d_model 1536.
+    pub fn gpt_large() -> Self {
+        Self { name: "GPT-Large", layers: 24, d_model: 1536, d_ff: 4 * 1536, tokens_per_batch: 512 * 64 }
+    }
+
+    /// The GPT3-175B-scale layer of §3.3's worked example (d_model 12288):
+    /// per-expert weights 3.375 GB, optimizer 27 GB.
+    pub fn gpt3_layer_example() -> Self {
+        Self {
+            name: "GPT3-175B-layer",
+            layers: 1,
+            d_model: 12288,
+            d_ff: 4 * 12288,
+            tokens_per_batch: 2048 * 1024,
+        }
+    }
+
+    /// Parameters in one expert FFN (two projection matrices + biases).
+    pub fn expert_params(&self) -> u64 {
+        (2 * self.d_model * self.d_ff + self.d_ff + self.d_model) as u64
+    }
+
+    /// fp16 weight bytes for one expert instance (the paper's `W`).
+    pub fn expert_weight_bytes(&self) -> f64 {
+        self.expert_params() as f64 * 2.0
+    }
+
+    /// fp16 gradient bytes for one expert instance (the paper's `G`).
+    pub fn expert_grad_bytes(&self) -> f64 {
+        self.expert_params() as f64 * 2.0
+    }
+
+    /// Optimizer-state bytes for one expert class (the paper's `O`,
+    /// 16 B/param).
+    pub fn expert_optimizer_bytes(&self) -> f64 {
+        self.expert_params() as f64 * 16.0
+    }
+
+    /// FLOPs to push one token through one expert FFN (forward): two GEMVs.
+    pub fn expert_flops_per_token(&self) -> f64 {
+        2.0 * 2.0 * (self.d_model * self.d_ff) as f64
+    }
+
+    /// FLOPs per token per layer for the dense (attention + projections)
+    /// part of the layer. Approximated as the standard 12·d² attention-block
+    /// cost plus 2·L·d of score computation amortized per token.
+    pub fn dense_flops_per_token(&self, seq_len: usize) -> f64 {
+        let d = self.d_model as f64;
+        2.0 * 12.0 * d * d + 2.0 * 2.0 * seq_len as f64 * d
+    }
+
+    /// Activation bytes for one token's embedding in fp16.
+    pub fn token_embedding_bytes(&self) -> f64 {
+        self.d_model as f64 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt3_example_byte_accounting() {
+        // Our accounting (two d×4d GEMMs) gives 8d² params → 2.25 GiB of
+        // fp16 weights per expert at d_model = 12288. The paper's worked
+        // example states G = W = 3.375 GB / O = 27 GB, i.e. 12d² params per
+        // expert (it folds in the expert's share of surrounding dense
+        // projections); the §3.3 validation bench therefore instantiates the
+        // formulas with the paper's literal values. What must always hold is
+        // the 16:2 optimizer-to-weight byte ratio.
+        let cfg = ModelCostConfig::gpt3_layer_example();
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        assert!((cfg.expert_weight_bytes() / gib - 2.25).abs() < 0.01);
+        assert!((cfg.expert_optimizer_bytes() / gib - 18.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn optimizer_is_8x_weights() {
+        let cfg = ModelCostConfig::gpt_small();
+        let ratio = cfg.expert_optimizer_bytes() / cfg.expert_weight_bytes();
+        assert!((ratio - 8.0).abs() < 1e-9, "§2.1: optimizer is 8× model weights");
+    }
+
+    #[test]
+    fn model_sizes_are_ordered() {
+        let s = ModelCostConfig::gpt_small().expert_params();
+        let m = ModelCostConfig::gpt_medium().expert_params();
+        let l = ModelCostConfig::gpt_large().expert_params();
+        assert!(s < m && m < l);
+    }
+
+    #[test]
+    fn presets_have_sane_bandwidth_ordering() {
+        for hw in [HardwareSpec::paper_eval_cluster(), HardwareSpec::paper_analysis_example()] {
+            assert!(hw.bw_pci > hw.bw_net, "PCIe beats the network in both presets");
+            assert!(hw.gpu_flops > 1e13);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the cost model and iteration simulator.
+
+use proptest::prelude::*;
+use symi_netsim::iteration::{RebalanceSpec, SimSystem};
+use symi_netsim::topology::HardwareSpec;
+use symi_netsim::{CommCostModel, IterationSim, ModelCostConfig, SystemKind, TaskGraph};
+
+fn replicas_summing_to(tokens: &[f64], slots: usize) -> Vec<usize> {
+    let e = tokens.len();
+    let total: f64 = tokens.iter().sum();
+    let mut counts: Vec<usize> = tokens
+        .iter()
+        .map(|&t| ((t / total.max(1.0) * slots as f64).floor() as usize).max(1))
+        .collect();
+    while counts.iter().sum::<usize>() > slots {
+        let i = (0..e).max_by_key(|&i| counts[i]).unwrap();
+        counts[i] -= 1;
+    }
+    while counts.iter().sum::<usize>() < slots {
+        let i = (0..e).min_by_key(|&i| counts[i]).unwrap();
+        counts[i] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulated_iteration_is_finite_and_positive(
+        raw in prop::collection::vec(0.0f64..10_000.0, 16),
+        system_sel in 0usize..3,
+        moved in 0usize..4,
+    ) {
+        let sim = IterationSim::paper_eval(ModelCostConfig::gpt_small());
+        let total: f64 = raw.iter().sum();
+        let budget = sim.model.tokens_per_batch as f64;
+        let tokens: Vec<f64> = if total > 0.0 {
+            raw.iter().map(|&t| t / total * budget).collect()
+        } else {
+            vec![budget / 16.0; 16]
+        };
+        let replicas = replicas_summing_to(&tokens, 64);
+        let system = [SimSystem::DeepSpeedStatic, SimSystem::Symi, SimSystem::FlexMoE][system_sel];
+        let b = sim.simulate(
+            &tokens,
+            &replicas,
+            system,
+            RebalanceSpec { moved_replicas_per_layer: moved },
+        );
+        prop_assert!(b.total_seconds().is_finite());
+        prop_assert!(b.total_seconds() > 0.0);
+        prop_assert!((0.0..=1.0).contains(&b.survived_fraction));
+        prop_assert!(b.gpu_peak_bytes > 0.0);
+        for c in &b.components {
+            prop_assert!(c.seconds >= 0.0, "{} must be nonnegative", c.name);
+        }
+    }
+
+    #[test]
+    fn survival_monotone_in_capacity_factor(
+        raw in prop::collection::vec(1.0f64..10_000.0, 16),
+    ) {
+        let base = IterationSim::paper_eval(ModelCostConfig::gpt_small());
+        let total: f64 = raw.iter().sum();
+        let budget = base.model.tokens_per_batch as f64;
+        let tokens: Vec<f64> = raw.iter().map(|&t| t / total * budget).collect();
+        let replicas = base.uniform_replicas();
+        let mut prev = 0.0;
+        for cf in [0.5, 1.0, 2.0, 4.0, 16.0] {
+            let sim = IterationSim { capacity_factor: cf, ..base };
+            let b = sim.simulate(
+                &tokens,
+                &replicas,
+                SimSystem::DeepSpeedStatic,
+                RebalanceSpec::default(),
+            );
+            prop_assert!(b.survived_fraction >= prev - 1e-12);
+            prev = b.survived_fraction;
+        }
+    }
+
+    #[test]
+    fn analytic_costs_scale_linearly_in_bytes(scale in 1.0f64..100.0) {
+        let base = CommCostModel {
+            nodes: 64,
+            expert_classes: 16,
+            slots_per_rank: 2,
+            grad_bytes: 1.0e6,
+            weight_bytes: 1.0e6,
+            optimizer_bytes: 8.0e6,
+            hw: HardwareSpec::paper_eval_cluster(),
+        };
+        let scaled = CommCostModel {
+            grad_bytes: base.grad_bytes * scale,
+            weight_bytes: base.weight_bytes * scale,
+            ..base
+        };
+        for kind in [SystemKind::StaticBaseline, SystemKind::Symi] {
+            let a = base.costs(kind).total();
+            let b = scaled.costs(kind).total();
+            prop_assert!((b / a - scale).abs() < 1e-9);
+        }
+        // The overhead ratio is scale-free.
+        prop_assert!((base.symi_overhead_ratio() - scaled.symi_overhead_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_graph_makespan_bounds(durations in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        // Serial chain: makespan = sum; parallel: makespan = max.
+        let mut serial = TaskGraph::new();
+        let mut prev = None;
+        for &d in &durations {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(serial.add("t", d, &deps));
+        }
+        let sum: f64 = durations.iter().sum();
+        prop_assert!((serial.schedule().makespan() - sum).abs() < 1e-9);
+
+        let mut parallel = TaskGraph::new();
+        for &d in &durations {
+            parallel.add("t", d, &[]);
+        }
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((parallel.schedule().makespan() - max).abs() < 1e-12);
+    }
+}

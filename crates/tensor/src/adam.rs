@@ -1,0 +1,389 @@
+//! Adam optimizer with sharding support and mixed-precision semantics.
+//!
+//! SYMI's whole design revolves around *where optimizer state lives*: each
+//! expert's Adam state (fp32 master weights + first/second moments, 16 B per
+//! parameter with fp32 gradients counted) is statically sharded across nodes,
+//! while the working fp16 weights (2 B/param) move freely. [`AdamShard`]
+//! models exactly one contiguous shard of one parameter group: it consumes a
+//! gradient shard and emits an updated fp16-quantized weight shard, which is
+//! the unit of communication in both the paper's *Grad Communication Phase*
+//! and *Weight Communication Phase*.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam hyperparameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Full (unsharded) Adam state over a flat parameter vector. Used for the
+/// dense (non-expert) parameters and as the reference implementation the
+/// sharded path is tested against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamState {
+    cfg: AdamConfig,
+    /// fp32 master copy of the parameters.
+    master: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamState {
+    /// Initializes master state from the current working weights.
+    pub fn new(cfg: AdamConfig, params: &[f32]) -> Self {
+        Self {
+            cfg,
+            master: params.to_vec(),
+            m: vec![0.0; params.len()],
+            v: vec![0.0; params.len()],
+            t: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// One Adam step. Writes fp16-quantized updated weights into `params_out`.
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with the state length.
+    pub fn step(&mut self, grads: &[f32], params_out: &mut [f32]) {
+        assert_eq!(grads.len(), self.master.len(), "gradient length mismatch");
+        assert_eq!(params_out.len(), self.master.len(), "param length mismatch");
+        self.t += 1;
+        step_kernel(
+            &self.cfg,
+            self.t,
+            &mut self.master,
+            &mut self.m,
+            &mut self.v,
+            grads,
+            params_out,
+        );
+    }
+
+    /// fp32 master weights (what the optimizer believes the model is).
+    pub fn master_weights(&self) -> &[f32] {
+        &self.master
+    }
+}
+
+/// One contiguous shard of Adam state for one parameter group.
+///
+/// A shard owns parameters `[offset, offset + len)` of the group's flat
+/// parameter vector. SYMI constructs `N` of these per expert (one per node);
+/// the static baseline constructs `r` per expert (one per EDP replica rank).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamShard {
+    cfg: AdamConfig,
+    offset: usize,
+    master: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamShard {
+    /// Creates a shard covering `params[offset..offset+len]` of the group.
+    pub fn new(cfg: AdamConfig, offset: usize, shard_params: &[f32]) -> Self {
+        Self {
+            cfg,
+            offset,
+            master: shard_params.to_vec(),
+            m: vec![0.0; shard_params.len()],
+            v: vec![0.0; shard_params.len()],
+            t: 0,
+        }
+    }
+
+    /// Start of this shard within the parameter group.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// One Adam step over this shard: consumes the matching gradient shard,
+    /// returns the updated fp16-quantized weight shard.
+    pub fn step(&mut self, grad_shard: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_shard.len(), self.master.len(), "gradient shard length mismatch");
+        self.t += 1;
+        let mut out = vec![0.0f32; self.master.len()];
+        step_kernel(
+            &self.cfg,
+            self.t,
+            &mut self.master,
+            &mut self.m,
+            &mut self.v,
+            grad_shard,
+            &mut out,
+        );
+        out
+    }
+
+    /// fp32 master weights of this shard.
+    pub fn master_weights(&self) -> &[f32] {
+        &self.master
+    }
+
+    /// Serializes the mutable optimizer state as `[master | m | v]` — what
+    /// a *coupled* system (FlexMoE-style) must physically move when an
+    /// expert is re-placed. SYMI never calls this on the rebalance path.
+    pub fn export_state(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(3 * self.master.len());
+        out.extend_from_slice(&self.master);
+        out.extend_from_slice(&self.m);
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    /// Restores state exported by [`AdamShard::export_state`]; the step
+    /// counter is carried in `t`.
+    pub fn import_state(&mut self, state: &[f32], t: u64) {
+        let len = self.master.len();
+        assert_eq!(state.len(), 3 * len, "state blob length mismatch");
+        self.master.copy_from_slice(&state[..len]);
+        self.m.copy_from_slice(&state[len..2 * len]);
+        self.v.copy_from_slice(&state[2 * len..]);
+        self.t = t;
+    }
+
+    /// Optimizer-state bytes this shard occupies under the paper's
+    /// accounting (16 B per parameter: fp32 master weight, fp32 m, fp32 v,
+    /// fp32 gradient staging).
+    pub fn state_bytes(&self) -> u64 {
+        self.master.len() as u64 * 16
+    }
+}
+
+fn step_kernel(
+    cfg: &AdamConfig,
+    t: u64,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grads: &[f32],
+    params_out: &mut [f32],
+) {
+    let bc1 = 1.0 - cfg.beta1.powi(t as i32);
+    let bc2 = 1.0 - cfg.beta2.powi(t as i32);
+    for i in 0..master.len() {
+        let g = grads[i] + cfg.weight_decay * master[i];
+        m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g;
+        v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g * g;
+        let mhat = m[i] / bc1;
+        let vhat = v[i] / bc2;
+        master[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
+        params_out[i] = quantize_f16(master[i]);
+    }
+}
+
+/// Rounds an `f32` through IEEE-754 binary16 and back — the model weights in
+/// SYMI live in fp16 on the accelerator while the optimizer keeps fp32
+/// masters, and this models that quantization loss.
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_to_f32(f32_to_f16(x))
+}
+
+/// `f32` → IEEE-754 binary16 bits, round-to-nearest-even.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mant >> 13) as u16;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0fff;
+        let mut h = sign | half_exp | half_mant;
+        if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+            h += 1; // may carry into the exponent, which is correct behaviour
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-unbiased - 14 + 13) as u32;
+        let half_mant = (full_mant >> shift) as u16;
+        let round = (full_mant >> (shift - 1)) & 1;
+        let sticky = full_mant & ((1u32 << (shift - 1)) - 1);
+        let mut h = sign | half_mant;
+        if round == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+            h += 1;
+        }
+        return h;
+    }
+    sign // underflow → signed zero
+}
+
+/// IEEE-754 binary16 bits → `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize. After s left-shifts the value is
+            // 1.f x 2^(-14 - s), i.e. e = -s below the minimum normal.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_decreases_quadratic_loss() {
+        // Minimize f(w) = |w - target|^2 / 2; gradient = w - target.
+        let target = [3.0f32, -2.0, 0.5];
+        let mut w = vec![0.0f32; 3];
+        let mut opt = AdamState::new(AdamConfig { lr: 0.05, ..Default::default() }, &w);
+        for _ in 0..2000 {
+            let grads: Vec<f32> =
+                opt.master_weights().iter().zip(&target).map(|(w, t)| w - t).collect();
+            opt.step(&grads, &mut w);
+        }
+        for (wv, tv) in w.iter().zip(&target) {
+            assert!((wv - tv).abs() < 1e-2, "{wv} != {tv}");
+        }
+    }
+
+    #[test]
+    fn sharded_step_equals_unsharded_step() {
+        let cfg = AdamConfig::default();
+        let params: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let grads: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).cos()).collect();
+
+        let mut full = AdamState::new(cfg, &params);
+        let mut full_out = vec![0.0f32; 64];
+
+        let mut shards: Vec<AdamShard> = (0..4)
+            .map(|s| AdamShard::new(cfg, s * 16, &params[s * 16..(s + 1) * 16]))
+            .collect();
+
+        for _ in 0..5 {
+            full.step(&grads, &mut full_out);
+            let mut shard_out = vec![0.0f32; 64];
+            for shard in &mut shards {
+                let o = shard.offset();
+                let upd = shard.step(&grads[o..o + shard.len()]);
+                shard_out[o..o + upd.len()].copy_from_slice(&upd);
+            }
+            assert_eq!(full_out, shard_out, "sharded Adam diverged from reference");
+        }
+    }
+
+    #[test]
+    fn f16_round_trip_exact_for_representable() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(quantize_f16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_quantization_error_is_bounded() {
+        for i in 0..1000 {
+            let v = (i as f32 * 0.013).sin() * 10.0;
+            let q = quantize_f16(v);
+            // Relative error of binary16 is at most 2^-11 for normal values.
+            assert!((q - v).abs() <= v.abs() * 0.0005 + 1e-7, "{v} -> {q}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert!(f16_to_f32(f32_to_f16(1e6)).is_infinite());
+        assert!(f16_to_f32(f32_to_f16(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn f16_handles_subnormals() {
+        let tiny = 3.0e-7f32; // subnormal in f16
+        let q = quantize_f16(tiny);
+        assert!(q > 0.0 && (q - tiny).abs() < 1e-7);
+    }
+
+    #[test]
+    fn f16_nan_stays_nan() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn state_bytes_is_16_per_param() {
+        let shard = AdamShard::new(AdamConfig::default(), 0, &[0.0; 100]);
+        assert_eq!(shard.state_bytes(), 1600);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut w = vec![1.0f32];
+        let mut opt = AdamState::new(
+            AdamConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() },
+            &w,
+        );
+        for _ in 0..500 {
+            opt.step(&[0.0], &mut w); // zero data gradient, only decay
+        }
+        assert!(w[0].abs() < 0.5, "weight decay should shrink weights, got {}", w[0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # symi-tensor
+//!
+//! Dense `f32` linear-algebra kernels and optimizer math for the SYMI
+//! Mixture-of-Experts training stack.
+//!
+//! This crate is the numeric substrate underneath `symi-model`: a small,
+//! deterministic, CPU-only matrix library with exactly the operations a
+//! GPT-style MoE transformer needs (blocked matmul in the three layouts used
+//! by forward/backward passes, row softmax, LayerNorm, GELU, cross-entropy)
+//! plus a from-scratch Adam optimizer that keeps fp32 *master* state separate
+//! from the working weights — mirroring the mixed-precision layout whose byte
+//! sizes (2 B/param weights vs 16 B/param optimizer state) drive the SYMI
+//! paper's cost analysis.
+//!
+//! Design notes:
+//! - Everything is `f32`, row-major, and allocation-explicit. No `unsafe`.
+//! - All stochastic initialization takes a caller-provided RNG so experiments
+//!   are reproducible bit-for-bit.
+//! - [`gradcheck`] provides the numerical-differentiation harness used by the
+//!   model crate's per-layer gradient tests.
+
+pub mod adam;
+pub mod gradcheck;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use adam::{AdamConfig, AdamShard, AdamState};
+pub use matrix::Matrix;

@@ -1,0 +1,298 @@
+//! Nonlinearities and normalization kernels with explicit backward passes.
+//!
+//! Each `*_backward` takes exactly the values its forward pass produced (no
+//! hidden caches), so the model crate's layer objects decide what to retain.
+
+use crate::matrix::Matrix;
+
+/// Row-wise softmax. Numerically stabilized by subtracting the row max.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of row softmax: `dx = y ⊙ (dy − (dy·y) 1ᵀ)` per row, where `y`
+/// is the softmax output.
+pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()), "softmax backward shape mismatch");
+    let mut dx = Matrix::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        let dxr = dx.row_mut(r);
+        for c in 0..yr.len() {
+            dxr[c] = yr[c] * (dyr[c] - dot);
+        }
+    }
+    dx
+}
+
+/// GELU activation (tanh approximation, as used by GPT-2/GPT-3).
+pub fn gelu(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        *v = gelu_scalar(*v);
+    }
+    out
+}
+
+#[inline]
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Backward of GELU given the forward *input* `x`.
+pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()), "gelu backward shape mismatch");
+    let mut dx = dy.clone();
+    for (g, &xv) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *g *= gelu_grad_scalar(xv);
+    }
+    dx
+}
+
+/// Cached statistics from a LayerNorm forward pass, needed by its backward.
+#[derive(Clone, Debug)]
+pub struct LayerNormCache {
+    /// Normalized input `(x - mean) / std`, one row per token.
+    pub xhat: Matrix,
+    /// Per-row inverse standard deviation.
+    pub inv_std: Vec<f32>,
+}
+
+/// LayerNorm over the last dimension with learned `gamma`/`beta`
+/// (`1 × cols` row vectors). Returns the output and a cache for backward.
+pub fn layernorm(x: &Matrix, gamma: &Matrix, beta: &Matrix, eps: f32) -> (Matrix, LayerNormCache) {
+    assert_eq!(gamma.cols(), x.cols(), "gamma width mismatch");
+    assert_eq!(beta.cols(), x.cols(), "beta width mismatch");
+    let n = x.cols();
+    let mut out = Matrix::zeros(x.rows(), n);
+    let mut xhat = Matrix::zeros(x.rows(), n);
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std.push(istd);
+        let xh = xhat.row_mut(r);
+        let o = out.row_mut(r);
+        for c in 0..n {
+            let h = (row[c] - mean) * istd;
+            xh[c] = h;
+            o[c] = h * gamma[(0, c)] + beta[(0, c)];
+        }
+    }
+    (out, LayerNormCache { xhat, inv_std })
+}
+
+/// Backward of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
+pub fn layernorm_backward(
+    dy: &Matrix,
+    gamma: &Matrix,
+    cache: &LayerNormCache,
+) -> (Matrix, Matrix, Matrix) {
+    let n = dy.cols();
+    let nf = n as f32;
+    let mut dx = Matrix::zeros(dy.rows(), n);
+    let mut dgamma = Matrix::zeros(1, n);
+    let mut dbeta = Matrix::zeros(1, n);
+    for r in 0..dy.rows() {
+        let dyr = dy.row(r);
+        let xh = cache.xhat.row(r);
+        let istd = cache.inv_std[r];
+        // dxhat = dy * gamma
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        for c in 0..n {
+            let dxh = dyr[c] * gamma[(0, c)];
+            sum_dxhat += dxh;
+            sum_dxhat_xhat += dxh * xh[c];
+            dgamma[(0, c)] += dyr[c] * xh[c];
+            dbeta[(0, c)] += dyr[c];
+        }
+        let dxr = dx.row_mut(r);
+        for c in 0..n {
+            let dxh = dyr[c] * gamma[(0, c)];
+            dxr[c] = istd * (dxh - sum_dxhat / nf - xh[c] * sum_dxhat_xhat / nf);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// Mean cross-entropy loss over rows of `logits` against integer `targets`,
+/// with the gradient w.r.t. the logits (already divided by the row count).
+///
+/// Rows whose target is `usize::MAX` are masked out (used for padding).
+pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "one target per logits row");
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let mut counted = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == usize::MAX {
+            grad.row_mut(r).iter_mut().for_each(|v| *v = 0.0);
+            continue;
+        }
+        assert!(t < logits.cols(), "target {t} out of vocab {}", logits.cols());
+        loss -= (probs[(r, t)].max(1e-12) as f64).ln();
+        grad[(r, t)] -= 1.0;
+        counted += 1;
+    }
+    let denom = counted.max(1) as f32;
+    grad.scale(1.0 / denom);
+    ((loss / counted.max(1) as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::numerical_grad;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.7);
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Matrix::from_fn(2, 5, |r, c| (r + c) as f32 * 0.3);
+        let mut shifted = x.clone();
+        for v in shifted.as_mut_slice() {
+            *v += 100.0;
+        }
+        assert!(softmax_rows(&x).max_abs_diff(&softmax_rows(&shifted)) < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_matches_numeric() {
+        let x = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32).sin());
+        let dy = Matrix::from_fn(3, 4, |r, c| ((r + 2 * c) as f32).cos());
+        let analytic = {
+            let y = softmax_rows(&x);
+            softmax_rows_backward(&y, &dy)
+        };
+        let numeric = numerical_grad(&x, &dy, |m| softmax_rows(m));
+        assert!(analytic.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn gelu_backward_matches_numeric() {
+        let x = Matrix::from_fn(2, 8, |r, c| (r as f32 - 1.0) + c as f32 * 0.3 - 1.0);
+        let dy = Matrix::from_fn(2, 8, |_, c| 1.0 + c as f32 * 0.1);
+        let analytic = gelu_backward(&x, &dy);
+        let numeric = numerical_grad(&x, &dy, |m| gelu(m));
+        assert!(analytic.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized_when_identity_affine() {
+        let x = Matrix::from_fn(3, 16, |r, c| (r as f32 + 1.0) * ((c as f32 * 0.7).sin() + 0.2));
+        let gamma = Matrix::from_vec(1, 16, vec![1.0; 16]);
+        let beta = Matrix::zeros(1, 16);
+        let (y, _) = layernorm(&x, &gamma, &beta, 1e-5);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_numeric() {
+        let x = Matrix::from_fn(2, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let gamma = Matrix::from_fn(1, 6, |_, c| 1.0 + 0.1 * c as f32);
+        let beta = Matrix::from_fn(1, 6, |_, c| 0.05 * c as f32);
+        let dy = Matrix::from_fn(2, 6, |r, c| ((r + c) as f32).cos());
+
+        let (_, cache) = layernorm(&x, &gamma, &beta, 1e-5);
+        let (dx, dgamma, dbeta) = layernorm_backward(&dy, &gamma, &cache);
+
+        let ndx = numerical_grad(&x, &dy, |m| layernorm(m, &gamma, &beta, 1e-5).0);
+        assert!(dx.max_abs_diff(&ndx) < 1e-2, "dx diff {}", dx.max_abs_diff(&ndx));
+
+        let ndgamma = numerical_grad(&gamma, &dy, |g| layernorm(&x, g, &beta, 1e-5).0);
+        assert!(dgamma.max_abs_diff(&ndgamma) < 1e-2);
+
+        let ndbeta = numerical_grad(&beta, &dy, |b| layernorm(&x, &gamma, b, 1e-5).0);
+        assert!(dbeta.max_abs_diff(&ndbeta) < 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let mut logits = Matrix::zeros(2, 3);
+        logits[(0, 1)] = 50.0;
+        logits[(1, 2)] = 50.0;
+        let (loss, _) = cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_vocab() {
+        let logits = Matrix::zeros(4, 8);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_numeric() {
+        let logits = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) as f32 * 0.21).sin());
+        let targets = [2usize, 0, 4];
+        let (_, grad) = cross_entropy(&logits, &targets);
+
+        let mut numeric = Matrix::zeros(3, 5);
+        let eps = 1e-3;
+        let mut probe = logits.clone();
+        for i in 0..probe.len() {
+            let orig = probe.as_slice()[i];
+            probe.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = cross_entropy(&probe, &targets);
+            probe.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = cross_entropy(&probe, &targets);
+            probe.as_mut_slice()[i] = orig;
+            numeric.as_mut_slice()[i] = (lp - lm) / (2.0 * eps);
+        }
+        assert!(grad.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_masks_padding() {
+        let logits = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        let (loss_all, _) = cross_entropy(&logits, &[1, usize::MAX]);
+        let first_only = logits.gather_rows(&[0]);
+        let (loss_first, _) = cross_entropy(&first_only, &[1]);
+        assert!((loss_all - loss_first).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,24 @@
+//! # symi-workload
+//!
+//! Synthetic training workloads for the SYMI reproduction.
+//!
+//! The paper trains GPT variants on MMLU; that dataset (and the scale at
+//! which its popularity dynamics were measured) is not available here, so
+//! this crate provides the documented substitute (DESIGN.md):
+//!
+//! - [`corpus`]: a *drifting-topic corpus* — sequences sampled from a
+//!   mixture of per-topic token processes whose mixture weights shift over
+//!   the course of training. The learned router clusters topics onto
+//!   experts, which makes expert popularity both **skewed** (topics are
+//!   Zipf-weighted) and **dynamic** (the mixture drifts), reproducing the
+//!   Figure 2 phenomenology from first principles rather than by replaying
+//!   hard-coded numbers.
+//! - [`trace`]: recording, statistics, and serde round-tripping of expert
+//!   popularity traces, plus a synthetic trace generator for latency
+//!   experiments that don't need real training.
+
+pub mod corpus;
+pub mod trace;
+
+pub use corpus::{Batch, CorpusConfig, DriftingCorpus};
+pub use trace::{PopularityTrace, SyntheticTraceConfig};

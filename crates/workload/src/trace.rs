@@ -1,0 +1,246 @@
+//! Expert-popularity traces: recording, statistics, serialization, and a
+//! synthetic generator for latency-only experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::Distribution;
+use serde::{Deserialize, Serialize};
+
+/// A per-iteration record of how many tokens the router assigned to each
+/// expert class. This is exactly the content of SYMI's Layer Metadata Store
+/// over time, and the raw material for Figures 2, 9 and 10.
+///
+/// ```
+/// use symi_workload::PopularityTrace;
+///
+/// let mut trace = PopularityTrace::new();
+/// trace.push(vec![90, 10]);
+/// trace.push(vec![5, 95]);
+/// // Expert 0 collapsed 18x within 2 iterations (Figure 2's phenomenon):
+/// assert!(trace.max_shift_within(2) >= 18.0);
+/// assert_eq!(trace.series(1), vec![10, 95]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PopularityTrace {
+    /// `iterations[t][e]` = tokens routed to class `e` at iteration `t`.
+    pub iterations: Vec<Vec<u64>>,
+}
+
+impl PopularityTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, counts: Vec<u64>) {
+        if let Some(first) = self.iterations.first() {
+            assert_eq!(first.len(), counts.len(), "expert count changed mid-trace");
+        }
+        self.iterations.push(counts);
+    }
+
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    pub fn expert_classes(&self) -> usize {
+        self.iterations.first().map_or(0, Vec::len)
+    }
+
+    /// Popularity of one expert over time.
+    pub fn series(&self, expert: usize) -> Vec<u64> {
+        self.iterations.iter().map(|it| it[expert]).collect()
+    }
+
+    /// The largest multiplicative popularity swing any expert exhibits
+    /// within a window of `k` iterations — Figure 2's ">16× within 3
+    /// iterations" statistic. Zero counts are clamped to 1 to keep the
+    /// ratio finite.
+    pub fn max_shift_within(&self, k: usize) -> f64 {
+        let e = self.expert_classes();
+        let mut worst = 1.0f64;
+        for t in 0..self.iterations.len() {
+            let hi = (t + k).min(self.iterations.len());
+            for exp in 0..e {
+                let a = self.iterations[t][exp].max(1) as f64;
+                for row in &self.iterations[t + 1..hi] {
+                    let b = row[exp].max(1) as f64;
+                    worst = worst.max(a / b).max(b / a);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Normalized popularity (fraction of the iteration's tokens) for one
+    /// iteration.
+    pub fn normalized(&self, t: usize) -> Vec<f64> {
+        let total: u64 = self.iterations[t].iter().sum();
+        let denom = total.max(1) as f64;
+        self.iterations[t].iter().map(|&c| c as f64 / denom).collect()
+    }
+
+    /// JSON serialization for the bench harness.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization is infallible")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Configuration for synthetic popularity traces (used by latency benches
+/// that don't need a real training run).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SyntheticTraceConfig {
+    pub expert_classes: usize,
+    pub iterations: usize,
+    pub tokens_per_iteration: u64,
+    /// Zipf exponent of the average popularity ranking.
+    pub zipf: f64,
+    /// Log-space random-walk scale per iteration.
+    pub drift_sigma: f64,
+    /// Probability of a jolt (sudden rank reshuffle of two experts).
+    pub jolt_prob: f64,
+    pub seed: u64,
+}
+
+impl Default for SyntheticTraceConfig {
+    fn default() -> Self {
+        Self {
+            expert_classes: 16,
+            iterations: 200,
+            tokens_per_iteration: 512 * 64,
+            zipf: 1.1,
+            drift_sigma: 0.12,
+            jolt_prob: 0.03,
+            seed: 7,
+        }
+    }
+}
+
+impl SyntheticTraceConfig {
+    /// Generates a skewed, drifting popularity trace.
+    pub fn generate(&self) -> PopularityTrace {
+        assert!(self.expert_classes >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let normal =
+            rand_distr::Normal::new(0.0f64, self.drift_sigma).expect("finite sigma");
+        let mut logits: Vec<f64> = (0..self.expert_classes)
+            .map(|i| -self.zipf * ((i + 1) as f64).ln())
+            .collect();
+        // Random initial ranking.
+        for i in (1..logits.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            logits.swap(i, j);
+        }
+        let mut trace = PopularityTrace::new();
+        for _ in 0..self.iterations {
+            let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+            let total: f64 = exps.iter().sum();
+            let counts: Vec<u64> = exps
+                .iter()
+                .map(|e| ((e / total) * self.tokens_per_iteration as f64).round() as u64)
+                .collect();
+            trace.push(counts);
+            for l in &mut logits {
+                *l += normal.sample(&mut rng);
+            }
+            if rng.gen::<f64>() < self.jolt_prob {
+                let k = logits.len();
+                let up = rng.gen_range(0..k);
+                let down = rng.gen_range(0..k);
+                logits[up] += 2.0;
+                logits[down] -= 2.0;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_series() {
+        let mut t = PopularityTrace::new();
+        t.push(vec![1, 2, 3]);
+        t.push(vec![4, 5, 6]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.expert_classes(), 3);
+        assert_eq!(t.series(1), vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expert count changed")]
+    fn ragged_trace_rejected() {
+        let mut t = PopularityTrace::new();
+        t.push(vec![1, 2]);
+        t.push(vec![1]);
+    }
+
+    #[test]
+    fn max_shift_detects_spike() {
+        let mut t = PopularityTrace::new();
+        t.push(vec![100, 10]);
+        t.push(vec![100, 10]);
+        t.push(vec![5, 160]);
+        assert!((t.max_shift_within(3) - 20.0).abs() < 1e-9);
+        // Window of 1 sees no cross-iteration pairs.
+        assert_eq!(t.max_shift_within(1), 1.0);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut t = PopularityTrace::new();
+        t.push(vec![3, 1, 4]);
+        let n = t.normalized(0);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = SyntheticTraceConfig { iterations: 5, ..Default::default() }.generate();
+        let back = PopularityTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_skewed() {
+        let cfg = SyntheticTraceConfig::default();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a, b);
+        // Skew: busiest expert should dominate the quietest by a lot.
+        let first = &a.iterations[0];
+        let max = *first.iter().max().unwrap() as f64;
+        let min = (*first.iter().min().unwrap()).max(1) as f64;
+        assert!(max / min > 3.0, "{max}/{min}");
+    }
+
+    #[test]
+    fn synthetic_trace_shows_large_shifts_over_time() {
+        // With drift + jolts, some expert must swing substantially within a
+        // short window across 200 iterations (Figure 2's phenomenon).
+        let t = SyntheticTraceConfig::default().generate();
+        assert!(t.max_shift_within(5) > 4.0, "got {}", t.max_shift_within(5));
+    }
+
+    #[test]
+    fn totals_are_approximately_conserved() {
+        let cfg = SyntheticTraceConfig::default();
+        let t = cfg.generate();
+        for row in &t.iterations {
+            let total: u64 = row.iter().sum();
+            let expect = cfg.tokens_per_iteration as f64;
+            assert!((total as f64 - expect).abs() / expect < 0.01);
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the runnable examples (kept intentionally minimal —
+//! each example is a self-contained demonstration of the public API).

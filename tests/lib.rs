@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use symi_tensor::Matrix;
+
+/// Deterministic pseudo-token embeddings for a rank's local batch.
+pub fn token_matrix(rank: usize, t_loc: usize, d: usize) -> Matrix {
+    Matrix::from_fn(t_loc, d, |r, c| (((rank * t_loc + r) * d + c) as f32 * 0.137).sin())
+}
+
+/// Max absolute difference between two flat float slices.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}

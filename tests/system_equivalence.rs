@@ -1,0 +1,177 @@
+//! The reproduction's strongest correctness check: with generous capacity
+//! (no token drops) the SYMI engine and the DeepSpeed engine perform the
+//! *same mathematics* — identical routing, identical per-class gradient
+//! sums, identical Adam updates — while moving bytes along completely
+//! different paths (decoupled uniform shards + per-iteration re-placement
+//! vs coupled EDP shards + static striping). Their losses and expert
+//! weights must therefore agree to floating-point reassociation tolerance.
+
+use symi::{EngineConfig, MoeLayerEngine};
+use symi_baselines::DeepSpeedMoeEngine;
+use symi_collectives::{Cluster, ClusterSpec};
+use symi_integration::token_matrix;
+use symi_tensor::{AdamConfig, Matrix};
+
+const NODES: usize = 4;
+const D: usize = 8;
+const DFF: usize = 16;
+const E: usize = 4;
+const S: usize = 2;
+const SEED: u64 = 31;
+const T_LOC: usize = 8;
+
+fn symi_run(iters: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), |ctx| {
+        let cfg = EngineConfig {
+            d_model: D,
+            d_ff: DFF,
+            expert_classes: E,
+            slots_per_rank: S,
+            slot_capacity: 1_000_000,
+            adam: AdamConfig::default(),
+            seed: SEED,
+            layer_id: 0,
+        };
+        let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg);
+        let x = token_matrix(ctx.rank(), T_LOC, D);
+        let target = Matrix::zeros(T_LOC, D);
+        let mut losses = Vec::new();
+        for _ in 0..iters {
+            losses.push(engine.iteration(ctx, &x, &target).unwrap().loss);
+        }
+        // Gather one representative weight vector per class from the final
+        // placement (any replica — the engine guarantees they are equal).
+        let mut class_weights: Vec<Option<Vec<f32>>> = vec![None; E];
+        for local in 0..S {
+            let slot = ctx.rank() * S + local;
+            let class = engine.placement.class_of_slot(slot);
+            class_weights[class].get_or_insert_with(|| engine.slot_weights(local));
+        }
+        (losses, class_weights)
+    });
+    merge(results)
+}
+
+fn deepspeed_run(iters: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), |ctx| {
+        let mut engine = DeepSpeedMoeEngine::new(
+            ctx.rank(),
+            NODES,
+            D,
+            DFF,
+            E,
+            S,
+            1_000_000,
+            AdamConfig::default(),
+            SEED,
+        );
+        let x = token_matrix(ctx.rank(), T_LOC, D);
+        let target = Matrix::zeros(T_LOC, D);
+        let mut losses = Vec::new();
+        for _ in 0..iters {
+            losses.push(engine.iteration(ctx, &x, &target).unwrap().loss);
+        }
+        let mut class_weights: Vec<Option<Vec<f32>>> = vec![None; E];
+        for (class, local) in engine.placement().classes_on_rank(ctx.rank()) {
+            class_weights[class].get_or_insert_with(|| engine.slot_weights(local));
+        }
+        (losses, class_weights)
+    });
+    merge(results)
+}
+
+/// Merges per-rank (losses, per-class weights) into one canonical view,
+/// asserting cross-rank consistency on the way.
+fn merge(results: Vec<(Vec<f32>, Vec<Option<Vec<f32>>>)>) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let losses = results[0].0.clone();
+    for (l, _) in &results {
+        assert_eq!(l, &losses, "ranks disagree on losses");
+    }
+    let mut classes = vec![None; results[0].1.len()];
+    for (_, per_rank) in &results {
+        for (class, w) in per_rank.iter().enumerate() {
+            if let Some(w) = w {
+                match &classes[class] {
+                    None => classes[class] = Some(w.clone()),
+                    Some(reference) =>
+
+                        assert_eq!(reference, w, "class {class} replicas diverged"),
+                }
+            }
+        }
+    }
+    (losses, classes.into_iter().map(|c| c.expect("every class placed")).collect())
+}
+
+#[test]
+fn symi_and_deepspeed_engines_compute_the_same_training_math() {
+    let iters = 5;
+    let (symi_losses, symi_weights) = symi_run(iters);
+    let (ds_losses, ds_weights) = deepspeed_run(iters);
+
+    for (t, (a, b)) in symi_losses.iter().zip(&ds_losses).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-5 * (1.0 + a.abs()),
+            "iteration {t}: SYMI loss {a} vs DeepSpeed loss {b}"
+        );
+    }
+    for (class, (a, b)) in symi_weights.iter().zip(&ds_weights).enumerate() {
+        let diff = symi_integration::max_abs_diff(a, b);
+        assert!(
+            diff < 5e-4,
+            "class {class}: weight divergence {diff} between the two systems"
+        );
+    }
+}
+
+#[test]
+fn traffic_volumes_are_comparable_between_systems() {
+    // §3.3-II: per-iteration data volume is the same order for both
+    // designs (exactly equal in the analytic model; here the SYMI engine's
+    // uniform sharding adds only the locality delta of §3.3-III).
+    let run_traffic = |symi: bool| {
+        let (_, report) = Cluster::run(ClusterSpec::flat(NODES), |ctx| {
+            let x = token_matrix(ctx.rank(), T_LOC, D);
+            let target = Matrix::zeros(T_LOC, D);
+            if symi {
+                let cfg = EngineConfig {
+                    d_model: D,
+                    d_ff: DFF,
+                    expert_classes: E,
+                    slots_per_rank: S,
+                    slot_capacity: 1_000_000,
+                    adam: AdamConfig::default(),
+                    seed: SEED,
+                    layer_id: 0,
+                };
+                let mut e = MoeLayerEngine::new(ctx.rank(), NODES, cfg);
+                for _ in 0..3 {
+                    let _ = e.iteration(ctx, &x, &target).unwrap();
+                }
+            } else {
+                let mut e = DeepSpeedMoeEngine::new(
+                    ctx.rank(),
+                    NODES,
+                    D,
+                    DFF,
+                    E,
+                    S,
+                    1_000_000,
+                    AdamConfig::default(),
+                    SEED,
+                );
+                for _ in 0..3 {
+                    let _ = e.iteration(ctx, &x, &target).unwrap();
+                }
+            }
+        });
+        report.total_bytes()
+    };
+    let symi_bytes = run_traffic(true);
+    let ds_bytes = run_traffic(false);
+    let ratio = symi_bytes as f64 / ds_bytes as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "adaptive per-iteration rebalancing must not blow up traffic: SYMI {symi_bytes} vs DeepSpeed {ds_bytes}"
+    );
+}
