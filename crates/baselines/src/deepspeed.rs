@@ -12,12 +12,12 @@
 //!   non-contiguous) host group; weight updates are an all-gather of the
 //!   per-shard Adam results within the same group.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symi_collectives::coll::chunk_range;
 use symi_collectives::{CommError, CommGroup, RankCtx};
 use symi_model::expert::ExpertFfn;
+use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::ops::softmax_rows;
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, AdamConfig, AdamShard, Matrix};
 
 /// Static striped placement: global slot `k` hosts class `k mod E`.
@@ -52,9 +52,7 @@ impl StripedPlacement {
 
     /// Global slots hosting `class`, ascending.
     pub fn slots_of_class(&self, class: usize) -> Vec<usize> {
-        (0..self.ranks * self.slots_per_rank)
-            .filter(|&k| self.class_of_slot(k) == class)
-            .collect()
+        (0..self.ranks * self.slots_per_rank).filter(|&k| self.class_of_slot(k) == class).collect()
     }
 
     /// Host ranks of `class`, ascending (distinct by construction).
@@ -77,6 +75,8 @@ pub struct IterStats {
     pub popularity: Vec<u64>,
     pub survived: usize,
     pub dropped: usize,
+    /// Globally aggregated per-class kept assignments.
+    pub kept_per_class: Vec<u64>,
 }
 
 /// Per-rank DeepSpeed-style engine for one MoE layer.
@@ -94,9 +94,11 @@ pub struct DeepSpeedMoeEngine {
     opt_shards: Vec<AdamShard>,
     router_w: Matrix,
     iteration: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl DeepSpeedMoeEngine {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rank: usize,
         nodes: usize,
@@ -110,9 +112,7 @@ impl DeepSpeedMoeEngine {
     ) -> Self {
         let placement = StripedPlacement::new(expert_classes, nodes, slots_per_rank);
         let class_params: Vec<Vec<f32>> = (0..expert_classes)
-            .map(|class| {
-                ExpertFfn::new(d_model, d_ff, seed ^ (0xe0 + class as u64)).flat_params()
-            })
+            .map(|class| ExpertFfn::new(d_model, d_ff, seed ^ (0xe0 + class as u64)).flat_params())
             .collect();
         let mut slots = Vec::with_capacity(slots_per_rank);
         let mut opt_shards = Vec::with_capacity(slots_per_rank);
@@ -141,7 +141,14 @@ impl DeepSpeedMoeEngine {
             opt_shards,
             router_w,
             iteration: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs this rank's telemetry handle (same phase taxonomy as the
+    /// SYMI engine, so breakdowns are directly comparable).
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     pub fn placement(&self) -> &StripedPlacement {
@@ -171,8 +178,10 @@ impl DeepSpeedMoeEngine {
         let world = ctx.groups().world();
         let t_loc = x_local.rows();
         let r = self.placement.replicas();
+        let tele = self.telemetry.clone();
 
         // Route.
+        let routing_span = tele.span(Phase::Routing);
         let probs = softmax_rows(&x_local.matmul(&self.router_w));
         let mut assignment = Vec::with_capacity(t_loc);
         let mut gates = Vec::with_capacity(t_loc);
@@ -188,9 +197,14 @@ impl DeepSpeedMoeEngine {
             gates.push(p);
             popularity[best] += 1;
         }
-        ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+        drop(routing_span);
+        {
+            let _span = tele.span(Phase::PopularityAllReduce);
+            ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+        }
 
         // Static uniform capacity; sender-side even quota.
+        let dispatch_span = tele.span(Phase::Dispatch);
         let quota: Vec<usize> = (0..e)
             .map(|_| {
                 let cap = self.slot_capacity * r;
@@ -200,8 +214,7 @@ impl DeepSpeedMoeEngine {
         let mut taken = vec![0usize; e];
         let mut kept = Vec::new();
         let mut kept_slot = Vec::new();
-        for t in 0..t_loc {
-            let class = assignment[t];
+        for (t, &class) in assignment.iter().enumerate().take(t_loc) {
             if taken[class] >= quota[class] {
                 continue;
             }
@@ -234,8 +247,10 @@ impl DeepSpeedMoeEngine {
                 routing_map[src].push((local, row));
             }
         }
+        drop(dispatch_span);
 
         // Forward + return.
+        let ffn_span = tele.span(Phase::ExpertFfn);
         let slot_outputs: Vec<Matrix> = self
             .slots
             .iter_mut()
@@ -248,6 +263,8 @@ impl DeepSpeedMoeEngine {
                 }
             })
             .collect();
+        drop(ffn_span);
+        let combine_span = tele.span(Phase::Combine);
         let mut back_bufs: Vec<Vec<f32>> = vec![Vec::new(); n];
         for src in 0..n {
             for &(slot, row) in &routing_map[src] {
@@ -276,8 +293,10 @@ impl DeepSpeedMoeEngine {
         dy.scale(1.0 / (t_global * d as f32));
         ctx.allreduce_sum(&world, self.tag(5), &mut loss_acc)?;
         let loss = loss_acc[0] / (t_global * d as f32);
+        drop(combine_span);
 
         // Backward.
+        let grad_dispatch_span = tele.span(Phase::GradComm);
         let mut gbufs: Vec<Vec<f32>> = vec![Vec::new(); n];
         for (i, &t) in kept.iter().enumerate() {
             let dest = kept_slot[i] / s;
@@ -292,16 +311,21 @@ impl DeepSpeedMoeEngine {
                     .copy_from_slice(&in_grads[src][j * d..(j + 1) * d]);
             }
         }
-        for (local, expert) in self.slots.iter_mut().enumerate() {
-            expert.zero_grad();
-            if !slot_dys[local].is_empty() {
-                let rows = slot_dys[local].len() / d;
-                let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+        drop(grad_dispatch_span);
+        {
+            let _span = tele.span(Phase::ExpertFfn);
+            for (local, expert) in self.slots.iter_mut().enumerate() {
+                expert.zero_grad();
+                if !slot_dys[local].is_empty() {
+                    let rows = slot_dys[local].len() / d;
+                    let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+                }
             }
         }
 
         // EDP gradient all-reduce per local class over the striped
         // (non-contiguous) host group — the group DeepSpeed created at init.
+        let gradsync_span = tele.span(Phase::GradComm);
         let classes = self.placement.classes_on_rank(self.rank);
         for &(class, local) in &classes {
             let hosts = self.placement.host_ranks(class);
@@ -312,6 +336,7 @@ impl DeepSpeedMoeEngine {
             // reuse load/step below, so stash in slot_dys space instead.
             slot_dys[local] = grads;
         }
+        drop(gradsync_span);
 
         // ZeRO-1 optimizer step: each EDP member steps its shard, then the
         // group all-gathers the updated shards into full weights.
@@ -319,17 +344,20 @@ impl DeepSpeedMoeEngine {
             let hosts = self.placement.host_ranks(class);
             let group = CommGroup::new(hosts.clone());
             let my_idx = hosts.iter().position(|&h| h == self.rank).expect("hosted");
-            let grads = &slot_dys[local];
-            let (a, b) = chunk_range(grads.len(), r, my_idx);
-            // Staging the gradient shard to host and the weights back (PCIe).
-            ctx.record_host_device_bytes((b - a) as u64 * 4);
-            let updated = self.opt_shards[local].step(&grads[a..b]);
-            ctx.record_host_device_bytes(updated.len() as u64 * 4);
-            let parts = ctx.all_gather_varsize(
-                &group,
-                self.tag(8) ^ ((class as u64) << 8),
-                updated,
-            )?;
+            let updated = {
+                let _span = tele.span(Phase::OptimizerStep);
+                let grads = &slot_dys[local];
+                let (a, b) = chunk_range(grads.len(), r, my_idx);
+                // Staging the gradient shard to host and the weights back
+                // (PCIe).
+                ctx.record_host_device_bytes((b - a) as u64 * 4);
+                let updated = self.opt_shards[local].step(&grads[a..b]);
+                ctx.record_host_device_bytes(updated.len() as u64 * 4);
+                updated
+            };
+            let _span = tele.span(Phase::WeightComm);
+            let parts =
+                ctx.all_gather_varsize(&group, self.tag(8) ^ ((class as u64) << 8), updated)?;
             let mut full = self.slots[local].flat_params();
             for (idx, part) in parts.into_iter().enumerate() {
                 let (pa, pb) = chunk_range(full.len(), r, idx);
@@ -341,12 +369,14 @@ impl DeepSpeedMoeEngine {
 
         self.iteration += 1;
         let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
+        counts.extend(taken.iter().map(|&k| k as u64));
         ctx.allreduce_u64_sum(&world, self.tag(10), &mut counts)?;
         Ok(IterStats {
             loss,
             popularity,
             survived: counts[0] as usize,
             dropped: counts[1] as usize,
+            kept_per_class: counts[2..].to_vec(),
         })
     }
 }
@@ -361,9 +391,7 @@ mod tests {
     }
 
     fn token_matrix(rank: usize, t_loc: usize, d: usize) -> Matrix {
-        Matrix::from_fn(t_loc, d, |r, c| {
-            (((rank * t_loc + r) * d + c) as f32 * 0.137).sin()
-        })
+        Matrix::from_fn(t_loc, d, |r, c| (((rank * t_loc + r) * d + c) as f32 * 0.137).sin())
     }
 
     #[test]

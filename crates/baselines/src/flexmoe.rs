@@ -20,6 +20,7 @@ use symi::{ExpertPlacement, SymiOptimizer};
 use symi_collectives::p2p::{RecvOp, SendOp};
 use symi_collectives::{Cluster, ClusterSpec, TrafficReport};
 use symi_model::PlacementPolicy;
+use symi_telemetry::{Phase, ScopedTimer};
 use symi_tensor::{AdamConfig, AdamShard};
 
 /// FlexMoE's interval-triggered, one-replica-at-a-time policy.
@@ -58,11 +59,9 @@ impl FlexMoePolicy {
                     load(popularity[a], counts[a]).total_cmp(&load(popularity[b], counts[b]))
                 })
                 .expect("non-empty");
-            let cold = (0..counts.len())
-                .filter(|&i| counts[i] > 1 && i != hot)
-                .min_by(|&a, &b| {
-                    load(popularity[a], counts[a]).total_cmp(&load(popularity[b], counts[b]))
-                });
+            let cold = (0..counts.len()).filter(|&i| counts[i] > 1 && i != hot).min_by(|&a, &b| {
+                load(popularity[a], counts[a]).total_cmp(&load(popularity[b], counts[b]))
+            });
             let Some(cold) = cold else { break };
             let hot_load = load(popularity[hot], counts[hot]);
             let cold_load = load(popularity[cold], counts[cold]).max(1e-9);
@@ -86,9 +85,8 @@ impl PlacementPolicy for FlexMoePolicy {
         let e = popularity.len();
         let uniform = self.total_slots / e;
         assert_eq!(uniform * e, self.total_slots, "slots must divide for the initial layout");
-        let counts =
-            self.current.entry(layer).or_insert_with(|| vec![uniform; e]);
-        if (iteration + 1) % self.interval == 0 {
+        let counts = self.current.entry(layer).or_insert_with(|| vec![uniform; e]);
+        if (iteration + 1).is_multiple_of(self.interval) {
             let mut next = counts.clone();
             let interval_moves = {
                 let this = &*self;
@@ -127,13 +125,10 @@ impl RebalanceCostHarness {
         let (_, report) = Cluster::run(ClusterSpec::flat(h.nodes), move |ctx| {
             let params: Vec<Vec<f32>> =
                 (0..h.expert_classes).map(|c| vec![c as f32; h.param_count]).collect();
-            let mut opt =
-                SymiOptimizer::new(ctx.rank(), h.nodes, AdamConfig::default(), &params);
+            let mut opt = SymiOptimizer::new(ctx.rank(), h.nodes, AdamConfig::default(), &params);
             // Fabricated synchronized gradients for locally hosted classes.
             let local_grads: Vec<Option<Vec<f32>>> = (0..h.expert_classes)
-                .map(|c| {
-                    old.rank_hosts(ctx.rank(), c).then(|| vec![0.01f32; h.param_count])
-                })
+                .map(|c| old.rank_hosts(ctx.rank(), c).then(|| vec![0.01f32; h.param_count]))
                 .collect();
             let shards = opt.collect_grads(ctx, &old, &local_grads, 1 << 20).unwrap();
             let weights = opt.step(&shards);
@@ -156,7 +151,9 @@ impl RebalanceCostHarness {
             // Regular weight update: each class's primary host steps and
             // broadcasts full weights to the other replicas (simplified
             // ZeRO-1 EDP all-gather; the byte volume is the (r−1)·W the
-            // static analysis charges).
+            // static analysis charges). Marker spans attribute the bytes to
+            // the same phase taxonomy the engines use.
+            let update_span = ScopedTimer::marker(Phase::WeightComm);
             for class in 0..h.expert_classes {
                 let hosts = old.host_ranks(class);
                 let primary = hosts[0];
@@ -183,8 +180,10 @@ impl RebalanceCostHarness {
                         .unwrap();
                 }
             }
+            drop(update_span);
             // Migration: every slot whose class changed pulls the new
             // class's weights AND optimizer state from its primary host.
+            let _span = ScopedTimer::marker(Phase::Rebalance);
             let mut sends = Vec::new();
             let mut recvs = Vec::new();
             for slot in 0..new.total_slots() {
@@ -222,12 +221,7 @@ mod tests {
     use super::*;
 
     fn harness() -> RebalanceCostHarness {
-        RebalanceCostHarness {
-            nodes: 4,
-            slots_per_rank: 2,
-            expert_classes: 4,
-            param_count: 64,
-        }
+        RebalanceCostHarness { nodes: 4, slots_per_rank: 2, expert_classes: 4, param_count: 64 }
     }
 
     #[test]

@@ -4,81 +4,62 @@
 //! characterize the simulation substrate (useful when sizing experiments),
 //! not real NIC performance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symi_bench::{bench, group};
 use symi_collectives::hier::ReduceMode;
 use symi_collectives::{Cluster, ClusterSpec};
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce");
-    g.sample_size(20);
+fn bench_allreduce() {
+    group("allreduce (includes cluster spawn)");
     for &(ranks, len) in &[(4usize, 1usize << 12), (8, 1 << 12), (8, 1 << 16)] {
-        g.throughput(Throughput::Bytes((ranks * len * 4) as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{ranks}r_{len}f")),
-            &(ranks, len),
-            |b, &(ranks, len)| {
-                b.iter(|| {
-                    Cluster::run(ClusterSpec::flat(ranks), |ctx| {
-                        let group = ctx.groups().world();
-                        let mut data = vec![1.0f32; len];
-                        ctx.allreduce_sum(&group, 1, &mut data).unwrap();
-                        std::hint::black_box(data[0]);
-                    })
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_alltoall(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alltoallv");
-    g.sample_size(20);
-    for &ranks in &[4usize, 8] {
-        let per_peer = 1usize << 10;
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                Cluster::run(ClusterSpec::flat(ranks), |ctx| {
-                    let group = ctx.groups().world();
-                    let bufs: Vec<Vec<f32>> =
-                        (0..ranks).map(|_| vec![0.5f32; per_peer]).collect();
-                    let out = ctx.alltoallv_f32(&group, 2, bufs).unwrap();
-                    std::hint::black_box(out.len());
-                })
+        bench(&format!("allreduce/{ranks}r_{len}f"), || {
+            Cluster::run(ClusterSpec::flat(ranks), |ctx| {
+                let group = ctx.groups().world();
+                let mut data = vec![1.0f32; len];
+                ctx.allreduce_sum(&group, 1, &mut data).unwrap();
+                data[0]
             })
         });
     }
-    g.finish();
 }
 
-fn bench_hierarchical_vs_flat(c: &mut Criterion) {
+fn bench_alltoall() {
+    group("alltoallv (includes cluster spawn)");
+    for &ranks in &[4usize, 8] {
+        let per_peer = 1usize << 10;
+        bench(&format!("alltoallv/{ranks}r_{per_peer}f_per_peer"), || {
+            Cluster::run(ClusterSpec::flat(ranks), |ctx| {
+                let group = ctx.groups().world();
+                let bufs: Vec<Vec<f32>> = (0..ranks).map(|_| vec![0.5f32; per_peer]).collect();
+                ctx.alltoallv_f32(&group, 2, bufs).unwrap().len()
+            })
+        });
+    }
+}
+
+fn bench_hierarchical_vs_flat() {
     // §4.1: packed intra-rank replicas vs spread; same 8 instances.
-    let mut g = c.benchmark_group("expert_allreduce_8_instances");
-    g.sample_size(20);
+    group("expert_allreduce, 8 instances");
     let len = 1usize << 14;
-    g.bench_function("packed_2ranks_x4slots", |b| {
-        b.iter(|| {
-            Cluster::run(ClusterSpec::flat(8), |ctx| {
-                if ctx.rank() < 2 {
-                    let group = ctx.groups().range(0, 2);
-                    let mut locals: Vec<Vec<f32>> =
-                        (0..4).map(|_| vec![1.0f32; len]).collect();
-                    ctx.expert_allreduce(&group, 1, &mut locals, 8, ReduceMode::Sum).unwrap();
-                }
-            })
-        })
-    });
-    g.bench_function("spread_8ranks_x1slot", |b| {
-        b.iter(|| {
-            Cluster::run(ClusterSpec::flat(8), |ctx| {
-                let group = ctx.groups().range(0, 8);
-                let mut locals = vec![vec![1.0f32; len]];
+    bench("packed_2ranks_x4slots", || {
+        Cluster::run(ClusterSpec::flat(8), |ctx| {
+            if ctx.rank() < 2 {
+                let group = ctx.groups().range(0, 2);
+                let mut locals: Vec<Vec<f32>> = (0..4).map(|_| vec![1.0f32; len]).collect();
                 ctx.expert_allreduce(&group, 1, &mut locals, 8, ReduceMode::Sum).unwrap();
-            })
+            }
         })
     });
-    g.finish();
+    bench("spread_8ranks_x1slot", || {
+        Cluster::run(ClusterSpec::flat(8), |ctx| {
+            let group = ctx.groups().range(0, 8);
+            let mut locals = vec![vec![1.0f32; len]];
+            ctx.expert_allreduce(&group, 1, &mut locals, 8, ReduceMode::Sum).unwrap();
+        })
+    });
 }
 
-criterion_group!(benches, bench_allreduce, bench_alltoall, bench_hierarchical_vs_flat);
-criterion_main!(benches);
+fn main() {
+    bench_allreduce();
+    bench_alltoall();
+    bench_hierarchical_vs_flat();
+}

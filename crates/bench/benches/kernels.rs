@@ -1,64 +1,54 @@
 //! Micro-benchmarks for the numeric kernels underlying the training stack.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symi_bench::{bench, group};
 use symi_tensor::adam::quantize_f16;
 use symi_tensor::ops::{cross_entropy, gelu, layernorm, softmax_rows};
 use symi_tensor::{AdamConfig, AdamState, Matrix};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
+fn bench_matmul() {
+    group("matmul");
     for &n in &[32usize, 64, 128] {
         let a = Matrix::from_fn(n, n, |r, cc| ((r * n + cc) as f32 * 0.001).sin());
         let b = Matrix::from_fn(n, n, |r, cc| ((r + cc) as f32 * 0.002).cos());
-        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)))
-        });
-        g.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul_nt(&b)))
-        });
-        g.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul_tn(&b)))
-        });
+        bench(&format!("matmul/nn/{n}"), || a.matmul(&b));
+        bench(&format!("matmul/nt/{n}"), || a.matmul_nt(&b));
+        bench(&format!("matmul/tn/{n}"), || a.matmul_tn(&b));
     }
-    g.finish();
 }
 
-fn bench_activations(c: &mut Criterion) {
+fn bench_activations() {
+    group("activations");
     let x = Matrix::from_fn(256, 256, |r, cc| ((r * 7 + cc) as f32 * 0.01).sin());
-    c.bench_function("softmax_rows_256x256", |b| {
-        b.iter(|| std::hint::black_box(softmax_rows(&x)))
-    });
-    c.bench_function("gelu_256x256", |b| b.iter(|| std::hint::black_box(gelu(&x))));
+    bench("softmax_rows_256x256", || softmax_rows(&x));
+    bench("gelu_256x256", || gelu(&x));
     let gamma = Matrix::from_vec(1, 256, vec![1.0; 256]);
     let beta = Matrix::zeros(1, 256);
-    c.bench_function("layernorm_256x256", |b| {
-        b.iter(|| std::hint::black_box(layernorm(&x, &gamma, &beta, 1e-5)))
-    });
+    bench("layernorm_256x256", || layernorm(&x, &gamma, &beta, 1e-5));
     let targets: Vec<usize> = (0..256).map(|i| i % 256).collect();
-    c.bench_function("cross_entropy_256x256", |b| {
-        b.iter(|| std::hint::black_box(cross_entropy(&x, &targets)))
-    });
+    bench("cross_entropy_256x256", || cross_entropy(&x, &targets));
 }
 
-fn bench_adam(c: &mut Criterion) {
+fn bench_adam() {
+    group("optimizer kernels");
     let params = vec![0.1f32; 1 << 16];
     let grads = vec![0.01f32; 1 << 16];
     let mut out = vec![0.0f32; 1 << 16];
     let mut state = AdamState::new(AdamConfig::default(), &params);
-    c.bench_function("adam_step_64k", |b| {
-        b.iter(|| {
-            state.step(&grads, &mut out);
-            std::hint::black_box(&out);
-        })
+    bench("adam_step_64k", || {
+        state.step(&grads, &mut out);
+        out[0]
     });
-    c.bench_function("f16_quantize_64k", |b| {
-        b.iter(|| {
-            for v in &params {
-                std::hint::black_box(quantize_f16(*v));
-            }
-        })
+    bench("f16_quantize_64k", || {
+        let mut acc = 0u32;
+        for v in &params {
+            acc = acc.wrapping_add(quantize_f16(*v) as u32);
+        }
+        acc
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_activations, bench_adam);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_activations();
+    bench_adam();
+}

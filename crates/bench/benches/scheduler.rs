@@ -1,29 +1,25 @@
 //! Expert Placement Scheduler benchmarks: Algorithm 1 must stay negligible
 //! next to an iteration (§5.3 attributes <0.1% of iteration time to it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symi::{compute_placement, ExpertPlacement};
+use symi_bench::{bench, group};
 use symi_workload::SyntheticTraceConfig;
 
-fn bench_compute_placement(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compute_placement");
+fn bench_compute_placement() {
+    group("compute_placement");
     for &e in &[16usize, 64, 256] {
-        let trace = SyntheticTraceConfig {
-            expert_classes: e,
-            iterations: 1,
-            ..Default::default()
-        }
-        .generate();
+        let trace = SyntheticTraceConfig { expert_classes: e, iterations: 1, ..Default::default() }
+            .generate();
         let popularity = trace.iterations[0].clone();
         let slots = 4 * e;
-        g.bench_with_input(BenchmarkId::from_parameter(e), &e, |b, _| {
-            b.iter(|| std::hint::black_box(compute_placement(&popularity, slots)))
+        bench(&format!("compute_placement/{e}e_{slots}s"), || {
+            compute_placement(&popularity, slots)
         });
     }
-    g.finish();
 }
 
-fn bench_placement_ops(c: &mut Criterion) {
+fn bench_placement_ops() {
+    group("placement ops");
     let counts = compute_placement(
         &SyntheticTraceConfig { expert_classes: 64, iterations: 1, ..Default::default() }
             .generate()
@@ -31,21 +27,19 @@ fn bench_placement_ops(c: &mut Criterion) {
         256,
     );
     let p = ExpertPlacement::from_counts(&counts, 4);
-    c.bench_function("placement_from_counts_64c_256s", |b| {
-        b.iter(|| std::hint::black_box(ExpertPlacement::from_counts(&counts, 4)))
-    });
-    c.bench_function("placement_host_ranks_all_classes", |b| {
-        b.iter(|| {
-            for class in 0..64 {
-                std::hint::black_box(p.host_ranks(class));
-            }
-        })
+    bench("placement_from_counts_64c_256s", || ExpertPlacement::from_counts(&counts, 4));
+    bench("placement_host_ranks_all_classes", || {
+        let mut total = 0usize;
+        for class in 0..64 {
+            total += p.host_ranks(class).len();
+        }
+        total
     });
     let q = ExpertPlacement::uniform(64, 64, 4);
-    c.bench_function("placement_diff", |b| {
-        b.iter(|| std::hint::black_box(p.diff_slots(&q)))
-    });
+    bench("placement_diff", || p.diff_slots(&q));
 }
 
-criterion_group!(benches, bench_compute_placement, bench_placement_ops);
-criterion_main!(benches);
+fn main() {
+    bench_compute_placement();
+    bench_placement_ops();
+}

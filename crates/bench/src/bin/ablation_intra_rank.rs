@@ -8,10 +8,10 @@
 //!    sN — which costs token survival under skew (the paper measured up to
 //!    20% more drops).
 
+use symi::compute_placement;
 use symi_bench::output::Table;
 use symi_collectives::hier::ReduceMode;
 use symi_collectives::{Cluster, ClusterSpec};
-use symi::compute_placement;
 
 /// Measured inter-node bytes to synchronize `instances` replicas of one
 /// expert-class tensor of `len` floats, packed onto `ranks_used` ranks.
@@ -66,7 +66,12 @@ fn main() {
     let total_slots = nodes * slots_per_rank; // 32
     let e = 8usize;
     let slot_capacity = 1000.0f64 / total_slots as f64 * 1.0; // cf = 1.0, 1000 tokens
-    let mut t2 = Table::new(&["skew", "survival unconstrained (%)", "survival capped (%)", "drop increase (%)"]);
+    let mut t2 = Table::new(&[
+        "skew",
+        "survival unconstrained (%)",
+        "survival capped (%)",
+        "drop increase (%)",
+    ]);
     for (label, hot_share) in [("mild (2x)", 0.25), ("strong (8x)", 0.5), ("extreme", 0.8)] {
         let mut pop = vec![((1.0 - hot_share) * 1000.0 / (e as f64 - 1.0)) as u64; e];
         pop[0] = (hot_share * 1000.0) as u64;

@@ -27,8 +27,8 @@ fn main() {
         "vs k=1",
     ]);
     let mut rows = Vec::new();
-    let base = model.kpart_cost_bound(1, model.grad_bytes)
-        + model.kpart_cost_bound(1, model.weight_bytes);
+    let base =
+        model.kpart_cost_bound(1, model.grad_bytes) + model.kpart_cost_bound(1, model.weight_bytes);
     for k in [1usize, 2, 4, 8, 16, 32] {
         let tg = model.kpart_cost_bound(k, model.grad_bytes);
         let tw = model.kpart_cost_bound(k, model.weight_bytes);

@@ -4,8 +4,8 @@
 //! to the unattainable same-iteration oracle, and what smoothing or peak
 //! provisioning would change.
 
-use symi::TracePolicy;
 use symi::policies::evaluate_policy_on_trace;
+use symi::TracePolicy;
 use symi_bench::output::{write_csv, Table};
 use symi_bench::runs::{cli_args, load_or_run, SystemChoice};
 use symi_model::ModelConfig;

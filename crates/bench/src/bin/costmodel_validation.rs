@@ -69,12 +69,8 @@ fn main() {
 
     // ---- Measured cross-check at executable scale: the (II) identity. ----
     println!("## Measured data-volume invariance (real collectives, 8 ranks)\n");
-    let harness = RebalanceCostHarness {
-        nodes: 8,
-        slots_per_rank: 2,
-        expert_classes: 4,
-        param_count: 1024,
-    };
+    let harness =
+        RebalanceCostHarness { nodes: 8, slots_per_rank: 2, expert_classes: 4, param_count: 1024 };
     let uniform = vec![4usize; 4];
     let skewed = vec![13usize, 1, 1, 1];
     let same = harness.symi_traffic(&uniform, &uniform);

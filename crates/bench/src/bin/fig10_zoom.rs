@@ -38,7 +38,7 @@ fn main() {
         jump * 100.0
     );
 
-    let header = vec!["iteration", "popularity_share", "replica_share", "lag_error"];
+    let header = ["iteration", "popularity_share", "replica_share", "lag_error"];
     let mut rows = Vec::new();
     let mut table = Table::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
     let mut total_err = 0.0f64;
@@ -50,16 +50,17 @@ fn main() {
         let realized = if t + 1 < n { trace.normalized(t + 1)[exp] } else { pop };
         let err = (rep - realized).abs();
         total_err += err;
-        let row = vec![
-            t.to_string(),
-            format!("{pop:.4}"),
-            format!("{rep:.4}"),
-            format!("{err:.4}"),
-        ];
+        let row =
+            vec![t.to_string(), format!("{pop:.4}"), format!("{rep:.4}"), format!("{err:.4}")];
         table.row(row.clone());
         rows.push(row);
     }
-    write_csv(&out, "fig10_zoom.csv", &["iteration", "popularity_share", "replica_share", "lag_error"], &rows);
+    write_csv(
+        &out,
+        "fig10_zoom.csv",
+        &["iteration", "popularity_share", "replica_share", "lag_error"],
+        &rows,
+    );
     println!("{}", table.render());
     println!(
         "Mean |replica share − next-iteration popularity| over the window: {:.4}\n\

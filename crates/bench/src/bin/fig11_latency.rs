@@ -20,11 +20,8 @@ fn main() {
     let runs = load_or_run_all(&out, cfg, iters);
 
     println!("# Figure 11 — average iteration latency by model size\n");
-    let models = [
-        ModelCostConfig::gpt_small(),
-        ModelCostConfig::gpt_medium(),
-        ModelCostConfig::gpt_large(),
-    ];
+    let models =
+        [ModelCostConfig::gpt_small(), ModelCostConfig::gpt_medium(), ModelCostConfig::gpt_large()];
     let mut table = Table::new(&["system", "GPT-Small (s)", "GPT-Medium (s)", "GPT-Large (s)"]);
     let mut csv_rows = Vec::new();
     for (i, system) in SystemChoice::ALL.iter().enumerate() {
@@ -49,7 +46,12 @@ fn main() {
         table.row(cells);
         csv_rows.push(csv);
     }
-    write_csv(&out, "fig11_latency.csv", &["system", "gpt_small_s", "gpt_medium_s", "gpt_large_s"], &csv_rows);
+    write_csv(
+        &out,
+        "fig11_latency.csv",
+        &["system", "gpt_small_s", "gpt_medium_s", "gpt_large_s"],
+        &csv_rows,
+    );
     println!("{}", table.render());
     println!(
         "Paper's shape: SYMI is slightly faster than DeepSpeed (2.8/3.2/9.3% on\n\

@@ -28,16 +28,16 @@ fn main() {
         .collect();
     write_csv(&out, "fig2_popularity.csv", &header_refs, &rows);
 
-    println!("# Figure 2 — expert popularity dynamics ({} experts, {iters} iterations)\n", trace.expert_classes());
+    println!(
+        "# Figure 2 — expert popularity dynamics ({} experts, {iters} iterations)\n",
+        trace.expert_classes()
+    );
     // Heatmap of normalized popularity (a subset of experts), scaled so the
     // busiest expert saturates the shade ramp.
-    let norm_max = (0..trace.len())
-        .flat_map(|t| trace.normalized(t))
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
-    let labels: Vec<String> = (0..trace.expert_classes().min(12))
-        .map(|e| format!("expert {e}"))
-        .collect();
+    let norm_max =
+        (0..trace.len()).flat_map(|t| trace.normalized(t)).fold(0.0f64, f64::max).max(1e-9);
+    let labels: Vec<String> =
+        (0..trace.expert_classes().min(12)).map(|e| format!("expert {e}")).collect();
     let hrows: Vec<(&str, Vec<f64>)> = labels
         .iter()
         .enumerate()

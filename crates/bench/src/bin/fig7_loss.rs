@@ -27,7 +27,8 @@ fn main() {
     let series: Vec<(&str, &[f32])> =
         runs.iter().map(|r| (r.system.as_str(), r.losses.as_slice())).collect();
     println!("{}", symi_bench::plot::line_chart(&series, 72, 16));
-    let mut t = Table::new(&["system", "loss @25%", "loss @50%", "loss @75%", "final (20-it mean)"]);
+    let mut t =
+        Table::new(&["system", "loss @25%", "loss @50%", "loss @75%", "final (20-it mean)"]);
     for run in &runs {
         let at = |f: f64| run.losses[((iters as f64 * f) as usize).min(iters - 1)];
         let n = run.losses.len();

@@ -27,11 +27,8 @@ fn main() {
     println!("# Figure 8 — token survival per system ({iters} iterations)\n");
     let as_f32: Vec<Vec<f32>> =
         runs.iter().map(|r| r.survival.iter().map(|&v| v as f32).collect()).collect();
-    let series: Vec<(&str, &[f32])> = runs
-        .iter()
-        .zip(&as_f32)
-        .map(|(r, s)| (r.system.as_str(), s.as_slice()))
-        .collect();
+    let series: Vec<(&str, &[f32])> =
+        runs.iter().zip(&as_f32).map(|(r, s)| (r.system.as_str(), s.as_slice())).collect();
     println!("{}", symi_bench::plot::line_chart(&series, 72, 12));
     let mut t = Table::new(&["system", "mean survival (%)", "total dropped (%)"]);
     for run in &runs {
@@ -47,7 +44,8 @@ fn main() {
     let symi = runs.iter().find(|r| r.system == "SYMI").expect("symi run");
     let symi_drop = 1.0 - symi.mean_survival();
     let mut t2 = Table::new(&["vs system", "SYMI drops fewer tokens by (%)", "paper"]);
-    let paper = [("DeepSpeed", 69.0), ("FlexMoE-100", 64.0), ("FlexMoE-50", 62.0), ("FlexMoE-10", 43.0)];
+    let paper =
+        [("DeepSpeed", 69.0), ("FlexMoE-100", 64.0), ("FlexMoE-50", 62.0), ("FlexMoE-10", 43.0)];
     for (name, paper_pct) in paper {
         let other = runs.iter().find(|r| r.system == name).expect("run");
         let other_drop = 1.0 - other.mean_survival();

@@ -18,8 +18,7 @@ fn archetypes(run: &RunResult) -> (usize, usize, usize) {
     for exp in 0..e {
         let series = trace.series(exp);
         let first: f64 = series[..half].iter().map(|&v| v as f64).sum::<f64>() / half as f64;
-        let second: f64 =
-            series[half..].iter().map(|&v| v as f64).sum::<f64>() / (n - half) as f64;
+        let second: f64 = series[half..].iter().map(|&v| v as f64).sum::<f64>() / (n - half) as f64;
         let trend = second - first;
         if trend < shrink.1 {
             shrink = (exp, trend);
@@ -28,8 +27,7 @@ fn archetypes(run: &RunResult) -> (usize, usize, usize) {
             grow = (exp, trend);
         }
         let mean: f64 = series.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            series.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = series.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         let cv = var.sqrt() / mean.max(1.0);
         if cv > spiky.1 {
             spiky = (exp, cv);

@@ -1,25 +1,32 @@
 //! The paper's core claim measured in real bytes: sweeping the number of
 //! moved replicas, SYMI's optimizer-phase traffic stays flat while a
 //! coupled (FlexMoE-style) design pays per-move migration of weights +
-//! optimizer state.
+//! optimizer state. The harness engines run under phase markers, so the
+//! byte totals here are read back per phase from `IterationReport`s.
 
+use std::sync::Arc;
 use symi_baselines::RebalanceCostHarness;
 use symi_bench::output::{write_csv, Table};
+use symi_telemetry::{IterationReport, JsonlSink, Phase, Sink};
 
 fn main() {
-    let harness = RebalanceCostHarness {
-        nodes: 8,
-        slots_per_rank: 4,
-        expert_classes: 8,
-        param_count: 4096,
-    };
+    let harness =
+        RebalanceCostHarness { nodes: 8, slots_per_rank: 4, expert_classes: 8, param_count: 4096 };
     let uniform = vec![4usize; 8];
+    let out_dir = std::path::PathBuf::from("results");
+    let jsonl: Arc<dyn Sink> = Arc::new(
+        JsonlSink::create(out_dir.join("rebalance_traffic.jsonl"))
+            .expect("results dir must be writable"),
+    );
 
     println!("# Rebalance traffic sweep — decoupled (SYMI) vs coupled state\n");
     let mut t = Table::new(&[
         "replicas moved",
-        "SYMI total bytes",
-        "coupled total bytes",
+        "SYMI total",
+        "SYMI weight_comm",
+        "SYMI rebalance",
+        "coupled total",
+        "coupled rebalance",
         "coupled / SYMI",
     ]);
     let mut rows = Vec::new();
@@ -38,26 +45,50 @@ fn main() {
         }
         let symi = harness.symi_traffic(&uniform, &counts);
         let coupled = harness.coupled_traffic(&uniform, &counts);
+
+        // Phase-attributed reports — the same schema the trainer emits, so
+        // symi-top and the plot scripts can read this sweep too.
+        for (system, report) in [("symi-decoupled", &symi), ("coupled-migration", &coupled)] {
+            let mut r = IterationReport::new(system, moved as u64);
+            r.placement_churn = moved as u64;
+            r.phase_bytes = report.phase_bytes;
+            jsonl.emit(&r);
+        }
+
         let row = vec![
             moved.to_string(),
             symi.total_bytes().to_string(),
+            symi.bytes_in_phase(Phase::WeightComm).to_string(),
+            symi.bytes_in_phase(Phase::Rebalance).to_string(),
             coupled.total_bytes().to_string(),
+            coupled.bytes_in_phase(Phase::Rebalance).to_string(),
             format!("{:.2}", coupled.total_bytes() as f64 / symi.total_bytes() as f64),
         ];
         t.row(row.clone());
         rows.push(row);
     }
+    jsonl.flush();
     write_csv(
-        &std::path::PathBuf::from("results"),
+        &out_dir,
         "rebalance_traffic.csv",
-        &["moved", "symi_bytes", "coupled_bytes", "ratio"],
+        &[
+            "moved",
+            "symi_bytes",
+            "symi_weight_comm_bytes",
+            "symi_rebalance_bytes",
+            "coupled_bytes",
+            "coupled_rebalance_bytes",
+            "ratio",
+        ],
         &rows,
     );
     println!("{}", t.render());
     println!(
-        "SYMI's column is constant — adaptive re-placement rides the weight\n\
-         update it already pays. The coupled column grows linearly with moves\n\
-         (each move drags weights + 3x-weights of Adam state across the\n\
-         network), which is why FlexMoE must rebalance rarely."
+        "SYMI's column is constant and lives entirely in weight_comm — the\n\
+         re-placement rides the weight update it already pays (rebalance\n\
+         bytes stay 0). The coupled column grows linearly with moves, all of\n\
+         it in the rebalance phase (each move drags weights + 3x-weights of\n\
+         Adam state across the network), which is why FlexMoE must\n\
+         rebalance rarely."
     );
 }

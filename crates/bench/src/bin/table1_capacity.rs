@@ -61,8 +61,13 @@ fn main() {
                     .iter()
                     .map(|&p| p as f64 / total.max(1) as f64 * sim.model.tokens_per_batch as f64)
                     .collect();
-                sim.simulate(&tokens, &uniform, SimSystem::DeepSpeedStatic, RebalanceSpec::default())
-                    .forward_seconds()
+                sim.simulate(
+                    &tokens,
+                    &uniform,
+                    SimSystem::DeepSpeedStatic,
+                    RebalanceSpec::default(),
+                )
+                .forward_seconds()
             })
             .sum::<f64>()
             / trace.len() as f64

@@ -56,9 +56,7 @@ impl LatencyInputs {
         let moved = if self.system.flexmoe_interval().is_some() {
             // Moves are recorded summed over model layers; express per layer.
             let layers = run.popularity.len().max(1);
-            RebalanceSpec {
-                moved_replicas_per_layer: run.moved_replicas[t].div_ceil(layers),
-            }
+            RebalanceSpec { moved_replicas_per_layer: run.moved_replicas[t].div_ceil(layers) }
         } else {
             RebalanceSpec::default()
         };
@@ -79,9 +77,7 @@ impl LatencyInputs {
         };
         let layers = run.popularity.len().max(1);
         let moved = if self.system.flexmoe_interval().is_some() {
-            RebalanceSpec {
-                moved_replicas_per_layer: run.moved_replicas[t].div_ceil(layers),
-            }
+            RebalanceSpec { moved_replicas_per_layer: run.moved_replicas[t].div_ceil(layers) }
         } else {
             RebalanceSpec::default()
         };

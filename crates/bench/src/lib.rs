@@ -6,11 +6,13 @@
 //! pieces they share — system selection, training-run caching, latency
 //! composition, and plain-text table/CSV output.
 
+pub mod harness;
 pub mod latency;
 pub mod output;
 pub mod plot;
 pub mod runs;
 
+pub use harness::{bench, group, BenchResult};
 pub use latency::{average_iteration_latency, LatencyInputs};
 pub use output::{write_csv, Table};
-pub use runs::{load_or_run, run_system, SystemChoice};
+pub use runs::{load_or_run, run_system, run_system_with_telemetry, SystemChoice};

@@ -3,7 +3,7 @@
 use crate::ctx::{Mailbox, RankCtx};
 use crate::group::GroupRegistry;
 use crate::traffic::{TrafficReport, TrafficStats};
-use crossbeam::channel;
+use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
 
 /// Shape of the simulated cluster: how many ranks (GPUs) exist and how they
@@ -78,7 +78,7 @@ impl Cluster {
         let mut senders = Vec::with_capacity(spec.ranks);
         let mut receivers = Vec::with_capacity(spec.ranks);
         for _ in 0..spec.ranks {
-            let (tx, rx) = channel::unbounded();
+            let (tx, rx) = mpsc::channel();
             senders.push(tx);
             receivers.push(Some(rx));
         }

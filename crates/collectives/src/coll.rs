@@ -358,14 +358,12 @@ mod tests {
         for n in [2usize, 3, 4, 7, 16] {
             let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
                 let group = ctx.groups().world();
-                let mut data: Vec<f32> =
-                    (0..10).map(|i| (ctx.rank() * 10 + i) as f32).collect();
+                let mut data: Vec<f32> = (0..10).map(|i| (ctx.rank() * 10 + i) as f32).collect();
                 ctx.allreduce_sum(&group, 42, &mut data).unwrap();
                 data
             });
-            let expect: Vec<f32> = (0..10)
-                .map(|i| (0..n).map(|r| (r * 10 + i) as f32).sum())
-                .collect();
+            let expect: Vec<f32> =
+                (0..10).map(|i| (0..n).map(|r| (r * 10 + i) as f32).sum()).collect();
             for (r, res) in results.iter().enumerate() {
                 for (a, b) in res.iter().zip(&expect) {
                     assert!((a - b).abs() < 1e-3, "n={n} rank={r}: {a} vs {b}");
@@ -397,7 +395,7 @@ mod tests {
             let mut data = vec![1.0f32; len];
             ctx.allreduce_sum(&group, 3, &mut data).unwrap();
         });
-        let expect = (n as u64) * 2 * (n as u64 - 1) / (n as u64) * (len as u64) * 4 / 1;
+        let expect = (n as u64) * 2 * (n as u64 - 1) / (n as u64) * (len as u64) * 4;
         assert_eq!(report.total_bytes(), expect);
     }
 
@@ -442,8 +440,7 @@ mod tests {
             for root in [0usize, n - 1, n / 2] {
                 let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
                     let group = ctx.groups().world();
-                    let data =
-                        (ctx.rank() == root).then(|| vec![3.25f32, -1.0, root as f32]);
+                    let data = (ctx.rank() == root).then(|| vec![3.25f32, -1.0, root as f32]);
                     ctx.broadcast(&group, root, 11, data).unwrap()
                 });
                 for r in results {
@@ -486,8 +483,7 @@ mod tests {
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().world();
             // Rank r sends [r*10 + j] to member j.
-            let bufs: Vec<Vec<f32>> =
-                (0..n).map(|j| vec![(ctx.rank() * 10 + j) as f32]).collect();
+            let bufs: Vec<Vec<f32>> = (0..n).map(|j| vec![(ctx.rank() * 10 + j) as f32]).collect();
             ctx.alltoallv_f32(&group, 21, bufs).unwrap()
         });
         for (j, res) in results.iter().enumerate() {
@@ -503,13 +499,7 @@ mod tests {
             let group = ctx.groups().world();
             // Only rank 0 sends anything, and only to rank 2.
             let bufs: Vec<Vec<f32>> = (0..3)
-                .map(|j| {
-                    if ctx.rank() == 0 && j == 2 {
-                        vec![5.0]
-                    } else {
-                        vec![]
-                    }
-                })
+                .map(|j| if ctx.rank() == 0 && j == 2 { vec![5.0] } else { vec![] })
                 .collect();
             ctx.alltoallv_f32(&group, 33, bufs).unwrap()
         });

@@ -5,8 +5,8 @@ use crate::error::CommError;
 use crate::group::GroupRegistry;
 use crate::payload::Payload;
 use crate::traffic::{LinkClass, TrafficStats};
-use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 pub(crate) struct Message {
@@ -136,6 +136,14 @@ impl RankCtx {
     /// leg of the paper's Grad/Weight Communication Phases).
     pub fn record_host_device_bytes(&self, bytes: u64) {
         self.traffic.record_host_device(self.rank, bytes);
+    }
+
+    /// The cluster-shared traffic counters. A telemetry driver drains
+    /// `traffic().drain_phase_bytes()` once per iteration (on one rank,
+    /// behind a barrier) to attribute bytes to phases in its
+    /// `IterationReport`.
+    pub fn traffic(&self) -> &Arc<TrafficStats> {
+        &self.traffic
     }
 
     /// Derives a per-step tag from a collective's base tag. Mixes with a

@@ -83,7 +83,12 @@ impl GroupRegistry {
 
     /// Looks up the pre-registered group `[start, start + len)`.
     pub fn range(&self, start: usize, len: usize) -> Arc<CommGroup> {
-        assert!(len >= 1 && start + len <= self.world, "range [{start}, {}) out of world {}", start + len, self.world);
+        assert!(
+            len >= 1 && start + len <= self.world,
+            "range [{start}, {}) out of world {}",
+            start + len,
+            self.world
+        );
         Arc::clone(&self.groups[start][len - 1])
     }
 

@@ -77,8 +77,7 @@ mod tests {
                 let got = ctx.batch_isend_irecv(vec![], &recvs).unwrap();
                 got.iter().map(|b| b[0]).sum::<f32>()
             } else {
-                let sends =
-                    vec![SendOp { to: 0, tag: me as u64, data: vec![me as f32] }];
+                let sends = vec![SendOp { to: 0, tag: me as u64, data: vec![me as f32] }];
                 ctx.batch_isend_irecv(sends, &[]).unwrap();
                 0.0
             }

@@ -1,6 +1,49 @@
 //! Message payloads carried between ranks.
 
-use bytes::Bytes;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply-cloneable immutable byte buffer (internal stand-in for the
+/// `bytes` crate: the collectives only need shared ownership + length).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
 
 /// A typed payload. Collectives carrying tensor data use [`Payload::F32`];
 /// routing metadata (token→expert assignments, popularity counts) travels as

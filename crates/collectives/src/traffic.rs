@@ -1,28 +1,22 @@
-//! Per-link-class traffic accounting.
+//! Per-link-class traffic accounting with per-phase attribution.
 //!
 //! Every byte a rank sends is attributed to a [`LinkClass`] based on whether
-//! the destination rank lives on the same node. `symi-netsim` prices these
+//! the destination rank lives on the same node, *and* to the telemetry phase
+//! active on the sending thread (see `symi_telemetry::current_phase`) — so a
+//! dispatch all-to-all and a weight-distribution transfer of the same size
+//! are distinguishable in the `IterationReport`. `symi-netsim` prices these
 //! counters with the paper's bandwidth parameters; the counters are also how
 //! the test suite verifies the paper's data-volume identities (e.g.
 //! `D_G = sNG` for both SYMI and the static baseline, §3.3-II).
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Which physical link a transfer crossed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum LinkClass {
-    /// Same node: NVLink/PCIe-class transfer between co-located GPUs, or a
-    /// local host↔device copy.
-    IntraNode,
-    /// Different nodes: backend network (InfiniBand/Ethernet-class).
-    InterNode,
-    /// Host↔device staging for the offloaded optimizer (PCIe). Recorded
-    /// explicitly by the optimizer engines rather than by `send`.
-    HostDevice,
-}
+use symi_telemetry::{current_phase, Phase, NUM_LINK_CLASSES, NUM_PHASES};
+
+// Canonical definition lives in symi-telemetry (the bottom of the workspace
+// graph); re-exported here so existing imports keep working.
+pub use symi_telemetry::LinkClass;
 
 /// Shared, thread-safe traffic counters for one cluster execution.
 #[derive(Debug, Default)]
@@ -32,6 +26,9 @@ pub struct TrafficStats {
     host_dev_bytes: AtomicU64,
     intra_msgs: AtomicU64,
     inter_msgs: AtomicU64,
+    /// `phase_bytes[phase][class]`, attributed via the sender thread's
+    /// active telemetry span.
+    phase_bytes: [[AtomicU64; NUM_LINK_CLASSES]; NUM_PHASES],
     per_rank_sent: Mutex<Vec<u64>>,
     per_rank_recv: Mutex<Vec<u64>>,
 }
@@ -43,6 +40,12 @@ impl TrafficStats {
             per_rank_recv: Mutex::new(vec![0; ranks]),
             ..Default::default()
         })
+    }
+
+    #[inline]
+    fn attribute(&self, class: LinkClass, bytes: u64) {
+        self.phase_bytes[current_phase().index()][class.index()]
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records a point-to-point transfer of `bytes` from `from` to `to`.
@@ -60,15 +63,31 @@ impl TrafficStats {
                 self.host_dev_bytes.fetch_add(bytes, Ordering::Relaxed);
             }
         }
-        self.per_rank_sent.lock()[from] += bytes;
-        self.per_rank_recv.lock()[to] += bytes;
+        self.attribute(class, bytes);
+        self.per_rank_sent.lock().expect("traffic poisoned")[from] += bytes;
+        self.per_rank_recv.lock().expect("traffic poisoned")[to] += bytes;
     }
 
     /// Records a host↔device staging transfer on `rank` (optimizer offload
     /// traffic; does not involve a peer).
     pub fn record_host_device(&self, rank: usize, bytes: u64) {
         self.host_dev_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.per_rank_sent.lock()[rank] += bytes;
+        self.attribute(LinkClass::HostDevice, bytes);
+        self.per_rank_sent.lock().expect("traffic poisoned")[rank] += bytes;
+    }
+
+    fn phase_bytes_snapshot(&self) -> [[u64; NUM_LINK_CLASSES]; NUM_PHASES] {
+        std::array::from_fn(|p| {
+            std::array::from_fn(|c| self.phase_bytes[p][c].load(Ordering::Relaxed))
+        })
+    }
+
+    /// Snapshot and reset only the per-phase attribution matrix — what the
+    /// engines drain once per iteration to fill `IterationReport`.
+    pub fn drain_phase_bytes(&self) -> [[u64; NUM_LINK_CLASSES]; NUM_PHASES] {
+        std::array::from_fn(|p| {
+            std::array::from_fn(|c| self.phase_bytes[p][c].swap(0, Ordering::Relaxed))
+        })
     }
 
     /// Snapshot of the counters.
@@ -79,8 +98,9 @@ impl TrafficStats {
             host_device_bytes: self.host_dev_bytes.load(Ordering::Relaxed),
             intra_node_msgs: self.intra_msgs.load(Ordering::Relaxed),
             inter_node_msgs: self.inter_msgs.load(Ordering::Relaxed),
-            per_rank_sent_bytes: self.per_rank_sent.lock().clone(),
-            per_rank_recv_bytes: self.per_rank_recv.lock().clone(),
+            phase_bytes: self.phase_bytes_snapshot(),
+            per_rank_sent_bytes: self.per_rank_sent.lock().expect("traffic poisoned").clone(),
+            per_rank_recv_bytes: self.per_rank_recv.lock().expect("traffic poisoned").clone(),
         }
     }
 
@@ -91,19 +111,27 @@ impl TrafficStats {
         self.host_dev_bytes.store(0, Ordering::Relaxed);
         self.intra_msgs.store(0, Ordering::Relaxed);
         self.inter_msgs.store(0, Ordering::Relaxed);
-        self.per_rank_sent.lock().iter_mut().for_each(|v| *v = 0);
-        self.per_rank_recv.lock().iter_mut().for_each(|v| *v = 0);
+        for row in &self.phase_bytes {
+            for cell in row {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
+        self.per_rank_sent.lock().expect("traffic poisoned").iter_mut().for_each(|v| *v = 0);
+        self.per_rank_recv.lock().expect("traffic poisoned").iter_mut().for_each(|v| *v = 0);
     }
 }
 
 /// Immutable snapshot of traffic counters.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrafficReport {
     pub intra_node_bytes: u64,
     pub inter_node_bytes: u64,
     pub host_device_bytes: u64,
     pub intra_node_msgs: u64,
     pub inter_node_msgs: u64,
+    /// `phase_bytes[phase][class]` as attributed by active telemetry spans.
+    /// Bytes recorded outside any span land in `Phase::Other`.
+    pub phase_bytes: [[u64; NUM_LINK_CLASSES]; NUM_PHASES],
     pub per_rank_sent_bytes: Vec<u64>,
     pub per_rank_recv_bytes: Vec<u64>,
 }
@@ -112,6 +140,11 @@ impl TrafficReport {
     /// Total bytes moved over any link.
     pub fn total_bytes(&self) -> u64 {
         self.intra_node_bytes + self.inter_node_bytes + self.host_device_bytes
+    }
+
+    /// Bytes attributed to one phase, summed over link classes.
+    pub fn bytes_in_phase(&self, phase: Phase) -> u64 {
+        self.phase_bytes[phase.index()].iter().sum()
     }
 
     /// Maximum bytes sent by any single rank — a hotspot indicator used by
@@ -138,6 +171,7 @@ impl TrafficReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use symi_telemetry::ScopedTimer;
 
     #[test]
     fn record_splits_by_class() {
@@ -170,5 +204,31 @@ mod tests {
         t.reset();
         assert_eq!(t.report().total_bytes(), 0);
         assert_eq!(t.report().per_rank_sent_bytes, vec![0, 0]);
+        assert_eq!(t.report().bytes_in_phase(Phase::Other), 0);
+    }
+
+    #[test]
+    fn bytes_attribute_to_active_phase() {
+        let t = TrafficStats::new(2);
+        t.record(LinkClass::InterNode, 0, 1, 10); // no span -> Other
+        {
+            let _span = ScopedTimer::marker(Phase::Dispatch);
+            t.record(LinkClass::InterNode, 0, 1, 100);
+            t.record(LinkClass::IntraNode, 0, 1, 7);
+        }
+        {
+            let _span = ScopedTimer::marker(Phase::WeightComm);
+            t.record_host_device(1, 1000);
+        }
+        let r = t.report();
+        assert_eq!(r.bytes_in_phase(Phase::Other), 10);
+        assert_eq!(r.bytes_in_phase(Phase::Dispatch), 107);
+        assert_eq!(r.phase_bytes[Phase::Dispatch.index()][LinkClass::InterNode.index()], 100);
+        assert_eq!(r.phase_bytes[Phase::WeightComm.index()][LinkClass::HostDevice.index()], 1000);
+        // Drain returns the matrix and zeroes it; aggregate counters stay.
+        let drained = t.drain_phase_bytes();
+        assert_eq!(drained[Phase::Dispatch.index()][LinkClass::IntraNode.index()], 7);
+        assert_eq!(t.report().bytes_in_phase(Phase::Dispatch), 0);
+        assert_eq!(t.report().total_bytes(), 1117);
     }
 }

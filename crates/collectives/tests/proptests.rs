@@ -1,41 +1,41 @@
-//! Property-based tests for the collective algorithms: for random world
+//! Randomized property tests for the collective algorithms: for random world
 //! sizes, buffer lengths, and contents, every collective must agree with its
-//! sequential specification.
+//! sequential specification. Driven by `symi_tensor::rng` with fixed seeds.
 
-use proptest::prelude::*;
 use symi_collectives::hier::ReduceMode;
 use symi_collectives::{Cluster, ClusterSpec};
+use symi_tensor::rng::{Rng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn allreduce_equals_sequential_sum(
-        n in 1usize..9,
-        len in 0usize..40,
-        seedv in prop::collection::vec(-100.0f32..100.0, 8 * 40),
-    ) {
+#[test]
+fn allreduce_equals_sequential_sum() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for _ in 0..24 {
+        let n = rng.gen_range(1..9usize);
+        let len = rng.gen_range(0..40usize);
+        let seedv: Vec<f32> = (0..8 * 40).map(|_| rng.gen::<f32>() * 200.0 - 100.0).collect();
+        let seedv_ref = &seedv;
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().world();
-            let mut data: Vec<f32> = (0..len)
-                .map(|i| seedv[ctx.rank() * 40 + i])
-                .collect();
+            let mut data: Vec<f32> = (0..len).map(|i| seedv_ref[ctx.rank() * 40 + i]).collect();
             ctx.allreduce_sum(&group, 1, &mut data).unwrap();
             data
         });
-        let expect: Vec<f32> = (0..len)
-            .map(|i| (0..n).map(|r| seedv[r * 40 + i]).sum())
-            .collect();
+        let expect: Vec<f32> = (0..len).map(|i| (0..n).map(|r| seedv[r * 40 + i]).sum()).collect();
         for res in &results {
             for (a, b) in res.iter().zip(&expect) {
-                prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+                assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
             }
         }
     }
+}
 
-    #[test]
-    fn broadcast_from_any_root(n in 1usize..9, root_sel in 0usize..8, len in 1usize..30) {
-        let root = root_sel % n;
+#[test]
+fn broadcast_from_any_root() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for _ in 0..24 {
+        let n = rng.gen_range(1..9usize);
+        let root = rng.gen_range(0..n);
+        let len = rng.gen_range(1..30usize);
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().world();
             let data = (ctx.rank() == root)
@@ -43,35 +43,43 @@ proptest! {
             ctx.broadcast(&group, root, 2, data).unwrap()
         });
         for res in results {
-            prop_assert_eq!(res.len(), len);
+            assert_eq!(res.len(), len);
             for (i, v) in res.iter().enumerate() {
-                prop_assert_eq!(*v, i as f32 * 1.5);
+                assert_eq!(*v, i as f32 * 1.5);
             }
         }
     }
+}
 
-    #[test]
-    fn alltoallv_is_a_transpose(n in 1usize..7) {
+#[test]
+fn alltoallv_is_a_transpose() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for _ in 0..24 {
+        let n = rng.gen_range(1..7usize);
         // out[dest][src] must equal in[src][dest] for arbitrary sizes.
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().world();
-            let bufs: Vec<Vec<f32>> = (0..n)
-                .map(|j| vec![(ctx.rank() * 100 + j) as f32; (ctx.rank() + j) % 3])
-                .collect();
+            let bufs: Vec<Vec<f32>> =
+                (0..n).map(|j| vec![(ctx.rank() * 100 + j) as f32; (ctx.rank() + j) % 3]).collect();
             ctx.alltoallv_f32(&group, 3, bufs).unwrap()
         });
         for (dest, inbox) in results.iter().enumerate() {
             for (src, buf) in inbox.iter().enumerate() {
-                prop_assert_eq!(buf.len(), (src + dest) % 3);
+                assert_eq!(buf.len(), (src + dest) % 3);
                 for v in buf {
-                    prop_assert_eq!(*v, (src * 100 + dest) as f32);
+                    assert_eq!(*v, (src * 100 + dest) as f32);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn reduce_scatter_chunks_reassemble_allreduce(n in 1usize..7, len in 1usize..50) {
+#[test]
+fn reduce_scatter_chunks_reassemble_allreduce() {
+    let mut rng = StdRng::seed_from_u64(204);
+    for _ in 0..24 {
+        let n = rng.gen_range(1..7usize);
+        let len = rng.gen_range(1..50usize);
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().world();
             let data: Vec<f32> = (0..len).map(|i| (i * (ctx.rank() + 1)) as f32).collect();
@@ -85,17 +93,20 @@ proptest! {
             }
         }
         for (i, v) in assembled.iter().enumerate() {
-            prop_assert!((v - (i * total_rank_weight) as f32).abs() < 1e-2);
+            assert!((v - (i * total_rank_weight) as f32).abs() < 1e-2);
         }
     }
+}
 
-    #[test]
-    fn hierarchical_allreduce_matches_flat_sum(
-        n in 1usize..5,
-        slots in prop::collection::vec(1usize..4, 4),
-        len in 1usize..16,
-    ) {
-        let slots_for = |rank: usize| slots[rank];
+#[test]
+fn hierarchical_allreduce_matches_flat_sum() {
+    let mut rng = StdRng::seed_from_u64(205);
+    for _ in 0..24 {
+        let n = rng.gen_range(1..5usize);
+        let slots: Vec<usize> = (0..4).map(|_| rng.gen_range(1..4usize)).collect();
+        let len = rng.gen_range(1..16usize);
+        let slots_ref = &slots;
+        let slots_for = |rank: usize| slots_ref[rank];
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let group = ctx.groups().range(0, n);
             let total: usize = (0..n).map(slots_for).sum();
@@ -105,13 +116,12 @@ proptest! {
             ctx.expert_allreduce(&group, 5, &mut locals, total, ReduceMode::Sum).unwrap();
             locals
         });
-        let expect: f32 = (0..n)
-            .flat_map(|r| (0..slots_for(r)).map(move |s| (r * 7 + s) as f32))
-            .sum();
+        let expect: f32 =
+            (0..n).flat_map(|r| (0..slots_for(r)).map(move |s| (r * 7 + s) as f32)).sum();
         for per_rank in &results {
             for slot in per_rank {
                 for v in slot {
-                    prop_assert!((v - expect).abs() < 1e-2);
+                    assert!((v - expect).abs() < 1e-2);
                 }
             }
         }

@@ -30,12 +30,12 @@ use crate::metadata::LayerMetadataStore;
 use crate::optimizer::SymiOptimizer;
 use crate::placement::ExpertPlacement;
 use crate::scheduler::compute_placement;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symi_collectives::hier::ReduceMode;
 use symi_collectives::{CommError, RankCtx};
 use symi_model::expert::ExpertFfn;
+use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::ops::softmax_rows;
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, AdamConfig, Matrix};
 
 /// Engine configuration (one MoE layer).
@@ -70,8 +70,14 @@ pub struct IterStats {
     pub popularity: Vec<u64>,
     pub survived: usize,
     pub dropped: usize,
+    /// Globally aggregated per-class kept assignments (≤ popularity; the
+    /// difference is the class's drop count).
+    pub kept_per_class: Vec<u64>,
     /// Replica counts used this iteration.
     pub replicas: Vec<usize>,
+    /// Slots whose resident class changed in the placement computed for the
+    /// *next* iteration (the rebalance SYMI materializes for free).
+    pub placement_churn: usize,
 }
 
 /// Per-rank SYMI engine for one MoE layer.
@@ -88,14 +94,14 @@ pub struct MoeLayerEngine {
     /// plain data parallelism and orthogonal to the mechanism under test.
     router_w: Matrix,
     iteration: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl MoeLayerEngine {
     /// Builds the rank-local engine. All ranks construct identical initial
     /// expert weights, router, and placement from `cfg.seed`.
     pub fn new(rank: usize, nodes: usize, cfg: EngineConfig) -> Self {
-        let placement =
-            ExpertPlacement::uniform(cfg.expert_classes, nodes, cfg.slots_per_rank);
+        let placement = ExpertPlacement::uniform(cfg.expert_classes, nodes, cfg.slots_per_rank);
         // Canonical initial weights per class (deterministic in class id).
         let class_params: Vec<Vec<f32>> = (0..cfg.expert_classes)
             .map(|class| {
@@ -125,7 +131,16 @@ impl MoeLayerEngine {
             metadata: LayerMetadataStore::new(1, 64),
             router_w,
             iteration: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs this rank's telemetry handle; the iteration pipeline then
+    /// times itself under the phase taxonomy, and bytes sent while a span is
+    /// open are attributed to that phase by the traffic counters.
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.optimizer.attach_telemetry(handle.clone());
+        self.telemetry = handle;
     }
 
     /// Flat weights currently loaded in a local slot (testing support).
@@ -163,8 +178,10 @@ impl MoeLayerEngine {
         let n = self.nodes;
         let world = ctx.groups().world();
         let t_loc = x_local.rows();
+        let tele = self.telemetry.clone();
 
         // ---- Step 1: route locally, aggregate popularity globally. ----
+        let routing_span = tele.span(Phase::Routing);
         let logits = x_local.matmul(&self.router_w);
         let probs = softmax_rows(&logits);
         let mut assignment = Vec::with_capacity(t_loc);
@@ -181,10 +198,15 @@ impl MoeLayerEngine {
             gates.push(p);
             popularity[best] += 1;
         }
-        ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+        drop(routing_span);
+        {
+            let _span = tele.span(Phase::PopularityAllReduce);
+            ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+        }
         self.metadata.record(0, popularity.clone());
 
         // ---- Step 2: capacity + replica load balancing + dispatch. ----
+        let dispatch_span = tele.span(Phase::Dispatch);
         let replicas = self.placement.replica_counts();
         // Sender-side quota: class capacity split evenly over ranks
         // (deterministic; remainder to low ranks).
@@ -197,8 +219,7 @@ impl MoeLayerEngine {
         let mut taken = vec![0usize; e];
         let mut kept: Vec<usize> = Vec::with_capacity(t_loc); // local token ids
         let mut kept_slot: Vec<usize> = Vec::with_capacity(t_loc); // global slot
-        for t in 0..t_loc {
-            let class = assignment[t];
+        for (t, &class) in assignment.iter().enumerate().take(t_loc) {
             if taken[class] >= quota[class] {
                 continue;
             }
@@ -234,13 +255,14 @@ impl MoeLayerEngine {
             for (j, &slot_id) in in_meta[src].iter().enumerate() {
                 let local_slot = slot_id as usize - self.rank * s;
                 let row = slot_inputs[local_slot].len() / d;
-                slot_inputs[local_slot]
-                    .extend_from_slice(&in_rows[src][j * d..(j + 1) * d]);
+                slot_inputs[local_slot].extend_from_slice(&in_rows[src][j * d..(j + 1) * d]);
                 routing_map[src].push((local_slot, row));
             }
         }
+        drop(dispatch_span);
 
         // ---- Step 3: expert forward + combine. ----
+        let ffn_span = tele.span(Phase::ExpertFfn);
         let slot_outputs: Vec<Matrix> = self
             .slots
             .iter_mut()
@@ -253,8 +275,10 @@ impl MoeLayerEngine {
                 }
             })
             .collect();
+        drop(ffn_span);
 
         // Return outputs in each source's original send order.
+        let combine_span = tele.span(Phase::Combine);
         let mut back_bufs: Vec<Vec<f32>> = vec![Vec::new(); n];
         for src in 0..n {
             for &(slot, row) in &routing_map[src] {
@@ -288,8 +312,10 @@ impl MoeLayerEngine {
         dy.scale(1.0 / (t_global * d as f32));
         ctx.allreduce_sum(&world, self.tag(5), &mut loss_acc)?;
         let loss = loss_acc[0] / (t_global * d as f32);
+        drop(combine_span);
 
         // ---- Step 4: backward. Send gated upstream grads to the slots. ----
+        let grad_dispatch_span = tele.span(Phase::GradComm);
         let mut gbufs: Vec<Vec<f32>> = vec![Vec::new(); n];
         for (i, &t) in kept.iter().enumerate() {
             let dest = kept_slot[i] / s;
@@ -306,15 +332,20 @@ impl MoeLayerEngine {
                     .copy_from_slice(&in_grads[src][j * d..(j + 1) * d]);
             }
         }
-        for (local, expert) in self.slots.iter_mut().enumerate() {
-            expert.zero_grad();
-            if !slot_dys[local].is_empty() {
-                let rows = slot_dys[local].len() / d;
-                let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+        drop(grad_dispatch_span);
+        {
+            let _span = tele.span(Phase::ExpertFfn);
+            for (local, expert) in self.slots.iter_mut().enumerate() {
+                expert.zero_grad();
+                if !slot_dys[local].is_empty() {
+                    let rows = slot_dys[local].len() / d;
+                    let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+                }
             }
         }
 
         // ---- §4.1: intra+inter rank gradient all-reduce per class. ----
+        let gradsync_span = tele.span(Phase::GradComm);
         let mut class_grads: Vec<Option<Vec<f32>>> = vec![None; e];
         for (class, locals) in self.placement.classes_on_rank(self.rank) {
             let mut tensors: Vec<Vec<f32>> =
@@ -330,33 +361,38 @@ impl MoeLayerEngine {
             )?;
             class_grads[class] = Some(tensors.swap_remove(0));
         }
+        drop(gradsync_span);
 
         // ---- Steps 5–8: collect shards, schedule, step, materialize. ----
+        // (The optimizer times its own GradComm/OptimizerStep/WeightComm.)
         let grad_shards =
             self.optimizer.collect_grads(ctx, &self.placement, &class_grads, self.tag(8))?;
         let weight_shards = self.optimizer.step(&grad_shards);
 
+        let rebalance_span = tele.span(Phase::Rebalance);
         let next_counts = compute_placement(
             self.metadata.latest(0).expect("recorded this iteration"),
             self.cfg.total_slots(n),
         );
-        let next_placement =
-            ExpertPlacement::from_counts(&next_counts, self.cfg.slots_per_rank);
+        let next_placement = ExpertPlacement::from_counts(&next_counts, self.cfg.slots_per_rank);
+        let placement_churn = self.placement.diff_slots(&next_placement);
+        drop(rebalance_span);
 
-        let new_weights = self.optimizer.distribute_weights(
-            ctx,
-            &next_placement,
-            &weight_shards,
-            self.tag(9),
-        )?;
-        for (local, weights) in new_weights.into_iter().enumerate() {
-            self.slots[local].load_flat(&weights);
+        let new_weights =
+            self.optimizer.distribute_weights(ctx, &next_placement, &weight_shards, self.tag(9))?;
+        {
+            let _span = tele.span(Phase::WeightComm);
+            for (local, weights) in new_weights.into_iter().enumerate() {
+                self.slots[local].load_flat(&weights);
+            }
         }
         self.placement = next_placement;
         self.iteration += 1;
 
-        // Survived/dropped are global: derive via one more tiny all-reduce.
+        // Survived/dropped/kept-per-class are global: one more tiny
+        // all-reduce carrying [survived, dropped, kept_0..kept_E).
         let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
+        counts.extend(taken.iter().map(|&k| k as u64));
         ctx.allreduce_u64_sum(&world, self.tag(10), &mut counts)?;
 
         Ok(IterStats {
@@ -364,7 +400,9 @@ impl MoeLayerEngine {
             popularity,
             survived: counts[0] as usize,
             dropped: counts[1] as usize,
+            kept_per_class: counts[2..].to_vec(),
             replicas,
+            placement_churn,
         })
     }
 }
@@ -388,9 +426,7 @@ mod tests {
     }
 
     fn token_matrix(rank: usize, t_loc: usize, d: usize) -> Matrix {
-        Matrix::from_fn(t_loc, d, |r, c| {
-            (((rank * t_loc + r) * d + c) as f32 * 0.137).sin()
-        })
+        Matrix::from_fn(t_loc, d, |r, c| (((rank * t_loc + r) * d + c) as f32 * 0.137).sin())
     }
 
     #[test]
@@ -439,9 +475,7 @@ mod tests {
             let x = token_matrix(ctx.rank(), 16, 8);
             let target = Matrix::zeros(16, 8);
             let stats = engine.iteration(ctx, &x, &target).unwrap();
-            let hottest = (0..4)
-                .max_by_key(|&c| stats.popularity[c])
-                .expect("non-empty");
+            let hottest = (0..4).max_by_key(|&c| stats.popularity[c]).expect("non-empty");
             let counts = engine.placement.replica_counts();
             (hottest, counts)
         });

@@ -31,15 +31,15 @@
 //!   sharded Adam step → weight scatter under the new placement.
 
 pub mod engine;
-pub mod policies;
 pub mod metadata;
 pub mod optimizer;
 pub mod placement;
+pub mod policies;
 pub mod scheduler;
 
 pub use engine::{EngineConfig, MoeLayerEngine};
-pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
 pub use metadata::LayerMetadataStore;
 pub use optimizer::SymiOptimizer;
 pub use placement::ExpertPlacement;
+pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
 pub use scheduler::{compute_placement, SymiPolicy};

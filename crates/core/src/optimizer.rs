@@ -19,6 +19,7 @@ use crate::placement::ExpertPlacement;
 use symi_collectives::coll::chunk_range;
 use symi_collectives::p2p::{RecvOp, SendOp};
 use symi_collectives::{CommError, RankCtx};
+use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::{AdamConfig, AdamShard};
 
 /// Algorithm 2's `get_source`: which host rank serves `for_rank`'s shard
@@ -37,6 +38,7 @@ pub struct SymiOptimizer {
     nodes: usize,
     param_count: usize,
     shards: Vec<AdamShard>,
+    telemetry: TelemetryHandle,
 }
 
 impl SymiOptimizer {
@@ -47,11 +49,16 @@ impl SymiOptimizer {
         let param_count = class_params[0].len();
         assert!(class_params.iter().all(|p| p.len() == param_count), "uneven expert sizes");
         let (start, end) = chunk_range(param_count, nodes, rank);
-        let shards = class_params
-            .iter()
-            .map(|p| AdamShard::new(adam, start, &p[start..end]))
-            .collect();
-        Self { rank, nodes, param_count, shards }
+        let shards =
+            class_params.iter().map(|p| AdamShard::new(adam, start, &p[start..end])).collect();
+        Self { rank, nodes, param_count, shards, telemetry: TelemetryHandle::disabled() }
+    }
+
+    /// Installs a telemetry handle: the three optimizer phases then time
+    /// themselves (GradComm / OptimizerStep / WeightComm spans) and report
+    /// the per-rank state footprint as a gauge.
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// This rank's shard boundaries within a flat expert parameter vector.
@@ -84,6 +91,7 @@ impl SymiOptimizer {
         local_grads: &[Option<Vec<f32>>],
         tag: u64,
     ) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = self.telemetry.span(Phase::GradComm);
         let e = self.shards.len();
         assert_eq!(local_grads.len(), e, "one (optional) gradient per class");
         let n = self.nodes;
@@ -91,8 +99,8 @@ impl SymiOptimizer {
         // Sends: for every class I host, serve the shard of every rank whose
         // get_source picks me.
         let mut sends = Vec::new();
-        for class in 0..e {
-            let Some(grad) = &local_grads[class] else { continue };
+        for (class, maybe_grad) in local_grads.iter().enumerate() {
+            let Some(grad) = maybe_grad else { continue };
             let hosts = placement.host_ranks(class);
             debug_assert!(hosts.contains(&self.rank), "have grads only for hosted classes");
             for dst in 0..n {
@@ -144,12 +152,12 @@ impl SymiOptimizer {
     /// Adam step over every class's shard; returns the updated fp16-rounded
     /// weight shards.
     pub fn step(&mut self, grad_shards: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let _span = self.telemetry.span(Phase::OptimizerStep);
         assert_eq!(grad_shards.len(), self.shards.len(), "one gradient shard per class");
-        self.shards
-            .iter_mut()
-            .zip(grad_shards)
-            .map(|(shard, grad)| shard.step(grad))
-            .collect()
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge("optimizer_state_bytes").set(self.state_bytes() as f64);
+        }
+        self.shards.iter_mut().zip(grad_shards).map(|(shard, grad)| shard.step(grad)).collect()
     }
 
     /// Weight Communication Phase: sends this rank's updated weight shard of
@@ -167,6 +175,7 @@ impl SymiOptimizer {
         weight_shards: &[Vec<f32>],
         tag: u64,
     ) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = self.telemetry.span(Phase::WeightComm);
         let n = self.nodes;
         let s = new_placement.slots_per_rank();
         assert_eq!(weight_shards.len(), self.shards.len(), "one weight shard per class");
@@ -238,10 +247,8 @@ mod tests {
     fn get_source_round_robins_across_hosts() {
         let hosts = [2usize, 5, 7];
         // Algorithm 2 picks hosts[rank % len] for non-host ranks.
-        let picks: Vec<usize> = (0..9)
-            .filter(|r| !hosts.contains(r))
-            .map(|r| get_source(&hosts, r))
-            .collect();
+        let picks: Vec<usize> =
+            (0..9).filter(|r| !hosts.contains(r)).map(|r| get_source(&hosts, r)).collect();
         assert_eq!(picks, vec![2, 5, 2, 5, 2, 7]);
         // No single host serves everyone (the hotspot §4.3 avoids).
         for &h in &hosts {
@@ -251,8 +258,8 @@ mod tests {
 
     #[test]
     fn shards_partition_the_parameter_space() {
-        let params = vec![vec![0.5f32; 103]];
-        let mut covered = vec![false; 103];
+        let params = [vec![0.5f32; 103]];
+        let mut covered = [false; 103];
         for rank in 0..8 {
             let opt = SymiOptimizer::new(rank, 8, AdamConfig::default(), &params);
             let (a, b) = opt.shard_range();

@@ -1,8 +1,6 @@
 //! The expert-placement data model: slot↔class maps and per-class host
 //! ranks.
 
-use serde::{Deserialize, Serialize};
-
 /// A global expert placement: which class occupies each of the `sN` slots.
 ///
 /// Slots are numbered globally; slot `k` lives on rank `k / slots_per_rank`.
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.host_range(1), (1, 1));
 /// assert!(p.rank_hosts(0, 0) && !p.rank_hosts(0, 1));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExpertPlacement {
     slot_class: Vec<usize>,
     slots_per_rank: usize,
@@ -30,11 +28,7 @@ impl ExpertPlacement {
     /// Builds a placement from replica counts (contiguous assignment).
     pub fn from_counts(counts: &[usize], slots_per_rank: usize) -> Self {
         let slot_class = crate::scheduler::contiguous_assignment(counts);
-        assert_eq!(
-            slot_class.len() % slots_per_rank,
-            0,
-            "slots must tile ranks exactly"
-        );
+        assert_eq!(slot_class.len() % slots_per_rank, 0, "slots must tile ranks exactly");
         Self { slot_class, slots_per_rank, expert_classes: counts.len() }
     }
 
@@ -142,11 +136,7 @@ impl ExpertPlacement {
     /// SYMI (§3.3).
     pub fn diff_slots(&self, other: &ExpertPlacement) -> usize {
         assert_eq!(self.total_slots(), other.total_slots(), "placement shape mismatch");
-        self.slot_class
-            .iter()
-            .zip(&other.slot_class)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.slot_class.iter().zip(&other.slot_class).filter(|(a, b)| a != b).count()
     }
 }
 

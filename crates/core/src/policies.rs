@@ -80,9 +80,8 @@ impl PlacementPolicy for WindowMaxPolicy {
         if h.len() > self.window {
             h.remove(0);
         }
-        let peak: Vec<u64> = (0..popularity.len())
-            .map(|e| h.iter().map(|row| row[e]).max().unwrap_or(0))
-            .collect();
+        let peak: Vec<u64> =
+            (0..popularity.len()).map(|e| h.iter().map(|row| row[e]).max().unwrap_or(0)).collect();
         compute_placement(&peak, self.total_slots)
     }
 }

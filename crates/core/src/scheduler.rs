@@ -40,18 +40,13 @@ pub fn compute_placement(popularity: &[u64], total_slots: usize) -> Vec<usize> {
     let goal: Vec<f64> = if total_pop == 0 {
         vec![total_slots as f64 / e as f64; e]
     } else {
-        popularity
-            .iter()
-            .map(|&p| p as f64 / total_pop as f64 * total_slots as f64)
-            .collect()
+        popularity.iter().map(|&p| p as f64 / total_pop as f64 * total_slots as f64).collect()
     };
 
     // Initial assignment: floor(max(goal, 1)).
-    let mut counts: Vec<usize> =
-        goal.iter().map(|&g| g.max(1.0).floor() as usize).collect();
+    let mut counts: Vec<usize> = goal.iter().map(|&g| g.max(1.0).floor() as usize).collect();
     // diff = counts - goal: how far above its ideal share each class sits.
-    let mut diff: Vec<f64> =
-        counts.iter().zip(&goal).map(|(&c, &g)| c as f64 - g).collect();
+    let mut diff: Vec<f64> = counts.iter().zip(&goal).map(|(&c, &g)| c as f64 - g).collect();
 
     // Rounding correction (Algorithm 1's two while-loops).
     while counts.iter().sum::<usize>() > total_slots {
@@ -64,9 +59,7 @@ pub fn compute_placement(popularity: &[u64], total_slots: usize) -> Vec<usize> {
         diff[i] -= 1.0;
     }
     while counts.iter().sum::<usize>() < total_slots {
-        let i = (0..e)
-            .min_by(|&a, &b| diff[a].total_cmp(&diff[b]))
-            .expect("non-empty");
+        let i = (0..e).min_by(|&a, &b| diff[a].total_cmp(&diff[b])).expect("non-empty");
         counts[i] += 1;
         diff[i] += 1.0;
     }
@@ -78,7 +71,7 @@ pub fn compute_placement(popularity: &[u64], total_slots: usize) -> Vec<usize> {
 pub fn contiguous_assignment(counts: &[usize]) -> Vec<usize> {
     let mut slots = Vec::with_capacity(counts.iter().sum());
     for (class, &c) in counts.iter().enumerate() {
-        slots.extend(std::iter::repeat(class).take(c));
+        slots.extend(std::iter::repeat_n(class, c));
     }
     slots
 }
@@ -161,8 +154,7 @@ mod tests {
     fn rounding_correction_conserves_totals_for_many_shapes() {
         for slots in [8usize, 17, 64, 100] {
             for seedish in 0..20u64 {
-                let pop: Vec<u64> =
-                    (0..8).map(|i| (i as u64 * 37 + seedish * 101) % 500).collect();
+                let pop: Vec<u64> = (0..8).map(|i| (i as u64 * 37 + seedish * 101) % 500).collect();
                 let counts = compute_placement(&pop, slots);
                 assert_eq!(counts.iter().sum::<usize>(), slots, "slots={slots} seed={seedish}");
                 assert!(counts.iter().all(|&c| c >= 1));

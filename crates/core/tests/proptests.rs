@@ -1,90 +1,109 @@
-//! Property-based tests for the SYMI core: Algorithm 1's invariants must
-//! hold for any popularity vector, and the placement data model must stay
-//! self-consistent.
+//! Randomized property tests for the SYMI core: Algorithm 1's invariants
+//! must hold for any popularity vector, and the placement data model must
+//! stay self-consistent. Driven by `symi_tensor::rng` with fixed seeds.
 
-use proptest::prelude::*;
 use symi::optimizer::get_source;
 use symi::{compute_placement, ExpertPlacement};
+use symi_tensor::rng::{Rng, StdRng};
 
-proptest! {
-    #[test]
-    fn placement_fills_slots_exactly_with_floor(
-        popularity in prop::collection::vec(0u64..100_000, 1..32),
-        slots_mult in 1usize..8,
-    ) {
-        let e = popularity.len();
+fn random_popularity(rng: &mut StdRng, len: usize, max: u64) -> Vec<u64> {
+    (0..len).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[test]
+fn placement_fills_slots_exactly_with_floor() {
+    let mut rng = StdRng::seed_from_u64(301);
+    for _ in 0..64 {
+        let e = rng.gen_range(1..32usize);
+        let slots_mult = rng.gen_range(1..8usize);
+        let popularity = random_popularity(&mut rng, e, 100_000);
         let total_slots = e * slots_mult;
         let counts = compute_placement(&popularity, total_slots);
-        prop_assert_eq!(counts.len(), e);
-        prop_assert_eq!(counts.iter().sum::<usize>(), total_slots);
-        prop_assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(counts.len(), e);
+        assert_eq!(counts.iter().sum::<usize>(), total_slots);
+        assert!(counts.iter().all(|&c| c >= 1));
     }
+}
 
-    #[test]
-    fn more_popular_classes_never_get_fewer_replicas(
-        popularity in prop::collection::vec(0u64..100_000, 2..16),
-    ) {
-        let e = popularity.len();
+#[test]
+fn more_popular_classes_never_get_fewer_replicas() {
+    let mut rng = StdRng::seed_from_u64(302);
+    for _ in 0..64 {
+        let e = rng.gen_range(2..16usize);
+        let popularity = random_popularity(&mut rng, e, 100_000);
         let counts = compute_placement(&popularity, e * 4);
         for i in 0..e {
             for j in 0..e {
                 // Strictly greater popularity must give at least as many
                 // replicas (up to the ±1 rounding-correction wiggle).
                 if popularity[i] > popularity[j] {
-                    prop_assert!(
+                    assert!(
                         counts[i] + 1 >= counts[j],
                         "pop {} > {} but replicas {} < {} - 1",
-                        popularity[i], popularity[j], counts[i], counts[j]
+                        popularity[i],
+                        popularity[j],
+                        counts[i],
+                        counts[j]
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn placement_roundtrips_counts(
-        popularity in prop::collection::vec(1u64..10_000, 2..12),
-        s in 1usize..5,
-    ) {
-        let e = popularity.len();
+#[test]
+fn placement_roundtrips_counts() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for _ in 0..64 {
+        let e = rng.gen_range(2..12usize);
+        let s = rng.gen_range(1..5usize);
+        let popularity: Vec<u64> = (0..e).map(|_| rng.gen_range(1..10_000u64)).collect();
         // Choose a slot total that tiles ranks exactly.
         let total_slots = (e * 3).div_ceil(s) * s;
         let counts = compute_placement(&popularity, total_slots);
         let placement = ExpertPlacement::from_counts(&counts, s);
-        prop_assert_eq!(placement.replica_counts(), counts.clone());
+        assert_eq!(placement.replica_counts(), counts);
         // Host ranges are contiguous and cover every class.
         for class in 0..e {
             let (start, len) = placement.host_range(class);
-            prop_assert!(len >= 1);
-            prop_assert!(start + len <= placement.ranks());
-            prop_assert_eq!(placement.host_ranks(class).len(), len);
+            assert!(len >= 1);
+            assert!(start + len <= placement.ranks());
+            assert_eq!(placement.host_ranks(class).len(), len);
         }
     }
+}
 
-    #[test]
-    fn diff_is_a_metric_like_count(
-        a in prop::collection::vec(1u64..1000, 4),
-        b in prop::collection::vec(1u64..1000, 4),
-    ) {
+#[test]
+fn diff_is_a_metric_like_count() {
+    let mut rng = StdRng::seed_from_u64(304);
+    for _ in 0..64 {
+        let a: Vec<u64> = (0..4).map(|_| rng.gen_range(1..1000u64)).collect();
+        let b: Vec<u64> = (0..4).map(|_| rng.gen_range(1..1000u64)).collect();
         let ca = compute_placement(&a, 16);
         let cb = compute_placement(&b, 16);
         let pa = ExpertPlacement::from_counts(&ca, 4);
         let pb = ExpertPlacement::from_counts(&cb, 4);
-        prop_assert_eq!(pa.diff_slots(&pa), 0);
-        prop_assert_eq!(pa.diff_slots(&pb), pb.diff_slots(&pa));
-        prop_assert!(pa.diff_slots(&pb) <= 16);
+        assert_eq!(pa.diff_slots(&pa), 0);
+        assert_eq!(pa.diff_slots(&pb), pb.diff_slots(&pa));
+        assert!(pa.diff_slots(&pb) <= 16);
     }
+}
 
-    #[test]
-    fn get_source_always_returns_a_host(
-        hosts in prop::collection::btree_set(0usize..64, 1..10),
-        rank in 0usize..64,
-    ) {
-        let hosts: Vec<usize> = hosts.into_iter().collect();
+#[test]
+fn get_source_always_returns_a_host() {
+    let mut rng = StdRng::seed_from_u64(305);
+    for _ in 0..128 {
+        let n_hosts = rng.gen_range(1..10usize);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n_hosts {
+            set.insert(rng.gen_range(0..64usize));
+        }
+        let hosts: Vec<usize> = set.into_iter().collect();
+        let rank = rng.gen_range(0..64usize);
         let src = get_source(&hosts, rank);
-        prop_assert!(hosts.contains(&src));
+        assert!(hosts.contains(&src));
         if hosts.contains(&rank) {
-            prop_assert_eq!(src, rank, "local replicas must be preferred");
+            assert_eq!(src, rank, "local replicas must be preferred");
         }
     }
 }

@@ -4,9 +4,8 @@
 //! are independent, so forward/backward loop over them. Head projections
 //! use column slices of fused `Wq/Wk/Wv` matrices.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
 /// Per-sequence forward cache.

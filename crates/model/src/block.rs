@@ -102,8 +102,7 @@ mod tests {
     fn residual_passes_dropped_tokens_through() {
         // With zero capacity the MoE contributes nothing: the block output
         // must equal the attention half alone.
-        let cfg =
-            ModelConfig { capacity_factor: 0.0, ..ModelConfig::tiny() };
+        let cfg = ModelConfig { capacity_factor: 0.0, ..ModelConfig::tiny() };
         let mut block = TransformerBlock::new(&cfg, 0);
         let replicas = vec![2usize; cfg.experts];
         let x = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| ((r + c) as f32 * 0.2).sin());

@@ -1,9 +1,7 @@
 //! Model configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyperparameters of the GPT-MoE model and its training setup.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ModelConfig {
     pub vocab_size: usize,
     pub d_model: usize,

@@ -1,7 +1,6 @@
 //! Token + learned positional embedding, and the tied output projection.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
 /// Token/positional embedding table with gradient accumulation.

@@ -5,9 +5,8 @@
 //! optimizer shards, the gradient-collection phase gathers, and the
 //! weight-communication phase scatters.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symi_tensor::ops::{gelu, gelu_backward};
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
 /// A two-layer GELU FFN: `y = gelu(x·W1 + b1)·W2 + b2`.

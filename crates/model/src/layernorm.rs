@@ -69,9 +69,8 @@ mod tests {
 
         let gamma = ln.gamma.clone();
         let beta = ln.beta.clone();
-        let ndx = numerical_grad(&x, &dy, |xp| {
-            symi_tensor::ops::layernorm(xp, &gamma, &beta, 1e-5).0
-        });
+        let ndx =
+            numerical_grad(&x, &dy, |xp| symi_tensor::ops::layernorm(xp, &gamma, &beta, 1e-5).0);
         assert!(dx.max_abs_diff(&ndx) < 1e-2);
     }
 

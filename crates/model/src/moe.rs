@@ -32,6 +32,9 @@ pub struct MoeStats {
     /// counts when `top_k = 1`).
     pub assignments_kept: usize,
     pub assignments_dropped: usize,
+    /// Assignments kept per class (`assignments_kept` = its sum); the gap
+    /// to `popularity` is the class's capacity-drop count.
+    pub kept_per_class: Vec<u64>,
     /// Switch auxiliary loss value.
     pub aux_loss: f32,
 }
@@ -162,6 +165,7 @@ impl MoeLayer {
             dropped: t - survived,
             assignments_kept,
             assignments_dropped,
+            kept_per_class: kept.iter().map(|v| v.len() as u64).collect(),
             aux_loss: routing.aux_loss,
         };
         self.cache = Some(DispatchCache { kept, expert_out });
@@ -186,8 +190,7 @@ impl MoeLayer {
             for (i, &(tok, gate)) in kept.iter().enumerate() {
                 dexp.axpy_row_from(i, gate, dy, tok);
                 let out_row = cache.expert_out[class].row(i);
-                let dgate: f32 =
-                    dy.row(tok).iter().zip(out_row).map(|(a, b)| a * b).sum();
+                let dgate: f32 = dy.row(tok).iter().zip(out_row).map(|(a, b)| a * b).sum();
                 dgates[tok].push((class, dgate));
             }
             let dxin = expert.backward(&dexp);

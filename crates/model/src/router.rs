@@ -10,9 +10,8 @@
 //! Layer Metadata Store aggregates (§3.4); with `k > 1` each token
 //! contributes `k` assignment counts.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
 /// Routing decision for one forward pass.
@@ -83,8 +82,7 @@ impl Router {
             let row = probs.row(r);
             let mut order: Vec<usize> = (0..e).collect();
             order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
-            let picks: Vec<(usize, f32)> =
-                order[..k].iter().map(|&c| (c, row[c])).collect();
+            let picks: Vec<(usize, f32)> = order[..k].iter().map(|&c| (c, row[c])).collect();
             top1.push(picks[0].0);
             for &(c, _) in &picks {
                 popularity[c] += 1;
@@ -164,12 +162,8 @@ mod tests {
         for (t, picks) in routing.assignment.iter().enumerate() {
             assert_eq!(picks.len(), 1);
             let probs = r.cached_probs.row(t);
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-                .unwrap()
-                .0;
+            let best =
+                probs.iter().enumerate().max_by(|x, y| x.1.partial_cmp(y.1).unwrap()).unwrap().0;
             assert_eq!(picks[0].0, best);
             assert!((picks[0].1 - probs[best]).abs() < 1e-7);
         }
@@ -212,24 +206,16 @@ mod tests {
         let x = Matrix::from_fn(5, 4, |i, c| ((2 * i + c) as f32 * 0.31).sin());
         let routing = r.forward(&x);
         // Loss = sum of both gates per token.
-        let dgates: Vec<Vec<(usize, f32)>> = routing
-            .assignment
-            .iter()
-            .map(|p| p.iter().map(|&(c, _)| (c, 1.0)).collect())
-            .collect();
+        let dgates: Vec<Vec<(usize, f32)>> =
+            routing.assignment.iter().map(|p| p.iter().map(|&(c, _)| (c, 1.0)).collect()).collect();
         let dx = r.backward(&dgates);
 
-        let picks: Vec<Vec<usize>> = routing
-            .assignment
-            .iter()
-            .map(|p| p.iter().map(|&(c, _)| c).collect())
-            .collect();
+        let picks: Vec<Vec<usize>> =
+            routing.assignment.iter().map(|p| p.iter().map(|&(c, _)| c).collect()).collect();
         let w = r.w.clone();
         let ndx = numerical_grad_scalar(&x, |xp| {
             let probs = softmax_rows(&xp.matmul(&w));
-            (0..5)
-                .map(|t| picks[t].iter().map(|&c| probs[(t, c)]).sum::<f32>())
-                .sum()
+            (0..5).map(|t| picks[t].iter().map(|&c| probs[(t, c)]).sum::<f32>()).sum()
         });
         assert!(dx.max_abs_diff(&ndx) < 1e-2, "diff {}", dx.max_abs_diff(&ndx));
     }

@@ -12,7 +12,8 @@
 
 use crate::config::ModelConfig;
 use crate::model::{GptMoe, StepStats};
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use symi_telemetry::{ClusterTelemetry, IterationReport, Phase};
 use symi_tensor::{AdamConfig, AdamState};
 use symi_workload::{DriftingCorpus, PopularityTrace};
 
@@ -49,7 +50,7 @@ impl PlacementPolicy for UniformPolicy {
 }
 
 /// Everything recorded over a training run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrainRecord {
     /// Cross-entropy loss per iteration.
     pub losses: Vec<f32>,
@@ -71,8 +72,7 @@ impl TrainRecord {
         let w = window.max(1);
         for i in 0..self.losses.len() {
             let lo = i.saturating_sub(w - 1);
-            let mean: f32 =
-                self.losses[lo..=i].iter().sum::<f32>() / (i - lo + 1) as f32;
+            let mean: f32 = self.losses[lo..=i].iter().sum::<f32>() / (i - lo + 1) as f32;
             if mean <= target {
                 return Some(i + 1);
             }
@@ -106,6 +106,9 @@ pub struct Trainer {
     replicas: Vec<Vec<usize>>,
     pub record: TrainRecord,
     iteration: u64,
+    /// Per-iteration observability (disabled by default; see
+    /// [`Trainer::attach_telemetry`]).
+    telemetry: Arc<ClusterTelemetry>,
 }
 
 impl Trainer {
@@ -115,13 +118,7 @@ impl Trainer {
         let expert_opt = model
             .blocks
             .iter()
-            .map(|b| {
-                b.moe
-                    .experts
-                    .iter()
-                    .map(|e| AdamState::new(adam, &e.flat_params()))
-                    .collect()
-            })
+            .map(|b| b.moe.experts.iter().map(|e| AdamState::new(adam, &e.flat_params())).collect())
             .collect();
         let mut uniform = UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots };
         let initial = uniform.next_replicas(0, &[], 0);
@@ -138,7 +135,21 @@ impl Trainer {
             replicas,
             record,
             iteration: 0,
+            telemetry: ClusterTelemetry::disabled(1),
         }
+    }
+
+    /// Installs a telemetry cluster (the functional trainer is the 1-rank
+    /// case). Each subsequent [`Trainer::step`] times its phases and emits
+    /// one [`IterationReport`] — per-class popularity, kept counts, and
+    /// replica allocation summed over layers — to the cluster's sinks.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<ClusterTelemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry cluster (disabled unless attached).
+    pub fn telemetry(&self) -> &Arc<ClusterTelemetry> {
+        &self.telemetry
     }
 
     /// System name of the installed policy.
@@ -154,9 +165,17 @@ impl Trainer {
     /// Runs one training iteration: forward/backward, optimizer step,
     /// popularity bookkeeping, and placement update for the next iteration.
     pub fn step(&mut self, batch: &symi_workload::Batch) -> StepStats {
+        let tele = self.telemetry.handle(0);
         self.model.zero_grad();
-        let stats = self.model.forward_backward(batch, &self.replicas);
+        let stats = {
+            // The functional model interleaves routing, expert compute, and
+            // combine inside one call; account it to the expert-FFN phase
+            // (the dominant term in the single-process trainer).
+            let _span = tele.span(Phase::ExpertFfn);
+            self.model.forward_backward(batch, &self.replicas)
+        };
 
+        let opt_span = tele.span(Phase::OptimizerStep);
         // Dense parameters: one Adam state per tensor, built lazily in
         // visit order on the first step.
         let adam = AdamConfig { lr: self.model.cfg.lr, ..AdamConfig::default() };
@@ -180,13 +199,15 @@ impl Trainer {
                 expert.load_flat(&updated);
             }
         }
+        drop(opt_span);
 
         // Bookkeeping + placement for the next iteration.
+        let replicas_used = self.telemetry.is_enabled().then(|| self.replicas.clone());
+        let rebalance_span = tele.span(Phase::Rebalance);
         let mut moved_total = 0usize;
         for (layer, layer_stats) in stats.layers.iter().enumerate() {
             self.record.popularity[layer].push(layer_stats.popularity.clone());
-            let next =
-                self.policy.next_replicas(layer, &layer_stats.popularity, self.iteration);
+            let next = self.policy.next_replicas(layer, &layer_stats.popularity, self.iteration);
             assert_eq!(
                 next.iter().sum::<usize>(),
                 self.model.cfg.total_slots,
@@ -199,6 +220,7 @@ impl Trainer {
                 .sum::<usize>();
             self.replicas[layer] = next;
         }
+        drop(rebalance_span);
         if self.record.replicas.is_empty() {
             self.record.replicas = vec![Vec::new(); self.model.cfg.layers];
         }
@@ -208,6 +230,34 @@ impl Trainer {
         self.record.losses.push(stats.ce_loss);
         self.record.survival.push(stats.survival_rate());
         self.record.moved_replicas.push(moved_total);
+
+        if self.telemetry.is_enabled() {
+            let e = self.model.cfg.experts;
+            let mut report = IterationReport::new(self.policy.name(), self.iteration);
+            report.loss = stats.ce_loss as f64;
+            // Per-class vectors summed over layers; replicas are the counts
+            // this step ran with (pre-policy).
+            report.popularity = vec![0u64; e];
+            report.kept_per_class = vec![0u64; e];
+            report.replicas = vec![0u64; e];
+            for layer_stats in &stats.layers {
+                for (c, &p) in layer_stats.popularity.iter().enumerate() {
+                    report.popularity[c] += p;
+                }
+                for (c, &k) in layer_stats.kept_per_class.iter().enumerate() {
+                    report.kept_per_class[c] += k;
+                }
+            }
+            for reps in replicas_used.as_deref().unwrap_or(&[]) {
+                for (c, &r) in reps.iter().enumerate() {
+                    report.replicas[c] += r as u64;
+                }
+            }
+            report.placement_churn = moved_total as u64;
+            report.phase_ns = self.telemetry.drain_phase_ns();
+            self.telemetry.emit(&report);
+        }
+
         self.iteration += 1;
         stats
     }
@@ -261,11 +311,7 @@ impl Trainer {
             idx += 1;
         });
         assert_eq!(idx, ckpt.dense_params.len(), "dense parameter count mismatch");
-        assert_eq!(
-            ckpt.expert_params.len(),
-            self.model.blocks.len(),
-            "layer count mismatch"
-        );
+        assert_eq!(ckpt.expert_params.len(), self.model.blocks.len(), "layer count mismatch");
         for (block, layer_params) in self.model.blocks.iter_mut().zip(&ckpt.expert_params) {
             for (expert, params) in block.moe.experts.iter_mut().zip(layer_params) {
                 expert.load_flat(params);
@@ -280,7 +326,7 @@ impl Trainer {
 }
 
 /// A resumable training snapshot (serializable with serde).
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Checkpoint {
     pub iteration: u64,
     /// Dense parameters in `visit_dense_params` order.
@@ -318,12 +364,8 @@ mod tests {
         );
         trainer.train(&mut corpus, 60);
         let first: f32 = trainer.record.losses[..10].iter().sum::<f32>() / 10.0;
-        let last: f32 =
-            trainer.record.losses[50..].iter().sum::<f32>() / 10.0;
-        assert!(
-            last < first - 0.2,
-            "training must reduce loss: first {first:.3} last {last:.3}"
-        );
+        let last: f32 = trainer.record.losses[50..].iter().sum::<f32>() / 10.0;
+        assert!(last < first - 0.2, "training must reduce loss: first {first:.3} last {last:.3}");
     }
 
     #[test]
@@ -346,8 +388,7 @@ mod tests {
 
     #[test]
     fn iterations_to_loss_finds_crossing() {
-        let mut r = TrainRecord::default();
-        r.losses = vec![5.0, 4.0, 3.0, 2.0];
+        let r = TrainRecord { losses: vec![5.0, 4.0, 3.0, 2.0], ..Default::default() };
         assert_eq!(r.iterations_to_loss(3.5, 1), Some(3));
         assert_eq!(r.iterations_to_loss(1.0, 1), None);
         // Smoothed over window 2: means are 5, 4.5, 3.5, 2.5.

@@ -1,88 +1,101 @@
-//! Property-based tests for the MoE model layer: routing/capacity/drop
+//! Randomized property tests for the MoE model layer: routing/capacity/drop
 //! invariants must hold for arbitrary inputs, replica allocations, and k.
+//! Driven by `symi_tensor::rng` with fixed seeds.
 
-use proptest::prelude::*;
 use symi_model::moe::MoeLayer;
+use symi_tensor::rng::{Rng, StdRng};
 use symi_tensor::Matrix;
 
 fn input(t: usize, d: usize, seed: f32) -> Matrix {
     Matrix::from_fn(t, d, move |r, c| ((r * d + c) as f32 * 0.173 + seed).sin())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn token_accounting_is_exact(
-        t in 1usize..40,
-        cap in 0usize..10,
-        k in 1usize..3,
-        seed in 0u32..50,
-    ) {
+#[test]
+fn token_accounting_is_exact() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for _ in 0..32 {
+        let t = rng.gen_range(1..40usize);
+        let cap = rng.gen_range(0..10usize);
+        let k = rng.gen_range(1..3usize);
+        let seed = rng.gen_range(0..50u32);
         let e = 4usize;
         let mut layer = MoeLayer::new(6, 8, e, k, cap as f32, 0.0, seed as u64);
         let x = input(t, 6, seed as f32);
         let (_, stats) = layer.forward(&x, &[1, 1, 1, 1]);
-        prop_assert_eq!(stats.survived + stats.dropped, t);
-        prop_assert_eq!(stats.popularity.iter().sum::<u64>() as usize, t * k);
-        prop_assert_eq!(
-            stats.assignments_kept + stats.assignments_dropped,
-            t * k
-        );
+        assert_eq!(stats.survived + stats.dropped, t);
+        assert_eq!(stats.popularity.iter().sum::<u64>() as usize, t * k);
+        assert_eq!(stats.assignments_kept + stats.assignments_dropped, t * k);
         // No class keeps more than its capacity.
-        prop_assert!(stats.assignments_kept <= e * cap * 1);
+        assert!(stats.assignments_kept <= e * cap);
     }
+}
 
-    #[test]
-    fn outputs_are_finite_for_any_replica_allocation(
-        replicas in prop::collection::vec(1usize..6, 4),
-        t in 1usize..24,
-    ) {
+#[test]
+fn outputs_are_finite_for_any_replica_allocation() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for _ in 0..32 {
+        let replicas: Vec<usize> = (0..4).map(|_| rng.gen_range(1..6usize)).collect();
+        let t = rng.gen_range(1..24usize);
         let mut layer = MoeLayer::new(6, 8, 4, 1, 2.0, 0.01, 3);
         let x = input(t, 6, 0.5);
         let (y, _) = layer.forward(&x, &replicas);
-        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
         let dy = input(t, 6, 1.5);
         let dx = layer.backward(&dy);
-        prop_assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn survival_is_monotone_in_capacity(t in 4usize..32, seed in 0u32..20) {
+#[test]
+fn survival_is_monotone_in_capacity() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for _ in 0..16 {
+        let t = rng.gen_range(4..32usize);
+        let seed = rng.gen_range(0..20u32);
         let x = input(t, 6, seed as f32 * 0.1);
         let mut prev = 0usize;
         for cap in [0usize, 1, 2, 4, 100] {
             let mut layer = MoeLayer::new(6, 8, 4, 1, cap as f32, 0.0, seed as u64);
             let (_, stats) = layer.forward(&x, &[1, 1, 1, 1]);
-            prop_assert!(stats.survived >= prev, "cap {cap}");
+            assert!(stats.survived >= prev, "cap {cap}");
             prev = stats.survived;
         }
-        prop_assert_eq!(prev, t, "unbounded capacity keeps everything");
+        assert_eq!(prev, t, "unbounded capacity keeps everything");
     }
+}
 
-    #[test]
-    fn more_replicas_never_hurt_survival(t in 8usize..32, seed in 0u32..20) {
+#[test]
+fn more_replicas_never_hurt_survival() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for _ in 0..16 {
+        let t = rng.gen_range(8..32usize);
+        let seed = rng.gen_range(0..20u32);
         let x = input(t, 6, seed as f32 * 0.07);
         let mut layer = MoeLayer::new(6, 8, 4, 1, 1.0, 0.0, seed as u64);
         let (_, low) = layer.forward(&x, &[1, 1, 1, 1]);
         let (_, high) = layer.forward(&x, &[3, 3, 3, 3]);
-        prop_assert!(high.survived >= low.survived);
+        assert!(high.survived >= low.survived);
     }
+}
 
-    #[test]
-    fn gates_are_probabilities(t in 1usize..20, k in 1usize..4) {
+#[test]
+fn gates_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(405);
+    for _ in 0..16 {
+        let t = rng.gen_range(1..20usize);
+        let k = rng.gen_range(1..4usize);
         let mut layer = MoeLayer::new(6, 8, 4, k, 100.0, 0.0, 9);
         let x = input(t, 6, 2.0);
         let routing = layer.router.forward(&x);
         for picks in &routing.assignment {
-            prop_assert_eq!(picks.len(), k);
+            assert_eq!(picks.len(), k);
             let mut seen = std::collections::HashSet::new();
             for &(class, gate) in picks {
-                prop_assert!(gate > 0.0 && gate <= 1.0);
-                prop_assert!(seen.insert(class), "classes must be distinct");
+                assert!(gate > 0.0 && gate <= 1.0);
+                assert!(seen.insert(class), "classes must be distinct");
             }
             let total: f32 = picks.iter().map(|&(_, g)| g).sum();
-            prop_assert!(total <= 1.0 + 1e-5, "top-k gates cannot exceed the simplex");
+            assert!(total <= 1.0 + 1e-5, "top-k gates cannot exceed the simplex");
         }
     }
 }

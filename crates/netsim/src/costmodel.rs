@@ -9,10 +9,9 @@
 //! per expert class.
 
 use crate::topology::HardwareSpec;
-use serde::{Deserialize, Serialize};
 
 /// Which system's cost expression to evaluate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SystemKind {
     /// Static uniform replication with the optimizer sharded across each
     /// expert's EDP group (DeepSpeed + ZeRO-1 offload).
@@ -38,7 +37,7 @@ pub enum SystemKind {
 /// // …while the footprint and data volume are identical by construction.
 /// assert_eq!(m.optimizer_footprint_bytes(), 64.0 * 27.0e9);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CommCostModel {
     /// Nodes in the cluster (`N`). One GPU per node, as in the paper's model.
     pub nodes: usize,
@@ -57,7 +56,7 @@ pub struct CommCostModel {
 }
 
 /// Evaluated per-phase costs, in seconds per rank, plus totals.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CommCosts {
     /// Grad Communication Phase cost per rank (`T_G`).
     pub t_grad: f64,
@@ -127,7 +126,8 @@ impl CommCostModel {
             SystemKind::Symi => (s * n - s) / n,
         };
         let pci_fraction = e / n;
-        let per_phase = |x: f64| pci_fraction * x / self.hw.bw_pci + net_fraction * x / self.hw.bw_net;
+        let per_phase =
+            |x: f64| pci_fraction * x / self.hw.bw_pci + net_fraction * x / self.hw.bw_net;
         CommCosts { t_grad: per_phase(self.grad_bytes), t_weight: per_phase(self.weight_bytes) }
     }
 
@@ -149,7 +149,7 @@ impl CommCostModel {
     /// The bound is attained by groups holding maximally popular experts;
     /// SYMI is the `k = 1` point, proving uniform partitioning optimal.
     pub fn kpart_cost_bound(&self, k: usize, phase_bytes: f64) -> f64 {
-        assert!(k >= 1 && self.nodes % k == 0, "k must divide N");
+        assert!(k >= 1 && self.nodes.is_multiple_of(k), "k must divide N");
         let n = self.nodes as f64;
         let e = self.expert_classes as f64;
         let s = self.slots_per_rank as f64;
@@ -170,7 +170,7 @@ impl CommCostModel {
         remote_instances_sum: usize,
         phase_bytes: f64,
     ) -> f64 {
-        assert!(k >= 1 && self.nodes % k == 0, "k must divide N");
+        assert!(k >= 1 && self.nodes.is_multiple_of(k), "k must divide N");
         let nodes_per_group = (self.nodes / k) as f64;
         let shard = phase_bytes / nodes_per_group;
         group_experts as f64 * shard / self.hw.bw_pci

@@ -13,10 +13,9 @@
 
 use crate::event::TaskGraph;
 use crate::topology::{HardwareSpec, ModelCostConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which system's iteration to simulate.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SimSystem {
     /// DeepSpeed: static uniform replication, replicas of one class on
     /// distinct ranks, optimizer sharded across the EDP group (ZeRO-1).
@@ -30,21 +29,21 @@ pub enum SimSystem {
 }
 
 /// Extra work performed on a FlexMoE rebalancing iteration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RebalanceSpec {
     /// Expert replicas moved per layer this iteration (0 ⇒ plain iteration).
     pub moved_replicas_per_layer: usize,
 }
 
 /// One component of the simulated iteration.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Component {
     pub name: &'static str,
     pub seconds: f64,
 }
 
 /// Result of simulating one iteration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct IterationBreakdown {
     pub components: Vec<Component>,
     /// Fraction of routed tokens that fit under capacity.
@@ -76,7 +75,7 @@ impl IterationBreakdown {
 }
 
 /// Iteration simulator configuration.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct IterationSim {
     pub model: ModelCostConfig,
     pub hw: HardwareSpec,
@@ -166,13 +165,11 @@ impl IterationSim {
             SimSystem::Symi => {
                 let mut v = Vec::with_capacity(self.total_slots());
                 for (class, &r) in replicas_per_class.iter().enumerate() {
-                    v.extend(std::iter::repeat(class).take(r));
+                    v.extend(std::iter::repeat_n(class, r));
                 }
                 v
             }
-            SimSystem::DeepSpeedStatic => {
-                (0..self.total_slots()).map(|k| k % e).collect()
-            }
+            SimSystem::DeepSpeedStatic => (0..self.total_slots()).map(|k| k % e).collect(),
             SimSystem::FlexMoE => {
                 // Greedy spread: replicas of each class go to the currently
                 // emptiest ranks, avoiding ranks already hosting the class.
@@ -228,8 +225,8 @@ impl IterationSim {
         // rank receives `max(rank_tokens)`; α per peer message.
         let max_recv_tokens = rank_tokens.iter().copied().fold(0.0, f64::max);
         let sent_tokens = total_survived / n as f64;
-        let a2a_once = max_recv_tokens.max(sent_tokens) * emb / hw.bw_net
-            + hw.net_latency * (n as f64 - 1.0);
+        let a2a_once =
+            max_recv_tokens.max(sent_tokens) * emb / hw.bw_net + hw.net_latency * (n as f64 - 1.0);
         let a2a_fwd = layers * 2.0 * a2a_once; // dispatch + combine
         let a2a_bwd = layers * 2.0 * a2a_once; // grad scatter + gather
 
@@ -256,9 +253,7 @@ impl IterationSim {
         // ring over every replica.
         let edp_sync = layers
             * (0..n)
-                .map(|rank| {
-                    rank_classes[rank].iter().map(|&c| ring(ranks_hosting[c])).sum::<f64>()
-                })
+                .map(|rank| rank_classes[rank].iter().map(|&c| ring(ranks_hosting[c])).sum::<f64>())
                 .fold(0.0, f64::max);
 
         // Grad Communication Phase (§3.3/A.2): shards → optimizer.
@@ -302,8 +297,8 @@ impl IterationSim {
         // + metadata updates (§5.3 reports ~1% of iteration in aggregate).
         let router_meta = match system {
             SimSystem::Symi => {
-                let pop_ar = 2.0 * (n as f64).log2().ceil() * hw.net_latency
-                    + e as f64 * 8.0 / hw.bw_net;
+                let pop_ar =
+                    2.0 * (n as f64).log2().ceil() * hw.net_latency + e as f64 * 8.0 / hw.bw_net;
                 let scheduler = e as f64 * 2.0e-6 + 1.0e-4;
                 let metadata = 5.0e-5;
                 layers * (pop_ar + scheduler + metadata)
@@ -385,8 +380,7 @@ impl IterationSim {
             components.push(Component { name: "migration", seconds: migration });
         }
         debug_assert!(
-            (schedule.makespan() - components.iter().map(|c| c.seconds).sum::<f64>()).abs()
-                < 1e-9
+            (schedule.makespan() - components.iter().map(|c| c.seconds).sum::<f64>()).abs() < 1e-9
         );
 
         IterationBreakdown { components, survived_fraction, gpu_peak_bytes }
@@ -513,8 +507,7 @@ mod tests {
         let s = sim();
         let tokens = skewed_tokens(&s);
         let r = s.uniform_replicas();
-        let plain =
-            s.simulate(&tokens, &r, SimSystem::FlexMoE, RebalanceSpec::default());
+        let plain = s.simulate(&tokens, &r, SimSystem::FlexMoE, RebalanceSpec::default());
         let rebal = s.simulate(
             &tokens,
             &r,
@@ -531,12 +524,8 @@ mod tests {
     fn symi_router_meta_overhead_is_small() {
         let s = sim();
         let tokens = uniform_tokens(&s);
-        let b = s.simulate(
-            &tokens,
-            &s.uniform_replicas(),
-            SimSystem::Symi,
-            RebalanceSpec::default(),
-        );
+        let b =
+            s.simulate(&tokens, &s.uniform_replicas(), SimSystem::Symi, RebalanceSpec::default());
         let frac = b.component("router_meta") / b.total_seconds();
         assert!(frac < 0.03, "router/scheduler/metadata must stay ~1%, got {frac}");
         assert!(frac > 0.0);
@@ -548,12 +537,8 @@ mod tests {
         // hierarchical all-reduce (intra-rank replicas shrink the rings).
         let s = sim();
         let tokens = uniform_tokens(&s);
-        let symi = s.simulate(
-            &tokens,
-            &s.uniform_replicas(),
-            SimSystem::Symi,
-            RebalanceSpec::default(),
-        );
+        let symi =
+            s.simulate(&tokens, &s.uniform_replicas(), SimSystem::Symi, RebalanceSpec::default());
         let ds = s.simulate(
             &tokens,
             &s.uniform_replicas(),
@@ -617,11 +602,6 @@ mod tests {
         let s = sim();
         let mut r = s.uniform_replicas();
         r[0] += 1;
-        let _ = s.simulate(
-            &uniform_tokens(&s),
-            &r,
-            SimSystem::Symi,
-            RebalanceSpec::default(),
-        );
+        let _ = s.simulate(&uniform_tokens(&s), &r, SimSystem::Symi, RebalanceSpec::default());
     }
 }

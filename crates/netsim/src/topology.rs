@@ -1,8 +1,6 @@
 //! Hardware and model-scale descriptions used by the cost model and the
 //! latency simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Bandwidths, latencies, and compute throughputs of one cluster flavour.
 ///
 /// Bandwidths are bytes/second; latencies are seconds; throughputs are
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// [`HardwareSpec::paper_eval_cluster`] (the 16×A100 Azure testbed of §5)
 /// and [`HardwareSpec::paper_analysis_example`] (the GPT3-175B/H100-class
 /// example that §3.3 uses to instantiate its formulas).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HardwareSpec {
     /// GPU↔host interconnect bandwidth (PCIe), bytes/s.
     pub bw_pci: f64,
@@ -83,7 +81,7 @@ impl HardwareSpec {
 /// Sizes follow the paper's accounting: weights and gradients are fp16
 /// (2 B/param), optimizer state is 16 B/param (fp32 master + two Adam
 /// moments + fp32 gradient staging, as in ZeRO/mixed-precision training).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ModelCostConfig {
     /// Human-readable name ("GPT-Small", …).
     pub name: &'static str,
@@ -101,17 +99,35 @@ impl ModelCostConfig {
     /// GPT-Small (125M dense): 12 layers, d_model 768; the paper trains it
     /// with sequence length 512 and global batch 64.
     pub fn gpt_small() -> Self {
-        Self { name: "GPT-Small", layers: 12, d_model: 768, d_ff: 4 * 768, tokens_per_batch: 512 * 64 }
+        Self {
+            name: "GPT-Small",
+            layers: 12,
+            d_model: 768,
+            d_ff: 4 * 768,
+            tokens_per_batch: 512 * 64,
+        }
     }
 
     /// GPT-Medium (350M dense): 24 layers, d_model 1024.
     pub fn gpt_medium() -> Self {
-        Self { name: "GPT-Medium", layers: 24, d_model: 1024, d_ff: 4 * 1024, tokens_per_batch: 512 * 64 }
+        Self {
+            name: "GPT-Medium",
+            layers: 24,
+            d_model: 1024,
+            d_ff: 4 * 1024,
+            tokens_per_batch: 512 * 64,
+        }
     }
 
     /// GPT-Large (760M dense): 24 layers, d_model 1536.
     pub fn gpt_large() -> Self {
-        Self { name: "GPT-Large", layers: 24, d_model: 1536, d_ff: 4 * 1536, tokens_per_batch: 512 * 64 }
+        Self {
+            name: "GPT-Large",
+            layers: 24,
+            d_model: 1536,
+            d_ff: 4 * 1536,
+            tokens_per_batch: 512 * 64,
+        }
     }
 
     /// The GPT3-175B-scale layer of §3.3's worked example (d_model 12288):

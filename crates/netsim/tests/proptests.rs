@@ -1,9 +1,10 @@
-//! Property-based tests for the cost model and iteration simulator.
+//! Randomized property tests for the cost model and iteration simulator.
+//! Driven by `symi_tensor::rng` with fixed seeds.
 
-use proptest::prelude::*;
 use symi_netsim::iteration::{RebalanceSpec, SimSystem};
 use symi_netsim::topology::HardwareSpec;
 use symi_netsim::{CommCostModel, IterationSim, ModelCostConfig, SystemKind, TaskGraph};
+use symi_tensor::rng::{Rng, StdRng};
 
 fn replicas_summing_to(tokens: &[f64], slots: usize) -> Vec<usize> {
     let e = tokens.len();
@@ -23,15 +24,13 @@ fn replicas_summing_to(tokens: &[f64], slots: usize) -> Vec<usize> {
     counts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulated_iteration_is_finite_and_positive(
-        raw in prop::collection::vec(0.0f64..10_000.0, 16),
-        system_sel in 0usize..3,
-        moved in 0usize..4,
-    ) {
+#[test]
+fn simulated_iteration_is_finite_and_positive() {
+    let mut rng = StdRng::seed_from_u64(501);
+    for _ in 0..48 {
+        let raw: Vec<f64> = (0..16).map(|_| rng.gen::<f64>() * 10_000.0).collect();
+        let system_sel = rng.gen_range(0..3usize);
+        let moved = rng.gen_range(0..4usize);
         let sim = IterationSim::paper_eval(ModelCostConfig::gpt_small());
         let total: f64 = raw.iter().sum();
         let budget = sim.model.tokens_per_batch as f64;
@@ -48,19 +47,21 @@ proptest! {
             system,
             RebalanceSpec { moved_replicas_per_layer: moved },
         );
-        prop_assert!(b.total_seconds().is_finite());
-        prop_assert!(b.total_seconds() > 0.0);
-        prop_assert!((0.0..=1.0).contains(&b.survived_fraction));
-        prop_assert!(b.gpu_peak_bytes > 0.0);
+        assert!(b.total_seconds().is_finite());
+        assert!(b.total_seconds() > 0.0);
+        assert!((0.0..=1.0).contains(&b.survived_fraction));
+        assert!(b.gpu_peak_bytes > 0.0);
         for c in &b.components {
-            prop_assert!(c.seconds >= 0.0, "{} must be nonnegative", c.name);
+            assert!(c.seconds >= 0.0, "{} must be nonnegative", c.name);
         }
     }
+}
 
-    #[test]
-    fn survival_monotone_in_capacity_factor(
-        raw in prop::collection::vec(1.0f64..10_000.0, 16),
-    ) {
+#[test]
+fn survival_monotone_in_capacity_factor() {
+    let mut rng = StdRng::seed_from_u64(502);
+    for _ in 0..12 {
+        let raw: Vec<f64> = (0..16).map(|_| 1.0 + rng.gen::<f64>() * 9_999.0).collect();
         let base = IterationSim::paper_eval(ModelCostConfig::gpt_small());
         let total: f64 = raw.iter().sum();
         let budget = base.model.tokens_per_batch as f64;
@@ -75,13 +76,17 @@ proptest! {
                 SimSystem::DeepSpeedStatic,
                 RebalanceSpec::default(),
             );
-            prop_assert!(b.survived_fraction >= prev - 1e-12);
+            assert!(b.survived_fraction >= prev - 1e-12);
             prev = b.survived_fraction;
         }
     }
+}
 
-    #[test]
-    fn analytic_costs_scale_linearly_in_bytes(scale in 1.0f64..100.0) {
+#[test]
+fn analytic_costs_scale_linearly_in_bytes() {
+    let mut rng = StdRng::seed_from_u64(503);
+    for _ in 0..32 {
+        let scale = 1.0 + rng.gen::<f64>() * 99.0;
         let base = CommCostModel {
             nodes: 64,
             expert_classes: 16,
@@ -99,14 +104,19 @@ proptest! {
         for kind in [SystemKind::StaticBaseline, SystemKind::Symi] {
             let a = base.costs(kind).total();
             let b = scaled.costs(kind).total();
-            prop_assert!((b / a - scale).abs() < 1e-9);
+            assert!((b / a - scale).abs() < 1e-9);
         }
         // The overhead ratio is scale-free.
-        prop_assert!((base.symi_overhead_ratio() - scaled.symi_overhead_ratio()).abs() < 1e-12);
+        assert!((base.symi_overhead_ratio() - scaled.symi_overhead_ratio()).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn task_graph_makespan_bounds(durations in prop::collection::vec(0.0f64..10.0, 1..20)) {
+#[test]
+fn task_graph_makespan_bounds() {
+    let mut rng = StdRng::seed_from_u64(504);
+    for _ in 0..32 {
+        let n = rng.gen_range(1..20usize);
+        let durations: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 10.0).collect();
         // Serial chain: makespan = sum; parallel: makespan = max.
         let mut serial = TaskGraph::new();
         let mut prev = None;
@@ -115,13 +125,13 @@ proptest! {
             prev = Some(serial.add("t", d, &deps));
         }
         let sum: f64 = durations.iter().sum();
-        prop_assert!((serial.schedule().makespan() - sum).abs() < 1e-9);
+        assert!((serial.schedule().makespan() - sum).abs() < 1e-9);
 
         let mut parallel = TaskGraph::new();
         for &d in &durations {
             parallel.add("t", d, &[]);
         }
         let max = durations.iter().cloned().fold(0.0, f64::max);
-        prop_assert!((parallel.schedule().makespan() - max).abs() < 1e-12);
+        assert!((parallel.schedule().makespan() - max).abs() < 1e-12);
     }
 }

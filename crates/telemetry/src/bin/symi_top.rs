@@ -1,0 +1,258 @@
+//! symi-top: tail a telemetry JSONL stream and render a live terminal
+//! dashboard of expert popularity, capacity drops, and the per-phase
+//! latency breakdown.
+//!
+//! Usage:
+//!   symi-top <run.jsonl>                follow the stream (like `top`)
+//!   symi-top <run.jsonl> --once         render one frame and exit
+//!   symi-top <run.jsonl> --interval-ms 500
+//!   symi-top <run.jsonl> --window 32    iterations aggregated per frame
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use symi_telemetry::{IterationReport, LinkClass, Phase, LINK_CLASSES, PHASES};
+
+struct Options {
+    path: PathBuf,
+    once: bool,
+    interval: Duration,
+    window: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut window = 16usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                let v = args.next().ok_or("--interval-ms needs a value")?;
+                interval = Duration::from_millis(v.parse().map_err(|_| "bad --interval-ms")?);
+            }
+            "--window" => {
+                let v = args.next().ok_or("--window needs a value")?;
+                window = v.parse().map_err(|_| "bad --window")?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: symi-top <run.jsonl> [--once] [--interval-ms N] [--window N]"
+                    .to_string())
+            }
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument {:?}", other)),
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("usage: symi-top <run.jsonl> [--once] [--interval-ms N] [--window N]")?,
+        once,
+        interval,
+        window: window.max(1),
+    })
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{} {}", b, UNITS[0])
+    } else {
+        format!("{:.1} {}", v, UNITS[u])
+    }
+}
+
+fn human_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} us", v / 1e3)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+fn render(reports: &[IterationReport], total_seen: usize, follow: bool) -> String {
+    let mut out = String::new();
+    if follow {
+        // Clear screen + home cursor.
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    let Some(last) = reports.last() else {
+        out.push_str("symi-top: waiting for reports...\n");
+        return out;
+    };
+
+    out.push_str(&format!(
+        "symi-top — system {} | iter {} | {} reports seen | window {}\n",
+        last.system,
+        last.iteration,
+        total_seen,
+        reports.len()
+    ));
+    out.push_str(&format!(
+        "loss {:.4} | entropy {:.3} nats | drop {:.2}% | churn {} slots | straggler {}\n\n",
+        last.loss,
+        last.popularity_entropy(),
+        last.total_drop_rate() * 100.0,
+        last.placement_churn,
+        human_ns(last.straggler_spread_ns()),
+    ));
+
+    // Phase breakdown: mean over window of critical-path ns.
+    out.push_str("phase breakdown (window mean, critical path)\n");
+    let mut phase_means = [0f64; PHASES.len()];
+    for r in reports {
+        for (i, &p) in PHASES.iter().enumerate() {
+            phase_means[i] += r.phase_ns_max(p) as f64;
+        }
+    }
+    for m in phase_means.iter_mut() {
+        *m /= reports.len() as f64;
+    }
+    let total: f64 = phase_means.iter().sum::<f64>().max(1.0);
+    for (i, &p) in PHASES.iter().enumerate() {
+        if phase_means[i] <= 0.0 {
+            continue;
+        }
+        let frac = phase_means[i] / total;
+        out.push_str(&format!(
+            "  {:<22} {} {:5.1}%  {}\n",
+            p.name(),
+            bar(frac, 30),
+            frac * 100.0,
+            human_ns(phase_means[i] as u64),
+        ));
+    }
+
+    // Traffic by link class (window total).
+    let mut class_totals = [0u64; LINK_CLASSES.len()];
+    for r in reports {
+        for (i, &c) in LINK_CLASSES.iter().enumerate() {
+            class_totals[i] += r.bytes_for_class(c);
+        }
+    }
+    if class_totals.iter().any(|&b| b > 0) {
+        out.push_str("\ntraffic by link class (window total)\n");
+        for (i, &c) in LINK_CLASSES.iter().enumerate() {
+            out.push_str(&format!("  {:<12} {}\n", c.name(), human_bytes(class_totals[i])));
+        }
+        let inter = class_totals[LinkClass::InterNode.index()];
+        let dispatch: u64 = reports.iter().map(|r| r.bytes_for_phase(Phase::Dispatch)).sum();
+        let weight: u64 = reports.iter().map(|r| r.bytes_for_phase(Phase::WeightComm)).sum();
+        out.push_str(&format!(
+            "  dispatch {} | weight-comm {} | inter-node share {:.1}%\n",
+            human_bytes(dispatch),
+            human_bytes(weight),
+            100.0 * inter as f64 / class_totals.iter().sum::<u64>().max(1) as f64,
+        ));
+    }
+
+    // Expert popularity + drops, most popular first.
+    let drops = last.drop_rate_per_class();
+    let max_pop = last.popularity.iter().copied().max().unwrap_or(0).max(1);
+    let mut order: Vec<usize> = (0..last.popularity.len()).collect();
+    order.sort_by_key(|&e| std::cmp::Reverse(last.popularity[e]));
+    out.push_str("\nexpert popularity (latest iter, top 12)\n");
+    for &e in order.iter().take(12) {
+        let pop = last.popularity[e];
+        let drop = drops.get(e).copied().unwrap_or(0.0);
+        let replicas = last.replicas.get(e).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "  e{:<3} {} {:>8} tok | x{} replica{} | drop {:5.2}%\n",
+            e,
+            bar(pop as f64 / max_pop as f64, 24),
+            pop,
+            replicas,
+            if replicas == 1 { " " } else { "s" },
+            drop * 100.0,
+        ));
+    }
+    out
+}
+
+fn read_new_lines(reader: &mut BufReader<File>, sink: &mut Vec<IterationReport>) -> usize {
+    let mut added = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if let Ok(report) = IterationReport::parse_jsonl(trimmed) {
+                    sink.push(report);
+                    added += 1;
+                }
+            }
+        }
+    }
+    added
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{}", msg);
+            std::process::exit(2);
+        }
+    };
+
+    let file = match File::open(&opts.path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("symi-top: cannot open {}: {}", opts.path.display(), e);
+            std::process::exit(1);
+        }
+    };
+    let mut reader = BufReader::new(file);
+    let mut reports: Vec<IterationReport> = Vec::new();
+    let mut total_seen = 0usize;
+
+    loop {
+        total_seen += read_new_lines(&mut reader, &mut reports);
+        if reports.len() > opts.window {
+            let excess = reports.len() - opts.window;
+            reports.drain(0..excess);
+        }
+        print!("{}", render(&reports, total_seen, !opts.once));
+        if opts.once {
+            break;
+        }
+        std::thread::sleep(opts.interval);
+        // Re-seek in case the file was truncated and rewritten.
+        if let Ok(meta) = std::fs::metadata(&opts.path) {
+            if let Ok(pos) = reader.stream_position() {
+                if meta.len() < pos {
+                    let _ = reader.seek(SeekFrom::Start(0));
+                    reports.clear();
+                    total_seen = 0;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Pluggable report sinks: JSONL stream, CSV summary, in-memory ring buffer.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::phase::{LINK_CLASSES, PHASES};
+use crate::report::IterationReport;
+
+/// Destination for completed iteration reports. Implementations must be
+/// `Send + Sync`: the trainer may emit from worker threads.
+pub trait Sink: Send + Sync {
+    fn emit(&self, report: &IterationReport);
+    /// Flush buffered output (called at end of run; best effort).
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line. The format `symi-top` tails.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, report: &IterationReport) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(out, "{}", report.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Flat CSV with one row per iteration: scalar metrics plus per-phase
+/// critical-path ns and per-class byte totals.
+pub struct CsvSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl CsvSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let mut header: Vec<String> = vec![
+            "system".into(),
+            "iteration".into(),
+            "loss".into(),
+            "popularity_entropy".into(),
+            "total_drop_rate".into(),
+            "placement_churn".into(),
+            "straggler_spread_ns".into(),
+            "iteration_ns".into(),
+        ];
+        header.extend(PHASES.iter().map(|p| format!("ns_{}", p.name())));
+        header.extend(LINK_CLASSES.iter().map(|c| format!("bytes_{}", c.name())));
+        writeln!(w, "{}", header.join(","))?;
+        Ok(Self { out: Mutex::new(w) })
+    }
+}
+
+impl Sink for CsvSink {
+    fn emit(&self, r: &IterationReport) {
+        let mut row: Vec<String> = vec![
+            r.system.clone(),
+            r.iteration.to_string(),
+            format!("{:.6}", r.loss),
+            format!("{:.6}", r.popularity_entropy()),
+            format!("{:.6}", r.total_drop_rate()),
+            r.placement_churn.to_string(),
+            r.straggler_spread_ns().to_string(),
+            r.iteration_ns().to_string(),
+        ];
+        row.extend(PHASES.iter().map(|&p| r.phase_ns_max(p).to_string()));
+        row.extend(LINK_CLASSES.iter().map(|&c| r.bytes_for_class(c).to_string()));
+        let mut out = self.out.lock().expect("csv sink poisoned");
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("csv sink poisoned").flush();
+    }
+}
+
+/// Bounded in-memory buffer of the most recent reports. Useful for tests and
+/// for embedding telemetry in benches without touching the filesystem.
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<IterationReport>>,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), buf: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Oldest-to-newest copy of the buffered reports.
+    pub fn contents(&self) -> Vec<IterationReport> {
+        self.buf.lock().expect("ring sink poisoned").iter().cloned().collect()
+    }
+
+    pub fn latest(&self) -> Option<IterationReport> {
+        self.buf.lock().expect("ring sink poisoned").back().cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring sink poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn emit(&self, report: &IterationReport) {
+        let mut buf = self.buf.lock().expect("ring sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(report.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_caps_and_orders() {
+        let ring = RingBufferSink::new(2);
+        for i in 0..3 {
+            ring.emit(&IterationReport::new("symi", i));
+        }
+        let got = ring.contents();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].iteration, 1);
+        assert_eq!(got[1].iteration, 2);
+        assert_eq!(ring.latest().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("symi_telemetry_test_jsonl");
+        let path = dir.join("run.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let mut r = IterationReport::new("deepspeed", 4);
+        r.loss = 1.5;
+        sink.emit(&r);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = IterationReport::parse_jsonl(text.trim()).unwrap();
+        assert_eq!(back.system, "deepspeed");
+        assert_eq!(back.iteration, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_sink_has_header_and_rows() {
+        let dir = std::env::temp_dir().join("symi_telemetry_test_csv");
+        let path = dir.join("run.csv");
+        let sink = CsvSink::create(&path).unwrap();
+        sink.emit(&IterationReport::new("symi", 0));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("system,iteration,loss"));
+        assert!(lines[0].contains("ns_expert_ffn"));
+        assert!(lines[0].contains("bytes_inter_node"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

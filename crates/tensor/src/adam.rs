@@ -9,10 +9,8 @@
 //! the unit of communication in both the paper's *Grad Communication Phase*
 //! and *Weight Communication Phase*.
 
-use serde::{Deserialize, Serialize};
-
 /// Adam hyperparameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AdamConfig {
     pub lr: f32,
     pub beta1: f32,
@@ -30,7 +28,7 @@ impl Default for AdamConfig {
 /// Full (unsharded) Adam state over a flat parameter vector. Used for the
 /// dense (non-expert) parameters and as the reference implementation the
 /// sharded path is tested against.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AdamState {
     cfg: AdamConfig,
     /// fp32 master copy of the parameters.
@@ -94,7 +92,7 @@ impl AdamState {
 /// A shard owns parameters `[offset, offset + len)` of the group's flat
 /// parameter vector. SYMI constructs `N` of these per expert (one per node);
 /// the static baseline constructs `r` per expert (one per EDP replica rank).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AdamShard {
     cfg: AdamConfig,
     offset: usize,
@@ -317,9 +315,8 @@ mod tests {
         let mut full = AdamState::new(cfg, &params);
         let mut full_out = vec![0.0f32; 64];
 
-        let mut shards: Vec<AdamShard> = (0..4)
-            .map(|s| AdamShard::new(cfg, s * 16, &params[s * 16..(s + 1) * 16]))
-            .collect();
+        let mut shards: Vec<AdamShard> =
+            (0..4).map(|s| AdamShard::new(cfg, s * 16, &params[s * 16..(s + 1) * 16])).collect();
 
         for _ in 0..5 {
             full.step(&grads, &mut full_out);
@@ -377,10 +374,8 @@ mod tests {
     #[test]
     fn weight_decay_pulls_towards_zero() {
         let mut w = vec![1.0f32];
-        let mut opt = AdamState::new(
-            AdamConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() },
-            &w,
-        );
+        let mut opt =
+            AdamState::new(AdamConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() }, &w);
         for _ in 0..500 {
             opt.step(&[0.0], &mut w); // zero data gradient, only decay
         }

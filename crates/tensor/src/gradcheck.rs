@@ -46,11 +46,7 @@ pub fn numerical_grad_scalar(x: &Matrix, mut f: impl FnMut(&Matrix) -> f32) -> M
 
 fn contract(y: &Matrix, dy: &Matrix) -> f64 {
     assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()), "contract shape mismatch");
-    y.as_slice()
-        .iter()
-        .zip(dy.as_slice())
-        .map(|(a, b)| *a as f64 * *b as f64)
-        .sum()
+    y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| *a as f64 * *b as f64).sum()
 }
 
 /// Relative error between analytic and numeric gradients, scaled by the

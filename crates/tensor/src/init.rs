@@ -4,8 +4,7 @@
 //! seeded `StdRng` through every component so runs are reproducible.
 
 use crate::matrix::Matrix;
-use rand::Rng;
-use rand_distr::{Distribution, Normal, Uniform};
+use crate::rng::{Distribution, Normal, Rng, Uniform};
 
 /// Gaussian init with the given standard deviation (GPT-style, e.g. 0.02).
 pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
@@ -29,8 +28,7 @@ pub fn kaiming_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn init_is_deterministic_for_same_seed() {
@@ -50,8 +48,8 @@ mod tests {
     fn normal_std_is_approximately_right() {
         let m = normal(100, 100, 0.5, &mut StdRng::seed_from_u64(3));
         let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / m.len() as f32;
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }

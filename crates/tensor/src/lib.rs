@@ -24,6 +24,8 @@ pub mod gradcheck;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod rng;
 
 pub use adam::{AdamConfig, AdamShard, AdamState};
 pub use matrix::Matrix;
+pub use rng::{Distribution, Normal, Rng, SplitMix64, StdRng, Uniform};

@@ -5,7 +5,6 @@
 //! and `Aᵀ·B` (parameter gradients). Implementing all three directly avoids
 //! materializing transposes in the hot loop.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -20,7 +19,7 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(a.matmul_nt(&b), a);                    // A · Iᵀ
 /// assert_eq!(a.transpose()[(0, 1)], a[(1, 0)]);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -163,13 +162,13 @@ impl Matrix {
         for i in 0..self.rows {
             let arow = self.row(i);
             let orow = out.row_mut(i);
-            for j in 0..other.rows {
+            for (j, o) in orow.iter_mut().enumerate() {
                 let brow = other.row(j);
                 let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += arow[k] * brow[k];
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
                 }
-                orow[j] = acc;
+                *o = acc;
             }
         }
         out
@@ -276,11 +275,7 @@ impl Matrix {
     /// Maximum absolute difference to `other`; shapes must match.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Selects the given rows into a new matrix (gather).

@@ -203,7 +203,7 @@ mod tests {
             let y = softmax_rows(&x);
             softmax_rows_backward(&y, &dy)
         };
-        let numeric = numerical_grad(&x, &dy, |m| softmax_rows(m));
+        let numeric = numerical_grad(&x, &dy, softmax_rows);
         assert!(analytic.max_abs_diff(&numeric) < 1e-2);
     }
 
@@ -212,7 +212,7 @@ mod tests {
         let x = Matrix::from_fn(2, 8, |r, c| (r as f32 - 1.0) + c as f32 * 0.3 - 1.0);
         let dy = Matrix::from_fn(2, 8, |_, c| 1.0 + c as f32 * 0.1);
         let analytic = gelu_backward(&x, &dy);
-        let numeric = numerical_grad(&x, &dy, |m| gelu(m));
+        let numeric = numerical_grad(&x, &dy, gelu);
         assert!(analytic.max_abs_diff(&numeric) < 1e-2);
     }
 

@@ -13,13 +13,10 @@
 //! space with occasional jolts), which is what turns expert popularity into
 //! the highly dynamic signal of Figure 2.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::Distribution;
-use serde::{Deserialize, Serialize};
+use symi_tensor::rng::{Distribution, Rng, StdRng};
 
 /// Corpus configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CorpusConfig {
     /// Token vocabulary size.
     pub vocab_size: usize,
@@ -134,9 +131,8 @@ impl DriftingCorpus {
 
         // Zipf prior over topics (topic 0 most popular), randomized phase so
         // the ranking changes between seeds.
-        let mut topic_logits: Vec<f64> = (0..cfg.topics)
-            .map(|t| -(cfg.topic_zipf) * ((t + 1) as f64).ln())
-            .collect();
+        let mut topic_logits: Vec<f64> =
+            (0..cfg.topics).map(|t| -(cfg.topic_zipf) * ((t + 1) as f64).ln()).collect();
         // Shuffle which topic gets which prior mass.
         for i in (1..topic_logits.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -181,7 +177,7 @@ impl DriftingCorpus {
 
     /// Advances the topic mixture by one iteration of drift.
     fn drift(&mut self) {
-        let normal = rand_distr::Normal::new(0.0f64, self.cfg.drift_sigma)
+        let normal = symi_tensor::rng::Normal::new(0.0f64, self.cfg.drift_sigma)
             .expect("drift sigma is finite");
         for l in &mut self.topic_logits {
             *l += normal.sample(&mut self.rng);
@@ -320,7 +316,8 @@ mod tests {
     fn topic_vocab_slices_separate_topics() {
         // Sequences from different topics should mostly use different
         // tokens: check the modal vocab slice matches the topic.
-        let cfg = CorpusConfig { coherence: 0.0, topics: 4, vocab_size: 256, ..CorpusConfig::default() };
+        let cfg =
+            CorpusConfig { coherence: 0.0, topics: 4, vocab_size: 256, ..CorpusConfig::default() };
         let mut c = DriftingCorpus::new(cfg);
         let b = c.next_batch();
         let slice = 256 / 4;

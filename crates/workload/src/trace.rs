@@ -1,10 +1,7 @@
 //! Expert-popularity traces: recording, statistics, serialization, and a
 //! synthetic generator for latency-only experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::Distribution;
-use serde::{Deserialize, Serialize};
+use symi_tensor::rng::{Distribution, Rng, StdRng};
 
 /// A per-iteration record of how many tokens the router assigned to each
 /// expert class. This is exactly the content of SYMI's Layer Metadata Store
@@ -20,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(trace.max_shift_within(2) >= 18.0);
 /// assert_eq!(trace.series(1), vec![10, 95]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PopularityTrace {
     /// `iterations[t][e]` = tokens routed to class `e` at iteration `t`.
     pub iterations: Vec<Vec<u64>>,
@@ -83,19 +80,35 @@ impl PopularityTrace {
         self.iterations[t].iter().map(|&c| c as f64 / denom).collect()
     }
 
-    /// JSON serialization for the bench harness.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization is infallible")
+    /// JSON serialization for the bench harness. Schema matches the old
+    /// serde output: `{"iterations":[[..],[..]]}`.
+    pub fn to_json_value(&self) -> symi_telemetry::Value {
+        use symi_telemetry::json::{Obj, Value};
+        let mut o = Obj::new();
+        o.set(
+            "iterations",
+            Value::Arr(self.iterations.iter().map(|row| Value::arr_u64(row)).collect()),
+        );
+        Value::Obj(o)
     }
 
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    pub fn from_json_value(v: &symi_telemetry::Value) -> Result<Self, String> {
+        let rows = v.get("iterations").as_arr().ok_or("missing iterations")?;
+        Ok(Self { iterations: rows.iter().map(|row| row.u64_vec()).collect() })
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        Self::from_json_value(&symi_telemetry::Value::parse(s)?)
     }
 }
 
 /// Configuration for synthetic popularity traces (used by latency benches
 /// that don't need a real training run).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SyntheticTraceConfig {
     pub expert_classes: usize,
     pub iterations: usize,
@@ -128,11 +141,9 @@ impl SyntheticTraceConfig {
     pub fn generate(&self) -> PopularityTrace {
         assert!(self.expert_classes >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let normal =
-            rand_distr::Normal::new(0.0f64, self.drift_sigma).expect("finite sigma");
-        let mut logits: Vec<f64> = (0..self.expert_classes)
-            .map(|i| -self.zipf * ((i + 1) as f64).ln())
-            .collect();
+        let normal = symi_tensor::rng::Normal::new(0.0f64, self.drift_sigma).expect("finite sigma");
+        let mut logits: Vec<f64> =
+            (0..self.expert_classes).map(|i| -self.zipf * ((i + 1) as f64).ln()).collect();
         // Random initial ranking.
         for i in (1..logits.len()).rev() {
             let j = rng.gen_range(0..=i);

@@ -29,17 +29,14 @@ fn describe(counts: &[usize], previous: Option<&ExpertPlacement>) -> ExpertPlace
     println!("EDP ring sizes : {}  (1 = intra-rank only, zero network)", rings.join(" "));
     if let Some(prev) = previous {
         let moved = prev.diff_slots(&placement);
-        println!(
-            "transition     : {moved} slot(s) changed class -> SYMI pays 0 extra bytes;"
-        );
+        println!("transition     : {moved} slot(s) changed class -> SYMI pays 0 extra bytes;");
         println!("                 a coupled design would migrate {moved} x (W + O)");
     }
     placement
 }
 
 fn main() {
-    let args: Vec<u64> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<u64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
 
     if !args.is_empty() {
         println!("== Placement for popularity {args:?} ({} slots) ==\n", RANKS * SLOTS_PER_RANK);

@@ -69,9 +69,7 @@ fn main() {
     };
     let (results, traffic) = Cluster::run(ClusterSpec::flat(4), |ctx| {
         let mut engine = MoeLayerEngine::new(ctx.rank(), 4, engine_cfg);
-        let x = Matrix::from_fn(8, 8, |r, c| {
-            (((ctx.rank() * 8 + r) * 8 + c) as f32 * 0.137).sin()
-        });
+        let x = Matrix::from_fn(8, 8, |r, c| (((ctx.rank() * 8 + r) * 8 + c) as f32 * 0.137).sin());
         let target = Matrix::zeros(8, 8);
         let stats = engine.iteration(ctx, &x, &target).unwrap();
         (stats.loss, stats.popularity, engine.placement.replica_counts())

@@ -22,8 +22,7 @@ fn corpus(cfg: &ModelConfig) -> DriftingCorpus {
 }
 
 fn main() {
-    let iters: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150);
+    let iters: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150);
     let cfg = ModelConfig::small_sim();
 
     let systems: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
@@ -35,7 +34,10 @@ fn main() {
         ("SYMI      ", Box::new(SymiPolicy { total_slots: cfg.total_slots })),
     ];
 
-    println!("Training {} iterations per system (GPT-MoE stand-in, 16 experts / 64 slots)…\n", iters);
+    println!(
+        "Training {} iterations per system (GPT-MoE stand-in, 16 experts / 64 slots)…\n",
+        iters
+    );
     let mut summaries = Vec::new();
     for (name, policy) in systems {
         let mut trainer = Trainer::new(cfg, policy);
@@ -44,10 +46,18 @@ fn main() {
         let rec = &trainer.record;
         let tail = &rec.losses[rec.losses.len().saturating_sub(15)..];
         let final_loss: f32 = tail.iter().sum::<f32>() / tail.len() as f32;
-        summaries.push((name, rec.mean_survival(), final_loss, rec.moved_replicas.iter().sum::<usize>()));
+        summaries.push((
+            name,
+            rec.mean_survival(),
+            final_loss,
+            rec.moved_replicas.iter().sum::<usize>(),
+        ));
     }
 
-    println!("{:<11} {:>14} {:>12} {:>16}", "system", "survival (%)", "final loss", "replica moves");
+    println!(
+        "{:<11} {:>14} {:>12} {:>16}",
+        "system", "survival (%)", "final loss", "replica moves"
+    );
     for (name, survival, loss, moves) in &summaries {
         println!("{name:<11} {:>14.2} {loss:>12.3} {moves:>16}", survival * 100.0);
     }

@@ -44,8 +44,11 @@ fn symi_survival_beats_static_and_flexmoe_sits_between() {
     let cfg = ModelConfig::tiny();
     let mut results = Vec::new();
     for (name, policy) in [
-        ("deepspeed", Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots })
-            as Box<dyn symi_model::PlacementPolicy>),
+        (
+            "deepspeed",
+            Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots })
+                as Box<dyn symi_model::PlacementPolicy>,
+        ),
         ("flexmoe-10", Box::new(FlexMoePolicy::new(cfg.total_slots, 10))),
         ("symi", Box::new(SymiPolicy { total_slots: cfg.total_slots })),
     ] {
@@ -74,10 +77,8 @@ fn symi_moves_replicas_freely_while_flexmoe_moves_rarely() {
     symi.train(&mut c1, 40);
     flex.train(&mut c2, 40);
 
-    let symi_moving_iters =
-        symi.record.moved_replicas.iter().filter(|&&m| m > 0).count();
-    let flex_moving_iters =
-        flex.record.moved_replicas.iter().filter(|&&m| m > 0).count();
+    let symi_moving_iters = symi.record.moved_replicas.iter().filter(|&&m| m > 0).count();
+    let flex_moving_iters = flex.record.moved_replicas.iter().filter(|&&m| m > 0).count();
     assert!(
         symi_moving_iters > flex_moving_iters,
         "SYMI re-places per iteration ({symi_moving_iters}) vs FlexMoE intervals ({flex_moving_iters})"

@@ -80,9 +80,13 @@ fn deepspeed_run(iters: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
     merge(results)
 }
 
-/// Merges per-rank (losses, per-class weights) into one canonical view,
-/// asserting cross-rank consistency on the way.
-fn merge(results: Vec<(Vec<f32>, Vec<Option<Vec<f32>>>)>) -> (Vec<f32>, Vec<Vec<f32>>) {
+/// Per-rank observation: iteration losses plus each class's flat weights
+/// (present only on ranks hosting a replica).
+type RankView = (Vec<f32>, Vec<Option<Vec<f32>>>);
+
+/// Merges per-rank views into one canonical view, asserting cross-rank
+/// consistency on the way.
+fn merge(results: Vec<RankView>) -> (Vec<f32>, Vec<Vec<f32>>) {
     let losses = results[0].0.clone();
     for (l, _) in &results {
         assert_eq!(l, &losses, "ranks disagree on losses");
@@ -93,9 +97,7 @@ fn merge(results: Vec<(Vec<f32>, Vec<Option<Vec<f32>>>)>) -> (Vec<f32>, Vec<Vec<
             if let Some(w) = w {
                 match &classes[class] {
                     None => classes[class] = Some(w.clone()),
-                    Some(reference) =>
-
-                        assert_eq!(reference, w, "class {class} replicas diverged"),
+                    Some(reference) => assert_eq!(reference, w, "class {class} replicas diverged"),
                 }
             }
         }
@@ -117,10 +119,7 @@ fn symi_and_deepspeed_engines_compute_the_same_training_math() {
     }
     for (class, (a, b)) in symi_weights.iter().zip(&ds_weights).enumerate() {
         let diff = symi_integration::max_abs_diff(a, b);
-        assert!(
-            diff < 5e-4,
-            "class {class}: weight divergence {diff} between the two systems"
-        );
+        assert!(diff < 5e-4, "class {class}: weight divergence {diff} between the two systems");
     }
 }
 
