@@ -13,9 +13,10 @@
 //!   per-shard Adam results within the same group.
 
 use symi_collectives::coll::chunk_range;
-use symi_collectives::{CommError, CommGroup, RankCtx};
+use symi_collectives::{CommError, CommGroup, RankCtx, TagSpace, WirePhase};
 use symi_model::expert::ExpertFfn;
 use symi_telemetry::{Phase, TelemetryHandle};
+use symi_tensor::adam::{f16_to_f32, f32_to_f16};
 use symi_tensor::ops::softmax_rows;
 use symi_tensor::rng::StdRng;
 use symi_tensor::{init, AdamConfig, AdamShard, Matrix};
@@ -159,10 +160,6 @@ impl DeepSpeedMoeEngine {
         self.slots[local_slot].flat_params()
     }
 
-    fn tag(&self, phase: u64) -> u64 {
-        (self.iteration << 32) ^ (phase << 28) ^ 0xd5
-    }
-
     /// One training iteration on this rank's token shard (same contract as
     /// the SYMI engine).
     pub fn iteration(
@@ -179,6 +176,7 @@ impl DeepSpeedMoeEngine {
         let t_loc = x_local.rows();
         let r = self.placement.replicas();
         let tele = self.telemetry.clone();
+        let tags = TagSpace::new(0, self.iteration);
 
         // Route.
         let routing_span = tele.span(Phase::Routing);
@@ -200,7 +198,11 @@ impl DeepSpeedMoeEngine {
         drop(routing_span);
         {
             let _span = tele.span(Phase::PopularityAllReduce);
-            ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+            ctx.allreduce_u64_sum(
+                &world,
+                tags.phase_tag(WirePhase::PopularitySync),
+                &mut popularity,
+            )?;
         }
 
         // Static uniform capacity; sender-side even quota.
@@ -234,8 +236,10 @@ impl DeepSpeedMoeEngine {
             row_bufs[dest].extend_from_slice(x_local.row(t));
             meta_bufs[dest].push(kept_slot[i] as u64);
         }
-        let in_rows = ctx.alltoallv_f32(&world, self.tag(2), row_bufs)?;
-        let in_meta = ctx.alltoallv_u64(&world, self.tag(3), meta_bufs)?;
+        let in_rows =
+            ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::DispatchRows), row_bufs)?;
+        let in_meta =
+            ctx.alltoallv_u64(&world, tags.phase_tag(WirePhase::DispatchMeta), meta_bufs)?;
 
         let mut slot_inputs: Vec<Vec<f32>> = vec![Vec::new(); s];
         let mut routing_map: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
@@ -271,7 +275,8 @@ impl DeepSpeedMoeEngine {
                 back_bufs[src].extend_from_slice(slot_outputs[slot].row(row));
             }
         }
-        let returned = ctx.alltoallv_f32(&world, self.tag(4), back_bufs)?;
+        let returned =
+            ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::CombineReturn), back_bufs)?;
 
         let mut y = Matrix::zeros(t_loc, d);
         let mut cursor = vec![0usize; n];
@@ -290,8 +295,10 @@ impl DeepSpeedMoeEngine {
         let mut dy = y.clone();
         dy.axpy(-1.0, target_local);
         let mut loss_acc = vec![dy.as_slice().iter().map(|v| v * v).sum::<f32>()];
-        dy.scale(1.0 / (t_global * d as f32));
-        ctx.allreduce_sum(&world, self.tag(5), &mut loss_acc)?;
+        // dLoss/dy = 2 (y - target) / (T_global · d), matching the SYMI
+        // engine's finite-difference-checked gradient.
+        dy.scale(2.0 / (t_global * d as f32));
+        ctx.allreduce_sum(&world, tags.phase_tag(WirePhase::LossSync), &mut loss_acc)?;
         let loss = loss_acc[0] / (t_global * d as f32);
         drop(combine_span);
 
@@ -302,7 +309,7 @@ impl DeepSpeedMoeEngine {
             let dest = kept_slot[i] / s;
             gbufs[dest].extend(dy.row(t).iter().map(|&v| v * gates[t]));
         }
-        let in_grads = ctx.alltoallv_f32(&world, self.tag(6), gbufs)?;
+        let in_grads = ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::GradReturn), gbufs)?;
         let mut slot_dys: Vec<Vec<f32>> =
             slot_inputs.iter().map(|f| vec![0.0f32; f.len()]).collect();
         for src in 0..n {
@@ -331,7 +338,7 @@ impl DeepSpeedMoeEngine {
             let hosts = self.placement.host_ranks(class);
             let group = CommGroup::new(hosts);
             let mut grads = self.slots[local].flat_grads();
-            ctx.allreduce_sum(&group, self.tag(7) ^ ((class as u64) << 8), &mut grads)?;
+            ctx.allreduce_sum(&group, tags.tag(WirePhase::GradSync, class, 0), &mut grads)?;
             // Write the synchronized gradient back through the flat layout:
             // reuse load/step below, so stash in slot_dys space instead.
             slot_dys[local] = grads;
@@ -348,21 +355,29 @@ impl DeepSpeedMoeEngine {
                 let _span = tele.span(Phase::OptimizerStep);
                 let grads = &slot_dys[local];
                 let (a, b) = chunk_range(grads.len(), r, my_idx);
-                // Staging the gradient shard to host and the weights back
-                // (PCIe).
+                // Staging the fp32 gradient shard to host and the fp16
+                // weights back (PCIe).
                 ctx.record_host_device_bytes((b - a) as u64 * 4);
                 let updated = self.opt_shards[local].step(&grads[a..b]);
-                ctx.record_host_device_bytes(updated.len() as u64 * 4);
+                ctx.record_host_device_bytes(updated.len() as u64 * 2);
                 updated
             };
             let _span = tele.span(Phase::WeightComm);
-            let parts =
-                ctx.all_gather_varsize(&group, self.tag(8) ^ ((class as u64) << 8), updated)?;
+            // Adam already emits fp16-representable weights, so the gather
+            // travels at 2 B/param with no extra rounding.
+            let half: Vec<u16> = updated.iter().map(|&v| f32_to_f16(v)).collect();
+            let parts = ctx.all_gather_varsize_f16(
+                &group,
+                tags.tag(WirePhase::WeightDistribute, class, 0),
+                half,
+            )?;
             let mut full = self.slots[local].flat_params();
             for (idx, part) in parts.into_iter().enumerate() {
                 let (pa, pb) = chunk_range(full.len(), r, idx);
                 assert_eq!(part.len(), pb - pa, "shard shape mismatch");
-                full[pa..pb].copy_from_slice(&part);
+                for (dst, h) in full[pa..pb].iter_mut().zip(part) {
+                    *dst = f16_to_f32(h);
+                }
             }
             self.slots[local].load_flat(&full);
         }
@@ -370,7 +385,7 @@ impl DeepSpeedMoeEngine {
         self.iteration += 1;
         let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
         counts.extend(taken.iter().map(|&k| k as u64));
-        ctx.allreduce_u64_sum(&world, self.tag(10), &mut counts)?;
+        ctx.allreduce_u64_sum(&world, tags.phase_tag(WirePhase::StatsSync), &mut counts)?;
         Ok(IterStats {
             loss,
             popularity,

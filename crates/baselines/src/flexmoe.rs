@@ -18,9 +18,10 @@
 use std::collections::HashMap;
 use symi::{ExpertPlacement, SymiOptimizer};
 use symi_collectives::p2p::{RecvOp, SendOp};
-use symi_collectives::{Cluster, ClusterSpec, TrafficReport};
+use symi_collectives::{Cluster, ClusterSpec, TagSpace, TrafficReport, WirePhase};
 use symi_model::PlacementPolicy;
 use symi_telemetry::{Phase, ScopedTimer};
+use symi_tensor::adam::f32_to_f16;
 use symi_tensor::{AdamConfig, AdamShard};
 
 /// FlexMoE's interval-triggered, one-replica-at-a-time policy.
@@ -130,9 +131,10 @@ impl RebalanceCostHarness {
             let local_grads: Vec<Option<Vec<f32>>> = (0..h.expert_classes)
                 .map(|c| old.rank_hosts(ctx.rank(), c).then(|| vec![0.01f32; h.param_count]))
                 .collect();
-            let shards = opt.collect_grads(ctx, &old, &local_grads, 1 << 20).unwrap();
+            let tags = TagSpace::new(0, 0);
+            let shards = opt.collect_grads(ctx, &old, &local_grads, tags).unwrap();
             let weights = opt.step(&shards);
-            let _ = opt.distribute_weights(ctx, &new, &weights, 2 << 20).unwrap();
+            let _ = opt.distribute_weights(ctx, &new, &weights, tags).unwrap();
         });
         report
     }
@@ -154,29 +156,24 @@ impl RebalanceCostHarness {
             // static analysis charges). Marker spans attribute the bytes to
             // the same phase taxonomy the engines use.
             let update_span = ScopedTimer::marker(Phase::WeightComm);
+            let tags = TagSpace::new(0, 0);
             for class in 0..h.expert_classes {
                 let hosts = old.host_ranks(class);
                 let primary = hosts[0];
+                let tag = tags.tag(WirePhase::WeightDistribute, class, primary);
                 if rank == primary {
                     let mut shard =
                         AdamShard::new(AdamConfig::default(), 0, &vec![0.0f32; h.param_count]);
                     let updated = shard.step(&vec![0.01f32; h.param_count]);
-                    ctx.record_host_device_bytes(updated.len() as u64 * 4);
-                    let mut sends = Vec::new();
-                    for &dst in &hosts[1..] {
-                        sends.push(SendOp {
-                            to: dst,
-                            tag: 0x3000 ^ ((class as u64) << 8),
-                            data: updated.clone(),
-                        });
-                    }
+                    // Weights travel (and stage over PCIe) at fp16 width.
+                    ctx.record_host_device_bytes(updated.len() as u64 * 2);
+                    let half: Vec<u16> = updated.iter().map(|&v| f32_to_f16(v)).collect();
+                    let sends =
+                        hosts[1..].iter().map(|&dst| SendOp::new(dst, tag, half.clone())).collect();
                     ctx.batch_isend_irecv(sends, &[]).unwrap();
                 } else if hosts.contains(&rank) {
                     let _ = ctx
-                        .batch_isend_irecv(
-                            vec![],
-                            &[RecvOp { from: primary, tag: 0x3000 ^ ((class as u64) << 8) }],
-                        )
+                        .batch_isend_irecv(vec![], &[RecvOp::sized(primary, tag, h.param_count)])
                         .unwrap();
                 }
             }
@@ -194,22 +191,24 @@ impl RebalanceCostHarness {
                 }
                 let src = old.host_ranks(newc)[0];
                 let dst = slot / s;
-                let tag = 0x4000 ^ (slot as u64);
+                // Migration blobs stay fp32: exported optimizer state
+                // (master + moments) has no fp16 representation.
+                let tag = tags.tag(WirePhase::Control, slot, src);
                 if rank == src {
                     let shard =
                         AdamShard::new(AdamConfig::default(), 0, &vec![0.0f32; h.param_count]);
                     let mut blob = shard.export_state();
                     blob.extend(vec![0.0f32; h.param_count]); // + weights
-                    sends.push(SendOp { to: dst, tag, data: blob });
+                    sends.push(SendOp::new(dst, tag, blob));
                 }
                 if rank == dst {
-                    recvs.push(RecvOp { from: src, tag });
+                    recvs.push(RecvOp::new(src, tag));
                 }
             }
             let received = ctx.batch_isend_irecv(sends, &recvs).unwrap();
             for blob in &received {
                 // The migrated state transits host memory too.
-                ctx.record_host_device_bytes(blob.len() as u64 * 4);
+                ctx.record_host_device_bytes(blob.byte_len());
             }
         });
         report

@@ -1,0 +1,84 @@
+//! Wire-protocol benchmarks: tag encode/decode throughput and the
+//! overlapped batched-exchange smoke the protocol fuzzer stresses for
+//! correctness — here timed, with epoch fencing and wire-length validation
+//! on the hot path.
+
+use symi_bench::{bench, group};
+use symi_collectives::coll::chunk_range;
+use symi_collectives::p2p::{RecvOp, SendOp};
+use symi_collectives::{tag, Cluster, ClusterSpec, TagSpace, WirePhase};
+
+fn bench_tag_codec() {
+    group("structured tag codec");
+    bench("encode_decode_4096_tags", || {
+        let mut acc = 0u64;
+        for it in 0..64u64 {
+            let tags = TagSpace::new(3, std::hint::black_box(it));
+            for entity in 0..64usize {
+                let t =
+                    tags.tag(WirePhase::WeightDistribute, std::hint::black_box(entity), entity % 8);
+                acc ^= tag::decode(t).expect("structured").entity;
+            }
+        }
+        std::hint::black_box(acc)
+    });
+}
+
+fn bench_overlapped_exchange() {
+    // The fused Grad+Weight schedule: all sends of both phases leave
+    // before any receive, weight receives posted first. Every receive is
+    // length-validated and epoch-checked.
+    group("overlapped grad+weight exchange (includes cluster spawn)");
+    for &(ranks, slots, len) in &[(4usize, 4usize, 1usize << 10), (8, 2, 1 << 10)] {
+        bench(&format!("exchange/{ranks}r_{slots}s_{len}f"), || {
+            Cluster::run(ClusterSpec::flat(ranks), |ctx| {
+                let me = ctx.rank();
+                let tags = TagSpace::new(0, 1);
+                let chunk = |r: usize| chunk_range(len, ranks, r);
+                let mut sends = Vec::new();
+                for dst in 0..ranks {
+                    let (a, b) = chunk(dst);
+                    sends.push(SendOp::new(
+                        dst,
+                        tags.tag(WirePhase::GradCollect, 0, me),
+                        vec![0.25f32; b - a],
+                    ));
+                }
+                let (ma, mb) = chunk(me);
+                let half = vec![0x3c00u16; mb - ma];
+                for slot in 0..ranks * slots {
+                    sends.push(SendOp::new(
+                        slot / slots,
+                        tags.tag(WirePhase::WeightDistribute, slot, me),
+                        half.clone(),
+                    ));
+                }
+                let mut recvs = Vec::new();
+                for local in 0..slots {
+                    let slot = me * slots + local;
+                    for src in 0..ranks {
+                        let (a, b) = chunk(src);
+                        recvs.push(RecvOp::sized(
+                            src,
+                            tags.tag(WirePhase::WeightDistribute, slot, src),
+                            b - a,
+                        ));
+                    }
+                }
+                for src in 0..ranks {
+                    recvs.push(RecvOp::sized(
+                        src,
+                        tags.tag(WirePhase::GradCollect, 0, src),
+                        mb - ma,
+                    ));
+                }
+                ctx.batch_isend_irecv(sends, &recvs).unwrap().len()
+            })
+        });
+    }
+}
+
+fn main() {
+    bench_tag_codec();
+    bench_overlapped_exchange();
+}

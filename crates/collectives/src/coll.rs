@@ -38,7 +38,7 @@ impl RankCtx {
             return Ok(());
         }
         self.reduce_scatter_in_place(group, idx, tag, data)?;
-        self.all_gather_in_place(group, idx, Self::step_tag(tag, 0x5151), data)?;
+        self.all_gather_in_place(group, idx, Self::subop_tag(tag, 1), data)?;
         Ok(())
     }
 
@@ -124,7 +124,7 @@ impl RankCtx {
         let holder_of_mine = (idx + m - 1) % m; // that rank reduced chunk idx
         let dest = group.ranks()[owned]; // we reduced chunk `owned`
         let src = group.ranks()[holder_of_mine];
-        let t = Self::step_tag(tag, 0xa11c);
+        let t = Self::subop_tag(tag, 2);
         self.send(dest, t, owned_data)?;
         let mine = self.recv_f32(src, t)?;
         let (ms, _) = chunk_range(data.len(), m, idx);
@@ -152,6 +152,32 @@ impl RankCtx {
             let outgoing = parts[send_idx].clone().expect("ring invariant: chunk present");
             self.send(next, Self::step_tag(tag, step as u64), outgoing)?;
             let incoming = self.recv_f32(prev, Self::step_tag(tag, step as u64))?;
+            parts[recv_idx] = Some(incoming);
+        }
+        Ok(parts.into_iter().map(|p| p.expect("all chunks gathered")).collect())
+    }
+
+    /// [`RankCtx::all_gather_varsize`] over raw fp16 bit patterns —
+    /// half-width weight shards move 2 B/element on the wire, matching the
+    /// fp16 working-weight accounting of the paper's cost model.
+    pub fn all_gather_varsize_f16(
+        &mut self,
+        group: &CommGroup,
+        tag: u64,
+        chunk: Vec<u16>,
+    ) -> Result<Vec<Vec<u16>>, CommError> {
+        let idx = group.index_of(self.rank()).ok_or(CommError::NotInGroup { rank: self.rank() })?;
+        let m = group.size();
+        let mut parts: Vec<Option<Vec<u16>>> = vec![None; m];
+        parts[idx] = Some(chunk);
+        let next = group.ranks()[(idx + 1) % m];
+        let prev = group.ranks()[(idx + m - 1) % m];
+        for step in 0..m - 1 {
+            let send_idx = (idx + m - step) % m;
+            let recv_idx = (idx + m - step - 1) % m;
+            let outgoing = parts[send_idx].clone().expect("ring invariant: chunk present");
+            self.send(next, Self::step_tag(tag, step as u64), outgoing)?;
+            let incoming = self.recv_f16(prev, Self::step_tag(tag, step as u64))?;
             parts[recv_idx] = Some(incoming);
         }
         Ok(parts.into_iter().map(|p| p.expect("all chunks gathered")).collect())
@@ -215,11 +241,11 @@ impl RankCtx {
                 }
             }
             for &peer in &group.ranks()[1..] {
-                self.send(peer, Self::step_tag(tag, 1), data.to_vec())?;
+                self.send(peer, Self::subop_tag(tag, 3), data.to_vec())?;
             }
         } else {
             self.send(root, tag, data.to_vec())?;
-            let summed = self.recv_u64(root, Self::step_tag(tag, 1))?;
+            let summed = self.recv_u64(root, Self::subop_tag(tag, 3))?;
             data.copy_from_slice(&summed);
         }
         Ok(())

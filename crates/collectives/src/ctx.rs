@@ -4,51 +4,180 @@ use crate::cluster::ClusterSpec;
 use crate::error::CommError;
 use crate::group::GroupRegistry;
 use crate::payload::Payload;
+use crate::tag::{self, WirePhase};
 use crate::traffic::{LinkClass, TrafficStats};
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 pub(crate) struct Message {
     pub from: usize,
     pub tag: u64,
+    /// Fencing epoch stamped at send time: the tag's own `(iteration,
+    /// phase)` for structured tags, the sender's current epoch for raw
+    /// ones.
+    pub epoch: u64,
     pub payload: Payload,
+}
+
+/// A buffered out-of-order arrival.
+struct Stashed {
+    payload: Payload,
+    epoch: u64,
+    /// Whether this message was already counted as fenced (counted once,
+    /// the first time the epoch fence refuses to deliver it).
+    fence_counted: bool,
+}
+
+/// Wire-protocol health counters, surfaced per rank through
+/// `RankCtx::protocol_stats` and from there into symi-telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Messages the epoch fence refused to deliver at least once.
+    pub fenced_messages: u64,
+    /// High-water mark of buffered out-of-order messages.
+    pub stash_peak: usize,
+    /// Currently buffered messages.
+    pub stash_depth: usize,
+    /// Receives that expired their configured timeout.
+    pub recv_timeouts: u64,
 }
 
 /// Tagged mailbox: messages are matched on `(from, tag)`; out-of-order
 /// arrivals are buffered. This is what lets independent collectives on
 /// disjoint (or even overlapping) communicator groups proceed concurrently
 /// without cross-talk, the way NCCL streams do.
+///
+/// On top of tag matching the mailbox enforces **epoch fencing**: every
+/// message is stamped with the `(iteration, phase)` epoch it was sent
+/// under, and a receive only accepts messages of its own epoch. For
+/// structured tags the epoch is derived from the tag itself (so the fence
+/// is consistent by construction); raw tags fall back to the rank-local
+/// epoch advanced by `RankCtx::begin_epoch`, which turns cross-phase tag
+/// aliasing — the bug class where a later phase's payload silently
+/// satisfies an earlier phase's receive — into a loud, diagnosable stall
+/// instead of corrupt data.
 pub(crate) struct Mailbox {
     rank: usize,
     senders: Vec<Sender<Message>>,
     rx: Receiver<Message>,
-    stash: HashMap<(usize, u64), VecDeque<Payload>>,
+    stash: HashMap<(usize, u64), VecDeque<Stashed>>,
+    /// Rank-local epoch: stamped on raw-tag sends, required of raw-tag
+    /// receives. Stays 0 unless `begin_epoch` is used, so plain tag-only
+    /// code keeps its historical semantics.
+    epoch: u64,
+    recv_timeout: Option<Duration>,
+    stats: ProtocolStats,
 }
 
 impl Mailbox {
     pub(crate) fn new(rank: usize, senders: Vec<Sender<Message>>, rx: Receiver<Message>) -> Self {
-        Self { rank, senders, rx, stash: HashMap::new() }
+        Self {
+            rank,
+            senders,
+            rx,
+            stash: HashMap::new(),
+            epoch: 0,
+            recv_timeout: None,
+            stats: ProtocolStats::default(),
+        }
     }
 
     fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        let epoch = tag::epoch_of(tag).unwrap_or(self.epoch);
         self.senders[to]
-            .send(Message { from: self.rank, tag, payload })
+            .send(Message { from: self.rank, tag, payload, epoch })
             .map_err(|_| CommError::PeerGone { rank: to })
     }
 
+    fn stash_push(&mut self, msg: Message) {
+        self.stash.entry((msg.from, msg.tag)).or_default().push_back(Stashed {
+            payload: msg.payload,
+            epoch: msg.epoch,
+            fence_counted: false,
+        });
+        self.stats.stash_depth += 1;
+        self.stats.stash_peak = self.stats.stash_peak.max(self.stats.stash_depth);
+    }
+
+    /// Decoded summary of every stashed message, sorted for determinism —
+    /// the payload of [`CommError::RecvTimeout`].
+    fn pending_summary(&self) -> Vec<String> {
+        let mut entries: Vec<(&(usize, u64), &VecDeque<Stashed>)> = self.stash.iter().collect();
+        entries.sort_by_key(|((from, tag), _)| (*from, *tag));
+        entries
+            .iter()
+            .flat_map(|((from, tagv), queue)| {
+                queue.iter().map(move |s| {
+                    format!(
+                        "from={from} {} elems={} epoch={}",
+                        tag::describe(*tagv),
+                        s.payload.elements(),
+                        s.epoch
+                    )
+                })
+            })
+            .collect()
+    }
+
     fn recv(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
-        if let Some(queue) = self.stash.get_mut(&(from, tag)) {
-            if let Some(p) = queue.pop_front() {
-                return Ok(p);
-            }
-        }
+        // A receive belongs to exactly one epoch: the tag's own for
+        // structured tags, the rank-local epoch for raw ones. Only a
+        // message stamped with that epoch may satisfy it — a colliding tag
+        // from any other phase is fenced, never silently delivered.
+        let allowed = tag::epoch_of(tag).unwrap_or(self.epoch);
+        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         loop {
-            let msg = self.rx.recv().map_err(|_| CommError::PeerGone { rank: from })?;
-            if msg.from == from && msg.tag == tag {
+            if let Some(queue) = self.stash.get_mut(&(from, tag)) {
+                match queue.front_mut() {
+                    Some(front) if front.epoch == allowed => {
+                        let s = queue.pop_front().expect("front exists");
+                        if queue.is_empty() {
+                            self.stash.remove(&(from, tag));
+                        }
+                        self.stats.stash_depth -= 1;
+                        return Ok(s.payload);
+                    }
+                    Some(front) if !front.fence_counted => {
+                        front.fence_counted = true;
+                        self.stats.fenced_messages += 1;
+                    }
+                    _ => {}
+                }
+            }
+            let msg = match deadline {
+                None => self.rx.recv().map_err(|_| CommError::PeerGone { rank: from })?,
+                Some(deadline) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(budget) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::PeerGone { rank: from });
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.stats.recv_timeouts += 1;
+                            return Err(CommError::RecvTimeout {
+                                from,
+                                tag: tag::describe(tag),
+                                waited_ms: self.recv_timeout.unwrap_or_default().as_millis() as u64,
+                                fenced: self.stats.fenced_messages,
+                                pending: self.pending_summary(),
+                            });
+                        }
+                    }
+                }
+            };
+            // Fast path: the awaited message, same epoch, nothing queued
+            // ahead of it on this (from, tag) channel.
+            if msg.from == from
+                && msg.tag == tag
+                && msg.epoch == allowed
+                && self.stash.get(&(from, tag)).is_none_or(VecDeque::is_empty)
+            {
                 return Ok(msg.payload);
             }
-            self.stash.entry((msg.from, msg.tag)).or_default().push_back(msg.payload);
+            self.stash_push(msg);
         }
     }
 }
@@ -127,6 +256,36 @@ impl RankCtx {
         self.recv(from, tag)?.into_u64()
     }
 
+    /// Convenience: receive and unwrap an `F16` payload (raw half bits).
+    pub fn recv_f16(&mut self, from: usize, tag: u64) -> Result<Vec<u16>, CommError> {
+        self.recv(from, tag)?.into_f16()
+    }
+
+    /// Advances this rank's fencing epoch to `(iteration, phase)` (epochs
+    /// are monotone: an older epoch never rewinds a newer one). The epoch
+    /// is stamped on every raw-tag send and required of every raw-tag
+    /// receive; structured tags carry their epoch in the tag itself and
+    /// ignore this. Code that never calls `begin_epoch` stays at epoch 0
+    /// on both sides of every raw exchange, preserving plain tag-matching
+    /// semantics.
+    pub fn begin_epoch(&mut self, iteration: u64, phase: WirePhase) {
+        let key = tag::TagSpace::new(0, iteration).epoch(phase);
+        self.mailbox.epoch = self.mailbox.epoch.max(key);
+    }
+
+    /// Installs (or clears) the receive timeout. On expiry the receive
+    /// returns [`CommError::RecvTimeout`] carrying the decoded pending
+    /// stash — the deadlock diagnosis the fence makes possible.
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        self.mailbox.recv_timeout = timeout;
+    }
+
+    /// This rank's wire-protocol health counters (fenced messages, stash
+    /// depth/peak, receive timeouts).
+    pub fn protocol_stats(&self) -> ProtocolStats {
+        self.mailbox.stats
+    }
+
     /// Global barrier across all ranks.
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -146,11 +305,39 @@ impl RankCtx {
         &self.traffic
     }
 
-    /// Derives a per-step tag from a collective's base tag. Mixes with a
-    /// splitmix-style constant so steps of nested/consecutive collectives
-    /// sharing a base tag cannot collide in practice.
+    /// Derives a per-step tag from a collective's base tag. Structured
+    /// tags get the step written into their dedicated step field; raw tags
+    /// keep the historical splitmix-style mix (with the structured marker
+    /// bit masked off so a mixed raw tag can never masquerade as
+    /// structured).
     pub(crate) fn step_tag(base: u64, step: u64) -> u64 {
-        base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(step.wrapping_add(1)))
+        if tag::is_structured(base) {
+            tag::with_step(base, step)
+        } else {
+            Self::raw_step_tag(base, step)
+        }
+    }
+
+    /// Derives a sub-collective tag from a collective's base tag —
+    /// distinguishes e.g. the all-gather half of an all-reduce from its
+    /// reduce-scatter half when both run ring steps over one base tag.
+    pub(crate) fn subop_tag(base: u64, subop: u8) -> u64 {
+        if tag::is_structured(base) {
+            tag::with_subop(base, subop)
+        } else {
+            // Historical raw salts, kept for tag-value stability of
+            // hand-tagged test traffic.
+            let salt = match subop {
+                1 => 0x5151,
+                2 => 0xa11c,
+                s => s as u64,
+            };
+            Self::raw_step_tag(base, salt)
+        }
+    }
+
+    fn raw_step_tag(base: u64, step: u64) -> u64 {
+        (base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(step.wrapping_add(1)))) & !tag::STRUCTURED
     }
 }
 

@@ -13,6 +13,18 @@ pub enum CommError {
     PayloadMismatch { expected: &'static str, got: &'static str },
     /// A group lookup failed (range not registered).
     UnknownGroup { start: usize, len: usize },
+    /// A received payload carried a different element count than the
+    /// receive posted — corrupt or misrouted data caught at the wire
+    /// instead of inside the optimizer. `tag` is the decoded tag
+    /// description of the offending receive.
+    LengthMismatch { from: usize, tag: String, expected: usize, got: usize },
+    /// A receive exceeded the configured timeout. `tag` describes the
+    /// receive that starved; `pending` is the decoded stash — every
+    /// buffered `(from, tag, elems, epoch)` at expiry — and `fenced` the
+    /// number of messages the epoch fence has refused so far, which
+    /// together make cross-phase deadlocks diagnosable from the error
+    /// alone.
+    RecvTimeout { from: usize, tag: String, waited_ms: u64, fenced: u64, pending: Vec<String> },
 }
 
 impl fmt::Display for CommError {
@@ -27,6 +39,22 @@ impl fmt::Display for CommError {
             }
             CommError::UnknownGroup { start, len } => {
                 write!(f, "communicator group [{start}, {}) was never registered", start + len)
+            }
+            CommError::LengthMismatch { from, tag, expected, got } => {
+                write!(
+                    f,
+                    "payload from rank {from} tagged {tag} carried {got} elements, \
+                     receiver expected {expected}"
+                )
+            }
+            CommError::RecvTimeout { from, tag, waited_ms, fenced, pending } => {
+                write!(
+                    f,
+                    "recv from rank {from} tagged {tag} timed out after {waited_ms} ms \
+                     ({fenced} messages fenced; {} pending: {})",
+                    pending.len(),
+                    pending.join(", ")
+                )
             }
         }
     }

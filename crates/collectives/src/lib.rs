@@ -38,11 +38,13 @@ pub mod group;
 pub mod hier;
 pub mod p2p;
 pub mod payload;
+pub mod tag;
 pub mod traffic;
 
 pub use cluster::{Cluster, ClusterSpec};
-pub use ctx::RankCtx;
+pub use ctx::{ProtocolStats, RankCtx};
 pub use error::CommError;
 pub use group::{CommGroup, GroupRegistry};
 pub use payload::Payload;
+pub use tag::{TagFields, TagSpace, WirePhase};
 pub use traffic::{LinkClass, TrafficReport, TrafficStats};

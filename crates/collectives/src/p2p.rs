@@ -6,16 +6,29 @@
 //! All sends are issued before any receive is blocked on, so an arbitrary
 //! bipartite transfer schedule completes without deadlock as long as the
 //! global send/recv sets match.
+//!
+//! Receives carry an optional expected element count: a payload of the
+//! wrong length is rejected at the wire with a typed
+//! [`CommError::LengthMismatch`] naming the decoded tag, instead of being
+//! handed to the optimizer as silently corrupt data.
 
 use crate::ctx::RankCtx;
 use crate::error::CommError;
+use crate::payload::Payload;
+use crate::tag;
 
 /// One outbound transfer in a batch.
 #[derive(Debug, Clone)]
 pub struct SendOp {
     pub to: usize,
     pub tag: u64,
-    pub data: Vec<f32>,
+    pub data: Payload,
+}
+
+impl SendOp {
+    pub fn new(to: usize, tag: u64, data: impl Into<Payload>) -> Self {
+        Self { to, tag, data: data.into() }
+    }
 }
 
 /// One inbound transfer in a batch.
@@ -23,11 +36,25 @@ pub struct SendOp {
 pub struct RecvOp {
     pub from: usize,
     pub tag: u64,
+    /// Expected element count; `None` accepts any length.
+    pub expect: Option<usize>,
+}
+
+impl RecvOp {
+    /// Receive accepting any payload length.
+    pub fn new(from: usize, tag: u64) -> Self {
+        Self { from, tag, expect: None }
+    }
+
+    /// Receive validating the payload's element count at the wire.
+    pub fn sized(from: usize, tag: u64, elements: usize) -> Self {
+        Self { from, tag, expect: Some(elements) }
+    }
 }
 
 impl RankCtx {
     /// Issues every send, then completes every receive, returning the
-    /// received buffers in the order of `recvs`.
+    /// received payloads in the order of `recvs`.
     ///
     /// Self-transfers (send to own rank) are legal and are delivered through
     /// the local mailbox without touching any link counter.
@@ -35,13 +62,24 @@ impl RankCtx {
         &mut self,
         sends: Vec<SendOp>,
         recvs: &[RecvOp],
-    ) -> Result<Vec<Vec<f32>>, CommError> {
+    ) -> Result<Vec<Payload>, CommError> {
         for op in sends {
             self.send(op.to, op.tag, op.data)?;
         }
         let mut out = Vec::with_capacity(recvs.len());
         for op in recvs {
-            out.push(self.recv_f32(op.from, op.tag)?);
+            let payload = self.recv(op.from, op.tag)?;
+            if let Some(expected) = op.expect {
+                if payload.elements() != expected {
+                    return Err(CommError::LengthMismatch {
+                        from: op.from,
+                        tag: tag::describe(op.tag),
+                        expected,
+                        got: payload.elements(),
+                    });
+                }
+            }
+            out.push(payload);
         }
         Ok(out)
     }
@@ -59,9 +97,9 @@ mod tests {
             let me = ctx.rank();
             let next = (me + 1) % n;
             let prev = (me + n - 1) % n;
-            let sends = vec![SendOp { to: next, tag: 1, data: vec![me as f32] }];
-            let recvs = [RecvOp { from: prev, tag: 1 }];
-            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0][0]
+            let sends = vec![SendOp::new(next, 1, vec![me as f32])];
+            let recvs = [RecvOp::sized(prev, 1, 1)];
+            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0].clone().into_f32().unwrap()[0]
         });
         assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
     }
@@ -72,12 +110,11 @@ mod tests {
         let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
             let me = ctx.rank();
             if me == 0 {
-                let recvs: Vec<RecvOp> =
-                    (1..n).map(|r| RecvOp { from: r, tag: r as u64 }).collect();
+                let recvs: Vec<RecvOp> = (1..n).map(|r| RecvOp::new(r, r as u64)).collect();
                 let got = ctx.batch_isend_irecv(vec![], &recvs).unwrap();
-                got.iter().map(|b| b[0]).sum::<f32>()
+                got.into_iter().map(|b| b.into_f32().unwrap()[0]).sum::<f32>()
             } else {
-                let sends = vec![SendOp { to: 0, tag: me as u64, data: vec![me as f32] }];
+                let sends = vec![SendOp::new(0, me as u64, vec![me as f32])];
                 ctx.batch_isend_irecv(sends, &[]).unwrap();
                 0.0
             }
@@ -89,9 +126,9 @@ mod tests {
     fn self_transfer_in_batch() {
         let (results, report) = Cluster::run(ClusterSpec::flat(2), |ctx| {
             let me = ctx.rank();
-            let sends = vec![SendOp { to: me, tag: 9, data: vec![me as f32 + 0.5] }];
-            let recvs = [RecvOp { from: me, tag: 9 }];
-            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0][0]
+            let sends = vec![SendOp::new(me, 9, vec![me as f32 + 0.5])];
+            let recvs = [RecvOp::sized(me, 9, 1)];
+            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0].clone().into_f32().unwrap()[0]
         });
         assert_eq!(results, vec![0.5, 1.5]);
         assert_eq!(report.total_bytes(), 0, "self transfers are free");
@@ -102,10 +139,44 @@ mod tests {
         // Both ranks send to each other simultaneously — must not deadlock.
         let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
             let other = 1 - ctx.rank();
-            let sends = vec![SendOp { to: other, tag: 2, data: vec![ctx.rank() as f32; 1000] }];
-            let recvs = [RecvOp { from: other, tag: 2 }];
-            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0][0]
+            let sends = vec![SendOp::new(other, 2, vec![ctx.rank() as f32; 1000])];
+            let recvs = [RecvOp::sized(other, 2, 1000)];
+            ctx.batch_isend_irecv(sends, &recvs).unwrap()[0].clone().into_f32().unwrap()[0]
         });
         assert_eq!(results, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected_at_the_wire() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.batch_isend_irecv(vec![SendOp::new(1, 4, vec![1.0f32; 3])], &[]).unwrap();
+                None
+            } else {
+                Some(ctx.batch_isend_irecv(vec![], &[RecvOp::sized(0, 4, 8)]).unwrap_err())
+            }
+        });
+        match results[1].as_ref().unwrap() {
+            CommError::LengthMismatch { from, expected, got, .. } => {
+                assert_eq!((*from, *expected, *got), (0, 8, 3));
+            }
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f16_payloads_travel_at_half_width() {
+        let (results, report) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                let half: Vec<u16> = vec![0x3c00; 100]; // fp16 1.0
+                ctx.batch_isend_irecv(vec![SendOp::new(1, 6, half)], &[]).unwrap();
+                0
+            } else {
+                let got = ctx.batch_isend_irecv(vec![], &[RecvOp::sized(0, 6, 100)]).unwrap();
+                got[0].clone().into_f16().unwrap().len()
+            }
+        });
+        assert_eq!(results[1], 100);
+        assert_eq!(report.inter_node_bytes, 200, "2 B per fp16 element");
     }
 }

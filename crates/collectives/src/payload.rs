@@ -46,11 +46,14 @@ impl From<&[u8]> for Bytes {
 }
 
 /// A typed payload. Collectives carrying tensor data use [`Payload::F32`];
-/// routing metadata (token→expert assignments, popularity counts) travels as
-/// [`Payload::U64`]; opaque blobs as [`Payload::Raw`].
+/// fp16-quantized weight shards travel as [`Payload::F16`] (raw half bits,
+/// 2 B/element on the wire — the width `adam.rs` documents for working
+/// weights); routing metadata (token→expert assignments, popularity counts)
+/// as [`Payload::U64`]; opaque blobs as [`Payload::Raw`].
 #[derive(Debug, Clone)]
 pub enum Payload {
     F32(Vec<f32>),
+    F16(Vec<u16>),
     U64(Vec<u64>),
     Raw(Bytes),
 }
@@ -60,14 +63,27 @@ impl Payload {
     pub fn byte_len(&self) -> u64 {
         match self {
             Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::F16(v) => (v.len() * 2) as u64,
             Payload::U64(v) => (v.len() * 8) as u64,
             Payload::Raw(b) => b.len() as u64,
+        }
+    }
+
+    /// Element count regardless of width — what wire-level length
+    /// validation compares against a receive's expected count.
+    pub fn elements(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::F16(v) => v.len(),
+            Payload::U64(v) => v.len(),
+            Payload::Raw(b) => b.len(),
         }
     }
 
     pub fn variant_name(&self) -> &'static str {
         match self {
             Payload::F32(_) => "F32",
+            Payload::F16(_) => "F16",
             Payload::U64(_) => "U64",
             Payload::Raw(_) => "Raw",
         }
@@ -79,6 +95,17 @@ impl Payload {
             Payload::F32(v) => Ok(v),
             other => Err(crate::CommError::PayloadMismatch {
                 expected: "F32",
+                got: other.variant_name(),
+            }),
+        }
+    }
+
+    /// Extracts the `F16` payload (raw half-precision bit patterns).
+    pub fn into_f16(self) -> Result<Vec<u16>, crate::CommError> {
+        match self {
+            Payload::F16(v) => Ok(v),
+            other => Err(crate::CommError::PayloadMismatch {
+                expected: "F16",
                 got: other.variant_name(),
             }),
         }
@@ -113,6 +140,12 @@ impl From<Vec<f32>> for Payload {
     }
 }
 
+impl From<Vec<u16>> for Payload {
+    fn from(v: Vec<u16>) -> Self {
+        Payload::F16(v)
+    }
+}
+
 impl From<Vec<u64>> for Payload {
     fn from(v: Vec<u64>) -> Self {
         Payload::U64(v)
@@ -132,8 +165,16 @@ mod tests {
     #[test]
     fn byte_len_accounts_element_width() {
         assert_eq!(Payload::F32(vec![0.0; 10]).byte_len(), 40);
+        assert_eq!(Payload::F16(vec![0; 10]).byte_len(), 20, "fp16 is 2 B/param on the wire");
         assert_eq!(Payload::U64(vec![0; 10]).byte_len(), 80);
         assert_eq!(Payload::Raw(Bytes::from_static(b"abc")).byte_len(), 3);
+    }
+
+    #[test]
+    fn elements_ignore_width() {
+        assert_eq!(Payload::F32(vec![0.0; 7]).elements(), 7);
+        assert_eq!(Payload::F16(vec![0; 7]).elements(), 7);
+        assert_eq!(Payload::U64(vec![0; 7]).elements(), 7);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! sequential specification. Driven by `symi_tensor::rng` with fixed seeds.
 
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{Cluster, ClusterSpec};
+use symi_collectives::{tag, Cluster, ClusterSpec, TagSpace, WirePhase};
 use symi_tensor::rng::{Rng, StdRng};
 
 #[test]
@@ -94,6 +94,112 @@ fn reduce_scatter_chunks_reassemble_allreduce() {
         }
         for (i, v) in assembled.iter().enumerate() {
             assert!((v - (i * total_rank_weight) as f32).abs() < 1e-2);
+        }
+    }
+}
+
+fn random_fields(rng: &mut StdRng) -> (usize, u64, WirePhase, usize, usize) {
+    let layer = rng.gen_range(0..64usize);
+    let iteration = rng.gen::<u64>() & ((1 << 18) - 1);
+    let phase = WirePhase::ALL[rng.gen_range(0..WirePhase::ALL.len())];
+    let entity = rng.gen_range(0..(1usize << 14));
+    let src = rng.gen_range(0..256usize);
+    (layer, iteration, phase, entity, src)
+}
+
+#[test]
+fn tag_decode_inverts_encode() {
+    let mut rng = StdRng::seed_from_u64(206);
+    for _ in 0..2000 {
+        let (layer, iteration, phase, entity, src) = random_fields(&mut rng);
+        let mut t = TagSpace::new(layer, iteration).tag(phase, entity, src);
+        let step = if rng.gen::<bool>() {
+            let s = rng.gen_range(0..1023u64);
+            t = tag::with_step(t, s);
+            Some(s)
+        } else {
+            None
+        };
+        let subop = if rng.gen::<bool>() {
+            let s = rng.gen_range(0..4u64) as u8;
+            t = tag::with_subop(t, s);
+            s
+        } else {
+            0
+        };
+        let f = tag::decode(t).expect("structured tags must decode");
+        assert_eq!(
+            (f.layer, f.iteration, f.phase(), f.entity, f.src, f.step, f.subop),
+            (layer as u64, iteration, Some(phase), entity as u64, src as u64, step, subop),
+            "round-trip failed for tag {t:#x}"
+        );
+    }
+}
+
+#[test]
+fn tag_fields_are_disjoint() {
+    // Changing exactly one field must leave every other decoded field
+    // untouched — the whole point of positional bit fields over XOR mixing.
+    let mut rng = StdRng::seed_from_u64(207);
+    for _ in 0..2000 {
+        let (layer, iteration, phase, entity, src) = random_fields(&mut rng);
+        let base = TagSpace::new(layer, iteration).tag(phase, entity, src);
+        let b = tag::decode(base).unwrap();
+        let entity2 = (entity + 1 + rng.gen_range(0..100usize)) & ((1 << 14) - 1);
+        let varied = TagSpace::new(layer, iteration).tag(phase, entity2, src);
+        assert_ne!(base, varied, "distinct entities must produce distinct tags");
+        let v = tag::decode(varied).unwrap();
+        assert_eq!(
+            (v.layer, v.iteration, v.phase(), v.src),
+            (b.layer, b.iteration, b.phase(), b.src),
+            "entity change leaked into sibling fields"
+        );
+        assert_eq!(v.entity, entity2 as u64);
+    }
+}
+
+#[test]
+fn structured_tags_never_collide_across_distinct_fields() {
+    let mut rng = StdRng::seed_from_u64(208);
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..4000 {
+        let key = random_fields(&mut rng);
+        let (layer, iteration, phase, entity, src) = key;
+        let t = TagSpace::new(layer, iteration).tag(phase, entity, src);
+        if let Some(prev) = seen.insert(t, key) {
+            assert_eq!(prev, key, "two field tuples mapped to one tag {t:#x}");
+        }
+    }
+}
+
+#[test]
+fn legacy_xor_scheme_aliased_grad_and_weight_phases() {
+    // Regression fixture for the silent-corruption bug: the retired tag
+    // scheme mixed `(iteration << 32) ^ (phase << 28)` bases with
+    // class/slot/src XOR salts, so a GradCollect message for class 0 and a
+    // WeightDistribute message for slot 16 from src 0 differed by
+    // `(8 << 28) ^ (9 << 28) == 1 << 28` — exactly the bit slot 16's
+    // `<< 24` salt lands on. Same iteration, same wire tag.
+    let legacy_base = |iteration: u64, phase: u64| (iteration << 32) ^ (phase << 28);
+    let legacy_grad = |it: u64, class: u64| legacy_base(it, 8) ^ (class << 20);
+    let legacy_weight =
+        |it: u64, slot: u64, src: u64| legacy_base(it, 9) ^ (slot << 24) ^ (src << 8);
+    assert_eq!(
+        legacy_grad(3, 0),
+        legacy_weight(3, 16, 0),
+        "fixture must reproduce the historical collision"
+    );
+
+    // The structured space keeps the same coordinates apart — for every
+    // (slot, src) in range, not just the historical (16, 0).
+    let tags = TagSpace::new(0, 3);
+    for slot in 0..64 {
+        for src in 0..8 {
+            assert_ne!(
+                tags.tag(WirePhase::GradCollect, 0, 0),
+                tags.tag(WirePhase::WeightDistribute, slot, src),
+                "slot {slot} src {src}"
+            );
         }
     }
 }

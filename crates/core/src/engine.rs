@@ -31,7 +31,7 @@ use crate::optimizer::SymiOptimizer;
 use crate::placement::ExpertPlacement;
 use crate::scheduler::compute_placement;
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{CommError, RankCtx};
+use symi_collectives::{CommError, RankCtx, TagSpace, WirePhase};
 use symi_model::expert::ExpertFfn;
 use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::ops::softmax_rows;
@@ -50,7 +50,8 @@ pub struct EngineConfig {
     pub adam: AdamConfig,
     pub seed: u64,
     /// Distinguishes the message tag space of multiple engines (one per
-    /// transformer layer) sharing the same ranks.
+    /// transformer layer) sharing the same ranks. Must fit the structured
+    /// tag's 6-bit layer field (< 64).
     pub layer_id: usize,
 }
 
@@ -78,6 +79,53 @@ pub struct IterStats {
     /// Slots whose resident class changed in the placement computed for the
     /// *next* iteration (the rebalance SYMI materializes for free).
     pub placement_churn: usize,
+}
+
+/// Sender-side capacity enforcement + replica load balancing (§3.4).
+///
+/// Each slot absorbs at most `slot_capacity` tokens per iteration, and the
+/// budget is split deterministically over sender ranks (`slot_capacity / n`
+/// each, remainder rotated across ranks by slot index so no rank
+/// systematically wins the leftovers). A token starts at its class's slot
+/// `gid % replicas` (the router extension of §3.2 step 2) and linearly
+/// probes the class's other slots when that slot's budget is exhausted;
+/// only when every replica is full is the token dropped.
+///
+/// This is a per-*slot* cap: the previous per-class quota
+/// (`slot_capacity × replicas` split over ranks) let `gid % replicas`
+/// collisions oversubscribe one slot far past `slot_capacity` while its
+/// siblings idled.
+///
+/// Returns `(kept local token ids, their global slots, taken per class)`.
+pub fn assign_token_slots(
+    assignment: &[usize],
+    placement: &ExpertPlacement,
+    slot_capacity: usize,
+    rank: usize,
+    rank_token_offset: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = placement.ranks();
+    let e = placement.replica_counts().len();
+    let mut slot_taken = vec![0usize; placement.total_slots()];
+    let share =
+        |slot: usize| slot_capacity / n + usize::from((rank + slot) % n < slot_capacity % n);
+    let mut taken = vec![0usize; e];
+    let mut kept = Vec::with_capacity(assignment.len());
+    let mut kept_slot = Vec::with_capacity(assignment.len());
+    for (t, &class) in assignment.iter().enumerate() {
+        let class_slots = placement.slots_of_class(class);
+        let start = (rank_token_offset + t) % class_slots.len();
+        let chosen = (0..class_slots.len())
+            .map(|probe| class_slots[(start + probe) % class_slots.len()])
+            .find(|&slot| slot_taken[slot] < share(slot));
+        if let Some(slot) = chosen {
+            slot_taken[slot] += 1;
+            taken[class] += 1;
+            kept.push(t);
+            kept_slot.push(slot);
+        }
+    }
+    (kept, kept_slot, taken)
 }
 
 /// Per-rank SYMI engine for one MoE layer.
@@ -153,8 +201,10 @@ impl MoeLayerEngine {
         self.optimizer.master_shard(class)
     }
 
-    fn tag(&self, phase: u64) -> u64 {
-        ((self.cfg.layer_id as u64) << 56) ^ (self.iteration << 32) ^ (phase << 28)
+    /// Flat gradients accumulated in a local slot by the last backward
+    /// (testing support — the finite-difference probe reads these).
+    pub fn slot_grads(&self, local_slot: usize) -> Vec<f32> {
+        self.slots[local_slot].flat_grads()
     }
 
     /// Runs one full training iteration on this rank's token shard.
@@ -179,6 +229,10 @@ impl MoeLayerEngine {
         let world = ctx.groups().world();
         let t_loc = x_local.rows();
         let tele = self.telemetry.clone();
+        // Every message of this iteration lives in one structured tag
+        // space: (layer | iteration | phase | entity | src) with exclusive
+        // bit fields, so no two phases can alias on the wire.
+        let tags = TagSpace::new(self.cfg.layer_id, self.iteration);
 
         // ---- Step 1: route locally, aggregate popularity globally. ----
         let routing_span = tele.span(Phase::Routing);
@@ -201,37 +255,24 @@ impl MoeLayerEngine {
         drop(routing_span);
         {
             let _span = tele.span(Phase::PopularityAllReduce);
-            ctx.allreduce_u64_sum(&world, self.tag(1), &mut popularity)?;
+            ctx.allreduce_u64_sum(
+                &world,
+                tags.phase_tag(WirePhase::PopularitySync),
+                &mut popularity,
+            )?;
         }
         self.metadata.record(0, popularity.clone());
 
         // ---- Step 2: capacity + replica load balancing + dispatch. ----
         let dispatch_span = tele.span(Phase::Dispatch);
         let replicas = self.placement.replica_counts();
-        // Sender-side quota: class capacity split evenly over ranks
-        // (deterministic; remainder to low ranks).
-        let quota: Vec<usize> = (0..e)
-            .map(|c| {
-                let cap = self.cfg.slot_capacity * replicas[c];
-                cap / n + usize::from(self.rank < cap % n)
-            })
-            .collect();
-        let mut taken = vec![0usize; e];
-        let mut kept: Vec<usize> = Vec::with_capacity(t_loc); // local token ids
-        let mut kept_slot: Vec<usize> = Vec::with_capacity(t_loc); // global slot
-        for (t, &class) in assignment.iter().enumerate().take(t_loc) {
-            if taken[class] >= quota[class] {
-                continue;
-            }
-            // Load-balance across the class's replica slots by global
-            // token index (router extension, §3.2 step 2).
-            let class_slots = self.placement.slots_of_class(class);
-            let gid = self.rank * t_loc + t;
-            let slot = class_slots[gid % class_slots.len()];
-            taken[class] += 1;
-            kept.push(t);
-            kept_slot.push(slot);
-        }
+        let (kept, kept_slot, taken) = assign_token_slots(
+            &assignment,
+            &self.placement,
+            self.cfg.slot_capacity,
+            self.rank,
+            self.rank * t_loc,
+        );
         let survived_local = kept.len();
 
         // Build per-destination buffers: token rows + slot metadata.
@@ -244,8 +285,10 @@ impl MoeLayerEngine {
             row_bufs[dest].extend_from_slice(x_local.row(t));
             meta_bufs[dest].push(slot as u64);
         }
-        let in_rows = ctx.alltoallv_f32(&world, self.tag(2), row_bufs)?;
-        let in_meta = ctx.alltoallv_u64(&world, self.tag(3), meta_bufs)?;
+        let in_rows =
+            ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::DispatchRows), row_bufs)?;
+        let in_meta =
+            ctx.alltoallv_u64(&world, tags.phase_tag(WirePhase::DispatchMeta), meta_bufs)?;
 
         // Assemble per-slot inputs; remember (src, j) → (slot, row).
         let d = self.cfg.d_model;
@@ -285,7 +328,8 @@ impl MoeLayerEngine {
                 back_bufs[src].extend_from_slice(slot_outputs[slot].row(row));
             }
         }
-        let returned = ctx.alltoallv_f32(&world, self.tag(4), back_bufs)?;
+        let returned =
+            ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::CombineReturn), back_bufs)?;
 
         // Combine: y[t] = gate_t · expert(x_t) for kept tokens; dropped
         // tokens contribute zero (residual semantics live outside).
@@ -308,9 +352,11 @@ impl MoeLayerEngine {
         dy.axpy(-1.0, target_local);
         let local_sq: f32 = dy.as_slice().iter().map(|v| v * v).sum();
         let mut loss_acc = vec![local_sq];
-        // dLoss/dy = (y - target) / (T_global · d) for the mean.
-        dy.scale(1.0 / (t_global * d as f32));
-        ctx.allreduce_sum(&world, self.tag(5), &mut loss_acc)?;
+        // dLoss/dy = 2 (y - target) / (T_global · d) for the mean of
+        // squares — the finite-difference probe in the tests pins the
+        // factor 2 the loss/gradient pair needs to stay consistent.
+        dy.scale(2.0 / (t_global * d as f32));
+        ctx.allreduce_sum(&world, tags.phase_tag(WirePhase::LossSync), &mut loss_acc)?;
         let loss = loss_acc[0] / (t_global * d as f32);
         drop(combine_span);
 
@@ -322,7 +368,7 @@ impl MoeLayerEngine {
             let g = gates[t];
             gbufs[dest].extend(dy.row(t).iter().map(|&v| v * g));
         }
-        let in_grads = ctx.alltoallv_f32(&world, self.tag(6), gbufs)?;
+        let in_grads = ctx.alltoallv_f32(&world, tags.phase_tag(WirePhase::GradReturn), gbufs)?;
         // Scatter into per-slot upstream matrices using the same map.
         let mut slot_dys: Vec<Vec<f32>> =
             slot_inputs.iter().map(|f| vec![0.0f32; f.len()]).collect();
@@ -354,7 +400,7 @@ impl MoeLayerEngine {
             let group = ctx.groups().range(start, len);
             ctx.expert_allreduce(
                 &group,
-                self.tag(7) ^ ((class as u64) << 8),
+                tags.tag(WirePhase::GradSync, class, 0),
                 &mut tensors,
                 self.placement.replica_counts()[class],
                 ReduceMode::Sum,
@@ -365,8 +411,7 @@ impl MoeLayerEngine {
 
         // ---- Steps 5–8: collect shards, schedule, step, materialize. ----
         // (The optimizer times its own GradComm/OptimizerStep/WeightComm.)
-        let grad_shards =
-            self.optimizer.collect_grads(ctx, &self.placement, &class_grads, self.tag(8))?;
+        let grad_shards = self.optimizer.collect_grads(ctx, &self.placement, &class_grads, tags)?;
         let weight_shards = self.optimizer.step(&grad_shards);
 
         let rebalance_span = tele.span(Phase::Rebalance);
@@ -379,7 +424,7 @@ impl MoeLayerEngine {
         drop(rebalance_span);
 
         let new_weights =
-            self.optimizer.distribute_weights(ctx, &next_placement, &weight_shards, self.tag(9))?;
+            self.optimizer.distribute_weights(ctx, &next_placement, &weight_shards, tags)?;
         {
             let _span = tele.span(Phase::WeightComm);
             for (local, weights) in new_weights.into_iter().enumerate() {
@@ -393,7 +438,16 @@ impl MoeLayerEngine {
         // all-reduce carrying [survived, dropped, kept_0..kept_E).
         let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
         counts.extend(taken.iter().map(|&k| k as u64));
-        ctx.allreduce_u64_sum(&world, self.tag(10), &mut counts)?;
+        ctx.allreduce_u64_sum(&world, tags.phase_tag(WirePhase::StatsSync), &mut counts)?;
+
+        // Wire-protocol health: fenced/stashed/timed-out messages flow into
+        // the telemetry registry next to the phase timings.
+        if tele.is_enabled() {
+            let ps = ctx.protocol_stats();
+            tele.gauge("protocol_fenced_messages").set(ps.fenced_messages as f64);
+            tele.gauge("protocol_stash_peak").set(ps.stash_peak as f64);
+            tele.gauge("protocol_recv_timeouts").set(ps.recv_timeouts as f64);
+        }
 
         Ok(IterStats {
             loss,
@@ -520,6 +574,129 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn per_slot_capacity_is_enforced_where_the_old_quota_oversubscribed() {
+        // Two classes, two replica slots each, across two ranks. Interleaved
+        // routing puts every class-0 token at an even global index, so the
+        // old `gid % replicas` router piled all of them onto one slot while
+        // its sibling idled — the per-class quota never noticed.
+        let nodes = 2;
+        let t_loc = 16;
+        let cap = 3;
+        let placement = ExpertPlacement::uniform(2, nodes, 2);
+        let assignment: Vec<usize> = (0..t_loc).map(|t| t % 2).collect();
+
+        // Old scheme (regression fixture): per-class quota + modulo router.
+        let replicas = placement.replica_counts();
+        let mut old_load = vec![0usize; placement.total_slots()];
+        for rank in 0..nodes {
+            let quota: Vec<usize> = (0..2)
+                .map(|c| {
+                    let class_cap = cap * replicas[c];
+                    class_cap / nodes + usize::from(rank < class_cap % nodes)
+                })
+                .collect();
+            let mut taken = [0usize; 2];
+            for (t, &class) in assignment.iter().enumerate() {
+                if taken[class] >= quota[class] {
+                    continue;
+                }
+                let class_slots = placement.slots_of_class(class);
+                let gid = rank * t_loc + t;
+                old_load[class_slots[gid % class_slots.len()]] += 1;
+                taken[class] += 1;
+            }
+        }
+        assert!(
+            old_load.iter().any(|&l| l > cap),
+            "fixture must reproduce the oversubscription: {old_load:?}"
+        );
+
+        // New scheme: no slot exceeds its capacity, and the probing fills
+        // the sibling replica the old router left idle.
+        let mut new_load = vec![0usize; placement.total_slots()];
+        let mut new_kept = 0usize;
+        for rank in 0..nodes {
+            let (kept, kept_slot, _) =
+                assign_token_slots(&assignment, &placement, cap, rank, rank * t_loc);
+            new_kept += kept.len();
+            for &slot in &kept_slot {
+                new_load[slot] += 1;
+            }
+        }
+        for (slot, &load) in new_load.iter().enumerate() {
+            assert!(load <= cap, "slot {slot} over capacity: {load} > {cap}, {new_load:?}");
+        }
+        assert_eq!(
+            new_kept,
+            placement.total_slots() * cap,
+            "all slots should fill exactly under adversarial demand: {new_load:?}"
+        );
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        // Single rank, single class, single slot: gate = softmax over one
+        // logit = 1 exactly, so loss(params) = Σ(ffn(x) − target)² / (T·d)
+        // and the engine's backward must produce d loss / d params — pinning
+        // the factor 2 in dLoss/dy = 2(y − target)/(T·d).
+        let probe = EngineConfig {
+            d_model: 4,
+            d_ff: 8,
+            expert_classes: 1,
+            slots_per_rank: 1,
+            slot_capacity: 1_000_000,
+            adam: AdamConfig::default(),
+            seed: 77,
+            layer_id: 0,
+        };
+        let t_loc = 5;
+        let (mut results, _) = Cluster::run(ClusterSpec::flat(1), move |ctx| {
+            let mut engine = MoeLayerEngine::new(0, 1, probe);
+            let x = token_matrix(0, t_loc, probe.d_model);
+            let target = token_matrix(3, t_loc, probe.d_model);
+            let stats = engine.iteration(ctx, &x, &target).unwrap();
+            (stats.loss, engine.slot_grads(0))
+        });
+        let (loss, analytic) = results.remove(0);
+
+        let x = token_matrix(0, t_loc, probe.d_model);
+        let target = token_matrix(3, t_loc, probe.d_model);
+        let loss_of = |params: &[f32]| -> f64 {
+            let mut ffn = ExpertFfn::new(probe.d_model, probe.d_ff, 0);
+            ffn.load_flat(params);
+            let y = ffn.forward(&x);
+            let sq: f64 = y
+                .as_slice()
+                .iter()
+                .zip(target.as_slice())
+                .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+                .sum();
+            sq / (t_loc * probe.d_model) as f64
+        };
+
+        // The canonical initial class weights the engine built its slot from.
+        let params0 = ExpertFfn::new(probe.d_model, probe.d_ff, probe.seed ^ 0xe0).flat_params();
+        assert!(
+            (f64::from(loss) - loss_of(&params0)).abs() < 1e-5,
+            "reported loss disagrees with direct evaluation"
+        );
+
+        let eps = 1e-2f32;
+        for (i, &g) in analytic.iter().enumerate() {
+            let mut p = params0.clone();
+            p[i] = params0[i] + eps;
+            let up = loss_of(&p);
+            p[i] = params0[i] - eps;
+            let down = loss_of(&p);
+            let fd = ((up - down) / (2.0 * f64::from(eps))) as f32;
+            assert!(
+                (g - fd).abs() <= 1e-3 + 0.05 * fd.abs(),
+                "param {i}: analytic grad {g} vs finite difference {fd}"
+            );
         }
     }
 

@@ -18,8 +18,9 @@
 use crate::placement::ExpertPlacement;
 use symi_collectives::coll::chunk_range;
 use symi_collectives::p2p::{RecvOp, SendOp};
-use symi_collectives::{CommError, RankCtx};
+use symi_collectives::{CommError, RankCtx, TagSpace, WirePhase};
 use symi_telemetry::{Phase, TelemetryHandle};
+use symi_tensor::adam::{f16_to_f32, f32_to_f16};
 use symi_tensor::{AdamConfig, AdamShard};
 
 /// Algorithm 2's `get_source`: which host rank serves `for_rank`'s shard
@@ -83,18 +84,22 @@ impl SymiOptimizer {
     /// class's (already EDP-synchronized) gradient.
     ///
     /// `local_grads[class]` is `Some(full flat gradient)` iff this rank
-    /// hosts a replica of `class` under `placement`.
+    /// hosts a replica of `class` under `placement`. `tags` is the
+    /// iteration's structured tag space: every shard travels under
+    /// `(GradCollect, class, src)` with exclusive bit fields, and each
+    /// receive validates the shard's element count at the wire.
     pub fn collect_grads(
         &self,
         ctx: &mut RankCtx,
         placement: &ExpertPlacement,
         local_grads: &[Option<Vec<f32>>],
-        tag: u64,
+        tags: TagSpace,
     ) -> Result<Vec<Vec<f32>>, CommError> {
         let _span = self.telemetry.span(Phase::GradComm);
         let e = self.shards.len();
         assert_eq!(local_grads.len(), e, "one (optional) gradient per class");
         let n = self.nodes;
+        ctx.begin_epoch(tags.iteration(), WirePhase::GradCollect);
 
         // Sends: for every class I host, serve the shard of every rank whose
         // get_source picks me.
@@ -109,11 +114,11 @@ impl SymiOptimizer {
                 }
                 if get_source(&hosts, dst) == self.rank {
                     let (s, t) = chunk_range(self.param_count, n, dst);
-                    sends.push(SendOp {
-                        to: dst,
-                        tag: tag ^ (class as u64) << 20,
-                        data: grad[s..t].to_vec(),
-                    });
+                    sends.push(SendOp::new(
+                        dst,
+                        tags.tag(WirePhase::GradCollect, class, self.rank),
+                        grad[s..t].to_vec(),
+                    ));
                 }
             }
         }
@@ -131,17 +136,22 @@ impl SymiOptimizer {
                     .expect("get_source returned self, so the class is local");
                 local_copy[class] = Some(grad[ms..mt].to_vec());
             } else {
-                recvs.push(RecvOp { from: src, tag: tag ^ (class as u64) << 20 });
+                recvs.push(RecvOp::sized(
+                    src,
+                    tags.tag(WirePhase::GradCollect, class, src),
+                    mt - ms,
+                ));
             }
         }
         let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
 
-        // Stage every collected shard into host memory (PCIe leg of T_G).
+        // Stage every collected shard into host memory (PCIe leg of T_G;
+        // gradients stay fp32 — only the weight phase travels fp16).
         let mut out = Vec::with_capacity(e);
         for slot in local_copy {
             let shard = match slot {
                 Some(local) => local,
-                None => received.next().expect("one receive per remote class"),
+                None => received.next().expect("one receive per remote class").into_f32()?,
             };
             ctx.record_host_device_bytes(shard.len() as u64 * 4);
             out.push(shard);
@@ -168,22 +178,35 @@ impl SymiOptimizer {
     /// id), ready to load into the physical experts — thereby
     /// *materializing* the new placement with zero extra traffic relative
     /// to a static system's weight update (§3.3-II).
+    /// The shards are fp16-quantized by [`SymiOptimizer::step`], so they
+    /// travel the wire (and the PCIe staging leg) as 2 B/param
+    /// [`Payload::F16`] — half the fp32 width the first-generation
+    /// accounting double-counted. Re-encoding is bit-exact because the
+    /// values are already on the fp16 grid.
+    ///
+    /// [`Payload::F16`]: symi_collectives::Payload::F16
     pub fn distribute_weights(
         &self,
         ctx: &mut RankCtx,
         new_placement: &ExpertPlacement,
         weight_shards: &[Vec<f32>],
-        tag: u64,
+        tags: TagSpace,
     ) -> Result<Vec<Vec<f32>>, CommError> {
         let _span = self.telemetry.span(Phase::WeightComm);
         let n = self.nodes;
         let s = new_placement.slots_per_rank();
         assert_eq!(weight_shards.len(), self.shards.len(), "one weight shard per class");
         assert_eq!(new_placement.ranks(), n, "placement rank count mismatch");
+        ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
 
-        // The shard leaves host memory over PCIe once per class.
-        for shard in weight_shards {
-            ctx.record_host_device_bytes(shard.len() as u64 * 4);
+        // Narrow once per class; the shard leaves host memory over PCIe at
+        // its true fp16 width (2 B/param).
+        let half_shards: Vec<Vec<u16>> = weight_shards
+            .iter()
+            .map(|shard| shard.iter().map(|&w| f32_to_f16(w)).collect())
+            .collect();
+        for shard in &half_shards {
+            ctx.record_host_device_bytes(shard.len() as u64 * 2);
         }
 
         // Send my shard of slot's class to every slot (self included via
@@ -192,35 +215,39 @@ impl SymiOptimizer {
         for slot in 0..new_placement.total_slots() {
             let class = new_placement.class_of_slot(slot);
             let host = new_placement.rank_of_slot(slot);
-            sends.push(SendOp {
-                to: host,
-                tag: tag ^ ((slot as u64) << 24) ^ ((self.rank as u64) << 8),
-                data: weight_shards[class].clone(),
-            });
+            sends.push(SendOp::new(
+                host,
+                tags.tag(WirePhase::WeightDistribute, slot, self.rank),
+                half_shards[class].clone(),
+            ));
         }
 
-        // Receive all N shards for each of my slots.
+        // Receive all N shards for each of my slots, length-checked at the
+        // wire against this rank's chunk geometry.
         let mut recvs = Vec::with_capacity(s * n);
         for local in 0..s {
             let slot = self.rank * s + local;
             for src in 0..n {
-                recvs.push(RecvOp {
-                    from: src,
-                    tag: tag ^ ((slot as u64) << 24) ^ ((src as u64) << 8),
-                });
+                let (a, b) = chunk_range(self.param_count, n, src);
+                recvs.push(RecvOp::sized(
+                    src,
+                    tags.tag(WirePhase::WeightDistribute, slot, src),
+                    b - a,
+                ));
             }
         }
-        let received = ctx.batch_isend_irecv(sends, &recvs)?;
+        let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
 
         // Assemble per-slot full weights from the N ordered shards.
         let mut out = Vec::with_capacity(s);
-        for local in 0..s {
+        for _local in 0..s {
             let mut full = vec![0.0f32; self.param_count];
             for src in 0..n {
-                let shard = &received[local * n + src];
+                let shard = received.next().expect("one receive per (slot, src)").into_f16()?;
                 let (a, b) = chunk_range(self.param_count, n, src);
-                assert_eq!(shard.len(), b - a, "shard length mismatch from rank {src}");
-                full[a..b].copy_from_slice(shard);
+                for (dst, &h) in full[a..b].iter_mut().zip(&shard) {
+                    *dst = f16_to_f32(h);
+                }
             }
             out.push(full);
         }

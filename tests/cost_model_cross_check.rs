@@ -4,7 +4,7 @@
 
 use symi::{ExpertPlacement, SymiOptimizer};
 use symi_collectives::coll::chunk_range;
-use symi_collectives::{Cluster, ClusterSpec};
+use symi_collectives::{Cluster, ClusterSpec, TagSpace};
 use symi_netsim::topology::HardwareSpec;
 use symi_netsim::{CommCostModel, SystemKind};
 use symi_tensor::AdamConfig;
@@ -22,7 +22,7 @@ fn measured_weight_phase(new_counts: &[usize]) -> (u64, u64) {
         let opt = SymiOptimizer::new(ctx.rank(), NODES, AdamConfig::default(), &params);
         let (a, b) = opt.shard_range();
         let shards: Vec<Vec<f32>> = (0..E).map(|_| vec![0.5f32; b - a]).collect();
-        let _ = opt.distribute_weights(ctx, &new, &shards, 7).unwrap();
+        let _ = opt.distribute_weights(ctx, &new, &shards, TagSpace::new(0, 0)).unwrap();
     });
     (report.inter_node_bytes, report.host_device_bytes)
 }
@@ -30,10 +30,11 @@ fn measured_weight_phase(new_counts: &[usize]) -> (u64, u64) {
 #[test]
 fn weight_phase_volume_matches_the_sn_w_identity() {
     // D_W = sN·W in total; over links it is sN·W·(N−1)/N because each
-    // rank's own shard arrives for free (self-send). W here is L·4 bytes.
+    // rank's own shard arrives for free (self-send). W here is L·2 bytes —
+    // weights travel at fp16 width.
     let uniform = vec![NODES * S / E; E];
     let (net, _) = measured_weight_phase(&uniform);
-    let w_bytes = (L * 4) as u64;
+    let w_bytes = (L * 2) as u64;
     let expected = (S * NODES) as u64 * w_bytes * (NODES as u64 - 1) / NODES as u64;
     assert_eq!(net, expected, "measured {net} vs identity {expected}");
 }
@@ -51,14 +52,14 @@ fn weight_phase_volume_is_invariant_in_the_placement() {
 
 #[test]
 fn pcie_staging_matches_e_w_over_n_per_rank() {
-    // Host→device staging: each rank pushes its shard of every class once:
-    // E · W/N bytes (±chunk rounding).
+    // Host→device staging: each rank pushes its fp16 shard of every class
+    // once: E · W/N bytes at 2 B/param (±chunk rounding).
     let uniform = vec![NODES * S / E; E];
     let (_, host_dev) = measured_weight_phase(&uniform);
     let mut expected = 0u64;
     for rank in 0..NODES {
         let (a, b) = chunk_range(L, NODES, rank);
-        expected += (E * (b - a) * 4) as u64;
+        expected += (E * (b - a) * 2) as u64;
     }
     assert_eq!(host_dev, expected);
 }
@@ -88,7 +89,7 @@ fn grad_collection_bytes_match_algorithm_2_schedule_exactly() {
             let local_grads: Vec<Option<Vec<f32>>> = (0..E)
                 .map(|c| placement2.rank_hosts(ctx.rank(), c).then(|| vec![0.1f32; L]))
                 .collect();
-            let _ = opt.collect_grads(ctx, &placement2, &local_grads, 3).unwrap();
+            let _ = opt.collect_grads(ctx, &placement2, &local_grads, TagSpace::new(0, 0)).unwrap();
         });
         assert_eq!(
             report.inter_node_bytes, predict,
@@ -106,7 +107,7 @@ fn analytic_model_agrees_with_itself_at_measured_scale() {
         expert_classes: E,
         slots_per_rank: S,
         grad_bytes: (L * 4) as f64,
-        weight_bytes: (L * 4) as f64,
+        weight_bytes: (L * 2) as f64, // fp16 wire width
         optimizer_bytes: (L * 16) as f64,
         hw: HardwareSpec::paper_eval_cluster(),
     };
