@@ -1,54 +1,142 @@
-//! Micro-benchmarks for the numeric kernels underlying the training stack.
+//! Micro-benchmarks for the blocked GEMM kernels against the naive oracle.
+//!
+//! Shapes follow the training stack's real GEMMs: the `small_sim`
+//! simulation config (d_model 64, d_ff 128) and the paper's GPT-Small
+//! geometry (d_model 768, d_ff 3072), plus a d256 midpoint where the
+//! acceptance criterion (≥3× single-thread speedup over naive) is
+//! checked. Each shape runs the naive i-j-k kernel once and the blocked
+//! kernel at 1/2/4/8 worker threads; results (ns/iter, GFLOP/s, speedup)
+//! land in `BENCH_kernels.json` at the repo root.
+//!
+//! With `SYMI_KERNEL_SMOKE=1` the binary instead runs a single-iteration
+//! smoke check (CI): one small shape, asserting the blocked kernel's
+//! throughput is at least the naive kernel's.
+
+use std::path::Path;
+use std::time::Instant;
 
 use symi_bench::{bench, group};
-use symi_tensor::adam::quantize_f16;
-use symi_tensor::ops::{cross_entropy, gelu, layernorm, softmax_rows};
-use symi_tensor::{AdamConfig, AdamState, Matrix};
+use symi_telemetry::json::{Obj, Value};
+use symi_tensor::kernels::naive;
+use symi_tensor::{pool, Matrix};
 
-fn bench_matmul() {
-    group("matmul");
-    for &n in &[32usize, 64, 128] {
-        let a = Matrix::from_fn(n, n, |r, cc| ((r * n + cc) as f32 * 0.001).sin());
-        let b = Matrix::from_fn(n, n, |r, cc| ((r + cc) as f32 * 0.002).cos());
-        bench(&format!("matmul/nn/{n}"), || a.matmul(&b));
-        bench(&format!("matmul/nt/{n}"), || a.matmul_nt(&b));
-        bench(&format!("matmul/tn/{n}"), || a.matmul_tn(&b));
-    }
+/// (label, m, k, n): `out[m×n] = a[m×k] · b[k×n]`.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("small_sim_ffn_up/64x64x128", 64, 64, 128),
+    ("d256/128x256x256", 128, 256, 256),
+    ("gpt_small_attn_proj/128x768x768", 128, 768, 768),
+    ("gpt_small_ffn_up/128x768x3072", 128, 768, 3072),
+    ("gpt_small_ffn_down/128x3072x768", 128, 3072, 768),
+];
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn inputs(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.001).sin());
+    let b = Matrix::from_fn(k, n, |r, c| ((r + 2 * c) as f32 * 0.002).cos());
+    (a, b)
 }
 
-fn bench_activations() {
-    group("activations");
-    let x = Matrix::from_fn(256, 256, |r, cc| ((r * 7 + cc) as f32 * 0.01).sin());
-    bench("softmax_rows_256x256", || softmax_rows(&x));
-    bench("gelu_256x256", || gelu(&x));
-    let gamma = Matrix::from_vec(1, 256, vec![1.0; 256]);
-    let beta = Matrix::zeros(1, 256);
-    bench("layernorm_256x256", || layernorm(&x, &gamma, &beta, 1e-5));
-    let targets: Vec<usize> = (0..256).map(|i| i % 256).collect();
-    bench("cross_entropy_256x256", || cross_entropy(&x, &targets));
+fn gflops(m: usize, k: usize, n: usize, ns: f64) -> f64 {
+    (2 * m * n * k) as f64 / ns
 }
 
-fn bench_adam() {
-    group("optimizer kernels");
-    let params = vec![0.1f32; 1 << 16];
-    let grads = vec![0.01f32; 1 << 16];
-    let mut out = vec![0.0f32; 1 << 16];
-    let mut state = AdamState::new(AdamConfig::default(), &params);
-    bench("adam_step_64k", || {
-        state.step(&grads, &mut out);
-        out[0]
-    });
-    bench("f16_quantize_64k", || {
-        let mut acc = 0u32;
-        for v in &params {
-            acc = acc.wrapping_add(quantize_f16(*v) as u32);
+fn bench_shapes() -> Value {
+    let mut rows = Vec::new();
+    for &(label, m, k, n) in SHAPES {
+        group(label);
+        let (a, b) = inputs(m, k, n);
+        let mut out = Matrix::zeros(m, n);
+
+        let naive_ns = bench(&format!("{label}/naive"), || naive::matmul(&a, &b)[(0, 0)]).min_ns;
+
+        let mut row = Obj::new();
+        row.set("shape", Value::str(label));
+        row.set("m", Value::u64(m as u64));
+        row.set("k", Value::u64(k as u64));
+        row.set("n", Value::u64(n as u64));
+        row.set("naive_ns", Value::Num(naive_ns));
+        row.set("naive_gflops", Value::Num(gflops(m, k, n, naive_ns)));
+
+        let mut by_threads = Vec::new();
+        let mut single_ns = f64::NAN;
+        for &t in THREADS {
+            pool::set_threads(t);
+            let r = bench(&format!("{label}/blocked/t{t}"), || {
+                a.matmul_into(&b, &mut out);
+                out[(0, 0)]
+            });
+            if t == 1 {
+                single_ns = r.min_ns;
+            }
+            let mut tr = Obj::new();
+            tr.set("threads", Value::u64(t as u64));
+            tr.set("blocked_ns", Value::Num(r.min_ns));
+            tr.set("gflops", Value::Num(gflops(m, k, n, r.min_ns)));
+            tr.set("speedup_vs_naive", Value::Num(naive_ns / r.min_ns));
+            by_threads.push(Value::Obj(tr));
         }
-        acc
-    });
+        pool::set_threads(1);
+        row.set("blocked", Value::Arr(by_threads));
+        row.set("single_thread_speedup", Value::Num(naive_ns / single_ns));
+        println!(
+            "{label}: naive {:.2} GFLOP/s, blocked(1t) {:.2} GFLOP/s, speedup {:.2}x",
+            gflops(m, k, n, naive_ns),
+            gflops(m, k, n, single_ns),
+            naive_ns / single_ns
+        );
+        rows.push(Value::Obj(row));
+    }
+    Value::Arr(rows)
+}
+
+/// CI smoke: single-digit iterations of one mid-size shape; asserts the
+/// blocked kernel is at least as fast as the naive oracle (min over a few
+/// repeats to duck scheduler noise on shared runners).
+fn smoke() {
+    let (label, m, k, n) = ("d256/128x256x256", 128usize, 256usize, 256usize);
+    let (a, b) = inputs(m, k, n);
+    let mut out = Matrix::zeros(m, n);
+    let mut naive_out = Matrix::zeros(m, n);
+    let reps = 5;
+
+    pool::set_threads(1);
+    let mut naive_ns = f64::INFINITY;
+    let mut blocked_ns = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        naive_out = naive::matmul(&a, &b);
+        naive_ns = naive_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        a.matmul_into(&b, &mut out);
+        blocked_ns = blocked_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    assert_eq!(out.as_slice(), naive_out.as_slice(), "blocked kernel must match oracle");
+    println!(
+        "smoke {label}: naive {:.2} GFLOP/s, blocked {:.2} GFLOP/s ({:.2}x)",
+        gflops(m, k, n, naive_ns),
+        gflops(m, k, n, blocked_ns),
+        naive_ns / blocked_ns
+    );
+    assert!(
+        blocked_ns <= naive_ns,
+        "blocked GEMM slower than naive: {blocked_ns:.0} ns vs {naive_ns:.0} ns"
+    );
 }
 
 fn main() {
-    bench_matmul();
-    bench_activations();
-    bench_adam();
+    if std::env::var("SYMI_KERNEL_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+
+    let shapes = bench_shapes();
+
+    let mut o = Obj::new();
+    o.set("bench", Value::str("gemm_kernels"));
+    o.set("threads_swept", Value::arr_u64(&THREADS.iter().map(|&t| t as u64).collect::<Vec<_>>()));
+    o.set("shapes", shapes);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_kernels.json");
+    std::fs::write(&out, Value::Obj(o).to_string()).expect("write kernels json");
+    println!("wrote {}", out.display());
 }

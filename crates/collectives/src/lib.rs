@@ -45,6 +45,6 @@ pub use cluster::{Cluster, ClusterSpec};
 pub use ctx::{ProtocolStats, RankCtx};
 pub use error::CommError;
 pub use group::{CommGroup, GroupRegistry};
-pub use payload::Payload;
+pub use payload::{decode_f16_into, encode_f16, Payload};
 pub use tag::{TagFields, TagSpace, WirePhase};
 pub use traffic::{LinkClass, TrafficReport, TrafficStats};

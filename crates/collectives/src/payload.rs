@@ -134,6 +134,37 @@ impl Payload {
     }
 }
 
+/// Elements per worker share below which fp16 conversion stays sequential
+/// (the conversion is ~1 ns/element; smaller chunks don't amortize a wake).
+const MIN_F16_ELEMS_PER_SHARE: usize = 16 * 1024;
+
+/// Narrows an fp32 buffer to IEEE binary16 wire format (round-to-nearest-
+/// even), converting disjoint chunks in parallel on the shared worker pool.
+/// Chunking is element-wise, so the result is identical for any worker
+/// count.
+pub fn encode_f16(src: &[f32]) -> Vec<u16> {
+    let mut dst = vec![0u16; src.len()];
+    symi_tensor::pool::par_convert(src, &mut dst, MIN_F16_ELEMS_PER_SHARE, |s, d| {
+        for (h, &w) in d.iter_mut().zip(s) {
+            *h = symi_tensor::adam::f32_to_f16(w);
+        }
+    });
+    dst
+}
+
+/// Widens fp16 wire data back to fp32 into `dst` (exact — every binary16
+/// value is representable in f32), in parallel chunks on the shared pool.
+///
+/// # Panics
+/// Panics if `src` and `dst` lengths differ.
+pub fn decode_f16_into(src: &[u16], dst: &mut [f32]) {
+    symi_tensor::pool::par_convert(src, dst, MIN_F16_ELEMS_PER_SHARE, |s, d| {
+        for (w, &h) in d.iter_mut().zip(s) {
+            *w = symi_tensor::adam::f16_to_f32(h);
+        }
+    });
+}
+
 impl From<Vec<f32>> for Payload {
     fn from(v: Vec<f32>) -> Self {
         Payload::F32(v)
@@ -187,5 +218,31 @@ mod tests {
     fn round_trip_preserves_data() {
         let v = vec![1.5f32, -2.5];
         assert_eq!(Payload::from(v.clone()).into_f32().unwrap(), v);
+    }
+
+    #[test]
+    fn f16_helpers_match_scalar_conversion() {
+        // Large enough to split across pool shares.
+        let src: Vec<f32> = (0..40_000).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let enc = encode_f16(&src);
+        let expect: Vec<u16> = src.iter().map(|&w| symi_tensor::adam::f32_to_f16(w)).collect();
+        assert_eq!(enc, expect);
+
+        let mut dec = vec![0.0f32; enc.len()];
+        decode_f16_into(&enc, &mut dec);
+        let expect: Vec<f32> = enc.iter().map(|&h| symi_tensor::adam::f16_to_f32(h)).collect();
+        assert_eq!(dec, expect);
+    }
+
+    #[test]
+    fn f16_encode_is_worker_count_invariant() {
+        let src: Vec<f32> = (0..70_000).map(|i| ((i * 7) as f32 * 0.013).cos()).collect();
+        let before = symi_tensor::pool::current_threads();
+        symi_tensor::pool::set_threads(1);
+        let one = encode_f16(&src);
+        symi_tensor::pool::set_threads(4);
+        let four = encode_f16(&src);
+        symi_tensor::pool::set_threads(before);
+        assert_eq!(one, four);
     }
 }

@@ -18,9 +18,8 @@
 use crate::placement::ExpertPlacement;
 use symi_collectives::coll::chunk_range;
 use symi_collectives::p2p::{RecvOp, SendOp};
-use symi_collectives::{CommError, RankCtx, TagSpace, WirePhase};
+use symi_collectives::{decode_f16_into, encode_f16, CommError, RankCtx, TagSpace, WirePhase};
 use symi_telemetry::{Phase, TelemetryHandle};
-use symi_tensor::adam::{f16_to_f32, f32_to_f16};
 use symi_tensor::{AdamConfig, AdamShard};
 
 /// Algorithm 2's `get_source`: which host rank serves `for_rank`'s shard
@@ -160,7 +159,9 @@ impl SymiOptimizer {
     }
 
     /// Adam step over every class's shard; returns the updated fp16-rounded
-    /// weight shards.
+    /// weight shards. Each shard's elementwise update runs in parallel
+    /// chunks on the shared worker pool (`symi_tensor::pool`), bit-exact
+    /// for any worker count.
     pub fn step(&mut self, grad_shards: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let _span = self.telemetry.span(Phase::OptimizerStep);
         assert_eq!(grad_shards.len(), self.shards.len(), "one gradient shard per class");
@@ -199,12 +200,11 @@ impl SymiOptimizer {
         assert_eq!(new_placement.ranks(), n, "placement rank count mismatch");
         ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
 
-        // Narrow once per class; the shard leaves host memory over PCIe at
-        // its true fp16 width (2 B/param).
-        let half_shards: Vec<Vec<u16>> = weight_shards
-            .iter()
-            .map(|shard| shard.iter().map(|&w| f32_to_f16(w)).collect())
-            .collect();
+        // Narrow once per class (parallel chunks on the shared pool); the
+        // shard leaves host memory over PCIe at its true fp16 width
+        // (2 B/param).
+        let half_shards: Vec<Vec<u16>> =
+            weight_shards.iter().map(|shard| encode_f16(shard)).collect();
         for shard in &half_shards {
             ctx.record_host_device_bytes(shard.len() as u64 * 2);
         }
@@ -245,9 +245,7 @@ impl SymiOptimizer {
             for src in 0..n {
                 let shard = received.next().expect("one receive per (slot, src)").into_f16()?;
                 let (a, b) = chunk_range(self.param_count, n, src);
-                for (dst, &h) in full[a..b].iter_mut().zip(&shard) {
-                    *dst = f16_to_f32(h);
-                }
+                decode_f16_into(&shard, &mut full[a..b]);
             }
             out.push(full);
         }

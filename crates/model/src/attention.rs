@@ -4,11 +4,12 @@
 //! are independent, so forward/backward loop over them. Head projections
 //! use column slices of fused `Wq/Wk/Wv` matrices.
 
-use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::ops::{softmax_rows_backward_into, softmax_rows_into};
 use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
-/// Per-sequence forward cache.
+/// Per-sequence forward cache. All matrices are persistent buffers reused
+/// across iterations (`forward` refills them in place).
 struct SeqCache {
     x: Matrix,
     q: Matrix,
@@ -20,7 +21,23 @@ struct SeqCache {
     concat: Matrix,
 }
 
+impl SeqCache {
+    fn empty() -> Self {
+        Self {
+            x: Matrix::zeros(0, 0),
+            q: Matrix::zeros(0, 0),
+            k: Matrix::zeros(0, 0),
+            v: Matrix::zeros(0, 0),
+            probs: Vec::new(),
+            concat: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 /// Multi-head causal self-attention layer.
+///
+/// Sequence caches and per-head scratch are persistent, so steady-state
+/// iterations at a fixed batch shape perform no heap allocation.
 pub struct CausalAttention {
     pub wq: Matrix,
     pub wk: Matrix,
@@ -33,6 +50,25 @@ pub struct CausalAttention {
     n_heads: usize,
     seq_len: usize,
     cache: Vec<SeqCache>,
+    /// Sequences the cache currently holds (≤ `cache.len()`, which only
+    /// grows; lets a smaller batch reuse the larger allocation).
+    cached_seqs: usize,
+    scratch_qh: Matrix,
+    scratch_kh: Matrix,
+    scratch_vh: Matrix,
+    scratch_scores: Matrix,
+    scratch_oh: Matrix,
+    scratch_y: Matrix,
+    scratch_dys: Matrix,
+    scratch_dconcat: Matrix,
+    scratch_dq: Matrix,
+    scratch_dk: Matrix,
+    scratch_dv: Matrix,
+    scratch_dp: Matrix,
+    scratch_ds: Matrix,
+    scratch_dh: Matrix,
+    scratch_dxs: Matrix,
+    scratch_dw: Matrix,
 }
 
 impl CausalAttention {
@@ -51,6 +87,23 @@ impl CausalAttention {
             n_heads,
             seq_len,
             cache: Vec::new(),
+            cached_seqs: 0,
+            scratch_qh: Matrix::zeros(0, 0),
+            scratch_kh: Matrix::zeros(0, 0),
+            scratch_vh: Matrix::zeros(0, 0),
+            scratch_scores: Matrix::zeros(0, 0),
+            scratch_oh: Matrix::zeros(0, 0),
+            scratch_y: Matrix::zeros(0, 0),
+            scratch_dys: Matrix::zeros(0, 0),
+            scratch_dconcat: Matrix::zeros(0, 0),
+            scratch_dq: Matrix::zeros(0, 0),
+            scratch_dk: Matrix::zeros(0, 0),
+            scratch_dv: Matrix::zeros(0, 0),
+            scratch_dp: Matrix::zeros(0, 0),
+            scratch_ds: Matrix::zeros(0, 0),
+            scratch_dh: Matrix::zeros(0, 0),
+            scratch_dxs: Matrix::zeros(0, 0),
+            scratch_dw: Matrix::zeros(0, 0),
         }
     }
 
@@ -62,62 +115,53 @@ impl CausalAttention {
         self.d_model() / self.n_heads
     }
 
-    /// Extracts head `h`'s column block from an `L × d_model` matrix.
-    fn head(&self, m: &Matrix, h: usize) -> Matrix {
-        let dh = self.d_head();
-        Matrix::from_fn(m.rows(), dh, |r, c| m[(r, h * dh + c)])
-    }
-
-    /// Adds a head block back into an `L × d_model` matrix.
-    fn add_head(&self, dst: &mut Matrix, src: &Matrix, h: usize) {
-        let dh = self.d_head();
-        for r in 0..src.rows() {
-            for c in 0..dh {
-                dst[(r, h * dh + c)] += src[(r, c)];
-            }
-        }
-    }
-
     /// Forward over a `(batch·L) × d_model` input.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let l = self.seq_len;
         assert_eq!(x.rows() % l, 0, "input must tile whole sequences");
         let batch = x.rows() / l;
-        let scale = 1.0 / (self.d_head() as f32).sqrt();
-        let mut out = Matrix::zeros(x.rows(), self.d_model());
-        self.cache.clear();
+        let d = self.d_model();
+        let dh = self.d_head();
+        let heads = self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut out = Matrix::zeros(x.rows(), d);
+        if self.cache.len() < batch {
+            self.cache.resize_with(batch, SeqCache::empty);
+        }
+        self.cached_seqs = batch;
 
         for b in 0..batch {
-            let rows: Vec<usize> = (b * l..(b + 1) * l).collect();
-            let xs = x.gather_rows(&rows);
-            let q = xs.matmul(&self.wq);
-            let k = xs.matmul(&self.wk);
-            let v = xs.matmul(&self.wv);
+            let c = &mut self.cache[b];
+            // Sequence b's rows are contiguous: copy the block directly.
+            c.x.resize_to(l, d);
+            c.x.as_mut_slice().copy_from_slice(&x.as_slice()[b * l * d..(b + 1) * l * d]);
+            c.x.matmul_into(&self.wq, &mut c.q);
+            c.x.matmul_into(&self.wk, &mut c.k);
+            c.x.matmul_into(&self.wv, &mut c.v);
 
-            let mut concat = Matrix::zeros(l, self.d_model());
-            let mut probs = Vec::with_capacity(self.n_heads);
-            for h in 0..self.n_heads {
-                let qh = self.head(&q, h);
-                let kh = self.head(&k, h);
-                let vh = self.head(&v, h);
-                let mut scores = qh.matmul_nt(&kh);
-                scores.scale(scale);
+            c.concat.resize_to(l, d);
+            if c.probs.len() < heads {
+                c.probs.resize_with(heads, || Matrix::zeros(0, 0));
+            }
+            for h in 0..heads {
+                copy_head_into(&c.q, h, dh, &mut self.scratch_qh);
+                copy_head_into(&c.k, h, dh, &mut self.scratch_kh);
+                copy_head_into(&c.v, h, dh, &mut self.scratch_vh);
+                self.scratch_qh.matmul_nt_into(&self.scratch_kh, &mut self.scratch_scores);
+                self.scratch_scores.scale(scale);
                 // Causal mask: position i attends to j ≤ i.
                 for i in 0..l {
                     for j in i + 1..l {
-                        scores[(i, j)] = -1.0e9;
+                        self.scratch_scores[(i, j)] = -1.0e9;
                     }
                 }
-                let p = softmax_rows(&scores);
-                let oh = p.matmul(&vh);
-                self.add_head(&mut concat, &oh, h);
-                probs.push(p);
+                softmax_rows_into(&self.scratch_scores, &mut c.probs[h]);
+                c.probs[h].matmul_into(&self.scratch_vh, &mut self.scratch_oh);
+                set_head(&mut c.concat, &self.scratch_oh, h, dh);
             }
-            let y = concat.matmul(&self.wo);
-            for (i, &row) in rows.iter().enumerate() {
-                out.copy_row_from(row, &y, i);
-            }
-            self.cache.push(SeqCache { x: xs, q, k, v, probs, concat });
+            c.concat.matmul_into(&self.wo, &mut self.scratch_y);
+            out.as_mut_slice()[b * l * d..(b + 1) * l * d]
+                .copy_from_slice(self.scratch_y.as_slice());
         }
         out
     }
@@ -126,55 +170,61 @@ impl CausalAttention {
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let l = self.seq_len;
         let batch = dy.rows() / l;
-        assert_eq!(batch, self.cache.len(), "backward without matching forward");
-        let scale = 1.0 / (self.d_head() as f32).sqrt();
-        let mut dx = Matrix::zeros(dy.rows(), self.d_model());
+        assert_eq!(batch, self.cached_seqs, "backward without matching forward");
+        let d = self.d_model();
+        let dh = self.d_head();
+        let heads = self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut dx = Matrix::zeros(dy.rows(), d);
 
         for b in 0..batch {
-            let rows: Vec<usize> = (b * l..(b + 1) * l).collect();
-            let dys = dy.gather_rows(&rows);
+            self.scratch_dys.resize_to(l, d);
+            self.scratch_dys
+                .as_mut_slice()
+                .copy_from_slice(&dy.as_slice()[b * l * d..(b + 1) * l * d]);
             let c = &self.cache[b];
 
             // Y = concat · Wo
-            self.wo_grad.axpy(1.0, &c.concat.matmul_tn(&dys));
-            let dconcat = dys.matmul_nt(&self.wo);
+            c.concat.matmul_tn_acc(&self.scratch_dys, &mut self.wo_grad);
+            self.scratch_dys.matmul_nt_into(&self.wo, &mut self.scratch_dconcat);
 
-            let mut dq = Matrix::zeros(l, self.d_model());
-            let mut dk = Matrix::zeros(l, self.d_model());
-            let mut dv = Matrix::zeros(l, self.d_model());
-            for h in 0..self.n_heads {
-                let doh = self.head(&dconcat, h);
+            self.scratch_dq.resize_to(l, d);
+            self.scratch_dk.resize_to(l, d);
+            self.scratch_dv.resize_to(l, d);
+            for h in 0..heads {
+                // doh: upstream gradient of this head's output block.
+                copy_head_into(&self.scratch_dconcat, h, dh, &mut self.scratch_dh);
+                copy_head_into(&c.v, h, dh, &mut self.scratch_vh);
+                copy_head_into(&c.q, h, dh, &mut self.scratch_qh);
+                copy_head_into(&c.k, h, dh, &mut self.scratch_kh);
                 let p = &c.probs[h];
-                let vh = self.head(&c.v, h);
-                let qh = self.head(&c.q, h);
-                let kh = self.head(&c.k, h);
 
                 // Oh = P · Vh
-                let dp = doh.matmul_nt(&vh);
-                let dvh = p.matmul_tn(&doh);
+                self.scratch_dh.matmul_nt_into(&self.scratch_vh, &mut self.scratch_dp);
+                p.matmul_tn_into(&self.scratch_dh, &mut self.scratch_oh); // dVh
+                set_head(&mut self.scratch_dv, &self.scratch_oh, h, dh);
                 // P = softmax(S); S = scale · Qh Khᵀ (masked entries have
                 // zero probability so their score grads vanish).
-                let mut ds = softmax_rows_backward(p, &dp);
-                ds.scale(scale);
-                let dqh = ds.matmul(&kh);
-                let dkh = ds.matmul_tn(&qh);
-
-                self.add_head(&mut dq, &dqh, h);
-                self.add_head(&mut dk, &dkh, h);
-                self.add_head(&mut dv, &dvh, h);
+                softmax_rows_backward_into(p, &self.scratch_dp, &mut self.scratch_ds);
+                self.scratch_ds.scale(scale);
+                self.scratch_ds.matmul_into(&self.scratch_kh, &mut self.scratch_oh); // dQh
+                set_head(&mut self.scratch_dq, &self.scratch_oh, h, dh);
+                self.scratch_ds.matmul_tn_into(&self.scratch_qh, &mut self.scratch_oh); // dKh
+                set_head(&mut self.scratch_dk, &self.scratch_oh, h, dh);
             }
 
             // Q = X Wq etc.
-            self.wq_grad.axpy(1.0, &c.x.matmul_tn(&dq));
-            self.wk_grad.axpy(1.0, &c.x.matmul_tn(&dk));
-            self.wv_grad.axpy(1.0, &c.x.matmul_tn(&dv));
-            let mut dxs = dq.matmul_nt(&self.wq);
-            dxs.axpy(1.0, &dk.matmul_nt(&self.wk));
-            dxs.axpy(1.0, &dv.matmul_nt(&self.wv));
+            c.x.matmul_tn_acc(&self.scratch_dq, &mut self.wq_grad);
+            c.x.matmul_tn_acc(&self.scratch_dk, &mut self.wk_grad);
+            c.x.matmul_tn_acc(&self.scratch_dv, &mut self.wv_grad);
+            self.scratch_dq.matmul_nt_into(&self.wq, &mut self.scratch_dxs);
+            self.scratch_dk.matmul_nt_into(&self.wk, &mut self.scratch_dw);
+            self.scratch_dxs.axpy(1.0, &self.scratch_dw);
+            self.scratch_dv.matmul_nt_into(&self.wv, &mut self.scratch_dw);
+            self.scratch_dxs.axpy(1.0, &self.scratch_dw);
 
-            for (i, &row) in rows.iter().enumerate() {
-                dx.copy_row_from(row, &dxs, i);
-            }
+            dx.as_mut_slice()[b * l * d..(b + 1) * l * d]
+                .copy_from_slice(self.scratch_dxs.as_slice());
         }
         dx
     }
@@ -191,6 +241,23 @@ impl CausalAttention {
         self.wk_grad.fill_zero();
         self.wv_grad.fill_zero();
         self.wo_grad.fill_zero();
+    }
+}
+
+/// Copies head `h`'s column block (`dh` wide) of `m` into `out`, reusing
+/// `out`'s allocation.
+fn copy_head_into(m: &Matrix, h: usize, dh: usize, out: &mut Matrix) {
+    out.resize_to(m.rows(), dh);
+    for r in 0..m.rows() {
+        out.row_mut(r).copy_from_slice(&m.row(r)[h * dh..(h + 1) * dh]);
+    }
+}
+
+/// Writes `src` into head `h`'s column block of `dst` (blocks are disjoint
+/// across heads, so a copy replaces the old zero-then-add sequence).
+fn set_head(dst: &mut Matrix, src: &Matrix, h: usize, dh: usize) {
+    for r in 0..src.rows() {
+        dst.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(src.row(r));
     }
 }
 

@@ -5,11 +5,15 @@
 //! optimizer shards, the gradient-collection phase gathers, and the
 //! weight-communication phase scatters.
 
-use symi_tensor::ops::{gelu, gelu_backward};
+use symi_tensor::ops::{gelu_backward_into, linear_gelu_into};
 use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
 /// A two-layer GELU FFN: `y = gelu(x·W1 + b1)·W2 + b2`.
+///
+/// Forward/backward run on the blocked kernels through persistent caches
+/// and scratch buffers (`*_into` entry points), so a steady-state training
+/// step performs no heap allocation inside the expert.
 pub struct ExpertFfn {
     pub w1: Matrix,
     pub b1: Matrix,
@@ -21,6 +25,9 @@ pub struct ExpertFfn {
     pub b2_grad: Matrix,
     cached_x: Matrix,
     cached_pre: Matrix,
+    cached_act: Matrix,
+    scratch_dact: Matrix,
+    scratch_dpre: Matrix,
 }
 
 impl ExpertFfn {
@@ -37,6 +44,9 @@ impl ExpertFfn {
             b2_grad: Matrix::zeros(1, d_model),
             cached_x: Matrix::zeros(0, 0),
             cached_pre: Matrix::zeros(0, 0),
+            cached_act: Matrix::zeros(0, 0),
+            scratch_dact: Matrix::zeros(0, 0),
+            scratch_dpre: Matrix::zeros(0, 0),
         }
     }
 
@@ -54,45 +64,68 @@ impl ExpertFfn {
     }
 
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut pre = x.matmul(&self.w1);
-        pre.add_bias(&self.b1);
-        let act = gelu(&pre);
-        let mut y = act.matmul(&self.w2);
-        y.add_bias(&self.b2);
-        self.cached_x = x.clone();
-        self.cached_pre = pre;
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
         y
     }
 
+    /// Forward pass into a reusable output buffer. The fused
+    /// `linear_gelu` kernel fills both the pre-activation and activation
+    /// caches in one pass; backward reuses them without recomputing GELU.
+    pub fn forward_into(&mut self, x: &Matrix, y: &mut Matrix) {
+        linear_gelu_into(x, &self.w1, &self.b1, &mut self.cached_pre, &mut self.cached_act);
+        self.cached_act.matmul_bias_into(&self.w2, &self.b2, y);
+        self.cached_x.copy_from(x);
+    }
+
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let act = gelu(&self.cached_pre);
-        self.w2_grad.axpy(1.0, &act.matmul_tn(dy));
-        self.b2_grad.axpy(1.0, &dy.sum_rows());
-        let dact = dy.matmul_nt(&self.w2);
-        let dpre = gelu_backward(&self.cached_pre, &dact);
-        self.w1_grad.axpy(1.0, &self.cached_x.matmul_tn(&dpre));
-        self.b1_grad.axpy(1.0, &dpre.sum_rows());
-        dpre.matmul_nt(&self.w1)
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(dy, &mut dx);
+        dx
+    }
+
+    /// Backward pass into a reusable `dx` buffer; gradients accumulate
+    /// into the `*_grad` fields.
+    pub fn backward_into(&mut self, dy: &Matrix, dx: &mut Matrix) {
+        self.cached_act.matmul_tn_acc(dy, &mut self.w2_grad);
+        dy.sum_rows_acc(&mut self.b2_grad);
+        dy.matmul_nt_into(&self.w2, &mut self.scratch_dact);
+        gelu_backward_into(&self.cached_pre, &self.scratch_dact, &mut self.scratch_dpre);
+        self.cached_x.matmul_tn_acc(&self.scratch_dpre, &mut self.w1_grad);
+        self.scratch_dpre.sum_rows_acc(&mut self.b1_grad);
+        self.scratch_dpre.matmul_nt_into(&self.w1, dx);
     }
 
     /// Parameters as one flat buffer: `[W1 | b1 | W2 | b2]`.
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.flat_params_into(&mut out);
+        out
+    }
+
+    /// [`ExpertFfn::flat_params`] into a reusable buffer.
+    pub fn flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
         out.extend_from_slice(self.w1.as_slice());
         out.extend_from_slice(self.b1.as_slice());
         out.extend_from_slice(self.w2.as_slice());
         out.extend_from_slice(self.b2.as_slice());
-        out
     }
 
     /// Gradients in the same flat layout.
     pub fn flat_grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.flat_grads_into(&mut out);
+        out
+    }
+
+    /// [`ExpertFfn::flat_grads`] into a reusable buffer.
+    pub fn flat_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
         out.extend_from_slice(self.w1_grad.as_slice());
         out.extend_from_slice(self.b1_grad.as_slice());
         out.extend_from_slice(self.w2_grad.as_slice());
         out.extend_from_slice(self.b2_grad.as_slice());
-        out
     }
 
     /// Loads parameters from a flat buffer produced by [`flat_params`].

@@ -50,18 +50,14 @@ impl MoeStats {
     }
 }
 
-/// Cached dispatch for backprop.
-struct DispatchCache {
-    /// Per expert: kept `(token, gate)` entries in processing order.
-    kept: Vec<Vec<(usize, f32)>>,
-    /// Expert output rows per expert, aligned with `kept`.
-    expert_out: Vec<Matrix>,
-}
-
 /// One MoE layer: a router plus `E` expert FFNs (one canonical instance per
 /// class — replica count only affects capacity in this functional model;
 /// the distributed engines in `symi`/`symi-baselines` materialize physical
 /// replicas).
+///
+/// Dispatch state (`kept`, per-class expert outputs) and gather/scatter
+/// scratch live in persistent buffers, so repeated forward/backward pairs
+/// at a fixed batch shape allocate nothing.
 pub struct MoeLayer {
     pub router: Router,
     pub experts: Vec<ExpertFfn>,
@@ -71,7 +67,19 @@ pub struct MoeLayer {
     /// routed experts only.
     pub shared: Option<ExpertFfn>,
     slot_capacity: f32,
-    cache: Option<DispatchCache>,
+    /// Per expert: kept `(token, gate)` entries in processing order
+    /// (the dispatch cache backprop replays).
+    kept: Vec<Vec<(usize, f32)>>,
+    /// Expert output rows per expert, aligned with `kept`.
+    expert_out: Vec<Matrix>,
+    cache_valid: bool,
+    scratch_caps: Vec<usize>,
+    scratch_indices: Vec<usize>,
+    scratch_xin: Matrix,
+    scratch_dexp: Matrix,
+    scratch_dxin: Matrix,
+    scratch_shared: Matrix,
+    scratch_dgates: Vec<Vec<(usize, f32)>>,
 }
 
 impl MoeLayer {
@@ -91,7 +99,16 @@ impl MoeLayer {
                 .collect(),
             shared: None,
             slot_capacity,
-            cache: None,
+            kept: (0..experts).map(|_| Vec::new()).collect(),
+            expert_out: (0..experts).map(|_| Matrix::zeros(0, 0)).collect(),
+            cache_valid: false,
+            scratch_caps: Vec::new(),
+            scratch_indices: Vec::new(),
+            scratch_xin: Matrix::zeros(0, 0),
+            scratch_dexp: Matrix::zeros(0, 0),
+            scratch_dxin: Matrix::zeros(0, 0),
+            scratch_shared: Matrix::zeros(0, 0),
+            scratch_dgates: Vec::new(),
         }
     }
 
@@ -116,47 +133,51 @@ impl MoeLayer {
     pub fn forward(&mut self, x: &Matrix, replicas: &[usize]) -> (Matrix, MoeStats) {
         assert_eq!(replicas.len(), self.experts.len(), "one replica count per class");
         let routing = self.router.forward(x);
-        let e = self.experts.len();
         let t = x.rows();
 
         // Capacity enforcement in arrival order, per assignment.
-        let caps: Vec<usize> = replicas.iter().map(|&r| self.capacity(r)).collect();
-        let mut kept: Vec<Vec<(usize, f32)>> = vec![Vec::new(); e];
+        self.scratch_caps.clear();
+        self.scratch_caps
+            .extend(replicas.iter().map(|&r| (self.slot_capacity * r as f32).floor() as usize));
+        for v in &mut self.kept {
+            v.clear();
+        }
         let mut token_survived = vec![false; t];
         let mut assignments_dropped = 0usize;
         for (tok, picks) in routing.assignment.iter().enumerate() {
             for &(class, gate) in picks {
-                if kept[class].len() < caps[class] {
-                    kept[class].push((tok, gate));
+                if self.kept[class].len() < self.scratch_caps[class] {
+                    self.kept[class].push((tok, gate));
                     token_survived[tok] = true;
                 } else {
                     assignments_dropped += 1;
                 }
             }
         }
-        let assignments_kept: usize = kept.iter().map(Vec::len).sum();
+        let assignments_kept: usize = self.kept.iter().map(Vec::len).sum();
         let survived = token_survived.iter().filter(|&&s| s).count();
 
         // Run each expert on its surviving tokens; scale by the gate.
         let mut y = Matrix::zeros(t, x.cols());
-        let mut expert_out = Vec::with_capacity(e);
         for (class, expert) in self.experts.iter_mut().enumerate() {
-            if kept[class].is_empty() {
-                expert_out.push(Matrix::zeros(0, x.cols()));
+            let kept = &self.kept[class];
+            if kept.is_empty() {
+                self.expert_out[class].resize_to(0, x.cols());
                 continue;
             }
-            let indices: Vec<usize> = kept[class].iter().map(|&(tok, _)| tok).collect();
-            let xin = x.gather_rows(&indices);
-            let out = expert.forward(&xin);
-            for (i, &(tok, gate)) in kept[class].iter().enumerate() {
-                y.axpy_row_from(tok, gate, &out, i);
+            self.scratch_indices.clear();
+            self.scratch_indices.extend(kept.iter().map(|&(tok, _)| tok));
+            x.gather_rows_into(&self.scratch_indices, &mut self.scratch_xin);
+            let out = &mut self.expert_out[class];
+            expert.forward_into(&self.scratch_xin, out);
+            for (i, &(tok, gate)) in kept.iter().enumerate() {
+                y.axpy_row_from(tok, gate, out, i);
             }
-            expert_out.push(out);
         }
 
         if let Some(shared) = &mut self.shared {
-            let out = shared.forward(x);
-            y.axpy(1.0, &out);
+            shared.forward_into(x, &mut self.scratch_shared);
+            y.axpy(1.0, &self.scratch_shared);
         }
 
         let stats = MoeStats {
@@ -165,49 +186,55 @@ impl MoeLayer {
             dropped: t - survived,
             assignments_kept,
             assignments_dropped,
-            kept_per_class: kept.iter().map(|v| v.len() as u64).collect(),
+            kept_per_class: self.kept.iter().map(|v| v.len() as u64).collect(),
             aux_loss: routing.aux_loss,
         };
-        self.cache = Some(DispatchCache { kept, expert_out });
+        self.cache_valid = true;
         (y, stats)
     }
 
     /// Backward pass; returns `dX`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("backward before forward");
+        assert!(self.cache_valid, "backward before forward");
+        self.cache_valid = false;
         let t = dy.rows();
         let mut dx = Matrix::zeros(t, dy.cols());
 
         // Gate gradients, per token: only kept assignments contribute.
-        let mut dgates: Vec<Vec<(usize, f32)>> = vec![Vec::new(); t];
+        self.scratch_dgates.resize_with(t, Vec::new);
+        for g in &mut self.scratch_dgates {
+            g.clear();
+        }
         for (class, expert) in self.experts.iter_mut().enumerate() {
-            let kept = &cache.kept[class];
+            let kept = &self.kept[class];
             if kept.is_empty() {
                 continue;
             }
             // Upstream into the expert: g_t · dy_t.
-            let mut dexp = Matrix::zeros(kept.len(), dy.cols());
+            self.scratch_dexp.resize_to(kept.len(), dy.cols());
+            self.scratch_dexp.fill_zero();
             for (i, &(tok, gate)) in kept.iter().enumerate() {
-                dexp.axpy_row_from(i, gate, dy, tok);
-                let out_row = cache.expert_out[class].row(i);
+                self.scratch_dexp.axpy_row_from(i, gate, dy, tok);
+                let out_row = self.expert_out[class].row(i);
                 let dgate: f32 = dy.row(tok).iter().zip(out_row).map(|(a, b)| a * b).sum();
-                dgates[tok].push((class, dgate));
+                self.scratch_dgates[tok].push((class, dgate));
             }
-            let dxin = expert.backward(&dexp);
+            expert.backward_into(&self.scratch_dexp, &mut self.scratch_dxin);
             for (i, &(tok, _)) in kept.iter().enumerate() {
-                dx.axpy_row_from(tok, 1.0, &dxin, i);
+                dx.axpy_row_from(tok, 1.0, &self.scratch_dxin, i);
             }
         }
 
         // Shared-expert path: every token, ungated.
         if let Some(shared) = &mut self.shared {
-            let dx_shared = shared.backward(dy);
-            dx.axpy(1.0, &dx_shared);
+            shared.backward_into(dy, &mut self.scratch_dxin);
+            dx.axpy(1.0, &self.scratch_dxin);
         }
 
-        // Router path (gate + aux gradients).
-        let dx_router = self.router.backward(&dgates);
-        dx.axpy(1.0, &dx_router);
+        // Router path (gate + aux gradients): dX += dX_router, reusing the
+        // shared scratch as the router's output buffer.
+        self.router.backward_into(&self.scratch_dgates, &mut self.scratch_dxin);
+        dx.axpy(1.0, &self.scratch_dxin);
         dx
     }
 

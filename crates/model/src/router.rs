@@ -10,7 +10,7 @@
 //! Layer Metadata Store aggregates (§3.4); with `k > 1` each token
 //! contributes `k` assignment counts.
 
-use symi_tensor::ops::{softmax_rows, softmax_rows_backward};
+use symi_tensor::ops::{softmax_rows_backward_into, softmax_rows_into};
 use symi_tensor::rng::StdRng;
 use symi_tensor::{init, Matrix};
 
@@ -42,6 +42,11 @@ pub struct Router {
     cached_x: Matrix,
     cached_probs: Matrix,
     cached_top1: Vec<usize>,
+    scratch_logits: Matrix,
+    scratch_dprobs: Matrix,
+    scratch_dlogits: Matrix,
+    scratch_order: Vec<usize>,
+    scratch_f: Vec<f32>,
 }
 
 impl Router {
@@ -56,6 +61,11 @@ impl Router {
             cached_x: Matrix::zeros(0, 0),
             cached_probs: Matrix::zeros(0, 0),
             cached_top1: Vec::new(),
+            scratch_logits: Matrix::zeros(0, 0),
+            scratch_dprobs: Matrix::zeros(0, 0),
+            scratch_dlogits: Matrix::zeros(0, 0),
+            scratch_order: Vec::new(),
+            scratch_f: Vec::new(),
         }
     }
 
@@ -69,21 +79,23 @@ impl Router {
 
     /// Routes every token (row of `x`) to its top-k experts.
     pub fn forward(&mut self, x: &Matrix) -> Routing {
-        let logits = x.matmul(&self.w);
-        let probs = softmax_rows(&logits);
+        x.matmul_into(&self.w, &mut self.scratch_logits);
+        softmax_rows_into(&self.scratch_logits, &mut self.cached_probs);
         let e = self.experts();
         let t = x.rows();
         let k = self.top_k;
 
         let mut assignment = Vec::with_capacity(t);
         let mut popularity = vec![0u64; e];
-        let mut top1 = Vec::with_capacity(t);
+        self.cached_top1.clear();
         for r in 0..t {
-            let row = probs.row(r);
-            let mut order: Vec<usize> = (0..e).collect();
-            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
-            let picks: Vec<(usize, f32)> = order[..k].iter().map(|&c| (c, row[c])).collect();
-            top1.push(picks[0].0);
+            let row = self.cached_probs.row(r);
+            self.scratch_order.clear();
+            self.scratch_order.extend(0..e);
+            self.scratch_order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
+            let picks: Vec<(usize, f32)> =
+                self.scratch_order[..k].iter().map(|&c| (c, row[c])).collect();
+            self.cached_top1.push(picks[0].0);
             for &(c, _) in &picks {
                 popularity[c] += 1;
             }
@@ -93,19 +105,18 @@ impl Router {
         // Switch aux loss over top-1 fractions: coef · E · Σ_e f_e · P_e.
         let tf = t as f32;
         let mut aux = 0.0f32;
-        let mut f = vec![0.0f32; e];
-        for &a in &top1 {
-            f[a] += 1.0 / tf;
+        self.scratch_f.clear();
+        self.scratch_f.resize(e, 0.0);
+        for &a in &self.cached_top1 {
+            self.scratch_f[a] += 1.0 / tf;
         }
         for class in 0..e {
-            let p_e: f32 = (0..t).map(|r| probs[(r, class)]).sum::<f32>() / tf;
-            aux += f[class] * p_e;
+            let p_e: f32 = (0..t).map(|r| self.cached_probs[(r, class)]).sum::<f32>() / tf;
+            aux += self.scratch_f[class] * p_e;
         }
         aux *= self.aux_coef * e as f32;
 
-        self.cached_x = x.clone();
-        self.cached_probs = probs;
-        self.cached_top1 = top1;
+        self.cached_x.copy_from(x);
         Routing { assignment, popularity, aux_loss: aux }
     }
 
@@ -113,28 +124,41 @@ impl Router {
     /// token `t`'s kept assignments; the auxiliary-loss gradient (with
     /// `f_e` constant, as in Switch) is added internally. Returns `dX`.
     pub fn backward(&mut self, dgates: &[Vec<(usize, f32)>]) -> Matrix {
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(dgates, &mut dx);
+        dx
+    }
+
+    /// [`Router::backward`] into a reusable `dx` buffer.
+    pub fn backward_into(&mut self, dgates: &[Vec<(usize, f32)>], dx: &mut Matrix) {
         let t = self.cached_x.rows();
         assert_eq!(dgates.len(), t, "one gate-gradient list per token");
         let e = self.experts();
         let tf = t as f32;
 
-        let mut f = vec![0.0f32; e];
+        self.scratch_f.clear();
+        self.scratch_f.resize(e, 0.0);
         for &a in &self.cached_top1 {
-            f[a] += 1.0 / tf;
+            self.scratch_f[a] += 1.0 / tf;
         }
 
-        let mut dprobs = Matrix::zeros(t, e);
+        self.scratch_dprobs.resize_to(t, e);
+        self.scratch_dprobs.fill_zero();
         for (r, gates) in dgates.iter().enumerate() {
             for &(c, dg) in gates {
-                dprobs[(r, c)] += dg;
+                self.scratch_dprobs[(r, c)] += dg;
             }
             for c in 0..e {
-                dprobs[(r, c)] += self.aux_coef * e as f32 * f[c] / tf;
+                self.scratch_dprobs[(r, c)] += self.aux_coef * e as f32 * self.scratch_f[c] / tf;
             }
         }
-        let dlogits = softmax_rows_backward(&self.cached_probs, &dprobs);
-        self.w_grad.axpy(1.0, &self.cached_x.matmul_tn(&dlogits));
-        dlogits.matmul_nt(&self.w)
+        softmax_rows_backward_into(
+            &self.cached_probs,
+            &self.scratch_dprobs,
+            &mut self.scratch_dlogits,
+        );
+        self.cached_x.matmul_tn_acc(&self.scratch_dlogits, &mut self.w_grad);
+        self.scratch_dlogits.matmul_nt_into(&self.w, dx);
     }
 
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -14,7 +14,7 @@ use crate::config::ModelConfig;
 use crate::model::{GptMoe, StepStats};
 use std::sync::Arc;
 use symi_telemetry::{ClusterTelemetry, IterationReport, Phase};
-use symi_tensor::{AdamConfig, AdamState};
+use symi_tensor::{kernel_stats, pool, AdamConfig, AdamState, KernelStats, PoolStats};
 use symi_workload::{DriftingCorpus, PopularityTrace};
 
 /// Decides each layer's replica allocation for the next iteration.
@@ -109,6 +109,14 @@ pub struct Trainer {
     /// Per-iteration observability (disabled by default; see
     /// [`Trainer::attach_telemetry`]).
     telemetry: Arc<ClusterTelemetry>,
+    /// Reused flat gradient / updated-weight buffers for the expert
+    /// optimizer loop (no per-class allocation in steady state).
+    scratch_grads: Vec<f32>,
+    scratch_updated: Vec<f32>,
+    /// Kernel/pool counter snapshots from the end of the previous step, so
+    /// each iteration's gauges report per-step deltas.
+    last_kernel: KernelStats,
+    last_pool: PoolStats,
 }
 
 impl Trainer {
@@ -136,6 +144,10 @@ impl Trainer {
             record,
             iteration: 0,
             telemetry: ClusterTelemetry::disabled(1),
+            scratch_grads: Vec::new(),
+            scratch_updated: Vec::new(),
+            last_kernel: kernel_stats(),
+            last_pool: pool::stats(),
         }
     }
 
@@ -190,13 +202,14 @@ impl Trainer {
             idx += 1;
         });
 
-        // Expert parameters: flat Adam per (layer, class).
+        // Expert parameters: flat Adam per (layer, class), staged through
+        // the trainer's reusable flat buffers.
         for (layer, block) in self.model.blocks.iter_mut().enumerate() {
             for (class, expert) in block.moe.experts.iter_mut().enumerate() {
-                let grads = expert.flat_grads();
-                let mut updated = vec![0.0f32; grads.len()];
-                self.expert_opt[layer][class].step(&grads, &mut updated);
-                expert.load_flat(&updated);
+                expert.flat_grads_into(&mut self.scratch_grads);
+                self.scratch_updated.resize(self.scratch_grads.len(), 0.0);
+                self.expert_opt[layer][class].step(&self.scratch_grads, &mut self.scratch_updated);
+                expert.load_flat(&self.scratch_updated);
             }
         }
         drop(opt_span);
@@ -255,8 +268,27 @@ impl Trainer {
             }
             report.placement_churn = moved_total as u64;
             report.phase_ns = self.telemetry.drain_phase_ns();
+
+            // Per-step compute-kernel and thread-pool gauges (deltas vs the
+            // previous step's counter snapshots).
+            let kern = kernel_stats();
+            let pstats = pool::stats();
+            let gemm_ns = kern.gemm_ns.saturating_sub(self.last_kernel.gemm_ns);
+            let gemm_flops = kern.gemm_flops.saturating_sub(self.last_kernel.gemm_flops);
+            tele.gauge("kernel.gemm_ms").set(gemm_ns as f64 / 1e6);
+            tele.gauge("kernel.gemm_gflops").set(if gemm_ns > 0 {
+                gemm_flops as f64 / gemm_ns as f64
+            } else {
+                0.0
+            });
+            tele.gauge("pool.threads").set(pstats.threads as f64);
+            tele.gauge("pool.jobs").set(pstats.jobs.saturating_sub(self.last_pool.jobs) as f64);
+            tele.gauge("pool.busy_ms")
+                .set(pstats.busy_ns.saturating_sub(self.last_pool.busy_ns) as f64 / 1e6);
             self.telemetry.emit(&report);
         }
+        self.last_kernel = kernel_stats();
+        self.last_pool = pool::stats();
 
         self.iteration += 1;
         stats

@@ -135,19 +135,18 @@ impl AdamShard {
     /// One Adam step over this shard: consumes the matching gradient shard,
     /// returns the updated fp16-quantized weight shard.
     pub fn step(&mut self, grad_shard: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.master.len()];
+        self.step_into(grad_shard, &mut out);
+        out
+    }
+
+    /// [`AdamShard::step`] into a caller-provided buffer (resized to the
+    /// shard length), so the steady-state loop reuses its allocation.
+    pub fn step_into(&mut self, grad_shard: &[f32], out: &mut Vec<f32>) {
         assert_eq!(grad_shard.len(), self.master.len(), "gradient shard length mismatch");
         self.t += 1;
-        let mut out = vec![0.0f32; self.master.len()];
-        step_kernel(
-            &self.cfg,
-            self.t,
-            &mut self.master,
-            &mut self.m,
-            &mut self.v,
-            grad_shard,
-            &mut out,
-        );
-        out
+        out.resize(self.master.len(), 0.0);
+        step_kernel(&self.cfg, self.t, &mut self.master, &mut self.m, &mut self.v, grad_shard, out);
     }
 
     /// fp32 master weights of this shard.
@@ -185,17 +184,19 @@ impl AdamShard {
     }
 }
 
-fn step_kernel(
+/// Per-element Adam update on one chunk; the math is purely elementwise,
+/// so chunking it across the pool cannot change any result bit.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk(
     cfg: &AdamConfig,
-    t: u64,
+    bc1: f32,
+    bc2: f32,
     master: &mut [f32],
     m: &mut [f32],
     v: &mut [f32],
     grads: &[f32],
     params_out: &mut [f32],
 ) {
-    let bc1 = 1.0 - cfg.beta1.powi(t as i32);
-    let bc2 = 1.0 - cfg.beta2.powi(t as i32);
     for i in 0..master.len() {
         let g = grads[i] + cfg.weight_decay * master[i];
         m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g;
@@ -205,6 +206,49 @@ fn step_kernel(
         master[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
         params_out[i] = quantize_f16(master[i]);
     }
+}
+
+/// Elements below which the Adam step is not worth splitting across shares.
+const MIN_ADAM_ELEMS_PER_SHARE: usize = 4096;
+
+fn step_kernel(
+    cfg: &AdamConfig,
+    t: u64,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grads: &[f32],
+    params_out: &mut [f32],
+) {
+    use crate::pool::{self, share_bounds, Parts};
+    let bc1 = 1.0 - cfg.beta1.powi(t as i32);
+    let bc2 = 1.0 - cfg.beta2.powi(t as i32);
+    let n = master.len();
+    let p = pool::current_threads().min((n / MIN_ADAM_ELEMS_PER_SHARE).max(1));
+    if p == 1 {
+        step_chunk(cfg, bc1, bc2, master, m, v, grads, params_out);
+        return;
+    }
+    let (bounds, p) = share_bounds(n, p);
+    let master = Parts::split(master, &bounds[..p], 1);
+    let m = Parts::split(m, &bounds[..p], 1);
+    let v = Parts::split(v, &bounds[..p], 1);
+    let out = Parts::split(params_out, &bounds[..p], 1);
+    pool::global().run(p, &|w| {
+        let (a, b) = bounds[w];
+        if a < b {
+            step_chunk(
+                cfg,
+                bc1,
+                bc2,
+                &mut master.lock(w),
+                &mut m.lock(w),
+                &mut v.lock(w),
+                &grads[a..b],
+                &mut out.lock(w),
+            );
+        }
+    });
 }
 
 /// Rounds an `f32` through IEEE-754 binary16 and back — the model weights in

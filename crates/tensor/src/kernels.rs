@@ -1,0 +1,600 @@
+//! Cache-blocked, register-tiled GEMM kernels behind [`crate::Matrix`].
+//!
+//! Three specialized layouts cover everything manual backprop needs without
+//! materializing transposes:
+//!
+//! - `nn` (`A·B`, forward): B is packed once into column panels of
+//!   [`NR`] values laid out k-major, so the microkernel streams both the A
+//!   row values and the packed panel contiguously. Each microkernel
+//!   invocation holds an `MR×NR` block of outputs in registers for the whole
+//!   k sweep.
+//! - `nt` (`A·Bᵀ`, input gradients / attention scores): both operands are
+//!   walked along contiguous rows; a 4×4 register tile of independent dot
+//!   products provides the instruction-level parallelism.
+//! - `tn` (`Aᵀ·B`, parameter gradients): the A column block is packed into a
+//!   k-major strip per output row block, then the kernel runs like `nn`.
+//!
+//! # Determinism contract
+//!
+//! Every output element is produced by a **single accumulator folded over
+//! `k` in ascending order**, regardless of tile shape, edge handling, or
+//! worker count. Partial sums never cross participants and are never split
+//! within an element, so the blocked kernels are bit-identical to the
+//! [`naive`] oracle (classic i-j-k loop) and to themselves under any
+//! `SYMI_THREADS` setting. Fused epilogues (`+ bias`, then activation) apply
+//! *after* the fold completes, matching the unfused `matmul` →
+//! `add_bias` → `gelu` sequence bit-for-bit.
+//!
+//! Parallelism: work splits over contiguous output row ranges via
+//! [`crate::pool::par_rows`]; each participant owns a disjoint output chunk.
+
+use crate::matrix::Matrix;
+use crate::pool::{par_rows, par_rows2};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Microkernel row tile.
+pub const MR: usize = 4;
+/// Microkernel column tile / packed panel width.
+pub const NR: usize = 8;
+/// Row granularity below which a GEMM is not worth splitting across shares.
+const MIN_ROWS_PER_SHARE: usize = 4;
+
+static GEMM_NS: AtomicU64 = AtomicU64::new(0);
+static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative kernel counters (monotonic; consumers diff between reads).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Wall nanoseconds spent inside GEMM drivers (submitting thread).
+    pub gemm_ns: u64,
+    /// Multiply-add FLOPs issued (2·m·n·k per GEMM).
+    pub gemm_flops: u64,
+}
+
+/// Snapshot of the process-wide kernel counters.
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        gemm_ns: GEMM_NS.load(Ordering::Relaxed),
+        gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed),
+    }
+}
+
+fn record(t0: Instant, m: usize, n: usize, k: usize) {
+    GEMM_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    GEMM_FLOPS.fetch_add(2 * (m as u64) * (n as u64) * (k as u64), Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Packed-B scratch for `nn` (reused across calls; grows monotonically).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Packed-A column-strip scratch for `tn` (per worker thread).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Packs `b` (k×n) into `ceil(n/NR)` k-major panels of width [`NR`],
+/// zero-padding the last panel. Panel `p` occupies
+/// `pack[p·k·NR .. (p+1)·k·NR]`, element `(kk, j)` at `kk·NR + j`.
+fn pack_b(b: &Matrix, pack: &mut Vec<f32>) {
+    let k = b.rows();
+    let n = b.cols();
+    let panels = n.div_ceil(NR);
+    pack.clear();
+    pack.resize(panels * k * NR, 0.0);
+    let bs = b.as_slice();
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut pack[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + w].copy_from_slice(&bs[kk * n + j0..kk * n + j0 + w]);
+        }
+    }
+}
+
+/// Full `MR×NR` nn microkernel: `out_block (+)= a_block · panel` with the
+/// `MR·NR` accumulators held in registers across the whole ascending-k
+/// sweep. `a` holds `MR` rows of length ≥ `k` at stride `lda`; `out` points
+/// at the block's first element with row stride `ldc`.
+fn kern_nn_full(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    let mut c = [[0.0f32; NR]; MR];
+    if acc {
+        for (i, ci) in c.iter_mut().enumerate() {
+            ci.copy_from_slice(&out[i * ldc..i * ldc + NR]);
+        }
+    }
+    for (kk, pb) in panel.chunks_exact(NR).take(k).enumerate() {
+        for (i, ci) in c.iter_mut().enumerate() {
+            let av = a[i * lda + kk];
+            for (cv, &bv) in ci.iter_mut().zip(pb) {
+                *cv += av * bv;
+            }
+        }
+    }
+    for (i, ci) in c.iter().enumerate() {
+        out[i * ldc..i * ldc + NR].copy_from_slice(ci);
+    }
+}
+
+/// Edge nn microkernel for partial tiles (`rows ≤ MR`, `w ≤ NR`): same
+/// single-accumulator ascending-k fold, scalar loops.
+#[allow(clippy::too_many_arguments)]
+fn kern_nn_edge(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    rows: usize,
+    panel: &[f32],
+    w: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    for i in 0..rows {
+        for j in 0..w {
+            let mut s = if acc { out[i * ldc + j] } else { 0.0 };
+            for kk in 0..k {
+                s += a[i * lda + kk] * panel[kk * NR + j];
+            }
+            out[i * ldc + j] = s;
+        }
+    }
+}
+
+/// Row-range worker for nn: computes `out_chunk (+)= A[rows]·B` from the
+/// packed panels, then applies the optional bias epilogue.
+#[allow(clippy::too_many_arguments)]
+fn nn_rows(
+    a: &Matrix,
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    pack: &[f32],
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    let asl = a.as_slice();
+    let lda = a.cols();
+    let m = rows.len();
+    let panels = n.div_ceil(NR);
+    let mut i = 0;
+    while i < m {
+        let rows_here = MR.min(m - i);
+        let arow = &asl[(rows.start + i) * lda..];
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &pack[p * k * NR..(p + 1) * k * NR];
+            let oblock = &mut out[i * n + j0..];
+            if rows_here == MR && w == NR {
+                kern_nn_full(arow, lda, k, panel, oblock, n, acc);
+            } else {
+                kern_nn_edge(arow, lda, k, rows_here, panel, w, oblock, n, acc);
+            }
+        }
+        i += rows_here;
+    }
+    if let Some(bias) = bias {
+        for r in 0..m {
+            for (o, b) in out[r * n..(r + 1) * n].iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// `out (+)= a · b`, optional fused `+ bias` epilogue.
+pub fn gemm_nn(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool, bias: Option<&Matrix>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if let Some(bias) = bias {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), n, "bias width mismatch");
+    }
+    let t0 = Instant::now();
+    out.resize_to(m, n);
+    if n == 0 || m == 0 {
+        record(t0, m, n, k);
+        return;
+    }
+    PACK_B.with(|p| {
+        let mut p = p.borrow_mut();
+        pack_b(b, &mut p);
+        let pack: &[f32] = &p;
+        let bias = bias.map(|bm| bm.as_slice());
+        par_rows(m, n, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |rows, chunk| {
+            nn_rows(a, rows, k, n, pack, chunk, acc, bias);
+        });
+    });
+    record(t0, m, n, k);
+}
+
+/// `pre = a·b + bias`, `act = gelu(pre)` — the fused FFN epilogue. The
+/// activation is applied per completed row range inside the same parallel
+/// region, so `pre` rows are still cache-hot when `act` is produced.
+pub fn gemm_nn_bias_gelu(
+    a: &Matrix,
+    b: &Matrix,
+    bias: &Matrix,
+    pre: &mut Matrix,
+    act: &mut Matrix,
+) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), b.cols(), "bias width mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let t0 = Instant::now();
+    pre.resize_to(m, n);
+    act.resize_to(m, n);
+    if n == 0 || m == 0 {
+        record(t0, m, n, k);
+        return;
+    }
+    PACK_B.with(|p| {
+        let mut p = p.borrow_mut();
+        pack_b(b, &mut p);
+        let pack: &[f32] = &p;
+        let bias = bias.as_slice();
+        par_rows2(
+            m,
+            n,
+            MIN_ROWS_PER_SHARE,
+            pre.as_mut_slice(),
+            act.as_mut_slice(),
+            |rows, pre_chunk, act_chunk| {
+                nn_rows(a, rows, k, n, pack, pre_chunk, false, Some(bias));
+                for (av, pv) in act_chunk.iter_mut().zip(pre_chunk.iter()) {
+                    *av = crate::ops::gelu_scalar(*pv);
+                }
+            },
+        );
+    });
+    record(t0, m, n, k);
+}
+
+/// `out (+)= a · bᵀ` (`b` is `n×k`): independent contiguous dot products,
+/// tiled 4×4 for ILP. Each dot is one accumulator over ascending k.
+pub fn gemm_nt(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let t0 = Instant::now();
+    out.resize_to(m, n);
+    if m == 0 || n == 0 {
+        record(t0, m, n, k);
+        return;
+    }
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    par_rows(m, n, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |rows, chunk| {
+        const TI: usize = 4;
+        const TJ: usize = 4;
+        let mlocal = rows.len();
+        let mut i = 0;
+        while i < mlocal {
+            let ih = TI.min(mlocal - i);
+            let mut j = 0;
+            while j < n {
+                let jh = TJ.min(n - j);
+                if ih == TI && jh == TJ {
+                    let mut c = [[0.0f32; TJ]; TI];
+                    if acc {
+                        for (ii, ci) in c.iter_mut().enumerate() {
+                            ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + TJ]);
+                        }
+                    }
+                    let ar0 = (rows.start + i) * k;
+                    let br0 = j * k;
+                    for kk in 0..k {
+                        for (ii, ci) in c.iter_mut().enumerate() {
+                            let av = asl[ar0 + ii * k + kk];
+                            for (jj, cv) in ci.iter_mut().enumerate() {
+                                *cv += av * bsl[br0 + jj * k + kk];
+                            }
+                        }
+                    }
+                    for (ii, ci) in c.iter().enumerate() {
+                        chunk[(i + ii) * n + j..(i + ii) * n + j + TJ].copy_from_slice(ci);
+                    }
+                } else {
+                    for ii in 0..ih {
+                        let arow = &asl[(rows.start + i + ii) * k..(rows.start + i + ii + 1) * k];
+                        for jj in 0..jh {
+                            let brow = &bsl[(j + jj) * k..(j + jj + 1) * k];
+                            let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
+                            for (av, bv) in arow.iter().zip(brow) {
+                                s += av * bv;
+                            }
+                            chunk[(i + ii) * n + j + jj] = s;
+                        }
+                    }
+                }
+                j += jh;
+            }
+            i += ih;
+        }
+    });
+    record(t0, m, n, k);
+}
+
+/// `out (+)= aᵀ · b` (`a` is `r×m`, `b` is `r×n`, `out` is `m×n`).
+/// Parallelized over *output* rows (columns of `a`), so no participant ever
+/// touches another's accumulators; `r` is folded in ascending order within
+/// each element. The A column block is packed into a k-major strip so the
+/// inner loop streams contiguously.
+pub fn gemm_tn(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (r, m, n) = (a.rows(), a.cols(), b.cols());
+    let t0 = Instant::now();
+    out.resize_to(m, n);
+    if m == 0 || n == 0 {
+        record(t0, m, n, r);
+        return;
+    }
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    par_rows(m, n, 1, out.as_mut_slice(), |rows, chunk| {
+        PACK_A.with(|p| {
+            let mut strip = p.borrow_mut();
+            let mlocal = rows.len();
+            let mut i = 0;
+            while i < mlocal {
+                let ih = MR.min(mlocal - i);
+                // Pack columns `rows.start+i .. +ih` of `a` k-major:
+                // strip[kk·ih + ii] = a[kk][rows.start + i + ii].
+                strip.clear();
+                strip.resize(r * ih, 0.0);
+                for kk in 0..r {
+                    for ii in 0..ih {
+                        strip[kk * ih + ii] = asl[kk * m + rows.start + i + ii];
+                    }
+                }
+                let mut j = 0;
+                while j < n {
+                    let jh = NR.min(n - j);
+                    if ih == MR && jh == NR {
+                        let mut c = [[0.0f32; NR]; MR];
+                        if acc {
+                            for (ii, ci) in c.iter_mut().enumerate() {
+                                ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + NR]);
+                            }
+                        }
+                        for kk in 0..r {
+                            let av = &strip[kk * MR..kk * MR + MR];
+                            let bv = &bsl[kk * n + j..kk * n + j + NR];
+                            for (ii, ci) in c.iter_mut().enumerate() {
+                                let a_ik = av[ii];
+                                for (cv, &b_kj) in ci.iter_mut().zip(bv) {
+                                    *cv += a_ik * b_kj;
+                                }
+                            }
+                        }
+                        for (ii, ci) in c.iter().enumerate() {
+                            chunk[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(ci);
+                        }
+                    } else {
+                        for ii in 0..ih {
+                            for jj in 0..jh {
+                                let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
+                                for kk in 0..r {
+                                    s += strip[kk * ih + ii] * bsl[kk * n + j + jj];
+                                }
+                                chunk[(i + ii) * n + j + jj] = s;
+                            }
+                        }
+                    }
+                    j += jh;
+                }
+                i += ih;
+            }
+        });
+    });
+    record(t0, m, n, r);
+}
+
+/// Reference kernels: the classic textbook loops, kept as the correctness
+/// oracle for property tests and the bench baseline. Each output element is
+/// a single accumulator folded over ascending k — the exact contract the
+/// blocked kernels reproduce, so comparisons are `==`, not tolerance-based.
+pub mod naive {
+    use crate::matrix::Matrix;
+
+    /// i-j-k triple loop `a · b`.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for kk in 0..a.cols() {
+                    s += a[(i, kk)] * b[(kk, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut s = 0.0f32;
+                for kk in 0..a.cols() {
+                    s += a[(i, kk)] * b[(j, kk)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// `aᵀ · b`.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for kk in 0..a.rows() {
+                    s += a[(kk, i)] * b[(kk, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// `x·w + bias` with the bias added after the fold (the epilogue order
+    /// the fused kernels use).
+    pub fn linear(x: &Matrix, w: &Matrix, bias: &Matrix) -> Matrix {
+        let mut out = matmul(x, w);
+        out.add_bias(bias);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, StdRng};
+
+    fn random(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn blocked_nn_is_bit_exact_vs_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (13, 17, 19), (64, 64, 64), (2, 100, 3)]
+        {
+            let a = random(m, k, &mut rng);
+            let b = random(k, n, &mut rng);
+            let mut out = Matrix::zeros(0, 0);
+            gemm_nn(&a, &b, &mut out, false, None);
+            assert_eq!(out, naive::matmul(&a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_nt_is_bit_exact_vs_naive() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 9), (12, 16, 4), (33, 65, 31)] {
+            let a = random(m, k, &mut rng);
+            let b = random(n, k, &mut rng);
+            let mut out = Matrix::zeros(0, 0);
+            gemm_nt(&a, &b, &mut out, false);
+            assert_eq!(out, naive::matmul_nt(&a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_tn_is_bit_exact_vs_naive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(r, m, n) in &[(1, 1, 1), (6, 5, 3), (17, 13, 23), (50, 9, 40)] {
+            let a = random(r, m, &mut rng);
+            let b = random(r, n, &mut rng);
+            let mut out = Matrix::zeros(0, 0);
+            gemm_tn(&a, &b, &mut out, false);
+            assert_eq!(out, naive::matmul_tn(&a, &b), "shape {r}x{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn acc_mode_adds_on_top() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random(9, 11, &mut rng);
+        let b = random(11, 7, &mut rng);
+        let seed = random(9, 7, &mut rng);
+        let mut out = seed.clone();
+        gemm_nn(&a, &b, &mut out, true, None);
+        let plain = naive::matmul(&a, &b);
+        for i in 0..out.len() {
+            let expect = seed.as_slice()[i] + plain.as_slice()[i];
+            // acc seeds the fold with the prior value instead of 0.0; the
+            // fold order within k is unchanged, so this stays exact.
+            let mut s = seed.as_slice()[i];
+            let (r, c) = (i / 7, i % 7);
+            for kk in 0..11 {
+                s += a[(r, kk)] * b[(kk, c)];
+            }
+            assert_eq!(out.as_slice()[i], s);
+            let _ = expect;
+        }
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_unfused() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = random(10, 6, &mut rng);
+        let w = random(6, 14, &mut rng);
+        let bias = random(1, 14, &mut rng);
+        let mut pre = Matrix::zeros(0, 0);
+        let mut act = Matrix::zeros(0, 0);
+        gemm_nn_bias_gelu(&x, &w, &bias, &mut pre, &mut act);
+        let expect_pre = naive::linear(&x, &w, &bias);
+        assert_eq!(pre, expect_pre);
+        let expect_act = crate::ops::gelu(&expect_pre);
+        assert_eq!(act, expect_act);
+    }
+
+    #[test]
+    fn empty_shapes_are_fine() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut out = Matrix::zeros(1, 1);
+        gemm_nn(&a, &b, &mut out, false, None);
+        assert_eq!((out.rows(), out.cols()), (0, 3));
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(0, 3);
+        gemm_nn(&a, &b, &mut out, false, None);
+        assert_eq!(out, Matrix::zeros(4, 3), "k=0 means a zero fold");
+    }
+
+    #[test]
+    fn counters_advance() {
+        let before = kernel_stats();
+        let a = Matrix::zeros(8, 8);
+        let b = Matrix::zeros(8, 8);
+        let mut out = Matrix::zeros(0, 0);
+        gemm_nn(&a, &b, &mut out, false, None);
+        let after = kernel_stats();
+        assert!(after.gemm_flops >= before.gemm_flops + 2 * 8 * 8 * 8);
+    }
+}

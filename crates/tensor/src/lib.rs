@@ -13,7 +13,12 @@
 //! paper's cost analysis.
 //!
 //! Design notes:
-//! - Everything is `f32`, row-major, and allocation-explicit. No `unsafe`.
+//! - Everything is `f32`, row-major, and allocation-explicit. The hot GEMM
+//!   paths are cache-blocked and register-tiled ([`kernels`]) and run on a
+//!   std-only fixed worker pool ([`pool`]); results are bit-identical to the
+//!   sequential naive oracle for **any** worker count (see the determinism
+//!   contract in [`kernels`]). The only `unsafe` in the workspace is the
+//!   pool's scoped-dispatch lifetime erasure, documented in [`pool`].
 //! - All stochastic initialization takes a caller-provided RNG so experiments
 //!   are reproducible bit-for-bit.
 //! - [`gradcheck`] provides the numerical-differentiation harness used by the
@@ -22,10 +27,14 @@
 pub mod adam;
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 
 pub use adam::{AdamConfig, AdamShard, AdamState};
+pub use kernels::{kernel_stats, KernelStats};
 pub use matrix::Matrix;
+pub use pool::PoolStats;
 pub use rng::{Distribution, Normal, Rng, SplitMix64, StdRng, Uniform};

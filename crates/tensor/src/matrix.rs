@@ -122,81 +122,82 @@ impl Matrix {
         }
     }
 
-    /// `self · other` — the forward-pass layout.
-    ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// rows of both the output and `other`.
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when capacity suffices. Contents are unspecified until
+    /// overwritten (the blocked kernels are pure stores for their `!acc`
+    /// paths, so pre-zeroing would be wasted work).
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize_to(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// `self · other` — the forward-pass layout
+    /// (blocked/register-tiled, see [`crate::kernels`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// `out = self · other`, reusing `out`'s allocation.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::gemm_nn(self, other, out, false, None);
+    }
+
+    /// `out = self · other + bias` with the bias fused into the kernel
+    /// epilogue (bit-identical to `matmul_into` followed by `add_bias`).
+    pub fn matmul_bias_into(&self, other: &Matrix, bias: &Matrix, out: &mut Matrix) {
+        crate::kernels::gemm_nn(self, other, out, false, Some(bias));
+    }
+
+    /// `out += self · other` (accumulating variant; `out` keeps its shape).
+    pub fn matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul_acc shape mismatch");
+        crate::kernels::gemm_nn(self, other, out, true, None);
     }
 
     /// `self · otherᵀ` — used for input gradients (`dX = dY · Wᵀ`) and
     /// attention scores (`Q · Kᵀ`).
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = other.row(j);
-                let mut acc = 0.0f32;
-                for (a, b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
         out
+    }
+
+    /// `out = self · otherᵀ`, reusing `out`'s allocation.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::gemm_nt(self, other, out, false);
+    }
+
+    /// `out += self · otherᵀ`.
+    pub fn matmul_nt_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.rows, other.rows), "matmul_nt_acc shape mismatch");
+        crate::kernels::gemm_nt(self, other, out, true);
     }
 
     /// `selfᵀ · other` — used for parameter gradients (`dW = Xᵀ · dY`).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
         out
+    }
+
+    /// `out = selfᵀ · other`, reusing `out`'s allocation.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::gemm_tn(self, other, out, false);
+    }
+
+    /// `out += selfᵀ · other`.
+    pub fn matmul_tn_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols), "matmul_tn_acc shape mismatch");
+        crate::kernels::gemm_tn(self, other, out, true);
     }
 
     /// Materialized transpose.
@@ -247,12 +248,29 @@ impl Matrix {
     /// Column-wise sum collapsed to a `1 × cols` row vector (bias gradient).
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// `out = column-wise sum of self` (`1 × cols`), reusing `out`.
+    ///
+    /// Deliberately sequential: this is a cross-row reduction, and the
+    /// determinism contract forbids splitting reductions across pool
+    /// participants. It is O(rows·cols) against the GEMMs' O(rows·cols·k).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize_to(1, self.cols);
+        out.fill_zero();
+        self.sum_rows_acc(out);
+    }
+
+    /// `out += column-wise sum of self` (bias-gradient accumulation).
+    pub fn sum_rows_acc(&self, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (1, self.cols), "sum_rows_acc shape mismatch");
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c] += self.data[r * self.cols + c];
+            for (o, v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
             }
         }
-        out
     }
 
     /// Element-wise (Hadamard) product.
@@ -280,11 +298,17 @@ impl Matrix {
 
     /// Selects the given rows into a new matrix (gather).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gather into a reusable buffer: `out.row(i) = self.row(indices[i])`.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize_to(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.copy_row_from(dst, self, src);
         }
-        out
     }
 }
 

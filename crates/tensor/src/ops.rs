@@ -4,54 +4,90 @@
 //! hidden caches), so the model crate's layer objects decide what to retain.
 
 use crate::matrix::Matrix;
+use crate::pool::par_rows;
+
+/// Row granularity for parallel elementwise/row-local ops: rows are cheap,
+/// so only split when each participant gets a meaningful batch.
+const MIN_ROWS_PER_SHARE: usize = 8;
 
 /// Row-wise softmax. Numerically stabilized by subtracting the row max.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    let mut out = Matrix::zeros(0, 0);
+    softmax_rows_into(x, &mut out);
     out
+}
+
+/// `out = softmax_rows(x)`, reusing `out`'s allocation. Each row is
+/// computed independently (row-local reductions only), so the result is
+/// bit-identical for any worker count.
+pub fn softmax_rows_into(x: &Matrix, out: &mut Matrix) {
+    let (rows, cols) = (x.rows(), x.cols());
+    out.resize_to(rows, cols);
+    par_rows(rows, cols, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |range, chunk| {
+        for (local, r) in range.enumerate() {
+            let row = &mut chunk[local * cols..(local + 1) * cols];
+            row.copy_from_slice(x.row(r));
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    });
 }
 
 /// Backward of row softmax: `dx = y ⊙ (dy − (dy·y) 1ᵀ)` per row, where `y`
 /// is the softmax output.
 pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
-    assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()), "softmax backward shape mismatch");
-    let mut dx = Matrix::zeros(y.rows(), y.cols());
-    for r in 0..y.rows() {
-        let yr = y.row(r);
-        let dyr = dy.row(r);
-        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
-        let dxr = dx.row_mut(r);
-        for c in 0..yr.len() {
-            dxr[c] = yr[c] * (dyr[c] - dot);
-        }
-    }
+    let mut dx = Matrix::zeros(0, 0);
+    softmax_rows_backward_into(y, dy, &mut dx);
     dx
+}
+
+/// `dx = softmax_rows_backward(y, dy)`, reusing `dx`'s allocation.
+pub fn softmax_rows_backward_into(y: &Matrix, dy: &Matrix, dx: &mut Matrix) {
+    assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()), "softmax backward shape mismatch");
+    let (rows, cols) = (y.rows(), y.cols());
+    dx.resize_to(rows, cols);
+    par_rows(rows, cols, MIN_ROWS_PER_SHARE, dx.as_mut_slice(), |range, chunk| {
+        for (local, r) in range.enumerate() {
+            let yr = y.row(r);
+            let dyr = dy.row(r);
+            let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+            let dxr = &mut chunk[local * cols..(local + 1) * cols];
+            for c in 0..cols {
+                dxr[c] = yr[c] * (dyr[c] - dot);
+            }
+        }
+    });
 }
 
 /// GELU activation (tanh approximation, as used by GPT-2/GPT-3).
 pub fn gelu(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
-    for v in out.as_mut_slice() {
-        *v = gelu_scalar(*v);
-    }
+    let mut out = Matrix::zeros(0, 0);
+    gelu_into(x, &mut out);
     out
 }
 
+/// `out = gelu(x)`, reusing `out`'s allocation.
+pub fn gelu_into(x: &Matrix, out: &mut Matrix) {
+    let (rows, cols) = (x.rows(), x.cols());
+    out.resize_to(rows, cols);
+    par_rows(rows, cols, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |range, chunk| {
+        let src = &x.as_slice()[range.start * cols..range.end * cols];
+        for (o, &v) in chunk.iter_mut().zip(src) {
+            *o = gelu_scalar(v);
+        }
+    });
+}
+
 #[inline]
-fn gelu_scalar(x: f32) -> f32 {
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
@@ -68,12 +104,36 @@ fn gelu_grad_scalar(x: f32) -> f32 {
 
 /// Backward of GELU given the forward *input* `x`.
 pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
-    assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()), "gelu backward shape mismatch");
-    let mut dx = dy.clone();
-    for (g, &xv) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *g *= gelu_grad_scalar(xv);
-    }
+    let mut dx = Matrix::zeros(0, 0);
+    gelu_backward_into(x, dy, &mut dx);
     dx
+}
+
+/// `dx = gelu'(x) ⊙ dy`, reusing `dx`'s allocation.
+pub fn gelu_backward_into(x: &Matrix, dy: &Matrix, dx: &mut Matrix) {
+    assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()), "gelu backward shape mismatch");
+    let (rows, cols) = (x.rows(), x.cols());
+    dx.resize_to(rows, cols);
+    par_rows(rows, cols, MIN_ROWS_PER_SHARE, dx.as_mut_slice(), |range, chunk| {
+        let xs = &x.as_slice()[range.start * cols..range.end * cols];
+        let dys = &dy.as_slice()[range.start * cols..range.end * cols];
+        for ((o, &xv), &dyv) in chunk.iter_mut().zip(xs).zip(dys) {
+            *o = dyv * gelu_grad_scalar(xv);
+        }
+    });
+}
+
+/// Fused linear layer: `out = x·w + bias` with the bias applied in the
+/// GEMM epilogue (bit-identical to `matmul` + `add_bias`).
+pub fn linear_into(x: &Matrix, w: &Matrix, bias: &Matrix, out: &mut Matrix) {
+    x.matmul_bias_into(w, bias, out);
+}
+
+/// Fused FFN first half: `pre = x·w + bias`, `act = gelu(pre)`, with the
+/// activation applied per completed row range inside the GEMM's parallel
+/// region (bit-identical to the unfused sequence).
+pub fn linear_gelu_into(x: &Matrix, w: &Matrix, bias: &Matrix, pre: &mut Matrix, act: &mut Matrix) {
+    crate::kernels::gemm_nn_bias_gelu(x, w, bias, pre, act);
 }
 
 /// Cached statistics from a LayerNorm forward pass, needed by its backward.

@@ -1,0 +1,153 @@
+//! Bit-exactness properties of the blocked/threaded GEMM kernels.
+//!
+//! The contract (see `symi_tensor::kernels`): every output element is one
+//! accumulator folded over `k` in ascending order, so the blocked kernels
+//! must equal the naive i-j-k oracle *bitwise* — for every shape, tile-edge
+//! case, and worker count. These tests sweep deliberately awkward shapes
+//! (1×1, primes, tall/thin, short/wide, empty) and repeat runs across
+//! thread counts, comparing with `==` rather than a tolerance.
+
+use symi_tensor::kernels::naive;
+use symi_tensor::ops::{gelu, softmax_rows};
+use symi_tensor::pool;
+use symi_tensor::rng::{Rng, StdRng};
+use symi_tensor::Matrix;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 4.0 - 2.0)
+}
+
+/// Shapes chosen to hit every tile-edge path: unit, sub-tile, exact-tile,
+/// prime (never tile-aligned), tall/thin, short/wide, and empty extents.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (2, 3, 5),
+    (3, 1, 7),
+    (4, 8, 8),
+    (5, 5, 5),
+    (7, 11, 13),
+    (17, 19, 23),
+    (97, 3, 5),
+    (2, 3, 89),
+    (61, 1, 1),
+    (1, 64, 1),
+    (0, 4, 4),
+    (4, 0, 4),
+    (4, 4, 0),
+];
+
+#[test]
+fn blocked_gemm_nn_is_bitwise_equal_to_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(501);
+    for &(m, k, n) in SHAPES {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let blocked = a.matmul(&b);
+        let oracle = naive::matmul(&a, &b);
+        assert_eq!(blocked.as_slice(), oracle.as_slice(), "nn mismatch at {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn blocked_gemm_nt_is_bitwise_equal_to_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(502);
+    for &(m, k, n) in SHAPES {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, n, k);
+        let blocked = a.matmul_nt(&b);
+        let oracle = naive::matmul_nt(&a, &b);
+        assert_eq!(blocked.as_slice(), oracle.as_slice(), "nt mismatch at {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn blocked_gemm_tn_is_bitwise_equal_to_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(503);
+    for &(m, k, n) in SHAPES {
+        let a = random_matrix(&mut rng, k, m);
+        let b = random_matrix(&mut rng, k, n);
+        let blocked = a.matmul_tn(&b);
+        let oracle = naive::matmul_tn(&a, &b);
+        assert_eq!(blocked.as_slice(), oracle.as_slice(), "tn mismatch at {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn fused_linear_gelu_is_bitwise_equal_to_unfused_pipeline() {
+    let mut rng = StdRng::seed_from_u64(504);
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 11, 13), (33, 17, 9)] {
+        let x = random_matrix(&mut rng, m, k);
+        let w = random_matrix(&mut rng, k, n);
+        let bias = random_matrix(&mut rng, 1, n);
+        let mut pre = Matrix::zeros(0, 0);
+        let mut act = Matrix::zeros(0, 0);
+        symi_tensor::ops::linear_gelu_into(&x, &w, &bias, &mut pre, &mut act);
+        let unfused_pre = naive::linear(&x, &w, &bias);
+        let unfused_act = gelu(&unfused_pre);
+        assert_eq!(pre.as_slice(), unfused_pre.as_slice(), "pre mismatch at {m}x{k}x{n}");
+        assert_eq!(act.as_slice(), unfused_act.as_slice(), "act mismatch at {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn gemm_results_are_invariant_across_worker_counts() {
+    let mut rng = StdRng::seed_from_u64(505);
+    // Large enough that parallel_for actually splits at every count.
+    let a = random_matrix(&mut rng, 64, 37);
+    let b = random_matrix(&mut rng, 37, 53);
+    let before = pool::current_threads();
+    pool::set_threads(1);
+    let reference = a.matmul(&b);
+    for &t in &[2usize, 3, 4, 8, 16] {
+        pool::set_threads(t);
+        let got = a.matmul(&b);
+        assert_eq!(got.as_slice(), reference.as_slice(), "nn differs at {t} threads");
+        let nt = a.matmul_nt(&b.transpose());
+        pool::set_threads(1);
+        let nt_ref = a.matmul_nt(&b.transpose());
+        assert_eq!(nt.as_slice(), nt_ref.as_slice(), "nt differs at {t} threads");
+    }
+    pool::set_threads(before);
+}
+
+#[test]
+fn repeated_runs_are_deterministic_at_every_worker_count() {
+    let mut rng = StdRng::seed_from_u64(506);
+    let x = random_matrix(&mut rng, 48, 40);
+    let before = pool::current_threads();
+    for &t in &[1usize, 2, 4, 8] {
+        pool::set_threads(t);
+        let first = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
+        for _ in 0..5 {
+            let again = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
+            assert_eq!(first.0.as_slice(), again.0.as_slice(), "matmul flaky at {t} threads");
+            assert_eq!(first.1.as_slice(), again.1.as_slice(), "softmax flaky at {t} threads");
+            assert_eq!(first.2.as_slice(), again.2.as_slice(), "gelu flaky at {t} threads");
+        }
+    }
+    pool::set_threads(before);
+}
+
+#[test]
+fn adam_step_is_invariant_across_worker_counts() {
+    use symi_tensor::{AdamConfig, AdamState};
+    let mut rng = StdRng::seed_from_u64(507);
+    let len = 40_000; // crosses the pool's per-share threshold
+    let params: Vec<f32> = (0..len).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let grads: Vec<f32> = (0..len).map(|_| rng.gen::<f32>() * 0.1 - 0.05).collect();
+    let before = pool::current_threads();
+
+    pool::set_threads(1);
+    let mut reference_state = AdamState::new(AdamConfig::default(), &params);
+    let mut reference = vec![0.0f32; len];
+    reference_state.step(&grads, &mut reference);
+
+    for &t in &[2usize, 4, 8] {
+        pool::set_threads(t);
+        let mut state = AdamState::new(AdamConfig::default(), &params);
+        let mut out = vec![0.0f32; len];
+        state.step(&grads, &mut out);
+        assert_eq!(out, reference, "adam step differs at {t} threads");
+    }
+    pool::set_threads(before);
+}
