@@ -6,7 +6,7 @@
 use symi_bench::{bench, group};
 use symi_collectives::coll::chunk_range;
 use symi_collectives::p2p::{RecvOp, SendOp};
-use symi_collectives::{tag, Cluster, ClusterSpec, TagSpace, WirePhase};
+use symi_collectives::{tag, Cluster, ClusterSpec, FaultPlan, TagSpace, WirePhase};
 
 fn bench_tag_codec() {
     group("structured tag codec");
@@ -78,7 +78,36 @@ fn bench_overlapped_exchange() {
     }
 }
 
+fn bench_fault_plan_overhead() {
+    // The fault-injection hook sits on the physical send path even when no
+    // plan is armed; this smoke times an 8-rank ring of sized receives under
+    // an *empty* plan so regressions in the no-fault fast path show up here
+    // rather than in training throughput.
+    group("empty fault plan overhead (includes cluster spawn)");
+    let ranks = 8usize;
+    let len = 1usize << 10;
+    bench(&format!("ring/{ranks}r_{len}f_empty_plan"), || {
+        let (results, _) =
+            Cluster::run_with_faults(ClusterSpec::flat(ranks), FaultPlan::new(0), move |ctx| {
+                let me = ctx.rank();
+                let tags = TagSpace::new(0, 1);
+                let next = (me + 1) % ranks;
+                let prev = (me + ranks - 1) % ranks;
+                let sends = vec![SendOp::new(
+                    next,
+                    tags.tag(WirePhase::GradCollect, 0, me),
+                    vec![0.5f32; len],
+                )];
+                let recvs =
+                    vec![RecvOp::sized(prev, tags.tag(WirePhase::GradCollect, 0, prev), len)];
+                ctx.batch_isend_irecv(sends, &recvs).unwrap().len()
+            });
+        results.into_iter().map(|r| r.expect("no faults injected")).sum::<usize>()
+    });
+}
+
 fn main() {
     bench_tag_codec();
     bench_overlapped_exchange();
+    bench_fault_plan_overhead();
 }

@@ -1,8 +1,10 @@
 //! Thread-per-rank cluster runtime.
 
 use crate::ctx::{Mailbox, RankCtx};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::group::GroupRegistry;
 use crate::traffic::{TrafficReport, TrafficStats};
+use std::any::Any;
 use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
 
@@ -40,6 +42,10 @@ impl ClusterSpec {
     }
 }
 
+/// What one rank's thread produced: the closure's value, or the payload of
+/// the panic that killed it.
+type RankResult<T> = Result<T, Box<dyn Any + Send>>;
+
 /// The cluster executor: spawns one OS thread per rank and runs the same
 /// SPMD closure on each.
 ///
@@ -68,6 +74,43 @@ impl Cluster {
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
     {
+        let (results, report) = Self::run_inner(spec, None, f);
+        let results = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
+        (results, report)
+    }
+
+    /// Runs `f` on every rank under a chaos [`FaultPlan`]. Unlike
+    /// [`Cluster::run`], a rank's panic — notably one injected by
+    /// `FaultKind::KillRank` — is captured as `Err(message)` for that rank
+    /// instead of propagating, so the caller can assert on *how* the
+    /// survivors observed the death. All threads are still joined before
+    /// returning; surviving ranks need a recv timeout to guarantee that
+    /// join terminates once a peer dies.
+    pub fn run_with_faults<T, F>(
+        spec: ClusterSpec,
+        plan: FaultPlan,
+        f: F,
+    ) -> (Vec<Result<T, String>>, TrafficReport)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let (results, report) = Self::run_inner(spec, Some(Arc::new(plan)), f);
+        (results.into_iter().map(|r| r.map_err(panic_message)).collect(), report)
+    }
+
+    fn run_inner<T, F>(
+        spec: ClusterSpec,
+        plan: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> (Vec<RankResult<T>>, TrafficReport)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
         assert!(spec.ranks > 0, "cluster needs at least one rank");
         assert!(spec.gpus_per_node > 0, "need at least one GPU per node");
 
@@ -83,7 +126,7 @@ impl Cluster {
             receivers.push(Some(rx));
         }
 
-        let results: Vec<T> = std::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(spec.ranks);
             for (rank, rx_slot) in receivers.iter_mut().enumerate() {
                 let rx = rx_slot.take().expect("receiver taken once");
@@ -91,30 +134,40 @@ impl Cluster {
                 let traffic = Arc::clone(&traffic);
                 let groups = Arc::clone(&groups);
                 let barrier = Arc::clone(&barrier);
+                let injector = plan.as_ref().map(|p| FaultInjector::new(Arc::clone(p), rank));
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut ctx = RankCtx::new(
                         rank,
                         spec,
-                        Mailbox::new(rank, senders, rx),
+                        Mailbox::new(rank, senders, rx, injector),
                         barrier,
                         traffic,
                         groups,
                     );
-                    f(&mut ctx)
+                    let out = f(&mut ctx);
+                    ctx.finish();
+                    out
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
+            // Every handle is joined explicitly, so a panicking rank never
+            // re-panics out of the scope on its own.
+            handles.into_iter().map(|h| h.join()).collect()
         });
 
         let report = traffic.report();
         (results, report)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(e: Box<dyn Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked with a non-string payload".to_string()
     }
 }
 

@@ -1,16 +1,18 @@
 //! Per-rank execution context: tagged point-to-point messaging and barriers.
 
 use crate::cluster::ClusterSpec;
-use crate::error::CommError;
+use crate::error::{CommError, ProtocolFailure};
+use crate::fault::{FaultInjector, FaultStats, SendAction};
 use crate::group::GroupRegistry;
 use crate::payload::Payload;
 use crate::tag::{self, WirePhase};
 use crate::traffic::{LinkClass, TrafficStats};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+#[derive(Clone)]
 pub(crate) struct Message {
     pub from: usize,
     pub tag: u64,
@@ -18,7 +20,79 @@ pub(crate) struct Message {
     /// phase)` for structured tags, the sender's current epoch for raw
     /// ones.
     pub epoch: u64,
+    /// Per-(sender → receiver) wire sequence number, stamped once per
+    /// logical send. An injected duplicate re-sends the *same* seq, which
+    /// is exactly what makes it detectable at the receiver.
+    pub seq: u64,
     pub payload: Payload,
+}
+
+/// A message held back by a `Delay` fault, released after `remaining`
+/// further sends by this rank.
+struct Held {
+    to: usize,
+    msg: Message,
+    remaining: u64,
+}
+
+/// Per-sender duplicate filter: a watermark below which every seq has been
+/// delivered, plus the out-of-order seqs seen above it. Distinct logical
+/// messages always carry distinct seqs, so FIFO same-tag streams are
+/// untouched; only a re-delivery of an already-admitted seq is absorbed.
+#[derive(Default)]
+struct SeqTracker {
+    /// All seqs `< watermark` have been admitted.
+    watermark: u64,
+    /// Admitted seqs `> watermark` (sparse, drained as the watermark
+    /// advances).
+    ahead: BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// Returns `true` for a first delivery, `false` for a duplicate.
+    fn admit(&mut self, seq: u64) -> bool {
+        if seq < self.watermark || self.ahead.contains(&seq) {
+            return false;
+        }
+        if seq == self.watermark {
+            self.watermark += 1;
+            while self.ahead.remove(&self.watermark) {
+                self.watermark += 1;
+            }
+        } else {
+            self.ahead.insert(seq);
+        }
+        true
+    }
+}
+
+/// Bounded retry-with-backoff for timed-out receives. Attempt `k`
+/// (1-based) waits `timeout · backoff^k` before expiring; after
+/// `max_retries` extra attempts the receive escalates to
+/// [`CommError::Protocol`] carrying the full decoded diagnostics instead
+/// of the plain [`CommError::RecvTimeout`].
+///
+/// Only meaningful together with `RankCtx::set_recv_timeout` — with no
+/// timeout a receive blocks forever and the policy never engages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first timeout (0 = escalate at once).
+    pub max_retries: u32,
+    /// Per-attempt budget multiplier (≥ 1.0; clamped at use).
+    pub backoff: f64,
+}
+
+impl RetryPolicy {
+    pub fn new(max_retries: u32, backoff: f64) -> Self {
+        Self { max_retries, backoff }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three retries at 2× growth: total patience 15× the base timeout.
+    fn default() -> Self {
+        Self { max_retries: 3, backoff: 2.0 }
+    }
 }
 
 /// A buffered out-of-order arrival.
@@ -40,8 +114,14 @@ pub struct ProtocolStats {
     pub stash_peak: usize,
     /// Currently buffered messages.
     pub stash_depth: usize,
-    /// Receives that expired their configured timeout.
+    /// Receives that expired their configured timeout (each retry attempt
+    /// that expires counts once).
     pub recv_timeouts: u64,
+    /// Timed-out receive attempts that were retried under a
+    /// [`RetryPolicy`] instead of erroring out.
+    pub retries: u64,
+    /// Re-deliveries absorbed by the per-sender sequence filter.
+    pub duplicates_dropped: u64,
 }
 
 /// Tagged mailbox: messages are matched on `(from, tag)`; out-of-order
@@ -68,11 +148,26 @@ pub(crate) struct Mailbox {
     /// code keeps its historical semantics.
     epoch: u64,
     recv_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
     stats: ProtocolStats,
+    /// Next wire seq per destination rank.
+    next_seq: Vec<u64>,
+    /// Per-sender duplicate filters.
+    seen: Vec<SeqTracker>,
+    /// Fault evaluator when running under a `FaultPlan`.
+    faults: Option<FaultInjector>,
+    /// Messages held back by `Delay` faults, in hold order.
+    held: Vec<Held>,
 }
 
 impl Mailbox {
-    pub(crate) fn new(rank: usize, senders: Vec<Sender<Message>>, rx: Receiver<Message>) -> Self {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<Message>>,
+        rx: Receiver<Message>,
+        faults: Option<FaultInjector>,
+    ) -> Self {
+        let world = senders.len();
         Self {
             rank,
             senders,
@@ -80,15 +175,89 @@ impl Mailbox {
             stash: HashMap::new(),
             epoch: 0,
             recv_timeout: None,
+            retry: None,
             stats: ProtocolStats::default(),
+            next_seq: vec![0; world],
+            seen: std::iter::repeat_with(SeqTracker::default).take(world).collect(),
+            faults,
+            held: Vec::new(),
         }
     }
 
-    fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+    fn send(&mut self, to: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         let epoch = tag::epoch_of(tag).unwrap_or(self.epoch);
-        self.senders[to]
-            .send(Message { from: self.rank, tag, payload, epoch })
-            .map_err(|_| CommError::PeerGone { rank: to })
+        let seq = self.next_seq[to];
+        self.next_seq[to] += 1;
+        let msg = Message { from: self.rank, tag, payload, epoch, seq };
+        let action = match &mut self.faults {
+            Some(inj) => inj.on_send(to, tag, seq),
+            None => SendAction::Deliver,
+        };
+        let result = match action {
+            SendAction::Deliver => self.deliver(to, msg),
+            SendAction::Drop => Ok(()),
+            SendAction::Duplicate => {
+                let first = self.deliver(to, msg.clone());
+                // The echo is best-effort: the receiver may consume the
+                // first copy, finish its run and drop its channel before
+                // this copy lands — a race, not a protocol error.
+                self.deliver_lossy(to, msg);
+                first
+            }
+            // `+ 1` because this very send immediately ages the queue
+            // below; net effect is `after_sends` *later* messages overtake
+            // the held one.
+            SendAction::Hold { after_sends } => {
+                self.held.push(Held { to, msg, remaining: after_sends + 1 });
+                Ok(())
+            }
+        };
+        self.age_held();
+        result
+    }
+
+    fn deliver(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        self.senders[to].send(msg).map_err(|_| CommError::PeerGone { rank: to })
+    }
+
+    /// Delivery for fault-injected extras (duplicate echoes, released
+    /// holds): a closed channel means the receiver already finished
+    /// without the message, so the copy simply evaporates. A receiver
+    /// that genuinely needed it would still be alive waiting, and a dead
+    /// peer still surfaces loudly through the next strict send or the
+    /// starving receive.
+    fn deliver_lossy(&self, to: usize, msg: Message) {
+        let _ = self.senders[to].send(msg);
+    }
+
+    /// One send event elapsed: age every held message, releasing the ripe
+    /// ones in hold order.
+    fn age_held(&mut self) {
+        if self.held.is_empty() {
+            return;
+        }
+        for h in &mut self.held {
+            h.remaining -= 1;
+        }
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].remaining == 0 {
+                let h = self.held.remove(i);
+                self.deliver_lossy(h.to, h.msg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Force-deliver every held message — called at epoch boundaries and
+    /// closure exit so a `Delay` fault reorders within a phase but never
+    /// swallows a message outright.
+    fn flush_held(&mut self) {
+        while !self.held.is_empty() {
+            let h = self.held.remove(0);
+            self.deliver_lossy(h.to, h.msg);
+        }
     }
 
     fn stash_push(&mut self, msg: Message) {
@@ -122,12 +291,17 @@ impl Mailbox {
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
+        if let Some(inj) = &mut self.faults {
+            inj.on_recv(from, tag);
+        }
         // A receive belongs to exactly one epoch: the tag's own for
         // structured tags, the rank-local epoch for raw ones. Only a
         // message stamped with that epoch may satisfy it — a colliding tag
         // from any other phase is fenced, never silently delivered.
         let allowed = tag::epoch_of(tag).unwrap_or(self.epoch);
-        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut deadline = self.recv_timeout.map(|t| start + t);
         loop {
             if let Some(queue) = self.stash.get_mut(&(from, tag)) {
                 match queue.front_mut() {
@@ -148,8 +322,8 @@ impl Mailbox {
             }
             let msg = match deadline {
                 None => self.rx.recv().map_err(|_| CommError::PeerGone { rank: from })?,
-                Some(deadline) => {
-                    let budget = deadline.saturating_duration_since(Instant::now());
+                Some(d) => {
+                    let budget = d.saturating_duration_since(Instant::now());
                     match self.rx.recv_timeout(budget) {
                         Ok(msg) => msg,
                         Err(RecvTimeoutError::Disconnected) => {
@@ -157,17 +331,29 @@ impl Mailbox {
                         }
                         Err(RecvTimeoutError::Timeout) => {
                             self.stats.recv_timeouts += 1;
-                            return Err(CommError::RecvTimeout {
-                                from,
-                                tag: tag::describe(tag),
-                                waited_ms: self.recv_timeout.unwrap_or_default().as_millis() as u64,
-                                fenced: self.stats.fenced_messages,
-                                pending: self.pending_summary(),
-                            });
+                            let base = self.recv_timeout.expect("deadline implies timeout");
+                            if let Some(policy) = self.retry {
+                                if attempt < policy.max_retries {
+                                    attempt += 1;
+                                    self.stats.retries += 1;
+                                    let grown =
+                                        base.mul_f64(policy.backoff.max(1.0).powi(attempt as i32));
+                                    deadline = Some(Instant::now() + grown);
+                                    continue;
+                                }
+                            }
+                            // Measured wall-clock wait across all attempts
+                            // — not the configured timeout.
+                            let waited_ms = start.elapsed().as_millis() as u64;
+                            return Err(self.starved(from, tag, allowed, attempt, waited_ms));
                         }
                     }
                 }
             };
+            if !self.seen[msg.from].admit(msg.seq) {
+                self.stats.duplicates_dropped += 1;
+                continue;
+            }
             // Fast path: the awaited message, same epoch, nothing queued
             // ahead of it on this (from, tag) channel.
             if msg.from == from
@@ -179,6 +365,42 @@ impl Mailbox {
             }
             self.stash_push(msg);
         }
+    }
+
+    /// The terminal error of a starved receive. Under a retry policy the
+    /// exhausted receive escalates to [`CommError::Protocol`] with full
+    /// decoded context; without one it stays the historical
+    /// [`CommError::RecvTimeout`].
+    fn starved(
+        &self,
+        from: usize,
+        tag: u64,
+        epoch: u64,
+        retries: u32,
+        waited_ms: u64,
+    ) -> CommError {
+        if self.retry.is_none() {
+            return CommError::RecvTimeout {
+                from,
+                tag: tag::describe(tag),
+                waited_ms,
+                fenced: self.stats.fenced_messages,
+                pending: self.pending_summary(),
+            };
+        }
+        let fields = tag::decode(tag);
+        CommError::Protocol(Box::new(ProtocolFailure {
+            rank: self.rank,
+            from,
+            tag: tag::describe(tag),
+            iteration: fields.map(|f| f.iteration),
+            phase: fields.and_then(|f| f.phase()).map(|p| p.to_string()),
+            epoch,
+            retries,
+            waited_ms,
+            fenced: self.stats.fenced_messages,
+            pending: self.pending_summary(),
+        }))
     }
 }
 
@@ -228,7 +450,12 @@ impl RankCtx {
     /// link class connecting the two ranks. Self-sends are legal (delivered
     /// through the mailbox) and are counted as intra-node traffic with zero
     /// cost downstream.
-    pub fn send(&self, to: usize, tag: u64, payload: impl Into<Payload>) -> Result<(), CommError> {
+    pub fn send(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: impl Into<Payload>,
+    ) -> Result<(), CommError> {
         let payload = payload.into();
         let class = if self.spec.same_node(self.rank, to) {
             LinkClass::IntraNode
@@ -271,6 +498,11 @@ impl RankCtx {
     pub fn begin_epoch(&mut self, iteration: u64, phase: WirePhase) {
         let key = tag::TagSpace::new(0, iteration).epoch(phase);
         self.mailbox.epoch = self.mailbox.epoch.max(key);
+        // An epoch boundary force-releases messages held back by `Delay`
+        // faults: reordering stays confined to a phase. A delivery failure
+        // here means the peer died — its receivers will diagnose that
+        // loudly; nothing useful to do on the sender.
+        self.mailbox.flush_held();
     }
 
     /// Installs (or clears) the receive timeout. On expiry the receive
@@ -280,10 +512,37 @@ impl RankCtx {
         self.mailbox.recv_timeout = timeout;
     }
 
+    /// Installs (or clears) the bounded retry-with-backoff policy applied
+    /// to timed-out receives. With a policy installed, an exhausted
+    /// receive escalates to [`CommError::Protocol`] carrying the decoded
+    /// tag/epoch diagnostics; without one it keeps returning the plain
+    /// [`CommError::RecvTimeout`]. Requires a recv timeout to engage.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.mailbox.retry = policy;
+    }
+
+    /// The installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.mailbox.retry
+    }
+
     /// This rank's wire-protocol health counters (fenced messages, stash
-    /// depth/peak, receive timeouts).
+    /// depth/peak, receive timeouts, retries, absorbed duplicates).
     pub fn protocol_stats(&self) -> ProtocolStats {
         self.mailbox.stats
+    }
+
+    /// Counters of the faults injected *by this rank's sender side* (plus
+    /// its own stalls) when running under a `FaultPlan`; all-zero
+    /// otherwise.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.mailbox.faults.as_ref().map(FaultInjector::stats).unwrap_or_default()
+    }
+
+    /// End-of-closure hook: releases any still-held delayed messages so a
+    /// `Delay` fault can never swallow a message outright.
+    pub(crate) fn finish(&mut self) {
+        self.mailbox.flush_held();
     }
 
     /// Global barrier across all ranks.
@@ -417,6 +676,93 @@ mod tests {
             assert_eq!(ctx.recv_f32(0, 5).unwrap().len(), 100);
         });
         assert_eq!(report.total_bytes(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_reports_measured_wall_clock_wait() {
+        use crate::error::CommError;
+        use std::time::Duration;
+        let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                return 0;
+            }
+            ctx.set_recv_timeout(Some(Duration::from_millis(25)));
+            match ctx.recv(0, 7).unwrap_err() {
+                CommError::RecvTimeout { waited_ms, .. } => waited_ms,
+                other => panic!("expected RecvTimeout, got {other:?}"),
+            }
+        });
+        assert!(results[1] >= 25, "measured wait {} ms < configured 25 ms", results[1]);
+    }
+
+    #[test]
+    fn injected_duplicates_are_absorbed_and_fifo_is_preserved() {
+        use crate::fault::{FaultPlan, MsgMatch};
+        let plan = FaultPlan::new(7).duplicate(MsgMatch::any().to(1));
+        let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(2), plan, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..5 {
+                    ctx.send(1, 9, vec![i as f32]).unwrap();
+                }
+                (Vec::new(), 0, 0)
+            } else {
+                let vals: Vec<f32> = (0..5).map(|_| ctx.recv_f32(0, 9).unwrap()[0]).collect();
+                let stats = ctx.protocol_stats();
+                (vals, stats.duplicates_dropped, stats.fenced_messages)
+            }
+        });
+        let (vals, dups, fenced) = results[1].as_ref().unwrap();
+        assert_eq!(*vals, vec![0.0, 1.0, 2.0, 3.0, 4.0], "duplicates must not corrupt FIFO");
+        // The 5th duplicate is still in the channel when the closure ends.
+        assert_eq!(*dups, 4, "one duplicate absorbed per extra pull");
+        assert_eq!(*fenced, 0);
+    }
+
+    #[test]
+    fn a_delayed_message_is_overtaken_and_still_delivered() {
+        use crate::fault::{FaultPlan, MsgMatch};
+        use crate::tag::{TagSpace, WirePhase};
+        let ts = TagSpace::new(0, 0);
+        let plan = FaultPlan::new(0).delay(MsgMatch::any().phase(WirePhase::DispatchRows), 1);
+        let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(2), plan, |ctx| {
+            let ts = TagSpace::new(0, 0);
+            if ctx.rank() == 0 {
+                ctx.send(1, ts.phase_tag(WirePhase::DispatchRows), vec![1.0f32]).unwrap();
+                ctx.send(1, ts.phase_tag(WirePhase::DispatchMeta), vec![2.0f32]).unwrap();
+                (ctx.fault_stats().delayed, 0.0, 0.0)
+            } else {
+                let rows = ctx.recv_f32(0, ts.phase_tag(WirePhase::DispatchRows)).unwrap()[0];
+                let meta = ctx.recv_f32(0, ts.phase_tag(WirePhase::DispatchMeta)).unwrap()[0];
+                (0, rows, meta)
+            }
+        });
+        let _ = ts;
+        assert_eq!(results[0].as_ref().unwrap().0, 1, "the rows message was held back");
+        let (_, rows, meta) = results[1].as_ref().unwrap();
+        assert_eq!((*rows, *meta), (1.0, 2.0), "reordered traffic still matches by tag");
+    }
+
+    #[test]
+    fn dropped_message_turns_into_a_loud_timeout() {
+        use crate::error::CommError;
+        use crate::fault::{FaultPlan, MsgMatch};
+        use crate::tag::{TagSpace, WirePhase};
+        use std::time::Duration;
+        let plan = FaultPlan::new(0).drop_msgs(MsgMatch::any().phase(WirePhase::LossSync));
+        let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(2), plan, |ctx| {
+            let tag = TagSpace::new(0, 1).phase_tag(WirePhase::LossSync);
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![3.0f32]).unwrap();
+                (ctx.fault_stats().dropped, true)
+            } else {
+                ctx.set_recv_timeout(Some(Duration::from_millis(20)));
+                let timed_out =
+                    matches!(ctx.recv(0, tag).unwrap_err(), CommError::RecvTimeout { .. });
+                (0, timed_out)
+            }
+        });
+        assert_eq!(results[0].as_ref().unwrap().0, 1, "the send was swallowed");
+        assert!(results[1].as_ref().unwrap().1, "the receiver starved loudly, not silently");
     }
 
     #[test]

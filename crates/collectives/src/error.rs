@@ -25,6 +25,60 @@ pub enum CommError {
     /// together make cross-phase deadlocks diagnosable from the error
     /// alone.
     RecvTimeout { from: usize, tag: String, waited_ms: u64, fenced: u64, pending: Vec<String> },
+    /// A receive exhausted its bounded retry-with-backoff policy — the
+    /// escalated form of [`CommError::RecvTimeout`] produced when a
+    /// `RetryPolicy` is installed, carrying the full decoded tag/epoch
+    /// context a postmortem needs (boxed: the diagnostics are large and
+    /// the happy path should not pay for them).
+    Protocol(Box<ProtocolFailure>),
+}
+
+/// Full diagnostics of a retry-exhausted receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolFailure {
+    /// Rank whose receive starved.
+    pub rank: usize,
+    /// Peer the receive was posted against.
+    pub from: usize,
+    /// Decoded description of the starved tag.
+    pub tag: String,
+    /// Training iteration from the structured tag (`None` for raw tags).
+    pub iteration: Option<u64>,
+    /// Wire-phase name from the structured tag (`None` for raw tags).
+    pub phase: Option<String>,
+    /// Fencing epoch the receive belonged to.
+    pub epoch: u64,
+    /// Retry attempts that expired before escalation.
+    pub retries: u32,
+    /// Measured wall-clock wait across all attempts, in milliseconds.
+    pub waited_ms: u64,
+    /// Messages the epoch fence has refused on this rank so far.
+    pub fenced: u64,
+    /// Decoded summary of every message stashed at escalation time.
+    pub pending: Vec<String>,
+}
+
+impl fmt::Display for ProtocolFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} starved receiving from rank {} tagged {}",
+            self.rank, self.from, self.tag
+        )?;
+        if let (Some(it), Some(phase)) = (self.iteration, self.phase.as_deref()) {
+            write!(f, " (iteration {it}, phase {phase})")?;
+        }
+        write!(
+            f,
+            ": {} retries exhausted over {} ms, epoch {}, {} fenced; {} pending: {}",
+            self.retries,
+            self.waited_ms,
+            self.epoch,
+            self.fenced,
+            self.pending.len(),
+            self.pending.join(", ")
+        )
+    }
 }
 
 impl fmt::Display for CommError {
@@ -56,6 +110,7 @@ impl fmt::Display for CommError {
                     pending.join(", ")
                 )
             }
+            CommError::Protocol(failure) => write!(f, "protocol failure: {failure}"),
         }
     }
 }
@@ -71,5 +126,25 @@ mod tests {
         let e = CommError::UnknownGroup { start: 3, len: 4 };
         assert!(e.to_string().contains("[3, 7)"));
         assert!(CommError::PeerGone { rank: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn protocol_failure_display_carries_the_decoded_context() {
+        let e = CommError::Protocol(Box::new(ProtocolFailure {
+            rank: 2,
+            from: 1,
+            tag: "[L0/it5/GradCollect/e3/src1]".into(),
+            iteration: Some(5),
+            phase: Some("GradCollect".into()),
+            epoch: 168,
+            retries: 3,
+            waited_ms: 450,
+            fenced: 0,
+            pending: vec!["from=1 [raw:0x9] elems=4 epoch=0".into()],
+        }));
+        let s = e.to_string();
+        for needle in ["rank 2", "rank 1", "GradCollect", "iteration 5", "3 retries", "450 ms"] {
+            assert!(s.contains(needle), "missing {needle:?} in {s}");
+        }
     }
 }

@@ -71,9 +71,11 @@ impl RankCtx {
                 *v *= inv;
             }
         }
-        let rep_snapshot = rep.to_vec();
+        // `rep` and `rest` are disjoint borrows from `split_first_mut`, so
+        // the fan-out is a straight copy — no snapshot allocation on the
+        // per-class, per-iteration grad-sync hot path.
         for other in rest.iter_mut() {
-            other.copy_from_slice(&rep_snapshot);
+            other.copy_from_slice(rep);
         }
         Ok(())
     }

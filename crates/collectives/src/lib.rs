@@ -25,6 +25,10 @@
 //! - A contiguous-range communicator registry ([`group`]) — §4.2's
 //!   `N(N−1)/2` pre-registered groups that make per-iteration regrouping
 //!   free.
+//! - Deterministic chaos ([`fault`]): seeded [`FaultPlan`]s that drop,
+//!   duplicate, delay or reorder tagged messages and stall or kill ranks,
+//!   paired with the mailbox's bounded retry-with-backoff and
+//!   [`ProtocolFailure`] escalation so recovery is testable.
 //! - Per-link-class traffic accounting ([`traffic`]): every payload byte is
 //!   attributed to the intra-node (PCIe/NVLink-class) or inter-node
 //!   (network-class) link it crossed, so `symi-netsim` can price a real
@@ -34,6 +38,7 @@ pub mod cluster;
 pub mod coll;
 pub mod ctx;
 pub mod error;
+pub mod fault;
 pub mod group;
 pub mod hier;
 pub mod p2p;
@@ -42,8 +47,9 @@ pub mod tag;
 pub mod traffic;
 
 pub use cluster::{Cluster, ClusterSpec};
-pub use ctx::{ProtocolStats, RankCtx};
-pub use error::CommError;
+pub use ctx::{ProtocolStats, RankCtx, RetryPolicy};
+pub use error::{CommError, ProtocolFailure};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultStats, MsgMatch};
 pub use group::{CommGroup, GroupRegistry};
 pub use payload::{decode_f16_into, encode_f16, Payload};
 pub use tag::{TagFields, TagSpace, WirePhase};

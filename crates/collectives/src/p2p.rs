@@ -11,6 +11,13 @@
 //! wrong length is rejected at the wire with a typed
 //! [`CommError::LengthMismatch`] naming the decoded tag, instead of being
 //! handed to the optimizer as silently corrupt data.
+//!
+//! Under a `RankCtx::set_retry_policy` + `set_recv_timeout` pair, a
+//! starved receive in the batch retries with exponential backoff and, on
+//! exhaustion, escalates to [`CommError::Protocol`] carrying the decoded
+//! tag/iteration/phase of the missing transfer — the diagnosis path the
+//! chaos harness leans on. A `LengthMismatch` is never retried: the data
+//! *arrived*, it is simply wrong, and waiting longer cannot fix that.
 
 use crate::ctx::RankCtx;
 use crate::error::CommError;
@@ -162,6 +169,35 @@ mod tests {
             }
             other => panic!("expected LengthMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn starved_sized_recv_escalates_to_protocol_error_under_retry() {
+        use crate::ctx::RetryPolicy;
+        use crate::tag::{TagSpace, WirePhase};
+        use std::time::Duration;
+
+        let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                return None; // never sends: rank 1's receive starves
+            }
+            ctx.set_recv_timeout(Some(Duration::from_millis(10)));
+            ctx.set_retry_policy(Some(RetryPolicy::new(2, 2.0)));
+            let tag = TagSpace::new(0, 3).tag(WirePhase::GradCollect, 1, 0);
+            Some(ctx.batch_isend_irecv(vec![], &[RecvOp::sized(0, tag, 8)]).unwrap_err())
+        });
+        match results[1].as_ref().unwrap() {
+            CommError::Protocol(fail) => {
+                assert_eq!(fail.retries, 2, "both retries spent before escalation");
+                assert_eq!(fail.iteration, Some(3));
+                assert_eq!(fail.phase.as_deref(), Some("GradCollect"));
+                assert_eq!((fail.rank, fail.from), (1, 0));
+                // Measured wall clock across attempts: 10 + 20 + 40 ms.
+                assert!(fail.waited_ms >= 60, "measured {} ms", fail.waited_ms);
+            }
+            other => panic!("expected Protocol escalation, got {other:?}"),
+        }
+        assert!(results[0].is_none());
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub struct IterStats {
     /// Slots whose resident class changed in the placement computed for the
     /// *next* iteration (the rebalance SYMI materializes for free).
     pub placement_churn: usize,
+    /// Whether this iteration degraded gracefully: a popularity or stats
+    /// all-reduce starved, so the engine reused the previous placement (a
+    /// correct, merely-stale schedule per §3.4) instead of aborting. When
+    /// set, `popularity`/`survived`/`dropped`/`kept_per_class` may be stale
+    /// or rank-local — advisory only.
+    pub degraded: bool,
 }
 
 /// Sender-side capacity enforcement + replica load balancing (§3.4).
@@ -142,6 +148,9 @@ pub struct MoeLayerEngine {
     /// plain data parallelism and orthogonal to the mechanism under test.
     router_w: Matrix,
     iteration: u64,
+    /// Iterations that fell back to the previous placement because a
+    /// degradable collective (popularity/stats sync) starved.
+    degraded_iterations: u64,
     telemetry: TelemetryHandle,
 }
 
@@ -179,8 +188,25 @@ impl MoeLayerEngine {
             metadata: LayerMetadataStore::new(1, 64),
             router_w,
             iteration: 0,
+            degraded_iterations: 0,
             telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// How many iterations so far degraded to the previous placement
+    /// instead of aborting on a starved popularity/stats collective.
+    pub fn degraded_iterations(&self) -> u64 {
+        self.degraded_iterations
+    }
+
+    /// Whether an error is survivable by falling back to stale state: a
+    /// starved receive (plain or retry-escalated) can mean a transient
+    /// stall somewhere in the cluster, and §3.4's schedule is only an
+    /// optimization — running one more iteration on the old placement is
+    /// always correct. A dead peer (`PeerGone`) or corrupt wire data
+    /// (`LengthMismatch`) is not survivable and still aborts.
+    fn is_degradable(e: &CommError) -> bool {
+        matches!(e, CommError::RecvTimeout { .. } | CommError::Protocol(_))
     }
 
     /// Installs this rank's telemetry handle; the iteration pipeline then
@@ -253,15 +279,30 @@ impl MoeLayerEngine {
             popularity[best] += 1;
         }
         drop(routing_span);
+        let mut degraded = false;
         {
             let _span = tele.span(Phase::PopularityAllReduce);
-            ctx.allreduce_u64_sum(
+            match ctx.allreduce_u64_sum(
                 &world,
                 tags.phase_tag(WirePhase::PopularitySync),
                 &mut popularity,
-            )?;
+            ) {
+                Ok(()) => self.metadata.record(0, popularity.clone()),
+                Err(e) if Self::is_degradable(&e) => {
+                    // Survive the starved all-reduce: the buffer may hold a
+                    // partial aggregate, so restore the last *global*
+                    // popularity as a consistent stale signal (and leave
+                    // the metadata store untouched). Dispatch itself only
+                    // needs the local routing + the current placement, so
+                    // training proceeds.
+                    degraded = true;
+                    if let Some(prev) = self.metadata.latest(0) {
+                        popularity.copy_from_slice(prev);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
-        self.metadata.record(0, popularity.clone());
 
         // ---- Step 2: capacity + replica load balancing + dispatch. ----
         let dispatch_span = tele.span(Phase::Dispatch);
@@ -415,12 +456,25 @@ impl MoeLayerEngine {
         let weight_shards = self.optimizer.step(&grad_shards);
 
         let rebalance_span = tele.span(Phase::Rebalance);
-        let next_counts = compute_placement(
-            self.metadata.latest(0).expect("recorded this iteration"),
-            self.cfg.total_slots(n),
-        );
-        let next_placement = ExpertPlacement::from_counts(&next_counts, self.cfg.slots_per_rank);
-        let placement_churn = self.placement.diff_slots(&next_placement);
+        let (next_placement, placement_churn) = if degraded {
+            // Degraded mode: every rank observed the starved popularity
+            // sync (the gather-root summed nobody's contribution or the
+            // broadcast never arrived), so every rank skips the rebalance
+            // the same way and keeps the previous placement — stale but
+            // correct per §3.4. If ranks ever *disagreed*, the sized
+            // weight-distribute receives of the diverging placements would
+            // starve and escalate loudly; stale placement can never cause
+            // silent divergence.
+            (self.placement.clone(), 0)
+        } else {
+            let next_counts = compute_placement(
+                self.metadata.latest(0).expect("recorded this iteration"),
+                self.cfg.total_slots(n),
+            );
+            let p = ExpertPlacement::from_counts(&next_counts, self.cfg.slots_per_rank);
+            let churn = self.placement.diff_slots(&p);
+            (p, churn)
+        };
         drop(rebalance_span);
 
         let new_weights =
@@ -438,7 +492,20 @@ impl MoeLayerEngine {
         // all-reduce carrying [survived, dropped, kept_0..kept_E).
         let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
         counts.extend(taken.iter().map(|&k| k as u64));
-        ctx.allreduce_u64_sum(&world, tags.phase_tag(WirePhase::StatsSync), &mut counts)?;
+        let local_counts = counts.clone();
+        match ctx.allreduce_u64_sum(&world, tags.phase_tag(WirePhase::StatsSync), &mut counts) {
+            Ok(()) => {}
+            Err(e) if Self::is_degradable(&e) => {
+                // Stats are advisory: fall back to the rank-local counts
+                // rather than aborting a fully-trained iteration.
+                degraded = true;
+                counts = local_counts;
+            }
+            Err(e) => return Err(e),
+        }
+        if degraded {
+            self.degraded_iterations += 1;
+        }
 
         // Wire-protocol health: fenced/stashed/timed-out messages flow into
         // the telemetry registry next to the phase timings.
@@ -447,6 +514,12 @@ impl MoeLayerEngine {
             tele.gauge("protocol_fenced_messages").set(ps.fenced_messages as f64);
             tele.gauge("protocol_stash_peak").set(ps.stash_peak as f64);
             tele.gauge("protocol_recv_timeouts").set(ps.recv_timeouts as f64);
+            tele.gauge("protocol_retries").set(ps.retries as f64);
+            tele.gauge("protocol_duplicates_dropped").set(ps.duplicates_dropped as f64);
+            tele.gauge("degraded_iterations").set(self.degraded_iterations as f64);
+            if degraded {
+                tele.counter("degraded_iterations_total").inc();
+            }
         }
 
         Ok(IterStats {
@@ -457,6 +530,7 @@ impl MoeLayerEngine {
             kept_per_class: counts[2..].to_vec(),
             replicas,
             placement_churn,
+            degraded,
         })
     }
 }

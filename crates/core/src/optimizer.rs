@@ -142,7 +142,14 @@ impl SymiOptimizer {
                 ));
             }
         }
+        let retries_before = ctx.protocol_stats().retries;
         let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+        if self.telemetry.is_enabled() {
+            // Retry attempts burned collecting this iteration's shards —
+            // the first phase to stutter when a source replica straggles.
+            let delta = ctx.protocol_stats().retries - retries_before;
+            self.telemetry.gauge("grad_collect_retries").set(delta as f64);
+        }
 
         // Stage every collected shard into host memory (PCIe leg of T_G;
         // gradients stay fp32 — only the weight phase travels fp16).
@@ -236,7 +243,16 @@ impl SymiOptimizer {
                 ));
             }
         }
+        let retries_before = ctx.protocol_stats().retries;
         let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+        if self.telemetry.is_enabled() {
+            // Retry attempts burned materializing the new placement — a
+            // persistent nonzero here under a *healthy* plan would mean
+            // ranks disagree about the placement (see engine degradation
+            // notes), so it is worth its own gauge.
+            let delta = ctx.protocol_stats().retries - retries_before;
+            self.telemetry.gauge("weight_distribute_retries").set(delta as f64);
+        }
 
         // Assemble per-slot full weights from the N ordered shards.
         let mut out = Vec::with_capacity(s);

@@ -35,7 +35,10 @@ pub fn compute_placement(popularity: &[u64], total_slots: usize) -> Vec<usize> {
     assert!(e > 0, "no expert classes");
     assert!(total_slots >= e, "need at least one slot per expert class");
 
-    let total_pop: u64 = popularity.iter().sum();
+    // Saturating: popularity counts near u64::MAX must degrade to "all the
+    // demand" rather than aborting the scheduler (the goals below are f64
+    // ratios, so saturation only flattens already-astronomic inputs).
+    let total_pop: u64 = popularity.iter().fold(0u64, |acc, &p| acc.saturating_add(p));
     // With no signal (e.g. iteration 0), fall back to uniform-ish.
     let goal: Vec<f64> = if total_pop == 0 {
         vec![total_slots as f64 / e as f64; e]

@@ -26,6 +26,40 @@ fn placement_fills_slots_exactly_with_floor() {
 }
 
 #[test]
+fn placement_never_panics_on_adversarial_inputs() {
+    // The rebalance phase feeds compute_placement whatever the popularity
+    // all-reduce produced — including an all-zero vector at iteration 0 and,
+    // under fault injection, stale or extreme counts. The scheduler must
+    // keep its invariants (exact fill, ≥1 replica per class) for every
+    // input that satisfies its documented preconditions, and never panic.
+    let mut rng = StdRng::seed_from_u64(306);
+    for case in 0..512 {
+        let e = rng.gen_range(1..64usize);
+        let total_slots = e + rng.gen_range(0..(e * 7 + 1));
+        let popularity: Vec<u64> = (0..e)
+            .map(|_| match rng.gen_range(0..4usize) {
+                0 => 0,
+                1 => rng.gen_range(0..100u64),
+                2 => rng.gen_range(0..1_000_000_000u64),
+                _ => u64::MAX - rng.gen_range(0..3u64),
+            })
+            .collect();
+        let counts = compute_placement(&popularity, total_slots);
+        assert_eq!(counts.len(), e, "case {case}");
+        assert_eq!(counts.iter().sum::<usize>(), total_slots, "case {case}");
+        assert!(counts.iter().all(|&c| c >= 1), "case {case}");
+    }
+    // The spec's exact edge cases: no signal at all, and the tightest
+    // possible slot budget (total_slots == e forces exactly one each).
+    for e in [1usize, 2, 7, 32] {
+        let counts = compute_placement(&vec![0u64; e], e);
+        assert_eq!(counts, vec![1usize; e], "total_pop == 0 with minimal slots");
+        let counts = compute_placement(&vec![u64::MAX; e], e);
+        assert_eq!(counts, vec![1usize; e], "saturating demand with minimal slots");
+    }
+}
+
+#[test]
 fn more_popular_classes_never_get_fewer_replicas() {
     let mut rng = StdRng::seed_from_u64(302);
     for _ in 0..64 {

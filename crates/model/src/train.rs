@@ -285,6 +285,7 @@ impl Trainer {
             tele.gauge("pool.jobs").set(pstats.jobs.saturating_sub(self.last_pool.jobs) as f64);
             tele.gauge("pool.busy_ms")
                 .set(pstats.busy_ns.saturating_sub(self.last_pool.busy_ns) as f64 / 1e6);
+            tele.gauge("pool.env_invalid").set(f64::from(pstats.env_invalid));
             self.telemetry.emit(&report);
         }
         self.last_kernel = kernel_stats();

@@ -88,6 +88,10 @@ pub struct PoolStats {
     pub jobs: u64,
     /// Nanoseconds of share execution summed over all participants.
     pub busy_ns: u64,
+    /// `SYMI_THREADS` was set but unparseable when the pool was created;
+    /// the value was ignored (with a one-time stderr warning) and the pool
+    /// fell back to available parallelism.
+    pub env_invalid: bool,
 }
 
 /// The fixed worker pool. Use [`global`]; constructing private pools is
@@ -102,6 +106,8 @@ pub struct ThreadPool {
     threads: AtomicUsize,
     jobs: AtomicU64,
     busy_ns: AtomicU64,
+    /// Set at creation when `SYMI_THREADS` held garbage (see `env_threads`).
+    env_invalid: bool,
 }
 
 thread_local! {
@@ -110,8 +116,38 @@ thread_local! {
     static IN_SHARE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-fn env_threads() -> Option<usize> {
-    std::env::var("SYMI_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&t| t >= 1)
+/// Parses a `SYMI_THREADS` value: a positive integer, surrounding
+/// whitespace tolerated. Returns a description of the problem otherwise.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1".to_string()),
+        Ok(t) => Ok(t),
+        Err(e) => Err(format!("not a positive integer: {e}")),
+    }
+}
+
+/// Reads `SYMI_THREADS`. The second element reports whether the variable
+/// was set but invalid — a misconfiguration that must not pass silently,
+/// because the pool then sizes itself from the machine instead of the
+/// operator's intent.
+fn env_threads() -> (Option<usize>, bool) {
+    let Ok(raw) = std::env::var("SYMI_THREADS") else {
+        return (None, false);
+    };
+    match parse_threads(&raw) {
+        Ok(t) => (Some(t), false),
+        Err(why) => {
+            eprintln!(
+                "symi: ignoring invalid SYMI_THREADS={raw:?} ({why}); \
+                 falling back to available parallelism"
+            );
+            (None, true)
+        }
+    }
 }
 
 /// The process-wide pool, created on first use with `SYMI_THREADS` threads
@@ -119,7 +155,8 @@ fn env_threads() -> Option<usize> {
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let threads = env_threads()
+        let (requested, env_invalid) = env_threads();
+        let threads = requested
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             .min(MAX_WORKERS);
         let shared: &'static Shared = Box::leak(Box::new(Shared {
@@ -134,6 +171,7 @@ pub fn global() -> &'static ThreadPool {
             threads: AtomicUsize::new(threads),
             jobs: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            env_invalid,
         }
     })
 }
@@ -157,6 +195,7 @@ pub fn stats() -> PoolStats {
         threads: p.threads(),
         jobs: p.jobs.load(Ordering::Relaxed),
         busy_ns: p.busy_ns.load(Ordering::Relaxed),
+        env_invalid: p.env_invalid,
     }
 }
 
@@ -483,6 +522,22 @@ mod tests {
             }
         });
         assert_eq!(outer.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("64"), Ok(64));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_loudly() {
+        assert!(parse_threads("abc").is_err());
+        assert!(parse_threads("0").is_err(), "zero threads cannot run anything");
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("4.5").is_err());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Regression test for silent `SYMI_THREADS` misconfiguration: an invalid
+//! value used to be swallowed by `.ok()?`, leaving the operator convinced
+//! they had pinned the thread count when the pool had actually sized
+//! itself from the machine.
+//!
+//! This file deliberately holds exactly ONE test: the global pool latches
+//! its configuration on first use, and a process-wide env var cannot be
+//! raced by sibling tests. A dedicated integration binary gives us a fresh
+//! process whose first pool touch happens below.
+
+#[test]
+fn invalid_symi_threads_is_flagged_and_falls_back() {
+    std::env::set_var("SYMI_THREADS", "abc");
+    let stats = symi_tensor::pool::stats();
+    assert!(
+        stats.env_invalid,
+        "an unparseable SYMI_THREADS must be surfaced via PoolStats, not ignored"
+    );
+    assert!(stats.threads >= 1, "the pool still comes up on the fallback size");
+
+    // The pool stays usable after the misconfiguration.
+    let mut out = vec![0.0f32; 64];
+    symi_tensor::pool::par_rows(8, 8, 1, &mut out, |rows, chunk| {
+        for (local, r) in rows.clone().enumerate() {
+            for c in 0..8 {
+                chunk[local * 8 + c] = (r * 8 + c) as f32;
+            }
+        }
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f32);
+    }
+}

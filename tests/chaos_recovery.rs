@@ -1,0 +1,261 @@
+//! Chaos harness: multi-iteration SYMI training under injected faults.
+//!
+//! The contract under test is the ISSUE's acceptance bar: for every fault
+//! the plan can express, a run must end in exactly one of two states —
+//!
+//! 1. **bit-exact recovery**: the run completes and every per-iteration
+//!    loss equals the no-fault oracle's bit for bit (delays absorbed by
+//!    the stash, duplicates absorbed by the sequence filter), or
+//! 2. **loud, fully diagnosed failure/degradation**: a decoded
+//!    `ProtocolFailure` naming the starved phase, a rank death surfaced
+//!    through `run_with_faults`, or a degraded iteration counted by the
+//!    engine while training continues on the stale placement.
+//!
+//! Silent divergence (completing with different losses and no degraded
+//! flag) and hangs are the two forbidden outcomes; every scenario below
+//! asserts their absence.
+
+use std::time::Duration;
+
+use symi::{EngineConfig, MoeLayerEngine};
+use symi_collectives::{
+    Cluster, ClusterSpec, FaultPlan, FaultStats, MsgMatch, ProtocolStats, RetryPolicy, WirePhase,
+};
+use symi_tensor::{AdamConfig, Matrix};
+
+const NODES: usize = 4;
+const D: usize = 8;
+const DFF: usize = 16;
+const E: usize = 4;
+const S: usize = 2;
+const T_LOC: usize = 8;
+const ITERS: usize = 6;
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        d_model: D,
+        d_ff: DFF,
+        expert_classes: E,
+        slots_per_rank: S,
+        slot_capacity: 1_000_000,
+        adam: AdamConfig::default(),
+        seed: 31,
+        layer_id: 0,
+    }
+}
+
+/// Mildly skewed token embeddings so the placement actually rebalances.
+fn tokens(rank: usize) -> Matrix {
+    Matrix::from_fn(T_LOC, D, |r, c| {
+        (c as f32 * 0.7).sin() + 0.05 * (((rank * T_LOC + r) * D + c) as f32 * 0.613).sin()
+    })
+}
+
+/// What one rank observed over a full training run.
+#[derive(Clone, Debug)]
+struct RunOutcome {
+    losses: Vec<f32>,
+    degraded: u64,
+    proto: ProtocolStats,
+    faults: FaultStats,
+}
+
+/// The per-rank training loop every scenario drives.
+fn train(
+    ctx: &mut symi_collectives::RankCtx,
+    timeout: Duration,
+    retries: u32,
+) -> Result<RunOutcome, String> {
+    ctx.set_recv_timeout(Some(timeout));
+    ctx.set_retry_policy(Some(RetryPolicy::new(retries, 2.0)));
+    let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+    let x = tokens(ctx.rank());
+    let target = Matrix::zeros(T_LOC, D);
+    let mut losses = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        losses.push(engine.iteration(ctx, &x, &target).map_err(|e| e.to_string())?.loss);
+    }
+    Ok(RunOutcome {
+        losses,
+        degraded: engine.degraded_iterations(),
+        proto: ctx.protocol_stats(),
+        faults: ctx.fault_stats(),
+    })
+}
+
+/// Runs the training loop under `plan`; outer `Err` is a rank panic
+/// (kill fault), inner `Err` is a communication error string.
+fn run_chaos(
+    plan: FaultPlan,
+    timeout: Duration,
+    retries: u32,
+) -> Vec<Result<Result<RunOutcome, String>, String>> {
+    let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(NODES), plan, |ctx| {
+        train(ctx, timeout, retries)
+    });
+    results
+}
+
+/// The no-fault oracle: plain runtime, no fault machinery, no timeouts.
+fn oracle_losses() -> Vec<f32> {
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), |ctx| {
+        let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+        let x = tokens(ctx.rank());
+        let target = Matrix::zeros(T_LOC, D);
+        (0..ITERS).map(|_| engine.iteration(ctx, &x, &target).unwrap().loss).collect::<Vec<f32>>()
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+fn unwrap_ok(results: Vec<Result<Result<RunOutcome, String>, String>>) -> Vec<RunOutcome> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| {
+            r.unwrap_or_else(|p| panic!("rank {rank} panicked: {p}"))
+                .unwrap_or_else(|e| panic!("rank {rank} errored: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn healthy_run_is_bit_exact_with_zero_protocol_noise() {
+    let oracle = oracle_losses();
+    let outcomes = unwrap_ok(run_chaos(FaultPlan::new(0), Duration::from_millis(200), 2));
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.losses, oracle, "rank {rank}: fault plumbing must not change the math");
+        assert_eq!(o.degraded, 0, "rank {rank}");
+        assert_eq!(o.proto.retries, 0, "rank {rank}: healthy runs never retry");
+        assert_eq!(o.proto.fenced_messages, 0, "rank {rank}: healthy runs never fence");
+        assert_eq!(o.proto.duplicates_dropped, 0, "rank {rank}");
+        assert_eq!(o.faults, FaultStats::default(), "rank {rank}: empty plan injects nothing");
+    }
+}
+
+#[test]
+fn delayed_dispatch_messages_recover_bit_exact() {
+    // Hold rank 0's dispatch traffic to rank 1 back behind two later sends:
+    // the rows/meta all-to-all issues every send before blocking, so the
+    // held message ages out within the phase and arrives out of order. The
+    // receiver's stash must hide the reordering completely.
+    let plan = FaultPlan::new(7)
+        .delay(MsgMatch::any().from(0).to(1).phase(WirePhase::DispatchRows).iteration(2), 2)
+        .delay(MsgMatch::any().from(0).to(1).phase(WirePhase::DispatchMeta).iteration(3), 1);
+    let oracle = oracle_losses();
+    let outcomes = unwrap_ok(run_chaos(plan, Duration::from_millis(200), 2));
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.losses, oracle, "rank {rank}: delays must recover bit-exact");
+        assert_eq!(o.degraded, 0, "rank {rank}: a reorder is not a degradation");
+    }
+    assert_eq!(outcomes[0].faults.delayed, 2, "both delay rules fired at the sender");
+}
+
+#[test]
+fn duplicated_messages_are_absorbed_bit_exact() {
+    // Deliver *every* message twice, run-wide. The per-sender sequence
+    // filter must drop each echo before it reaches tag matching.
+    let plan = FaultPlan::new(11).duplicate(MsgMatch::any());
+    let oracle = oracle_losses();
+    let outcomes = unwrap_ok(run_chaos(plan, Duration::from_millis(200), 2));
+    let mut dups_absorbed = 0;
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.losses, oracle, "rank {rank}: duplicates must recover bit-exact");
+        assert_eq!(o.degraded, 0, "rank {rank}");
+        assert!(o.faults.duplicated > 0, "rank {rank} sent traffic, so it duplicated some");
+        dups_absorbed += o.proto.duplicates_dropped;
+    }
+    assert!(dups_absorbed > 0, "the sequence filter must have absorbed echoes");
+}
+
+#[test]
+fn dropped_grad_messages_fail_loud_with_decoded_phase() {
+    // Iteration 2's entire gradient-collection transfer set is silently
+    // lost. There is no retransmission below the mailbox, so the receives
+    // must starve and escalate to decoded ProtocolFailures; every other
+    // rank then starves transitively (ring loss-sync, weight transfers)
+    // and errors too — as a Protocol escalation or, if its peers already
+    // errored out and hung up, a peer-gone. Silence and hangs are the
+    // bugs this scenario exists to catch.
+    let plan =
+        FaultPlan::new(3).drop_msgs(MsgMatch::any().phase(WirePhase::GradCollect).iteration(2));
+    let results = run_chaos(plan, Duration::from_millis(60), 1);
+    let mut decoded_grad_collect = 0;
+    for (rank, r) in results.into_iter().enumerate() {
+        let err = r
+            .expect("drops starve ranks; they must not panic")
+            .expect_err(&format!("rank {rank} must fail loudly, not diverge silently"));
+        if err.contains("protocol failure") && err.contains("GradCollect") {
+            decoded_grad_collect += 1;
+        }
+    }
+    assert!(
+        decoded_grad_collect > 0,
+        "at least one rank must name the starved GradCollect transfer"
+    );
+}
+
+#[test]
+fn popularity_blackout_degrades_to_stale_placement_and_continues() {
+    // Iteration 2's entire popularity sync — gather legs and the broadcast
+    // (same phase bits under the subop) — vanishes. Every rank must starve
+    // symmetrically, fall back to the previous iteration's placement, count
+    // one degraded iteration, and keep training to the end.
+    let plan =
+        FaultPlan::new(5).drop_msgs(MsgMatch::any().phase(WirePhase::PopularitySync).iteration(2));
+    let outcomes = unwrap_ok(run_chaos(plan, Duration::from_millis(60), 1));
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.losses.len(), ITERS, "rank {rank}: training must run to completion");
+        assert!(o.losses.iter().all(|l| l.is_finite()), "rank {rank}: losses stay finite");
+        assert_eq!(o.degraded, 1, "rank {rank}: exactly the blacked-out iteration degrades");
+        assert!(o.proto.recv_timeouts > 0, "rank {rank}: degradation is triggered by starvation");
+    }
+}
+
+#[test]
+fn killed_rank_is_reported_and_survivors_fail_loud() {
+    // Rank 2 dies at its first dispatch event of iteration 1. The death is
+    // a panic the harness converts to an error; survivors starve on the
+    // dead rank and must error out rather than hang.
+    let plan =
+        FaultPlan::new(9).kill(2, MsgMatch::any().phase(WirePhase::DispatchRows).iteration(1));
+    let results = run_chaos(plan, Duration::from_millis(60), 1);
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Err(panic) if rank == 2 => {
+                assert!(
+                    panic.contains("fault injection"),
+                    "rank 2's death is self-described: {panic}"
+                );
+            }
+            Err(panic) => panic!("only the killed rank may panic, rank {rank} did: {panic}"),
+            Ok(inner) => {
+                let err = inner.expect_err(&format!(
+                    "rank {rank} depends on the dead rank and must fail loudly"
+                ));
+                assert!(!err.is_empty(), "rank {rank}: error must carry a diagnosis");
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_matrix_recovers_bit_exact() {
+    // CI smoke: a small matrix of recoverable chaos (probabilistic
+    // duplicates everywhere, probabilistic dispatch reordering) across
+    // seeds. Every cell must reach bit-exact parity with the oracle — a
+    // failing seed replays deterministically by construction.
+    let oracle = oracle_losses();
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::new(seed)
+            .duplicate(MsgMatch::any().probability(0.5))
+            .delay(MsgMatch::any().phase(WirePhase::DispatchRows).probability(0.25), 1)
+            .delay(MsgMatch::any().phase(WirePhase::DispatchMeta).probability(0.25), 1);
+        let outcomes = unwrap_ok(run_chaos(plan, Duration::from_millis(200), 2));
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.losses, oracle, "seed {seed}, rank {rank}: recoverable chaos diverged");
+            assert_eq!(o.degraded, 0, "seed {seed}, rank {rank}");
+        }
+        let injected: u64 = outcomes.iter().map(|o| o.faults.message_faults()).sum();
+        assert!(injected > 0, "seed {seed}: the plan must actually have injected faults");
+    }
+}
