@@ -84,11 +84,13 @@ fn main() {
     );
     println!("{}", t.render());
     println!(
-        "SYMI's column is constant and lives entirely in weight_comm — the\n\
-         re-placement rides the weight update it already pays (rebalance\n\
-         bytes stay 0). The coupled column grows linearly with moves, all of\n\
-         it in the rebalance phase (each move drags weights + 3x-weights of\n\
-         Adam state across the network), which is why FlexMoE must\n\
-         rebalance rarely."
+        "SYMI's bytes live entirely in weight_comm — the re-placement rides\n\
+         the weight update it already pays (rebalance bytes stay 0), and the\n\
+         de-duplicated schedule ships one copy per (class, hosting rank), so\n\
+         the column wobbles only with the placement's host sets, never with\n\
+         how many replicas moved. The coupled column grows linearly with\n\
+         moves, all of it in the rebalance phase (each move drags weights +\n\
+         3x-weights of Adam state across the network), which is why FlexMoE\n\
+         must rebalance rarely."
     );
 }

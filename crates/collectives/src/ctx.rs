@@ -526,6 +526,52 @@ impl RankCtx {
         self.mailbox.retry
     }
 
+    /// The installed receive timeout, if any.
+    pub fn recv_timeout(&self) -> Option<Duration> {
+        self.mailbox.recv_timeout
+    }
+
+    /// Discards every buffered and in-flight message whose structured
+    /// fencing epoch is strictly below `epoch_threshold` — the cleanup a
+    /// membership change needs: after survivors agree on a new epoch, any
+    /// half-delivered traffic from the aborted iteration (a dead rank's
+    /// last sends, a survivor's pre-recovery sends) must never satisfy a
+    /// post-recovery receive. Raw-tag (unstructured) messages are kept —
+    /// they carry no iteration and are not part of the training protocol's
+    /// fenced stream. Returns the number of messages discarded.
+    ///
+    /// Sound because channels are per-sender FIFO: once a rank has
+    /// received a peer's recovery-protocol message, everything that peer
+    /// sent before it has already been drained into the stash, so a single
+    /// post-agreement purge observes all stale traffic that will ever
+    /// arrive from a live peer. (A dead rank's traffic is either already
+    /// buffered or lost with its channel.)
+    pub fn discard_stale_below(&mut self, epoch_threshold: u64) -> u64 {
+        let mb = &mut self.mailbox;
+        // Pull everything already sitting in the channel into the stash so
+        // the purge below sees it, admitting seqs through the duplicate
+        // filter exactly as a normal receive would.
+        while let Ok(msg) = mb.rx.try_recv() {
+            if !mb.seen[msg.from].admit(msg.seq) {
+                mb.stats.duplicates_dropped += 1;
+                continue;
+            }
+            mb.stash_push(msg);
+        }
+        let mut discarded = 0u64;
+        mb.stash.retain(|(_, tagv), queue| {
+            if tag::epoch_of(*tagv).is_none() {
+                return true; // raw-tag traffic is outside the fenced stream
+            }
+            let before = queue.len();
+            queue.retain(|s| s.epoch >= epoch_threshold);
+            discarded += (before - queue.len()) as u64;
+            !queue.is_empty()
+        });
+        mb.stats.stash_depth -= discarded as usize;
+        discarded
+    }
+
     /// This rank's wire-protocol health counters (fenced messages, stash
     /// depth/peak, receive timeouts, retries, absorbed duplicates).
     pub fn protocol_stats(&self) -> ProtocolStats {

@@ -41,6 +41,7 @@ pub mod error;
 pub mod fault;
 pub mod group;
 pub mod hier;
+pub mod membership;
 pub mod p2p;
 pub mod payload;
 pub mod tag;
@@ -51,6 +52,7 @@ pub use ctx::{ProtocolStats, RankCtx, RetryPolicy};
 pub use error::{CommError, ProtocolFailure};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultStats, MsgMatch};
 pub use group::{CommGroup, GroupRegistry};
+pub use membership::{MembershipView, RECOVERY_LAYER};
 pub use payload::{decode_f16_into, encode_f16, Payload};
 pub use tag::{TagFields, TagSpace, WirePhase};
 pub use traffic::{LinkClass, TrafficReport, TrafficStats};

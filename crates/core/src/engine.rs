@@ -27,11 +27,11 @@
 //! `symi-model`; the integration suite cross-checks the two).
 
 use crate::metadata::LayerMetadataStore;
-use crate::optimizer::SymiOptimizer;
+use crate::optimizer::{ReshardReport, ShardState, SymiOptimizer};
 use crate::placement::ExpertPlacement;
-use crate::scheduler::compute_placement;
+use crate::scheduler::{compute_placement, supports_world};
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{CommError, RankCtx, TagSpace, WirePhase};
+use symi_collectives::{CommError, MembershipView, RankCtx, TagSpace, WirePhase, RECOVERY_LAYER};
 use symi_model::expert::ExpertFfn;
 use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::ops::softmax_rows;
@@ -51,7 +51,8 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Distinguishes the message tag space of multiple engines (one per
     /// transformer layer) sharing the same ranks. Must fit the structured
-    /// tag's 6-bit layer field (< 64).
+    /// tag's 6-bit layer field *below* the reserved recovery plane
+    /// (< [`RECOVERY_LAYER`]).
     pub layer_id: usize,
 }
 
@@ -85,6 +86,41 @@ pub struct IterStats {
     /// set, `popularity`/`survived`/`dropped`/`kept_per_class` may be stale
     /// or rank-local — advisory only.
     pub degraded: bool,
+}
+
+/// What one successful [`MoeLayerEngine::recover`] call did, identical on
+/// every survivor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Membership epoch agreed by the survivors (strictly increases).
+    pub membership_epoch: u64,
+    /// Surviving world size (`old_world − |dead_ranks|`).
+    pub world_size: usize,
+    /// Physical ranks declared dead by this agreement round.
+    pub dead_ranks: Vec<usize>,
+    /// First iteration the shrunk world will run. The iteration in flight
+    /// when the failure hit is skipped, never re-run.
+    pub resume_iteration: u64,
+    /// Stale messages purged from the mailbox before resuming.
+    pub stale_discarded: u64,
+    /// Optimizer re-shard accounting (kept / reseeded / reinitialized).
+    pub reshard: ReshardReport,
+}
+
+/// A rank's full training state: enough to rebuild a bit-identical engine
+/// on a fresh cluster via [`MoeLayerEngine::from_snapshot`]. Used by the
+/// recovery oracle tests and as the natural checkpoint payload.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    pub iteration: u64,
+    pub world_size: usize,
+    pub logical_rank: usize,
+    /// Per-class replica counts of the active placement.
+    pub replica_counts: Vec<usize>,
+    /// Latest globally-agreed popularity, if any iteration completed.
+    pub popularity: Option<Vec<u64>>,
+    /// This rank's fp32 optimizer shards (one per expert class).
+    pub shards: Vec<ShardState>,
 }
 
 /// Sender-side capacity enforcement + replica load balancing (§3.4).
@@ -135,10 +171,19 @@ pub fn assign_token_slots(
 }
 
 /// Per-rank SYMI engine for one MoE layer.
+///
+/// All internal geometry (placement, sharding, dispatch) runs over dense
+/// **logical** ranks `0..view.size()`; physical ranks appear only at the
+/// wire. On the initial full-world view the two coincide, so the healthy
+/// path is bit-identical to the pre-elastic engine. After a permanent rank
+/// loss, [`MoeLayerEngine::recover`] shrinks the view and every downstream
+/// structure with it.
 pub struct MoeLayerEngine {
     cfg: EngineConfig,
-    rank: usize,
-    nodes: usize,
+    /// Agreed cluster membership this engine's geometry is built over.
+    view: MembershipView,
+    /// This rank's logical rank within `view`.
+    lrank: usize,
     /// Physical expert instances, one per local slot.
     slots: Vec<ExpertFfn>,
     pub placement: ExpertPlacement,
@@ -155,16 +200,25 @@ pub struct MoeLayerEngine {
 }
 
 impl MoeLayerEngine {
+    /// Canonical initial flat weights of one class — deterministic in the
+    /// class id, identical on every rank, and the re-init source of last
+    /// resort during elastic recovery.
+    fn canonical_class_params(cfg: &EngineConfig, class: usize) -> Vec<f32> {
+        ExpertFfn::new(cfg.d_model, cfg.d_ff, cfg.seed ^ (0xe0 + class as u64)).flat_params()
+    }
+
     /// Builds the rank-local engine. All ranks construct identical initial
     /// expert weights, router, and placement from `cfg.seed`.
     pub fn new(rank: usize, nodes: usize, cfg: EngineConfig) -> Self {
+        assert!(
+            cfg.layer_id < RECOVERY_LAYER,
+            "layer {} collides with the recovery tag plane",
+            cfg.layer_id
+        );
         let placement = ExpertPlacement::uniform(cfg.expert_classes, nodes, cfg.slots_per_rank);
         // Canonical initial weights per class (deterministic in class id).
         let class_params: Vec<Vec<f32>> = (0..cfg.expert_classes)
-            .map(|class| {
-                ExpertFfn::new(cfg.d_model, cfg.d_ff, cfg.seed ^ (0xe0 + class as u64))
-                    .flat_params()
-            })
+            .map(|class| Self::canonical_class_params(&cfg, class))
             .collect();
         let slots = placement
             .slots_of_rank(rank)
@@ -180,8 +234,8 @@ impl MoeLayerEngine {
         let router_w = init::normal(cfg.d_model, cfg.expert_classes, 0.3, &mut rng);
         Self {
             cfg,
-            rank,
-            nodes,
+            view: MembershipView::full(nodes),
+            lrank: rank,
             slots,
             placement,
             optimizer,
@@ -197,6 +251,21 @@ impl MoeLayerEngine {
     /// instead of aborting on a starved popularity/stats collective.
     pub fn degraded_iterations(&self) -> u64 {
         self.degraded_iterations
+    }
+
+    /// The membership view the engine's geometry is currently built over.
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// This rank's logical rank within [`MoeLayerEngine::membership`].
+    pub fn logical_rank(&self) -> usize {
+        self.lrank
+    }
+
+    /// Completed-iteration counter (also the next iteration's tag space).
+    pub fn iteration_count(&self) -> u64 {
+        self.iteration
     }
 
     /// Whether an error is survivable by falling back to stale state: a
@@ -233,6 +302,246 @@ impl MoeLayerEngine {
         self.slots[local_slot].flat_grads()
     }
 
+    /// Whether an error is a candidate for **elastic recovery**: a dead
+    /// peer, an escalated protocol failure, or a starved receive — the
+    /// error classes a permanently-killed rank produces at its survivors.
+    /// (Contrast [`is_degradable`]: degradation retries the old placement
+    /// on the *same* world; recovery shrinks the world.)
+    ///
+    /// [`is_degradable`]: MoeLayerEngine::is_degradable
+    pub fn can_recover(err: &CommError) -> bool {
+        matches!(
+            err,
+            CommError::PeerGone { .. } | CommError::Protocol(_) | CommError::RecvTimeout { .. }
+        )
+    }
+
+    /// Elastic recovery from a permanent rank loss — the paper's "free
+    /// re-placement" property (§3.3) extended to a shrinking world: because
+    /// every slot receives fresh weights every iteration anyway, surviving
+    /// a dead rank only requires agreeing on who is left and re-running the
+    /// same placement + materialization machinery over `N−1` ranks.
+    ///
+    /// Driver order:
+    /// 1. survivors agree on the dead-rank set and a bumped **membership
+    ///    epoch** ([`RankCtx::agree_membership`]), exchanging
+    ///    `(completed iterations, latest popularity)` payloads;
+    /// 2. viability check: the shrunk world must still hold every class at
+    ///    the one-replica floor ([`supports_world`] — if not, stop loudly);
+    /// 3. the resume iteration is `max(completed) + 1`: the aborted
+    ///    iteration is *skipped*, never re-run, so its half-delivered
+    ///    traffic can never alias the resumed protocol; everything older is
+    ///    purged from the mailbox ([`RankCtx::discard_stale_below`]);
+    /// 4. Algorithm 1 re-runs over the freshest surviving popularity and
+    ///    `total_slots` shrunk by the dead rank's slots;
+    /// 5. optimizer ownership re-shards over the survivors
+    ///    ([`SymiOptimizer::reshard`]): kept slices keep their fp32 moments,
+    ///    acquired slices are rebuilt from the freshest surviving copy with
+    ///    moments reset (exported as the `reseeded_params` gauge);
+    /// 6. the new placement is materialized from the re-sharded masters.
+    ///
+    /// On success the engine is ready for the next [`MoeLayerEngine::iteration`]
+    /// call: same classes, fewer slots — degraded capacity, not a dead run.
+    ///
+    /// # Panics
+    /// Panics when the shrunk world cannot host every expert class, when
+    /// this rank is evicted by its peers (cluster split), or when the
+    /// membership protocol fails to converge.
+    pub fn recover(
+        &mut self,
+        ctx: &mut RankCtx,
+        err: &CommError,
+    ) -> Result<RecoveryStats, CommError> {
+        let me_phys = self.view.physical_of(self.lrank);
+        // The peer the error names is a *hint*, not evidence: inside a ring
+        // collective this rank may be starving behind a live survivor that
+        // is itself stuck on the real corpse. `agree_membership` gives every
+        // suspect a full round to answer and trusts only the wire (closed
+        // channel / silence through the round budget) to declare death.
+        let suspects: Vec<usize> = match err {
+            CommError::PeerGone { rank } => vec![*rank],
+            CommError::Protocol(f) => vec![f.from],
+            CommError::RecvTimeout { from, .. } => vec![*from],
+            other => panic!("recover() called on an unrecoverable error: {other:?}"),
+        }
+        .into_iter()
+        .filter(|&r| r != me_phys && self.view.is_alive(r))
+        .collect();
+
+        // Payload: [completed iterations, popularity length, popularity…].
+        let mut payload = vec![self.iteration, 0];
+        if let Some(pop) = self.metadata.latest(0) {
+            payload[1] = pop.len() as u64;
+            payload.extend_from_slice(pop);
+        }
+        let timeout = ctx.default_membership_timeout();
+        let (new_view, payloads) =
+            ctx.agree_membership(&self.view, &suspects, &payload, timeout)?;
+        let dead_ranks: Vec<usize> = (0..self.view.world())
+            .filter(|&r| self.view.is_alive(r) && !new_view.is_alive(r))
+            .collect();
+        let new_n = new_view.size();
+        assert!(
+            supports_world(self.cfg.expert_classes, self.cfg.slots_per_rank, new_n),
+            "rank {me_phys}: {new_n} survivors x {} slots cannot host {} expert classes \
+             at the one-replica floor — elastic recovery is not viable",
+            self.cfg.slots_per_rank,
+            self.cfg.expert_classes,
+        );
+
+        // Fold survivor payloads: the resume iteration skips past every
+        // survivor's last attempt, and the freshest popularity wins (ties
+        // to the lowest physical rank, so every survivor picks the same).
+        let mut resume_iter = self.iteration + 1;
+        let mut best: Option<(u64, Vec<u64>)> = None;
+        for p in payloads.iter().flatten() {
+            let it = p[0];
+            resume_iter = resume_iter.max(it + 1);
+            let len = p[1] as usize;
+            debug_assert!(p.len() >= 2 + len, "malformed recovery payload");
+            if len > 0 && best.as_ref().is_none_or(|(bi, _)| it > *bi) {
+                best = Some((it, p[2..2 + len].to_vec()));
+            }
+        }
+        let popularity = best.map(|(_, pop)| pop);
+
+        // Purge everything the aborted attempt (and older) left in flight:
+        // the resumed protocol starts from a clean fenced stream.
+        let stale_discarded = ctx.discard_stale_below(resume_iter << 5);
+
+        // Algorithm 1 over the survivors: same classes, fewer slots.
+        let total = self.cfg.total_slots(new_n);
+        let counts = match &popularity {
+            Some(pop) => compute_placement(pop, total),
+            None => compute_placement(&vec![0u64; self.cfg.expert_classes], total),
+        };
+        let new_placement = ExpertPlacement::from_counts(&counts, self.cfg.slots_per_rank);
+
+        // Re-shard optimizer ownership over the survivors, sourcing the
+        // acquired slices from the freshest surviving copies.
+        let local_class_weights: Vec<(usize, Vec<f32>)> = self
+            .placement
+            .classes_on_rank(self.lrank)
+            .into_iter()
+            .map(|(class, locals)| (class, self.slots[locals[0]].flat_params()))
+            .collect();
+        let cfg = self.cfg;
+        let report = self.optimizer.reshard(
+            ctx,
+            &new_view,
+            &self.placement,
+            &local_class_weights,
+            &|class| Self::canonical_class_params(&cfg, class),
+            TagSpace::new(RECOVERY_LAYER, resume_iter),
+        )?;
+
+        // Adopt the shrunk world and materialize the new placement.
+        self.lrank = new_view.logical_of(me_phys).expect("agreement keeps the caller alive");
+        self.view = new_view;
+        self.placement = new_placement;
+        self.iteration = resume_iter;
+        if let Some(pop) = popularity {
+            self.metadata.record(0, pop);
+        }
+        self.materialize_slots(ctx)?;
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge("membership_epoch").set(self.view.epoch() as f64);
+            self.telemetry.gauge("world_size").set(new_n as f64);
+            self.telemetry.gauge("reseeded_params").set(report.reseeded_params as f64);
+            self.telemetry.gauge("reinitialized_params").set(report.reinitialized_params as f64);
+            self.telemetry.counter("recoveries_total").inc();
+        }
+
+        Ok(RecoveryStats {
+            membership_epoch: self.view.epoch(),
+            world_size: new_n,
+            dead_ranks,
+            resume_iteration: resume_iter,
+            stale_discarded,
+            reshard: report,
+        })
+    }
+
+    /// Loads every local slot of the current placement with the fp16 image
+    /// of the sharded fp32 masters, over the recovery tag plane. Used after
+    /// [`MoeLayerEngine::recover`] (the recovered placement's weights) and
+    /// after [`MoeLayerEngine::from_snapshot`] (the oracle side seeds its
+    /// slots from the exact restored state the same way, which is what
+    /// makes the post-recovery comparison bit-exact).
+    pub fn materialize_slots(&mut self, ctx: &mut RankCtx) -> Result<(), CommError> {
+        let tags = TagSpace::new(RECOVERY_LAYER, self.iteration);
+        let shards = self.optimizer.master_weight_shards();
+        let new_weights = self.optimizer.distribute_weights(ctx, &self.placement, &shards, tags)?;
+        self.slots = new_weights
+            .into_iter()
+            .map(|w| {
+                let mut e = ExpertFfn::new(self.cfg.d_model, self.cfg.d_ff, 0);
+                e.load_flat(&w);
+                e
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Captures this rank's full training state (snapshot support and the
+    /// oracle side of the elastic recovery tests).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            iteration: self.iteration,
+            world_size: self.view.size(),
+            logical_rank: self.lrank,
+            replica_counts: self.placement.replica_counts(),
+            popularity: self.metadata.latest(0).map(|p| p.to_vec()),
+            shards: self.optimizer.export_shard_states(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot on a fresh `world_size`-rank
+    /// cluster (logical rank `snap.logical_rank`). The slots are *not* yet
+    /// materialized — call [`MoeLayerEngine::materialize_slots`]
+    /// collectively before the first iteration.
+    pub fn from_snapshot(cfg: EngineConfig, snap: EngineSnapshot) -> Self {
+        assert!(
+            cfg.layer_id < RECOVERY_LAYER,
+            "layer {} collides with the recovery tag plane",
+            cfg.layer_id
+        );
+        let view = MembershipView::full(snap.world_size);
+        let placement = ExpertPlacement::from_counts(&snap.replica_counts, cfg.slots_per_rank);
+        let param_count = Self::canonical_class_params(&cfg, 0).len();
+        let optimizer = SymiOptimizer::from_shard_states(
+            view.clone(),
+            snap.logical_rank,
+            cfg.adam,
+            param_count,
+            snap.shards,
+        );
+        let mut metadata = LayerMetadataStore::new(1, 64);
+        if let Some(pop) = &snap.popularity {
+            metadata.record(0, pop.clone());
+        }
+        let slots = placement
+            .slots_of_rank(snap.logical_rank)
+            .map(|_| ExpertFfn::new(cfg.d_model, cfg.d_ff, 0))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70c7);
+        let router_w = init::normal(cfg.d_model, cfg.expert_classes, 0.3, &mut rng);
+        Self {
+            cfg,
+            view,
+            lrank: snap.logical_rank,
+            slots,
+            placement,
+            optimizer,
+            metadata,
+            router_w,
+            iteration: snap.iteration,
+            degraded_iterations: 0,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
     /// Runs one full training iteration on this rank's token shard.
     ///
     /// `x_local` is `T_loc × d_model`; `target_local` the regression target
@@ -251,8 +560,11 @@ impl MoeLayerEngine {
             "target shape mismatch"
         );
         let e = self.cfg.expert_classes;
-        let n = self.nodes;
-        let world = ctx.groups().world();
+        let n = self.view.size();
+        // Collectives run over the survivor group; on the full view this is
+        // exactly the registry's world group. Ring order is group-index
+        // (logical) order, so a shrunk world reproduces the same math.
+        let world = self.view.group();
         let t_loc = x_local.rows();
         let tele = self.telemetry.clone();
         // Every message of this iteration lives in one structured tag
@@ -311,8 +623,8 @@ impl MoeLayerEngine {
             &assignment,
             &self.placement,
             self.cfg.slot_capacity,
-            self.rank,
-            self.rank * t_loc,
+            self.lrank,
+            self.lrank * t_loc,
         );
         let survived_local = kept.len();
 
@@ -337,7 +649,7 @@ impl MoeLayerEngine {
         let mut routing_map: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
         for src in 0..n {
             for (j, &slot_id) in in_meta[src].iter().enumerate() {
-                let local_slot = slot_id as usize - self.rank * s;
+                let local_slot = slot_id as usize - self.lrank * s;
                 let row = slot_inputs[local_slot].len() / d;
                 slot_inputs[local_slot].extend_from_slice(&in_rows[src][j * d..(j + 1) * d]);
                 routing_map[src].push((local_slot, row));
@@ -434,11 +746,13 @@ impl MoeLayerEngine {
         // ---- §4.1: intra+inter rank gradient all-reduce per class. ----
         let gradsync_span = tele.span(Phase::GradComm);
         let mut class_grads: Vec<Option<Vec<f32>>> = vec![None; e];
-        for (class, locals) in self.placement.classes_on_rank(self.rank) {
+        for (class, locals) in self.placement.classes_on_rank(self.lrank) {
             let mut tensors: Vec<Vec<f32>> =
                 locals.iter().map(|&l| self.slots[l].flat_grads()).collect();
+            // The host range is logical; the view maps it onto the (possibly
+            // non-contiguous) surviving physical ranks.
             let (start, len) = self.placement.host_range(class);
-            let group = ctx.groups().range(start, len);
+            let group = self.view.subgroup(start, len);
             ctx.expert_allreduce(
                 &group,
                 tags.tag(WirePhase::GradSync, class, 0),

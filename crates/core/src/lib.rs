@@ -37,9 +37,9 @@ pub mod placement;
 pub mod policies;
 pub mod scheduler;
 
-pub use engine::{EngineConfig, MoeLayerEngine};
+pub use engine::{EngineConfig, EngineSnapshot, MoeLayerEngine, RecoveryStats};
 pub use metadata::LayerMetadataStore;
-pub use optimizer::SymiOptimizer;
+pub use optimizer::{ReshardReport, ShardState, SymiOptimizer};
 pub use placement::ExpertPlacement;
 pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
-pub use scheduler::{compute_placement, SymiPolicy};
+pub use scheduler::{compute_placement, supports_world, SymiPolicy};

@@ -11,14 +11,25 @@
 //! 2. Steps Adam on each shard (host-side; the staging across PCIe is
 //!    accounted via the traffic counters).
 //! 3. **Weight Communication Phase**: scatters the updated fp16 weight
-//!    shards to each slot of the **next** iteration's placement. Because
-//!    the slots must receive fresh weights anyway, re-placement is free —
-//!    the paper's central claim.
+//!    shards to each rank hosting the class under the **next** iteration's
+//!    placement. Because the slots must receive fresh weights anyway,
+//!    re-placement is free — the paper's central claim.
+//!
+//! All geometry here runs over **logical** ranks `0..view.size()` of a
+//! [`MembershipView`]; physical ranks appear only at the wire (send/recv
+//! targets and tag `src` fields). On the initial full-world view logical
+//! and physical coincide, so the healthy path is bit-identical to the
+//! pre-elastic code. After a rank death, [`SymiOptimizer::reshard`]
+//! recomputes the `1/N` chunk geometry over the survivors and rebuilds the
+//! newly-acquired slices from the freshest surviving state.
 
 use crate::placement::ExpertPlacement;
 use symi_collectives::coll::chunk_range;
 use symi_collectives::p2p::{RecvOp, SendOp};
-use symi_collectives::{decode_f16_into, encode_f16, CommError, RankCtx, TagSpace, WirePhase};
+use symi_collectives::tag::with_step;
+use symi_collectives::{
+    decode_f16_into, encode_f16, CommError, MembershipView, RankCtx, TagSpace, WirePhase,
+};
 use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::{AdamConfig, AdamShard};
 
@@ -32,10 +43,131 @@ pub fn get_source(host_ranks: &[usize], for_rank: usize) -> usize {
     host_ranks[for_rank % host_ranks.len()]
 }
 
+/// Serializable state of one per-class Adam shard — the unit a snapshot
+/// (and the elastic-recovery oracle test) moves around.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardState {
+    pub offset: usize,
+    pub master: Vec<f32>,
+    pub m: Vec<f32>,
+    pub v: Vec<f32>,
+    pub t: u64,
+}
+
+/// Accounting of one [`SymiOptimizer::reshard`]: how many parameters of
+/// this rank's new shard were kept (old chunk overlap, moments intact),
+/// how many were re-acquired with moments reset (the documented, bounded
+/// degradation), and — of those — how many had to fall back to canonical
+/// re-initialization because no surviving copy existed at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReshardReport {
+    pub kept_params: u64,
+    pub reseeded_params: u64,
+    pub reinitialized_params: u64,
+}
+
+/// Where an acquired re-shard segment's master weights come from, in
+/// freshness order (§3.3: the fp16 replicas are refreshed every iteration,
+/// so they are the best surviving copy when the fp32 owner died).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PieceSource {
+    /// fp16 working weights of the class's lowest surviving replica host.
+    F16Replica { src: usize },
+    /// fp32 master slice from the segment's previous chunk owner (only for
+    /// classes whose every fp16 replica died with the lost rank).
+    F32Master { src: usize },
+    /// Canonical deterministic re-initialization: no surviving copy.
+    Reinit,
+}
+
+/// One contiguous segment `[start, end)` of one class's flat parameters
+/// that `dst` (physical) must acquire during a re-shard.
+#[derive(Clone, Copy, Debug)]
+struct ReshardPiece {
+    class: usize,
+    dst: usize,
+    start: usize,
+    end: usize,
+    source: PieceSource,
+}
+
+/// Deterministic re-shard transfer plan, identical on every survivor: for
+/// each class and each new chunk owner, the segments it does not already
+/// hold and the freshest surviving source for each.
+fn reshard_plan(
+    old_view: &MembershipView,
+    new_view: &MembershipView,
+    old_placement: &ExpertPlacement,
+    expert_classes: usize,
+    param_count: usize,
+) -> Vec<ReshardPiece> {
+    let old_n = old_view.size();
+    let new_n = new_view.size();
+    let mut plan = Vec::new();
+    for class in 0..expert_classes {
+        // fp16 authority: lowest surviving *physical* rank hosting the
+        // class under the old placement (all replicas are bit-identical,
+        // so one canonical choice keeps every survivor's plan equal).
+        let authority = old_placement
+            .host_ranks(class)
+            .iter()
+            .map(|&l| old_view.physical_of(l))
+            .filter(|&p| new_view.is_alive(p))
+            .min();
+        for dst_l in 0..new_n {
+            let dst = new_view.physical_of(dst_l);
+            let (ns, ne) = chunk_range(param_count, new_n, dst_l);
+            let dst_old_l = old_view.logical_of(dst).expect("new-view ranks survive the old");
+            let (os, oe) = chunk_range(param_count, old_n, dst_old_l);
+            // Acquired = new chunk minus old chunk: at most two segments.
+            let before = (ns, ne.min(os));
+            let after = (ns.max(oe), ne);
+            for (a, b) in [before, after] {
+                if a >= b {
+                    continue;
+                }
+                match authority {
+                    Some(src) => {
+                        plan.push(ReshardPiece {
+                            class,
+                            dst,
+                            start: a,
+                            end: b,
+                            source: PieceSource::F16Replica { src },
+                        });
+                    }
+                    None => {
+                        // Orphan class: split by the *old* chunk geometry
+                        // and pull each sub-piece's fp32 master from its
+                        // previous owner when that owner survives.
+                        for owner_l in 0..old_n {
+                            let (cs, ce) = chunk_range(param_count, old_n, owner_l);
+                            let (pa, pb) = (a.max(cs), b.min(ce));
+                            if pa >= pb {
+                                continue;
+                            }
+                            let owner = old_view.physical_of(owner_l);
+                            let source = if new_view.is_alive(owner) {
+                                PieceSource::F32Master { src: owner }
+                            } else {
+                                PieceSource::Reinit
+                            };
+                            plan.push(ReshardPiece { class, dst, start: pa, end: pb, source });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    plan
+}
+
 /// Per-rank SYMI optimizer state: one Adam shard per expert class.
 pub struct SymiOptimizer {
-    rank: usize,
-    nodes: usize,
+    view: MembershipView,
+    /// Logical rank within `view` (== physical on the initial full view).
+    lrank: usize,
+    adam: AdamConfig,
     param_count: usize,
     shards: Vec<AdamShard>,
     telemetry: TelemetryHandle,
@@ -43,7 +175,8 @@ pub struct SymiOptimizer {
 
 impl SymiOptimizer {
     /// Initializes this rank's shard of every class from the classes'
-    /// initial flat parameters (identical across ranks by construction).
+    /// initial flat parameters (identical across ranks by construction),
+    /// over the full `nodes`-rank world.
     pub fn new(rank: usize, nodes: usize, adam: AdamConfig, class_params: &[Vec<f32>]) -> Self {
         assert!(!class_params.is_empty(), "need at least one expert class");
         let param_count = class_params[0].len();
@@ -51,7 +184,47 @@ impl SymiOptimizer {
         let (start, end) = chunk_range(param_count, nodes, rank);
         let shards =
             class_params.iter().map(|p| AdamShard::new(adam, start, &p[start..end])).collect();
-        Self { rank, nodes, param_count, shards, telemetry: TelemetryHandle::disabled() }
+        Self {
+            view: MembershipView::full(nodes),
+            lrank: rank,
+            adam,
+            param_count,
+            shards,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Rebuilds an optimizer from explicit shard state — the snapshot
+    /// restore path (and the oracle side of the elastic recovery test).
+    ///
+    /// # Panics
+    /// Panics if a state blob's offset/length disagrees with the chunk
+    /// geometry of `logical_rank` under `view`.
+    pub fn from_shard_states(
+        view: MembershipView,
+        logical_rank: usize,
+        adam: AdamConfig,
+        param_count: usize,
+        states: Vec<ShardState>,
+    ) -> Self {
+        assert!(!states.is_empty(), "need at least one expert class");
+        let (start, end) = chunk_range(param_count, view.size(), logical_rank);
+        let shards = states
+            .into_iter()
+            .map(|s| {
+                assert_eq!(s.offset, start, "shard offset disagrees with chunk geometry");
+                assert_eq!(s.master.len(), end - start, "shard length disagrees with geometry");
+                AdamShard::from_parts(adam, s.offset, s.master, s.m, s.v, s.t)
+            })
+            .collect();
+        Self {
+            view,
+            lrank: logical_rank,
+            adam,
+            param_count,
+            shards,
+            telemetry: TelemetryHandle::disabled(),
+        }
     }
 
     /// Installs a telemetry handle: the three optimizer phases then time
@@ -61,9 +234,29 @@ impl SymiOptimizer {
         self.telemetry = handle;
     }
 
+    /// The membership view this optimizer's geometry is built over.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// This rank's logical rank within [`SymiOptimizer::view`].
+    pub fn logical_rank(&self) -> usize {
+        self.lrank
+    }
+
+    fn nodes(&self) -> usize {
+        self.view.size()
+    }
+
+    fn my_phys(&self) -> usize {
+        self.view.physical_of(self.lrank)
+    }
+
     /// This rank's shard boundaries within a flat expert parameter vector.
+    /// Zero-length shards (more survivors than parameters) are legal: such
+    /// a rank simply neither sends nor receives in the shard phases.
     pub fn shard_range(&self) -> (usize, usize) {
-        chunk_range(self.param_count, self.nodes, self.rank)
+        chunk_range(self.param_count, self.nodes(), self.lrank)
     }
 
     pub fn expert_classes(&self) -> usize {
@@ -79,14 +272,37 @@ impl SymiOptimizer {
         self.shards.iter().map(AdamShard::state_bytes).sum()
     }
 
+    /// Serializes every per-class shard (snapshot support).
+    pub fn export_shard_states(&self) -> Vec<ShardState> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let (m, v) = sh.moments();
+                ShardState {
+                    offset: sh.offset(),
+                    master: sh.master_weights().to_vec(),
+                    m: m.to_vec(),
+                    v: v.to_vec(),
+                    t: sh.step_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// fp32 master shards of every class (the weight-materialization input
+    /// after a restore or re-shard).
+    pub fn master_weight_shards(&self) -> Vec<Vec<f32>> {
+        self.shards.iter().map(|sh| sh.master_weights().to_vec()).collect()
+    }
+
     /// Grad Communication Phase: every rank ends up with its shard of every
     /// class's (already EDP-synchronized) gradient.
     ///
     /// `local_grads[class]` is `Some(full flat gradient)` iff this rank
-    /// hosts a replica of `class` under `placement`. `tags` is the
-    /// iteration's structured tag space: every shard travels under
-    /// `(GradCollect, class, src)` with exclusive bit fields, and each
-    /// receive validates the shard's element count at the wire.
+    /// hosts a replica of `class` under `placement` (logical ranks). `tags`
+    /// is the iteration's structured tag space: every shard travels under
+    /// `(GradCollect, class, src_physical)` with exclusive bit fields, and
+    /// each receive validates the shard's element count at the wire.
     pub fn collect_grads(
         &self,
         ctx: &mut RankCtx,
@@ -97,25 +313,30 @@ impl SymiOptimizer {
         let _span = self.telemetry.span(Phase::GradComm);
         let e = self.shards.len();
         assert_eq!(local_grads.len(), e, "one (optional) gradient per class");
-        let n = self.nodes;
+        let n = self.nodes();
+        let me_phys = self.my_phys();
         ctx.begin_epoch(tags.iteration(), WirePhase::GradCollect);
 
         // Sends: for every class I host, serve the shard of every rank whose
-        // get_source picks me.
+        // get_source picks me. Zero-length destination shards never touch
+        // the wire (both sides compute the same chunk geometry).
         let mut sends = Vec::new();
         for (class, maybe_grad) in local_grads.iter().enumerate() {
             let Some(grad) = maybe_grad else { continue };
             let hosts = placement.host_ranks(class);
-            debug_assert!(hosts.contains(&self.rank), "have grads only for hosted classes");
+            debug_assert!(hosts.contains(&self.lrank), "have grads only for hosted classes");
             for dst in 0..n {
-                if dst == self.rank {
+                if dst == self.lrank {
                     continue;
                 }
-                if get_source(&hosts, dst) == self.rank {
+                if get_source(&hosts, dst) == self.lrank {
                     let (s, t) = chunk_range(self.param_count, n, dst);
+                    if s == t {
+                        continue;
+                    }
                     sends.push(SendOp::new(
-                        dst,
-                        tags.tag(WirePhase::GradCollect, class, self.rank),
+                        self.view.physical_of(dst),
+                        tags.tag(WirePhase::GradCollect, class, me_phys),
                         grad[s..t].to_vec(),
                     ));
                 }
@@ -127,17 +348,23 @@ impl SymiOptimizer {
         let mut recvs = Vec::new();
         let mut local_copy: Vec<Option<Vec<f32>>> = vec![None; e];
         for class in 0..e {
+            if ms == mt {
+                // Zero-length shard: nothing to collect for any class.
+                local_copy[class] = Some(Vec::new());
+                continue;
+            }
             let hosts = placement.host_ranks(class);
-            let src = get_source(&hosts, self.rank);
-            if src == self.rank {
+            let src = get_source(&hosts, self.lrank);
+            if src == self.lrank {
                 let grad = local_grads[class]
                     .as_ref()
                     .expect("get_source returned self, so the class is local");
                 local_copy[class] = Some(grad[ms..mt].to_vec());
             } else {
+                let src_phys = self.view.physical_of(src);
                 recvs.push(RecvOp::sized(
-                    src,
-                    tags.tag(WirePhase::GradCollect, class, src),
+                    src_phys,
+                    tags.tag(WirePhase::GradCollect, class, src_phys),
                     mt - ms,
                 ));
             }
@@ -179,18 +406,25 @@ impl SymiOptimizer {
     }
 
     /// Weight Communication Phase: sends this rank's updated weight shard of
-    /// every class to every slot of the *new* placement, and assembles the
-    /// full weights for each local slot.
+    /// every class **once per destination rank hosting the class** under the
+    /// *new* placement, and assembles the full weights for each local slot.
     ///
     /// Returns one flat weight vector per local slot (indexed by local slot
     /// id), ready to load into the physical experts — thereby
     /// *materializing* the new placement with zero extra traffic relative
     /// to a static system's weight update (§3.3-II).
-    /// The shards are fp16-quantized by [`SymiOptimizer::step`], so they
-    /// travel the wire (and the PCIe staging leg) as 2 B/param
-    /// [`Payload::F16`] — half the fp32 width the first-generation
-    /// accounting double-counted. Re-encoding is bit-exact because the
-    /// values are already on the fp16 grid.
+    ///
+    /// The shard is fp16-encoded exactly once per class; a destination rank
+    /// hosting several sibling slots of one class receives the shard once
+    /// and fans it out locally, and this rank's own slots are served
+    /// straight from the encoded buffer without touching the wire. (The
+    /// previous implementation cloned and sent the encoded shard once per
+    /// *slot*, self-deliveries included — pure duplication, since sibling
+    /// slots hold bit-identical weights.) Zero-length shards are skipped on
+    /// the wire by both sides. The shards are fp16-quantized by
+    /// [`SymiOptimizer::step`], so they travel the wire (and the PCIe
+    /// staging leg) as 2 B/param [`Payload::F16`]; re-encoding is bit-exact
+    /// because the values are already on the fp16 grid.
     ///
     /// [`Payload::F16`]: symi_collectives::Payload::F16
     pub fn distribute_weights(
@@ -201,11 +435,12 @@ impl SymiOptimizer {
         tags: TagSpace,
     ) -> Result<Vec<Vec<f32>>, CommError> {
         let _span = self.telemetry.span(Phase::WeightComm);
-        let n = self.nodes;
+        let n = self.nodes();
         let s = new_placement.slots_per_rank();
         assert_eq!(weight_shards.len(), self.shards.len(), "one weight shard per class");
         assert_eq!(new_placement.ranks(), n, "placement rank count mismatch");
         ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
+        let me_phys = self.my_phys();
 
         // Narrow once per class (parallel chunks on the shared pool); the
         // shard leaves host memory over PCIe at its true fp16 width
@@ -216,29 +451,42 @@ impl SymiOptimizer {
             ctx.record_host_device_bytes(shard.len() as u64 * 2);
         }
 
-        // Send my shard of slot's class to every slot (self included via
-        // mailbox; remote slots via links).
+        // One send per (class, distinct remote host rank); my own slots are
+        // fed locally below.
+        let (ms, mt) = self.shard_range();
         let mut sends = Vec::new();
-        for slot in 0..new_placement.total_slots() {
-            let class = new_placement.class_of_slot(slot);
-            let host = new_placement.rank_of_slot(slot);
-            sends.push(SendOp::new(
-                host,
-                tags.tag(WirePhase::WeightDistribute, slot, self.rank),
-                half_shards[class].clone(),
-            ));
+        if ms != mt {
+            for (class, half) in half_shards.iter().enumerate() {
+                for &dst in &new_placement.host_ranks(class) {
+                    if dst == self.lrank {
+                        continue;
+                    }
+                    sends.push(SendOp::new(
+                        self.view.physical_of(dst),
+                        tags.tag(WirePhase::WeightDistribute, class, me_phys),
+                        half.clone(),
+                    ));
+                }
+            }
         }
 
-        // Receive all N shards for each of my slots, length-checked at the
-        // wire against this rank's chunk geometry.
-        let mut recvs = Vec::with_capacity(s * n);
-        for local in 0..s {
-            let slot = self.rank * s + local;
+        // Receive each of my distinct classes' shard from every rank with a
+        // non-empty chunk, length-checked at the wire.
+        let my_classes = new_placement.classes_on_rank(self.lrank);
+        let mut recvs = Vec::new();
+        for &(class, _) in &my_classes {
             for src in 0..n {
+                if src == self.lrank {
+                    continue;
+                }
                 let (a, b) = chunk_range(self.param_count, n, src);
+                if a == b {
+                    continue;
+                }
+                let src_phys = self.view.physical_of(src);
                 recvs.push(RecvOp::sized(
-                    src,
-                    tags.tag(WirePhase::WeightDistribute, slot, src),
+                    src_phys,
+                    tags.tag(WirePhase::WeightDistribute, class, src_phys),
                     b - a,
                 ));
             }
@@ -254,18 +502,195 @@ impl SymiOptimizer {
             self.telemetry.gauge("weight_distribute_retries").set(delta as f64);
         }
 
-        // Assemble per-slot full weights from the N ordered shards.
-        let mut out = Vec::with_capacity(s);
-        for _local in 0..s {
+        // Assemble one full vector per distinct class, then fan out to the
+        // sibling slots.
+        let mut assembled: Vec<Vec<f32>> = Vec::with_capacity(my_classes.len());
+        for &(class, _) in &my_classes {
             let mut full = vec![0.0f32; self.param_count];
             for src in 0..n {
-                let shard = received.next().expect("one receive per (slot, src)").into_f16()?;
                 let (a, b) = chunk_range(self.param_count, n, src);
-                decode_f16_into(&shard, &mut full[a..b]);
+                if a == b {
+                    continue;
+                }
+                if src == self.lrank {
+                    decode_f16_into(&half_shards[class], &mut full[a..b]);
+                } else {
+                    let shard =
+                        received.next().expect("one receive per (class, src)").into_f16()?;
+                    decode_f16_into(&shard, &mut full[a..b]);
+                }
             }
-            out.push(full);
+            assembled.push(full);
+        }
+
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); s];
+        for ((_, locals), full) in my_classes.iter().zip(assembled) {
+            let (&last, rest) = locals.split_last().expect("class listed only when hosted");
+            for &local in rest {
+                out[local] = full.clone();
+            }
+            out[last] = full;
         }
         Ok(out)
+    }
+
+    /// Re-shards optimizer ownership over the survivors of `new_view` —
+    /// the core of elastic recovery (the tentpole of this change).
+    ///
+    /// The `1/N` chunk geometry recomputes over `new_view.size()` ranks.
+    /// For the slice this rank still owns (old ∩ new chunk) the full fp32
+    /// Adam state — master weights *and* both moments — is kept. For the
+    /// newly-acquired remainder the master weights are reconstructed from
+    /// the freshest surviving copy and the moments reset to zero (counted
+    /// in [`ReshardReport::reseeded_params`] — a documented, bounded
+    /// degradation equivalent to a warm restart of those coordinates, not
+    /// silent divergence):
+    ///
+    /// 1. the class's fp16 replica weights on the lowest surviving physical
+    ///    host under `old_placement` (replicas are bit-identical, refreshed
+    ///    last iteration — the freshest copy there is);
+    /// 2. for *orphan* classes (every replica lived on dead ranks): the
+    ///    fp32 master slices of the segment's previous chunk owners, where
+    ///    those survive;
+    /// 3. canonical re-initialization via `canonical_init(class)` for
+    ///    segments with no surviving copy at all (additionally counted in
+    ///    [`ReshardReport::reinitialized_params`]).
+    ///
+    /// `local_class_weights` carries `(class, full fp16-grid weights)` for
+    /// each class this rank hosts under `old_placement`. The transfer plan
+    /// is a pure function of `(old view, new view, old placement, P)`, so
+    /// every survivor computes it identically; pieces travel under `tags`
+    /// (the recovery tag plane) with `WeightDistribute` phase and a per-
+    /// piece step field, so they can never alias the membership rounds or
+    /// the subsequent weight materialization.
+    pub fn reshard(
+        &mut self,
+        ctx: &mut RankCtx,
+        new_view: &MembershipView,
+        old_placement: &ExpertPlacement,
+        local_class_weights: &[(usize, Vec<f32>)],
+        canonical_init: &dyn Fn(usize) -> Vec<f32>,
+        tags: TagSpace,
+    ) -> Result<ReshardReport, CommError> {
+        let _span = self.telemetry.span(Phase::WeightComm);
+        let e = self.shards.len();
+        assert!(new_view.epoch() > self.view.epoch(), "re-shard needs a successor view");
+        assert_eq!(old_placement.ranks(), self.nodes(), "old placement rank count mismatch");
+        let me_phys = self.my_phys();
+        assert!(new_view.is_alive(me_phys), "a dead rank cannot re-shard");
+        let new_n = new_view.size();
+        let new_l = new_view.logical_of(me_phys).expect("checked alive");
+        let (os, oe) = self.shard_range();
+        let (ns, ne) = chunk_range(self.param_count, new_n, new_l);
+        ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
+
+        let plan = reshard_plan(&self.view, new_view, old_placement, e, self.param_count);
+
+        // Per-(class, dst) wire-piece counters give every wire piece a
+        // unique step field; sender and receiver walk the identical plan,
+        // so the counters agree by construction.
+        let mut piece_idx: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for piece in &plan {
+            let src = match piece.source {
+                PieceSource::F16Replica { src } | PieceSource::F32Master { src } => src,
+                PieceSource::Reinit => continue,
+            };
+            if src == piece.dst {
+                continue; // local copy, never on the wire
+            }
+            let idx = piece_idx.entry((piece.class, piece.dst)).or_insert(0);
+            let tag = with_step(tags.tag(WirePhase::WeightDistribute, piece.class, src), *idx);
+            *idx += 1;
+            let len = piece.end - piece.start;
+            if src == me_phys {
+                match piece.source {
+                    PieceSource::F16Replica { .. } => {
+                        let (_, weights) = local_class_weights
+                            .iter()
+                            .find(|(c, _)| *c == piece.class)
+                            .expect("authority hosts the class it serves");
+                        sends.push(SendOp::new(
+                            piece.dst,
+                            tag,
+                            encode_f16(&weights[piece.start..piece.end]),
+                        ));
+                    }
+                    PieceSource::F32Master { .. } => {
+                        let master = self.shards[piece.class].master_weights();
+                        sends.push(SendOp::new(
+                            piece.dst,
+                            tag,
+                            master[piece.start - os..piece.end - os].to_vec(),
+                        ));
+                    }
+                    PieceSource::Reinit => unreachable!(),
+                }
+            } else if piece.dst == me_phys {
+                recvs.push(RecvOp::sized(src, tag, len));
+            }
+        }
+        let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+
+        // Assemble the new shards: kept overlap first, then acquired pieces
+        // in plan order (consuming the received iterator in post order).
+        let new_len = ne - ns;
+        let keep = (ns.max(os), ne.min(oe));
+        let mut report = ReshardReport::default();
+        let mut new_shards = Vec::with_capacity(e);
+        for old in &self.shards {
+            let mut master = vec![0.0f32; new_len];
+            let mut m = vec![0.0f32; new_len];
+            let mut v = vec![0.0f32; new_len];
+            if keep.0 < keep.1 {
+                let (om, ov) = old.moments();
+                let dst_r = keep.0 - ns..keep.1 - ns;
+                let src_r = keep.0 - os..keep.1 - os;
+                master[dst_r.clone()].copy_from_slice(&old.master_weights()[src_r.clone()]);
+                m[dst_r.clone()].copy_from_slice(&om[src_r.clone()]);
+                v[dst_r].copy_from_slice(&ov[src_r]);
+                report.kept_params += (keep.1 - keep.0) as u64;
+            }
+            new_shards.push((master, m, v, old.step_count()));
+        }
+        for piece in &plan {
+            if piece.dst != me_phys {
+                continue;
+            }
+            let out = &mut new_shards[piece.class].0[piece.start - ns..piece.end - ns];
+            match piece.source {
+                PieceSource::F16Replica { src } if src == me_phys => {
+                    let (_, weights) = local_class_weights
+                        .iter()
+                        .find(|(c, _)| *c == piece.class)
+                        .expect("authority hosts the class it serves");
+                    out.copy_from_slice(&weights[piece.start..piece.end]);
+                }
+                PieceSource::F16Replica { .. } => {
+                    let half = received.next().expect("one receive per wire piece").into_f16()?;
+                    decode_f16_into(&half, out);
+                }
+                PieceSource::F32Master { .. } => {
+                    let full = received.next().expect("one receive per wire piece").into_f32()?;
+                    out.copy_from_slice(&full);
+                }
+                PieceSource::Reinit => {
+                    out.copy_from_slice(&canonical_init(piece.class)[piece.start..piece.end]);
+                    report.reinitialized_params += (piece.end - piece.start) as u64;
+                }
+            }
+            report.reseeded_params += (piece.end - piece.start) as u64;
+        }
+
+        self.shards = new_shards
+            .into_iter()
+            .map(|(master, m, v, t)| AdamShard::from_parts(self.adam, ns, master, m, v, t))
+            .collect();
+        self.view = new_view.clone();
+        self.lrank = new_l;
+        Ok(report)
     }
 
     /// This rank's current fp32 master weights of `class`'s shard (testing
@@ -324,5 +749,92 @@ mod tests {
         let max = per_rank.iter().max().unwrap();
         let min = per_rank.iter().min().unwrap();
         assert!(max - min <= 4 * 16, "uniform within one element per class");
+    }
+
+    #[test]
+    fn zero_length_shards_are_legal_when_ranks_exceed_params() {
+        // 3 parameters over 5 ranks: ranks 3 and 4 own nothing, explicitly.
+        let params = [vec![1.0f32, 2.0, 3.0]];
+        let mut covered = [false; 3];
+        for rank in 0..5 {
+            let opt = SymiOptimizer::new(rank, 5, AdamConfig::default(), &params);
+            let (a, b) = opt.shard_range();
+            if rank >= 3 {
+                assert_eq!(a, b, "rank {rank} must own a zero-length shard");
+                assert_eq!(opt.state_bytes(), 0);
+            }
+            for c in covered.iter_mut().take(b).skip(a) {
+                assert!(!*c);
+                *c = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "nonzero shards still partition the space");
+    }
+
+    #[test]
+    fn shard_state_round_trips_through_export_import() {
+        let params: Vec<Vec<f32>> = (0..2).map(|c| vec![c as f32 + 0.5; 40]).collect();
+        let mut opt = SymiOptimizer::new(1, 4, AdamConfig::default(), &params);
+        let grads: Vec<Vec<f32>> =
+            (0..2).map(|_| vec![0.1f32; opt.shard_range().1 - opt.shard_range().0]).collect();
+        let _ = opt.step(&grads);
+        let states = opt.export_shard_states();
+        let restored = SymiOptimizer::from_shard_states(
+            MembershipView::full(4),
+            1,
+            AdamConfig::default(),
+            40,
+            states.clone(),
+        );
+        assert_eq!(restored.export_shard_states(), states);
+        assert_eq!(restored.master_shard(0), opt.master_shard(0));
+    }
+
+    #[test]
+    fn reshard_plan_covers_exactly_the_acquired_segments() {
+        let old = MembershipView::full(4);
+        let new = old.without(&[2]);
+        // Uniform placement of 4 classes on 4 ranks × 2 slots: class c is
+        // hosted only on rank c, so class 2 is orphaned by rank 2's death.
+        let placement = ExpertPlacement::uniform(4, 4, 2);
+        let p = 21usize;
+        let plan = reshard_plan(&old, &new, &placement, 4, p);
+        for class in 0..4 {
+            // Every new owner's chunk must be covered by kept ∪ acquired.
+            for dl in 0..3 {
+                let phys = new.physical_of(dl);
+                let (ns, ne) = chunk_range(p, 3, dl);
+                let (os, oe) = chunk_range(p, 4, old.logical_of(phys).unwrap());
+                let mut covered: Vec<bool> = (ns..ne).map(|i| i >= os && i < oe).collect();
+                for piece in plan.iter().filter(|pc| pc.class == class && pc.dst == phys) {
+                    for i in piece.start..piece.end {
+                        assert!(!covered[i - ns], "class {class} param {i} doubly sourced");
+                        covered[i - ns] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "class {class} dst {phys} has holes");
+            }
+        }
+        // Non-orphan classes resolve to the fp16 authority…
+        assert!(plan
+            .iter()
+            .filter(|pc| pc.class != 2)
+            .all(|pc| matches!(pc.source, PieceSource::F16Replica { .. })));
+        // …the orphan class falls back to fp32 masters or re-init, and the
+        // dead rank's own old chunk is exactly the re-initialized part.
+        let (ds, de) = chunk_range(p, 4, 2);
+        for pc in plan.iter().filter(|pc| pc.class == 2) {
+            match pc.source {
+                PieceSource::Reinit => {
+                    assert!(pc.start >= ds && pc.end <= de, "re-init outside dead chunk");
+                }
+                PieceSource::F32Master { src } => assert!(new.is_alive(src)),
+                PieceSource::F16Replica { .. } => panic!("orphan class has no fp16 authority"),
+            }
+        }
+        assert!(
+            plan.iter().any(|pc| pc.class == 2 && matches!(pc.source, PieceSource::Reinit)),
+            "the dead rank's chunk of the orphan class must be re-initialized somewhere"
+        );
     }
 }

@@ -21,6 +21,42 @@ use std::collections::HashMap;
 use symi_model::PlacementPolicy;
 use symi_workload::PopularityTrace;
 
+/// Clamps a caller-supplied EMA weight into `[0, 1]`. Non-finite weights
+/// degrade to `1.0` (prev-iteration behaviour) instead of poisoning the
+/// accumulators: `EmaPolicy.alpha` is a public field, and the trace
+/// evaluator's percent-encoded alpha can exceed 100, so the constructor
+/// assert alone cannot keep hostile weights out of the arithmetic.
+fn sanitized_alpha(alpha: f64) -> f64 {
+    if alpha.is_finite() {
+        alpha.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+/// f64 EMA accumulator → u64 popularity: NaN and negatives clamp to zero,
+/// overflow saturates. (`as u64` already saturates in Rust, but routing
+/// every conversion through one place keeps the clamping policy auditable.)
+fn popularity_from_ema(e: f64) -> u64 {
+    if e.is_nan() {
+        0
+    } else {
+        e.round().clamp(0.0, u64::MAX as f64) as u64
+    }
+}
+
+/// EMA update with a self-healing accumulator: a non-finite result (alpha
+/// abuse, astronomically large counts) resets to the direct observation
+/// rather than sticking at NaN/±inf for the rest of the run.
+fn ema_step(state: f64, alpha: f64, p: u64) -> f64 {
+    let next = alpha * p as f64 + (1.0 - alpha) * state;
+    if next.is_finite() {
+        next
+    } else {
+        p as f64
+    }
+}
+
 /// EMA-smoothed popularity estimate.
 pub struct EmaPolicy {
     pub total_slots: usize,
@@ -47,11 +83,16 @@ impl PlacementPolicy for EmaPolicy {
             .entry(layer)
             .or_insert_with(|| popularity.iter().map(|&p| p as f64).collect());
         assert_eq!(ema.len(), popularity.len(), "expert count changed");
+        let alpha = sanitized_alpha(self.alpha);
         for (e, &p) in ema.iter_mut().zip(popularity) {
-            *e = self.alpha * p as f64 + (1.0 - self.alpha) * *e;
+            *e = ema_step(*e, alpha, p);
         }
-        let rounded: Vec<u64> = ema.iter().map(|&e| e.round().max(0.0) as u64).collect();
+        let rounded: Vec<u64> = ema.iter().map(|&e| popularity_from_ema(e)).collect();
         compute_placement(&rounded, self.total_slots)
+    }
+
+    fn on_world_shrink(&mut self, total_slots: usize) {
+        self.total_slots = total_slots;
     }
 }
 
@@ -84,13 +125,19 @@ impl PlacementPolicy for WindowMaxPolicy {
             (0..popularity.len()).map(|e| h.iter().map(|row| row[e]).max().unwrap_or(0)).collect();
         compute_placement(&peak, self.total_slots)
     }
+
+    fn on_world_shrink(&mut self, total_slots: usize) {
+        self.total_slots = total_slots;
+    }
 }
 
 /// Token survival if class `e` is provisioned `replicas[e]` slots of
 /// capacity `slot_capacity` against demand `popularity[e]`.
 pub fn survival_for_replicas(popularity: &[u64], replicas: &[usize], slot_capacity: f64) -> f64 {
     assert_eq!(popularity.len(), replicas.len(), "shape mismatch");
-    let total: u64 = popularity.iter().sum();
+    // Saturating for the same reason as `compute_placement`: astronomically
+    // large counts must flatten the ratio, not abort the evaluator.
+    let total: u64 = popularity.iter().fold(0u64, |acc, &p| acc.saturating_add(p));
     if total == 0 {
         return 1.0;
     }
@@ -159,16 +206,15 @@ pub fn evaluate_policy_on_trace(
                 }
             }
             TracePolicy::EmaPercent(a) => {
-                let alpha = a as f64 / 100.0;
+                let alpha = sanitized_alpha(a as f64 / 100.0);
                 let r = if t == 0 {
                     uniform.clone()
                 } else {
-                    let rounded: Vec<u64> =
-                        ema.iter().map(|&v| v.round().max(0.0) as u64).collect();
+                    let rounded: Vec<u64> = ema.iter().map(|&v| popularity_from_ema(v)).collect();
                     compute_placement(&rounded, total_slots)
                 };
                 for (s, &p) in ema.iter_mut().zip(popularity) {
-                    *s = if t == 0 { p as f64 } else { alpha * p as f64 + (1.0 - alpha) * *s };
+                    *s = if t == 0 { p as f64 } else { ema_step(*s, alpha, p) };
                 }
                 r
             }
@@ -287,6 +333,44 @@ mod tests {
         let prev = evaluate_policy_on_trace(&t, TracePolicy::PrevIteration, 16, 4600.0 / 16.0);
         let wmax = evaluate_policy_on_trace(&t, TracePolicy::WindowMax(3), 16, 4600.0 / 16.0);
         assert!(wmax > prev, "window-max {wmax:.4} should beat prev {prev:.4} on spikes");
+    }
+
+    #[test]
+    fn adversarial_alphas_and_popularity_never_panic() {
+        use symi_model::PlacementPolicy;
+        use symi_tensor::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xeea);
+        // `alpha` is a public field, so the constructor's range assert is
+        // advisory at best: hostile weights must clamp, not poison.
+        let evil = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 2.55, 1e300, -0.0, 1.0];
+        for &alpha in &evil {
+            let mut p = EmaPolicy::new(8, 0.5);
+            p.alpha = alpha;
+            for iter in 0..16u64 {
+                let pop: Vec<u64> = (0..4)
+                    .map(|_| match rng.gen_range(0..4u32) {
+                        0 => 0,
+                        1 => u64::MAX,
+                        2 => u64::MAX / 2,
+                        _ => rng.gen_range(0..1_000_000u64),
+                    })
+                    .collect();
+                let r = p.next_replicas(0, &pop, iter);
+                assert_eq!(r.iter().sum::<usize>(), 8, "alpha={alpha}");
+                assert!(r.iter().all(|&c| c >= 1), "alpha={alpha}");
+            }
+        }
+        // The trace evaluator's percent-encoded alpha reaches 2.55, which
+        // used to diverge the accumulator; with extreme counts in the trace
+        // the result must stay a finite survival fraction for every alpha.
+        let mut t = PopularityTrace::new();
+        for i in 0..24 {
+            t.push(vec![if i % 2 == 0 { u64::MAX } else { 0 }, 1, u64::MAX / 3, 7]);
+        }
+        for a in [0u8, 1, 100, 200, 255] {
+            let s = evaluate_policy_on_trace(&t, TracePolicy::EmaPercent(a), 8, 100.0);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "alpha%={a} survival={s}");
+        }
     }
 
     #[test]

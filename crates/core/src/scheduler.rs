@@ -69,6 +69,14 @@ pub fn compute_placement(popularity: &[u64], total_slots: usize) -> Vec<usize> {
     counts
 }
 
+/// Whether a world of `ranks` ranks with `slots_per_rank` slots each can
+/// still place `expert_classes` classes at the one-replica floor — the
+/// elastic-recovery viability check: a shrunk world that fails this cannot
+/// host every class and must stop loudly instead of re-placing.
+pub fn supports_world(expert_classes: usize, slots_per_rank: usize, ranks: usize) -> bool {
+    ranks > 0 && slots_per_rank * ranks >= expert_classes
+}
+
 /// Expands replica counts into the contiguous slot assignment
 /// (`slot → class`), exactly Algorithm 1's final loop.
 pub fn contiguous_assignment(counts: &[usize]) -> Vec<usize> {
@@ -94,6 +102,10 @@ impl PlacementPolicy for SymiPolicy {
 
     fn next_replicas(&mut self, _layer: usize, popularity: &[u64], _iter: u64) -> Vec<usize> {
         compute_placement(popularity, self.total_slots)
+    }
+
+    fn on_world_shrink(&mut self, total_slots: usize) {
+        self.total_slots = total_slots;
     }
 }
 
@@ -179,5 +191,13 @@ mod tests {
     #[should_panic(expected = "at least one slot per expert class")]
     fn too_few_slots_panics() {
         let _ = compute_placement(&[1, 1, 1], 2);
+    }
+
+    #[test]
+    fn supports_world_tracks_the_one_replica_floor() {
+        assert!(supports_world(4, 2, 2)); // 4 slots, 4 classes: exactly viable
+        assert!(!supports_world(4, 2, 1)); // 2 slots cannot host 4 classes
+        assert!(!supports_world(1, 1, 0)); // an empty world hosts nothing
+        assert!(supports_world(4, 2, 3)); // the elastic N−1 case
     }
 }

@@ -30,6 +30,14 @@ pub trait PlacementPolicy {
     /// popularity the router just observed. Counts must sum to the total
     /// slot count and be ≥1 everywhere.
     fn next_replicas(&mut self, layer: usize, popularity: &[u64], iteration: u64) -> Vec<usize>;
+
+    /// The world shrank (elastic recovery after a permanent rank loss):
+    /// every subsequent [`PlacementPolicy::next_replicas`] must sum to
+    /// `total_slots`. Policies that carry a slot budget override this;
+    /// stateless ones can ignore it.
+    fn on_world_shrink(&mut self, total_slots: usize) {
+        let _ = total_slots;
+    }
 }
 
 /// Static uniform replication (`r = sN/E`), as DeepSpeed provisions.
@@ -46,6 +54,12 @@ impl PlacementPolicy for UniformPolicy {
     fn next_replicas(&mut self, _layer: usize, _popularity: &[u64], _iter: u64) -> Vec<usize> {
         assert_eq!(self.total_slots % self.experts, 0, "uniform replication must divide");
         vec![self.total_slots / self.experts; self.experts]
+    }
+
+    fn on_world_shrink(&mut self, total_slots: usize) {
+        // The divisibility assert above still applies: static uniform
+        // replication only survives shrinks that keep `E | total_slots`.
+        self.total_slots = total_slots;
     }
 }
 
@@ -295,6 +309,34 @@ impl Trainer {
         stats
     }
 
+    /// Adapts the trainer to a smaller slot budget — the functional-side
+    /// counterpart of the distributed engine's elastic recovery, where a
+    /// permanent rank loss removes that rank's expert slots. The model's
+    /// total slot count drops, each layer's live allocation is squeezed by
+    /// removing replicas from its most-replicated classes (preserving the
+    /// one-replica floor), and the policy is notified so its subsequent
+    /// allocations sum to the new total.
+    ///
+    /// # Panics
+    /// Panics when `new_total` cannot give every class one replica, or
+    /// exceeds the current budget (elasticity here only shrinks).
+    pub fn shrink_total_slots(&mut self, new_total: usize) {
+        let e = self.model.cfg.experts;
+        assert!(new_total >= e, "need at least one slot per expert class");
+        assert!(new_total <= self.model.cfg.total_slots, "shrink cannot grow the world");
+        self.model.cfg.total_slots = new_total;
+        for layer in &mut self.replicas {
+            while layer.iter().sum::<usize>() > new_total {
+                let i = (0..e)
+                    .filter(|&i| layer[i] > 1)
+                    .max_by_key(|&i| layer[i])
+                    .expect("sum > E implies some class holds more than one replica");
+                layer[i] -= 1;
+            }
+        }
+        self.policy.on_world_shrink(new_total);
+    }
+
     /// Runs `iterations` training steps against the corpus.
     pub fn train(&mut self, corpus: &mut DriftingCorpus, iterations: usize) {
         for _ in 0..iterations {
@@ -426,6 +468,50 @@ mod tests {
         assert_eq!(r.iterations_to_loss(1.0, 1), None);
         // Smoothed over window 2: means are 5, 4.5, 3.5, 2.5.
         assert_eq!(r.iterations_to_loss(3.5, 2), Some(3));
+    }
+
+    #[test]
+    fn shrinking_total_slots_keeps_training_consistent() {
+        // A popularity-proportional stand-in that honours the shrink hook
+        // (the real SymiPolicy lives downstream and can't be imported here).
+        struct Greedy {
+            total_slots: usize,
+        }
+        impl PlacementPolicy for Greedy {
+            fn name(&self) -> &'static str {
+                "test-greedy"
+            }
+            fn next_replicas(&mut self, _l: usize, pop: &[u64], _i: u64) -> Vec<usize> {
+                let e = pop.len();
+                let mut r = vec![1usize; e];
+                let mut left = self.total_slots - e;
+                while left > 0 {
+                    let hot = (0..e).max_by_key(|&c| pop[c] / r[c] as u64).unwrap();
+                    r[hot] += 1;
+                    left -= 1;
+                }
+                r
+            }
+            fn on_world_shrink(&mut self, total_slots: usize) {
+                self.total_slots = total_slots;
+            }
+        }
+
+        let cfg = ModelConfig::tiny();
+        let mut corpus = corpus_for(&cfg);
+        let mut trainer = Trainer::new(cfg, Box::new(Greedy { total_slots: cfg.total_slots }));
+        trainer.train(&mut corpus, 3);
+
+        let new_total = cfg.total_slots - 2; // tiny(): 8 slots, 4 classes
+        trainer.shrink_total_slots(new_total);
+        for layer in trainer.replicas() {
+            assert_eq!(layer.iter().sum::<usize>(), new_total, "squeeze fills the new budget");
+            assert!(layer.iter().all(|&c| c >= 1), "squeeze respects the floor");
+        }
+        // Subsequent steps run against the shrunk budget (step() asserts the
+        // policy fills exactly total_slots, so this also checks the hook).
+        trainer.train(&mut corpus, 3);
+        assert_eq!(trainer.record.losses.len(), 6);
     }
 
     #[test]

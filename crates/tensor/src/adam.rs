@@ -115,9 +115,34 @@ impl AdamShard {
         }
     }
 
+    /// Rebuilds a shard from explicit state — the elastic re-shard path,
+    /// where a survivor assembles its new slice from kept state, peer
+    /// transfers, and reseeded segments.
+    ///
+    /// # Panics
+    /// Panics if the moment vectors disagree with the master length.
+    pub fn from_parts(
+        cfg: AdamConfig,
+        offset: usize,
+        master: Vec<f32>,
+        m: Vec<f32>,
+        v: Vec<f32>,
+        t: u64,
+    ) -> Self {
+        assert_eq!(m.len(), master.len(), "first-moment length mismatch");
+        assert_eq!(v.len(), master.len(), "second-moment length mismatch");
+        Self { cfg, offset, master, m, v, t }
+    }
+
     /// Start of this shard within the parameter group.
     pub fn offset(&self) -> usize {
         self.offset
+    }
+
+    /// First and second moment vectors (aligned with
+    /// [`AdamShard::master_weights`]).
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.m, &self.v)
     }
 
     pub fn len(&self) -> usize {

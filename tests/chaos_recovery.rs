@@ -14,13 +14,23 @@
 //! Silent divergence (completing with different losses and no degraded
 //! flag) and hangs are the two forbidden outcomes; every scenario below
 //! asserts their absence.
+//!
+//! A third sanctioned outcome exists when the driver opts into **elastic
+//! recovery** (`MoeLayerEngine::recover`): a permanently killed rank no
+//! longer ends the run — survivors agree on a shrunk membership, re-shard
+//! the optimizer, re-place the experts over `N−1` ranks, and finish
+//! training at degraded capacity. The `elastic_*` scenarios pin that path,
+//! up to bit-exactness against a fresh `N−1`-rank cluster seeded from the
+//! recovered state.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use symi::{EngineConfig, MoeLayerEngine};
+use symi::{EngineConfig, EngineSnapshot, MoeLayerEngine, RecoveryStats};
 use symi_collectives::{
     Cluster, ClusterSpec, FaultPlan, FaultStats, MsgMatch, ProtocolStats, RetryPolicy, WirePhase,
 };
+use symi_telemetry::ClusterTelemetry;
 use symi_tensor::{AdamConfig, Matrix};
 
 const NODES: usize = 4;
@@ -105,6 +115,82 @@ fn oracle_losses() -> Vec<f32> {
         (0..ITERS).map(|_| engine.iteration(ctx, &x, &target).unwrap().loss).collect::<Vec<f32>>()
     });
     results.into_iter().next().expect("rank 0 result")
+}
+
+/// What a rank observed over an elastic (recovery-enabled) training run.
+#[derive(Clone, Debug)]
+struct ElasticOutcome {
+    losses: Vec<f32>,
+    /// Final world size after all recoveries.
+    world: usize,
+    recoveries: Vec<RecoveryStats>,
+}
+
+/// The recovery-enabled per-rank loop: identical to [`train`] except that
+/// a recoverable failure triggers `MoeLayerEngine::recover` instead of
+/// ending the run. The iteration budget counts engine iterations, so the
+/// aborted (skipped) iteration never yields a loss.
+fn train_elastic(
+    ctx: &mut symi_collectives::RankCtx,
+    timeout: Duration,
+    retries: u32,
+    telemetry: Option<&Arc<ClusterTelemetry>>,
+) -> Result<ElasticOutcome, String> {
+    ctx.set_recv_timeout(Some(timeout));
+    ctx.set_retry_policy(Some(RetryPolicy::new(retries, 2.0)));
+    let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+    if let Some(t) = telemetry {
+        engine.attach_telemetry(t.handle(ctx.rank()));
+    }
+    let x = tokens(ctx.rank());
+    let target = Matrix::zeros(T_LOC, D);
+    let mut losses = Vec::new();
+    let mut recoveries: Vec<RecoveryStats> = Vec::new();
+    while engine.iteration_count() < ITERS as u64 {
+        match engine.iteration(ctx, &x, &target) {
+            Ok(stats) => losses.push(stats.loss),
+            Err(e) if MoeLayerEngine::can_recover(&e) && recoveries.len() < NODES => {
+                recoveries.push(engine.recover(ctx, &e).map_err(|e| e.to_string())?);
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(ElasticOutcome { losses, world: engine.membership().size(), recoveries })
+}
+
+fn run_elastic(
+    plan: FaultPlan,
+    timeout: Duration,
+    retries: u32,
+    telemetry: Option<Arc<ClusterTelemetry>>,
+) -> Vec<Result<Result<ElasticOutcome, String>, String>> {
+    let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(NODES), plan, move |ctx| {
+        train_elastic(ctx, timeout, retries, telemetry.as_ref())
+    });
+    results
+}
+
+/// Splits an elastic chaos run into (killed-rank panics, survivor
+/// outcomes), asserting only `dead` panicked and that its panic is the
+/// self-described injection.
+fn split_survivors(
+    results: Vec<Result<Result<ElasticOutcome, String>, String>>,
+    dead: usize,
+) -> Vec<(usize, ElasticOutcome)> {
+    let mut survivors = Vec::new();
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Err(panic) if rank == dead => {
+                assert!(panic.contains("fault injection"), "rank {rank} panic: {panic}");
+            }
+            Err(panic) => panic!("only the killed rank may panic, rank {rank} did: {panic}"),
+            Ok(inner) => {
+                survivors.push((rank, inner.unwrap_or_else(|e| panic!("rank {rank} errored: {e}"))))
+            }
+        }
+    }
+    assert_eq!(survivors.len(), NODES - 1, "every survivor must finish");
+    survivors
 }
 
 fn unwrap_ok(results: Vec<Result<Result<RunOutcome, String>, String>>) -> Vec<RunOutcome> {
@@ -212,10 +298,11 @@ fn popularity_blackout_degrades_to_stale_placement_and_continues() {
 }
 
 #[test]
-fn killed_rank_is_reported_and_survivors_fail_loud() {
-    // Rank 2 dies at its first dispatch event of iteration 1. The death is
-    // a panic the harness converts to an error; survivors starve on the
-    // dead rank and must error out rather than hang.
+fn kill_without_recovery_opt_in_still_fails_loud() {
+    // Rank 2 dies at its first dispatch event of iteration 1. Elastic
+    // recovery is a *driver-level* opt-in: the plain training loop must
+    // keep today's contract — survivors starve on the dead rank and error
+    // out rather than hang (and never silently diverge).
     let plan =
         FaultPlan::new(9).kill(2, MsgMatch::any().phase(WirePhase::DispatchRows).iteration(1));
     let results = run_chaos(plan, Duration::from_millis(60), 1);
@@ -235,6 +322,182 @@ fn killed_rank_is_reported_and_survivors_fail_loud() {
                 assert!(!err.is_empty(), "rank {rank}: error must carry a diagnosis");
             }
         }
+    }
+}
+
+#[test]
+fn elastic_recovery_survives_a_killed_rank_and_exports_gauges() {
+    // The same kill as above, but with the recovery-enabled loop: the
+    // survivors must agree rank 2 is dead, shrink to a 3-rank world, skip
+    // the aborted iteration, and finish the full training budget. The
+    // membership epoch and re-shard accounting must land in the telemetry
+    // registry (the JSONL surface).
+    let telemetry = ClusterTelemetry::new(NODES);
+    let plan =
+        FaultPlan::new(9).kill(2, MsgMatch::any().phase(WirePhase::DispatchRows).iteration(1));
+    let results = run_elastic(plan, Duration::from_millis(60), 1, Some(telemetry.clone()));
+    let survivors = split_survivors(results, 2);
+    let reference = &survivors[0].1.losses;
+    for (rank, o) in &survivors {
+        // Iteration 1 aborted and was skipped: 0 plus 2..ITERS yields one
+        // loss fewer than the budget.
+        assert_eq!(o.losses.len(), ITERS - 1, "rank {rank}: aborted iteration is skipped");
+        assert!(o.losses.iter().all(|l| l.is_finite()), "rank {rank}: losses stay finite");
+        assert_eq!(&o.losses, reference, "rank {rank}: survivors agree on every loss");
+        assert_eq!(o.world, NODES - 1, "rank {rank}: the world shrank by the dead rank");
+        assert_eq!(o.recoveries.len(), 1, "rank {rank}: exactly one recovery");
+        let rec = &o.recoveries[0];
+        assert_eq!(rec.dead_ranks, vec![2], "rank {rank}");
+        assert_eq!(rec.membership_epoch, 1, "rank {rank}");
+        assert_eq!(rec.world_size, NODES - 1, "rank {rank}");
+        assert_eq!(rec.resume_iteration, 2, "rank {rank}: resume skips the aborted iteration");
+        // Going from 4 to 3 uniform chunks, every survivor's slice grows,
+        // so every survivor re-seeds some Adam state.
+        assert!(rec.reshard.reseeded_params > 0, "rank {rank}: acquired slices were re-seeded");
+        assert!(rec.reshard.kept_params > 0, "rank {rank}: overlapping slices kept their state");
+    }
+    let json = telemetry.registry().snapshot().to_string();
+    for gauge in ["membership_epoch", "reseeded_params", "reinitialized_params", "world_size"] {
+        assert!(json.contains(gauge), "telemetry snapshot must carry `{gauge}`: {json}");
+    }
+}
+
+#[test]
+fn elastic_recovery_before_first_placement_reinitializes_the_orphan() {
+    // Rank 2 dies during iteration 0's dispatch — before any rebalance, so
+    // the placement is still the initial uniform one where class 2 lives
+    // *only* on rank 2. Recovery must take the fp32-master path for the
+    // orphan's surviving slices and canonical re-init for the slice that
+    // died with rank 2's shard, and still finish training.
+    let plan =
+        FaultPlan::new(13).kill(2, MsgMatch::any().phase(WirePhase::DispatchRows).iteration(0));
+    let survivors = split_survivors(run_elastic(plan, Duration::from_millis(60), 1, None), 2);
+    let mut reinit_total = 0u64;
+    for (rank, o) in &survivors {
+        assert_eq!(o.losses.len(), ITERS - 1, "rank {rank}: iteration 0 is skipped");
+        assert!(o.losses.iter().all(|l| l.is_finite()), "rank {rank}");
+        assert_eq!(o.world, NODES - 1, "rank {rank}");
+        assert_eq!(o.recoveries.len(), 1, "rank {rank}");
+        let rec = &o.recoveries[0];
+        assert_eq!(rec.resume_iteration, 1, "rank {rank}: resume right after the aborted start");
+        assert!(
+            rec.reshard.reinitialized_params <= rec.reshard.reseeded_params,
+            "rank {rank}: re-init is a subset of re-seeding"
+        );
+        reinit_total += rec.reshard.reinitialized_params;
+    }
+    // Exactly the orphaned class's dead slice is re-initialized: class 2's
+    // fp32 chunk on rank 2 had no surviving fp16 replica and no surviving
+    // owner. Every other (class, slice) had a surviving source.
+    let param_count = D * DFF + DFF + DFF * D + D;
+    assert_eq!(
+        reinit_total as usize,
+        param_count / NODES,
+        "the survivors re-initialize exactly the orphan's dead quarter"
+    );
+}
+
+#[test]
+fn elastic_recovery_during_weight_distribute() {
+    // Rank 2 dies mid-materialization: its Adam step for iteration 1 is
+    // already applied locally, but its weight-distribute sends never leave.
+    // Survivors starve in the distribute phase and must recover — this is
+    // the worst case for state freshness (masters stepped, replicas stale),
+    // which recovery absorbs by re-sharding from surviving copies.
+    let plan =
+        FaultPlan::new(17).kill(2, MsgMatch::any().phase(WirePhase::WeightDistribute).iteration(1));
+    let survivors = split_survivors(run_elastic(plan, Duration::from_millis(60), 1, None), 2);
+    let reference = &survivors[0].1.losses;
+    for (rank, o) in &survivors {
+        assert_eq!(o.losses.len(), ITERS - 1, "rank {rank}: the torn iteration is skipped");
+        assert!(o.losses.iter().all(|l| l.is_finite()), "rank {rank}");
+        assert_eq!(&o.losses, reference, "rank {rank}: survivors agree on every loss");
+        assert_eq!(o.world, NODES - 1, "rank {rank}");
+        assert_eq!(o.recoveries.len(), 1, "rank {rank}");
+        assert_eq!(o.recoveries[0].resume_iteration, 2, "rank {rank}");
+    }
+}
+
+#[test]
+fn elastic_recovery_matches_a_fresh_n_minus_one_oracle_bit_exact() {
+    // The acceptance bar: after recovery, the surviving cluster must be
+    // mathematically indistinguishable from a *fresh* 3-rank cluster seeded
+    // with the recovered state. Phase A kills rank 2 and records every
+    // post-recovery loss; phase B replays from the post-recovery snapshots
+    // on a clean 3-rank runtime. Bit-exact equality, not tolerance.
+    let plan =
+        FaultPlan::new(9).kill(2, MsgMatch::any().phase(WirePhase::DispatchRows).iteration(1));
+    let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(NODES), plan, |ctx| {
+        ctx.set_recv_timeout(Some(Duration::from_millis(60)));
+        ctx.set_retry_policy(Some(RetryPolicy::new(1, 2.0)));
+        let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+        let x = tokens(ctx.rank());
+        let target = Matrix::zeros(T_LOC, D);
+        let mut snap: Option<EngineSnapshot> = None;
+        let mut post_losses = Vec::new();
+        while engine.iteration_count() < ITERS as u64 {
+            match engine.iteration(ctx, &x, &target) {
+                Ok(stats) => {
+                    if snap.is_some() {
+                        post_losses.push(stats.loss);
+                    }
+                }
+                Err(e) if MoeLayerEngine::can_recover(&e) => {
+                    engine.recover(ctx, &e).map_err(|e| e.to_string())?;
+                    assert!(snap.is_none(), "this plan kills exactly once");
+                    snap = Some(engine.snapshot());
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok((snap.expect("the kill must have triggered recovery"), post_losses))
+    });
+
+    // Index survivors by their post-recovery logical rank.
+    let mut by_logical: Vec<Option<(EngineSnapshot, Vec<f32>)>> = vec![None; NODES - 1];
+    let mut phys_of = vec![0usize; NODES - 1];
+    for (phys, r) in results.into_iter().enumerate() {
+        match r {
+            Err(panic) => {
+                assert_eq!(phys, 2, "only the killed rank may panic: {panic}");
+            }
+            Ok(inner) => {
+                let (snap, losses) = inner.unwrap_or_else(|e| panic!("rank {phys}: {e}"));
+                let lrank = snap.logical_rank;
+                phys_of[lrank] = phys;
+                by_logical[lrank] = Some((snap, losses));
+            }
+        }
+    }
+    let survivors: Vec<(EngineSnapshot, Vec<f32>)> =
+        by_logical.into_iter().map(|s| s.expect("dense logical ranks")).collect();
+    assert_eq!(phys_of, vec![0, 1, 3], "survivors compact into dense logical ranks");
+    assert!(
+        survivors.iter().all(|(_, l)| !l.is_empty()),
+        "recovery must leave iterations to compare"
+    );
+
+    // Phase B: the oracle. A brand-new 3-rank cluster, seeded from the
+    // recovered snapshots, each logical rank feeding the token stream of
+    // the physical rank it used to be.
+    let snaps = Arc::new(survivors.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>());
+    let phys = phys_of.clone();
+    let (oracle, _) = Cluster::run(ClusterSpec::flat(NODES - 1), move |ctx| {
+        let mut engine = MoeLayerEngine::from_snapshot(cfg(), snaps[ctx.rank()].clone());
+        engine.materialize_slots(ctx).expect("oracle materialization is fault-free");
+        let x = tokens(phys[ctx.rank()]);
+        let target = Matrix::zeros(T_LOC, D);
+        let mut losses = Vec::new();
+        while engine.iteration_count() < ITERS as u64 {
+            losses.push(engine.iteration(ctx, &x, &target).expect("oracle is fault-free").loss);
+        }
+        losses
+    });
+    for (lrank, ((_, recovered), oracle)) in survivors.iter().zip(&oracle).enumerate() {
+        assert_eq!(
+            recovered, oracle,
+            "logical rank {lrank}: the recovered cluster must be bit-exact vs the fresh oracle"
+        );
     }
 }
 
