@@ -1,0 +1,186 @@
+//! `symi-ckpt`: inspect and validate SYMI checkpoint files.
+//!
+//! ```text
+//! symi-ckpt inspect  <file-or-dir>          per-file header summary
+//! symi-ckpt validate <dir> [world_size]     full structural validation;
+//!                                           exit 0 only if every file is
+//!                                           valid AND at least one
+//!                                           complete restorable set exists
+//! ```
+//!
+//! `validate` is wired into CI against the checkpoint-restart smoke
+//! artifact, so a format regression fails the build, not a 3 a.m. restart.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use symi_checkpoint::{
+    format, inspect, kind_name, parse_engine_file_name, parse_trainer_file_name,
+};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: symi-ckpt inspect <file-or-dir>");
+    eprintln!("       symi-ckpt validate <dir> [world_size]");
+    ExitCode::from(2)
+}
+
+fn checkpoint_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if parse_engine_file_name(name).is_some() || parse_trainer_file_name(name).is_some() {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn inspect_one(path: &Path) -> Result<(), String> {
+    let file = path.display().to_string();
+    let bytes = std::fs::read(path).map_err(|e| format!("{file}: {e}"))?;
+    let info = inspect(&file, &bytes).map_err(|e| e.to_string())?;
+    let who = match (info.world_size, info.logical_rank) {
+        (Some(w), Some(r)) => format!("rank {r}/{w}"),
+        _ => "whole model".to_string(),
+    };
+    println!(
+        "{file}: {} v{} iteration {} {who} header {} B payload {} B",
+        kind_name(info.kind),
+        info.version,
+        info.iteration,
+        info.header_bytes,
+        info.payload_bytes
+    );
+    Ok(())
+}
+
+fn cmd_inspect(target: &Path) -> ExitCode {
+    let files = if target.is_dir() {
+        match checkpoint_files(target) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        vec![target.to_path_buf()]
+    };
+    if files.is_empty() {
+        eprintln!("{}: no checkpoint files", target.display());
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &files {
+        if let Err(e) = inspect_one(path) {
+            eprintln!("INVALID {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_validate(dir: &Path, world_arg: Option<usize>) -> ExitCode {
+    let files = match checkpoint_files(dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("{}: no checkpoint files to validate", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut invalid = 0usize;
+    let mut trainer_valid = 0usize;
+    // (iteration -> valid engine ranks), plus the widest world stamped.
+    let mut sets: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    let mut stamped_world: Option<usize> = None;
+    for path in &files {
+        let file = path.display().to_string();
+        let decoded = std::fs::read(path)
+            .map_err(|e| format!("{file}: {e}"))
+            .and_then(|bytes| inspect(&file, &bytes).map_err(|e| e.to_string()));
+        match decoded {
+            Ok(info) => {
+                println!("ok      {file}");
+                match (info.world_size, info.logical_rank) {
+                    (Some(w), Some(r)) => {
+                        sets.entry(info.iteration).or_default().push(r);
+                        stamped_world = Some(stamped_world.map_or(w, |p: usize| p.max(w)));
+                    }
+                    _ => trainer_valid += 1,
+                }
+            }
+            Err(e) => {
+                eprintln!("INVALID {e}");
+                invalid += 1;
+            }
+        }
+    }
+
+    let world = world_arg.or(stamped_world);
+    let complete: Vec<u64> = match world {
+        Some(w) => sets
+            .iter()
+            .filter(|(_, ranks)| {
+                let mut sorted = (*ranks).clone();
+                sorted.sort_unstable();
+                sorted.len() == w && sorted.iter().enumerate().all(|(i, &r)| i == r)
+            })
+            .map(|(&it, _)| it)
+            .collect(),
+        None => Vec::new(),
+    };
+
+    println!(
+        "{} file(s): {} valid, {invalid} invalid; complete engine sets: {complete:?}",
+        files.len(),
+        files.len() - invalid
+    );
+    let restorable = !complete.is_empty() || (sets.is_empty() && trainer_valid > 0);
+    if invalid == 0 && restorable {
+        ExitCode::SUCCESS
+    } else {
+        if !restorable {
+            eprintln!("no complete restorable checkpoint set in {}", dir.display());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("inspect") => {
+            let Some(target) = args.get(2) else { return usage() };
+            cmd_inspect(Path::new(target))
+        }
+        Some("validate") => {
+            let Some(dir) = args.get(2) else { return usage() };
+            let world = match args.get(3) {
+                None => None,
+                Some(w) => match w.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return usage(),
+                },
+            };
+            cmd_validate(Path::new(dir), world)
+        }
+        Some("--version") => {
+            println!("symi-ckpt format v{}", format::FORMAT_VERSION);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

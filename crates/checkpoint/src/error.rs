@@ -1,0 +1,79 @@
+//! Checkpoint error taxonomy.
+//!
+//! Every variant names the offending *file*, and structural variants name
+//! the exact *field* or *section*, so an operator staring at a refused
+//! restart knows which artifact is bad and why — a hard requirement of the
+//! restart path: corruption is rejected loudly, never silently skipped.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum CkptError {
+    /// An OS-level read/write/rename failure.
+    Io { file: String, detail: String },
+    /// The file does not start with the `SYMICKPT` magic — not a checkpoint.
+    BadMagic { file: String },
+    /// A format version this build does not understand.
+    UnsupportedVersion { file: String, found: u32, supported: u32 },
+    /// An engine loader handed a trainer checkpoint, or vice versa.
+    WrongKind { file: String, expected: u32, found: u32 },
+    /// A section's stored CRC disagrees with its contents — torn or
+    /// bit-flipped on disk.
+    CrcMismatch { file: String, section: &'static str },
+    /// The file ends in the middle of `field` — an interrupted write that
+    /// never reached its atomic rename, or a truncation after the fact.
+    Truncated { file: String, field: String },
+    /// A field decoded cleanly (CRC-valid) but violates an invariant or
+    /// disagrees with the running system's geometry.
+    FieldMismatch { file: String, field: String, detail: String },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { file, detail } => write!(f, "{file}: io error: {detail}"),
+            CkptError::BadMagic { file } => {
+                write!(f, "{file}: bad magic — not a SYMI checkpoint")
+            }
+            CkptError::UnsupportedVersion { file, found, supported } => {
+                write!(
+                    f,
+                    "{file}: unsupported format version {found} (this build reads {supported})"
+                )
+            }
+            CkptError::WrongKind { file, expected, found } => {
+                write!(f, "{file}: wrong checkpoint kind {found} (expected {expected})")
+            }
+            CkptError::CrcMismatch { file, section } => {
+                write!(f, "{file}: CRC mismatch in {section} — file is torn or corrupted")
+            }
+            CkptError::Truncated { file, field } => {
+                write!(f, "{file}: truncated while reading field `{field}`")
+            }
+            CkptError::FieldMismatch { file, field, detail } => {
+                write!(f, "{file}: field `{field}` invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl CkptError {
+    pub fn io(file: impl Into<String>, err: std::io::Error) -> Self {
+        CkptError::Io { file: file.into(), detail: err.to_string() }
+    }
+
+    /// The file this error is about.
+    pub fn file(&self) -> &str {
+        match self {
+            CkptError::Io { file, .. }
+            | CkptError::BadMagic { file }
+            | CkptError::UnsupportedVersion { file, .. }
+            | CkptError::WrongKind { file, .. }
+            | CkptError::CrcMismatch { file, .. }
+            | CkptError::Truncated { file, .. }
+            | CkptError::FieldMismatch { file, .. } => file,
+        }
+    }
+}

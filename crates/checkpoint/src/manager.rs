@@ -1,0 +1,246 @@
+//! Cadence-driven checkpoint coordination for the distributed engine.
+//!
+//! One [`CheckpointManager`] lives on each rank thread, beside its
+//! [`MoeLayerEngine`]. After every completed iteration the training loop
+//! calls [`CheckpointManager::maybe_checkpoint`]; on cadence boundaries the
+//! manager runs one epoch-fenced coordination round so all ranks stamp the
+//! *same completed iteration*, copies the engine snapshot on the training
+//! thread (bounded, measured), and hands serialization + fsync + atomic
+//! rename to the background [`AsyncCheckpointWriter`].
+//!
+//! The coordination round rides the engine's own tag space on
+//! [`WirePhase::Control`] — the one wire phase the engine never uses — so
+//! checkpoint traffic can never collide with or reorder training traffic.
+//! Each rank contributes its completed-iteration counter to an all-to-all;
+//! the stamp is the minimum. In a healthy cluster all counters agree and
+//! every rank writes; if any rank lags or died, lagging stamps are skipped
+//! (counted) or the collective error propagates to the recovery path.
+//!
+//! Telemetry (when attached): `ckpt.cadence_hits`, `ckpt.snapshots`,
+//! `ckpt.skipped`, `ckpt.copy_ns`, `ckpt.write_ns`, `ckpt.bytes_written`,
+//! `ckpt.restores`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use symi::{EngineConfig, MoeLayerEngine};
+use symi_collectives::{CommError, RankCtx, TagSpace, WirePhase};
+use symi_telemetry::TelemetryHandle;
+
+use crate::error::CkptError;
+use crate::format;
+use crate::store::{CheckpointStore, LatestEngine};
+use crate::writer::AsyncCheckpointWriter;
+
+/// Where, how often, and how much to retain.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    pub dir: PathBuf,
+    /// Stamp a checkpoint every `cadence` completed iterations.
+    pub cadence: u64,
+    /// Complete sets retained on disk (older ones are pruned).
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), cadence: 10, keep: 2 }
+    }
+
+    pub fn with_cadence(mut self, cadence: u64) -> Self {
+        assert!(cadence >= 1, "cadence must be at least 1");
+        self.cadence = cadence;
+        self
+    }
+
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        assert!(keep >= 1, "must retain at least one checkpoint");
+        self.keep = keep;
+        self
+    }
+}
+
+/// Training-thread-side counters, merged with the writer's in
+/// [`CheckpointManager::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStats {
+    /// Cadence boundaries reached (coordination rounds run).
+    pub cadence_hits: u64,
+    /// Checkpoints accepted by the async writer.
+    pub snapshots_submitted: u64,
+    /// Cadence boundaries skipped: writer busy or cluster disagreed.
+    pub skipped: u64,
+    /// Training-thread wall-clock spent copying snapshots.
+    pub copy_ns: u64,
+    /// Restores served through [`CheckpointManager::load_latest`].
+    pub restores: u64,
+    /// Background writes completed durably.
+    pub writes_completed: u64,
+    /// Background writes that failed (see writer `last_error`).
+    pub writes_failed: u64,
+    /// Bytes durably written.
+    pub bytes_written: u64,
+    /// Background wall-clock spent encoding + writing + fsyncing.
+    pub write_ns: u64,
+}
+
+pub struct CheckpointManager {
+    cfg: CheckpointConfig,
+    store: CheckpointStore,
+    writer: AsyncCheckpointWriter,
+    telemetry: TelemetryHandle,
+    last_submitted: Option<u64>,
+    cadence_hits: u64,
+    skipped: u64,
+    copy_ns: u64,
+    restores: u64,
+}
+
+impl CheckpointManager {
+    pub fn new(cfg: CheckpointConfig) -> Result<Self, CkptError> {
+        let store = CheckpointStore::new(cfg.dir.clone())?;
+        Ok(Self {
+            cfg,
+            store,
+            writer: AsyncCheckpointWriter::new(),
+            telemetry: TelemetryHandle::disabled(),
+            last_submitted: None,
+            cadence_hits: 0,
+            skipped: 0,
+            copy_ns: 0,
+            restores: 0,
+        })
+    }
+
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
+    }
+
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.cfg
+    }
+
+    /// Call after every completed engine iteration. Returns the stamped
+    /// iteration when a checkpoint was handed to the background writer,
+    /// `Ok(None)` otherwise. Communication errors in the coordination round
+    /// propagate — they mean a peer is unreachable, which is the recovery
+    /// path's business, not ours.
+    pub fn maybe_checkpoint(
+        &mut self,
+        ctx: &mut RankCtx,
+        engine: &MoeLayerEngine,
+    ) -> Result<Option<u64>, CommError> {
+        let completed = engine.iteration_count();
+        if completed == 0 || !completed.is_multiple_of(self.cfg.cadence) {
+            return Ok(None);
+        }
+        if self.last_submitted == Some(completed) {
+            return Ok(None);
+        }
+        self.cadence_hits += 1;
+        self.telemetry.counter("ckpt.cadence_hits").inc();
+
+        // Epoch-fenced coordination round: every rank reports how many
+        // iterations it has completed; the stamp is the cluster minimum.
+        // WirePhase::Control is reserved for out-of-band coordination, so
+        // the engine's own (layer, iteration) tag space stays collision-free.
+        let group = engine.membership().group();
+        ctx.begin_epoch(completed, WirePhase::Control);
+        let tag = TagSpace::new(engine.config().layer_id, completed).phase_tag(WirePhase::Control);
+        let sends = vec![vec![completed]; group.size()];
+        let received = ctx.alltoallv_u64(&group, tag, sends)?;
+        let stamp = received.iter().map(|buf| buf[0]).min().unwrap_or(completed);
+        if stamp != completed {
+            // Some rank hasn't reached this boundary; it will drive its own
+            // round when it does. Writing now would stamp an iteration this
+            // rank's peers haven't finished — not a consistent cut.
+            self.skipped += 1;
+            self.telemetry.counter("ckpt.skipped").inc();
+            return Ok(None);
+        }
+
+        // Training-thread cost: one in-memory copy of the fp32 state.
+        let t0 = Instant::now();
+        let snap = engine.snapshot();
+        let copy_ns = t0.elapsed().as_nanos() as u64;
+        self.copy_ns += copy_ns;
+        self.telemetry.counter("ckpt.copy_ns").add(copy_ns);
+
+        let engine_cfg = *engine.config();
+        let path = self.store.engine_path(completed, snap.logical_rank);
+        let keep = self.cfg.keep;
+        let world = snap.world_size;
+        let prune_store = self.store.clone();
+        let accepted = self.writer.try_submit(
+            path,
+            Box::new(move || format::encode_engine(&engine_cfg, &snap)),
+            Some(Box::new(move || {
+                let _ = prune_store.prune_engine(keep, world);
+            })),
+        );
+        if accepted {
+            self.last_submitted = Some(completed);
+            self.telemetry.counter("ckpt.snapshots").inc();
+            Ok(Some(completed))
+        } else {
+            // Writer still busy with the previous checkpoint: skip, don't
+            // stall the step. The next cadence boundary tries again.
+            self.skipped += 1;
+            self.telemetry.counter("ckpt.skipped").inc();
+            Ok(None)
+        }
+    }
+
+    /// Restore entry point: the newest complete, fully-valid set. Rejected
+    /// files are reported in the result; see [`CheckpointStore::load_latest_engine`].
+    pub fn load_latest(
+        &mut self,
+        world_size: usize,
+        expected: &EngineConfig,
+    ) -> Result<LatestEngine, CkptError> {
+        let latest = self.store.load_latest_engine(world_size, Some(expected))?;
+        if latest.loaded.is_some() {
+            self.restores += 1;
+            self.telemetry.counter("ckpt.restores").inc();
+        }
+        latest.rejected.iter().for_each(|_| self.telemetry.counter("ckpt.rejected_files").inc());
+        Ok(latest)
+    }
+
+    /// Blocks until every accepted checkpoint is durable.
+    pub fn flush(&self) {
+        self.writer.flush();
+    }
+
+    /// Merged training-thread + writer counters. Flush first if you need
+    /// `writes_completed` to cover everything submitted.
+    pub fn stats(&self) -> CheckpointStats {
+        let w = self.writer.stats();
+        // Keep the registry counters in sync with the writer's view for
+        // scrapes (the writer owns the authoritative values).
+        for (name, value) in
+            [("ckpt.bytes_written", w.bytes_written), ("ckpt.write_ns", w.write_ns)]
+        {
+            let counter = self.telemetry.counter(name);
+            let delta = value.saturating_sub(counter.get());
+            if delta > 0 {
+                counter.add(delta);
+            }
+        }
+        CheckpointStats {
+            cadence_hits: self.cadence_hits,
+            snapshots_submitted: w.submitted,
+            skipped: self.skipped,
+            copy_ns: self.copy_ns,
+            restores: self.restores,
+            writes_completed: w.completed,
+            writes_failed: w.failed,
+            bytes_written: w.bytes_written,
+            write_ns: w.write_ns,
+        }
+    }
+}

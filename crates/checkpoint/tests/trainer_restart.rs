@@ -1,0 +1,105 @@
+//! Whole-model trainer checkpoints through the disk format: save mid-run
+//! via [`CheckpointStore::write_trainer`], restore into a *fresh* trainer,
+//! and the resumed losses equal the uninterrupted run bit for bit. Also
+//! pins the loud-rejection behaviour for a damaged trainer file.
+
+use symi::SymiPolicy;
+use symi_checkpoint::CheckpointStore;
+use symi_model::{ModelConfig, Trainer};
+use symi_workload::{CorpusConfig, DriftingCorpus};
+
+const BEFORE: usize = 3;
+const AFTER: usize = 3;
+
+fn corpus(cfg: &ModelConfig, seed: u64) -> DriftingCorpus {
+    DriftingCorpus::new(CorpusConfig {
+        vocab_size: cfg.vocab_size,
+        seq_len: cfg.seq_len,
+        batch_size: cfg.batch_size,
+        topics: 4,
+        seed,
+        ..CorpusConfig::default()
+    })
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("symi_trainer_ckpt_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trainer_restored_from_disk_resumes_bit_exact() {
+    let dir = temp_dir("roundtrip");
+    let cfg = ModelConfig::tiny();
+
+    // Train BEFORE steps, checkpoint to disk, then finish the run — the
+    // post-checkpoint losses are the oracle.
+    let mut trainer = Trainer::new(cfg, Box::new(SymiPolicy { total_slots: cfg.total_slots }));
+    let mut c = corpus(&cfg, 11);
+    for _ in 0..BEFORE {
+        let batch = c.next_batch();
+        trainer.step(&batch);
+    }
+    let store = CheckpointStore::new(&dir).unwrap();
+    let ckpt = trainer.checkpoint();
+    assert_eq!(ckpt.iteration, BEFORE as u64);
+    let bytes = store.write_trainer(&cfg, &ckpt).unwrap();
+    assert!(bytes > 0);
+    let mut oracle = Vec::with_capacity(AFTER);
+    for _ in 0..AFTER {
+        let batch = c.next_batch();
+        oracle.push(trainer.step(&batch).ce_loss);
+    }
+
+    // Cold restart: fresh process stand-in — new trainer, corpus replayed
+    // past the consumed batches, state loaded purely from the file.
+    let mut resumed = Trainer::new(cfg, Box::new(SymiPolicy { total_slots: cfg.total_slots }));
+    let mut c2 = corpus(&cfg, 11);
+    for _ in 0..BEFORE {
+        c2.next_batch();
+    }
+    let latest = store.load_latest_trainer(Some(&cfg)).unwrap();
+    assert!(latest.rejected.is_empty());
+    let loaded = latest.loaded.expect("trainer checkpoint restores");
+    assert_eq!(loaded.iteration, BEFORE as u64);
+    resumed.restore(loaded);
+    assert_eq!(resumed.iteration_count(), BEFORE as u64);
+
+    let replay: Vec<f32> = (0..AFTER).map(|_| resumed.step(&c2.next_batch()).ce_loss).collect();
+    assert_eq!(
+        replay.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        oracle.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "resumed trainer must replay the oracle losses bit-for-bit: {replay:?} vs {oracle:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_trainer_file_is_rejected_with_file_and_section() {
+    let dir = temp_dir("damaged");
+    let cfg = ModelConfig::tiny();
+    let mut trainer = Trainer::new(cfg, Box::new(SymiPolicy { total_slots: cfg.total_slots }));
+    let mut c = corpus(&cfg, 13);
+    let batch = c.next_batch();
+    trainer.step(&batch);
+    let store = CheckpointStore::new(&dir).unwrap();
+    store.write_trainer(&cfg, &trainer.checkpoint()).unwrap();
+
+    let path = store.trainer_path(1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let latest = store.load_latest_trainer(Some(&cfg)).unwrap();
+    assert!(latest.loaded.is_none(), "a corrupt lone checkpoint must not restore");
+    assert_eq!(latest.rejected.len(), 1);
+    assert!(
+        latest.rejected[0].contains("trainer-it0000000001.bin")
+            && latest.rejected[0].contains("CRC"),
+        "rejection names the file and the failure: {}",
+        latest.rejected[0]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

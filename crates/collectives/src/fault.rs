@@ -64,6 +64,12 @@ pub enum FaultKind {
     /// rank death mid-protocol. Use [`crate::Cluster::run_with_faults`]
     /// to observe the death instead of propagating it.
     KillRank { rank: usize },
+    /// Panic at the first matching event at *every* rank — a full-cluster
+    /// crash (power loss, coordinated preemption). Each rank dies at its
+    /// own first matching event, so with a phase/iteration matcher the
+    /// whole cluster goes down inside one protocol step; checkpoint
+    /// restart scenarios are built on this.
+    KillAll,
 }
 
 /// Selector deciding which messages (or rank events) a rule applies to.
@@ -192,6 +198,12 @@ impl FaultPlan {
         self.with(FaultKind::KillRank { rank }, matcher)
     }
 
+    /// Kill *every* rank at its first event matching `matcher` — the
+    /// full-cluster crash of the checkpoint/restart scenarios.
+    pub fn kill_all(self, matcher: MsgMatch) -> Self {
+        self.with(FaultKind::KillAll, matcher)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
@@ -259,7 +271,9 @@ impl FaultInjector {
                 FaultKind::Drop => SendAction::Drop,
                 FaultKind::Duplicate => SendAction::Duplicate,
                 FaultKind::Delay { after_sends } => SendAction::Hold { after_sends },
-                FaultKind::StallRank { .. } | FaultKind::KillRank { .. } => continue,
+                FaultKind::StallRank { .. } | FaultKind::KillRank { .. } | FaultKind::KillAll => {
+                    continue
+                }
             };
             if rule.matcher.matches(from, to, tag) && self.fires(i, rule, from, to, tag, seq) {
                 match action {
@@ -298,6 +312,13 @@ impl FaultInjector {
                     if rank == self.rank && rule.matcher.matches(from, to, tag) =>
                 {
                     panic!("fault injection: rank {} killed at {}", self.rank, tag::describe(tag));
+                }
+                FaultKind::KillAll if rule.matcher.matches(from, to, tag) => {
+                    panic!(
+                        "fault injection: rank {} killed at {} (cluster-wide kill)",
+                        self.rank,
+                        tag::describe(tag)
+                    );
                 }
                 _ => {}
             }
@@ -388,6 +409,19 @@ mod tests {
         right_rank.on_send(0, 7, 0);
         right_rank.on_send(0, 7, 1);
         assert_eq!(right_rank.stats().stalled, 1, "straggler stalls once");
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster-wide kill")]
+    fn kill_all_fires_on_any_rank() {
+        let ts = TagSpace::new(0, 5);
+        let plan =
+            Arc::new(FaultPlan::new(0).kill_all(MsgMatch::any().phase(WirePhase::DispatchRows)));
+        // A rank the rule names nowhere still dies at its first matching
+        // event: the kill is cluster-wide by construction.
+        let mut inj = FaultInjector::new(plan, 7);
+        inj.on_send(0, ts.phase_tag(WirePhase::LossSync), 0); // does not match
+        inj.on_send(0, ts.phase_tag(WirePhase::DispatchRows), 1); // kills
     }
 
     #[test]

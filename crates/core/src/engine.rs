@@ -268,6 +268,13 @@ impl MoeLayerEngine {
         self.iteration
     }
 
+    /// The configuration this engine was built with. A checkpoint stamps
+    /// these fields into its header so a restart against a different
+    /// geometry is rejected loudly instead of corrupting the math.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
     /// Whether an error is survivable by falling back to stale state: a
     /// starved receive (plain or retry-escalated) can mean a transient
     /// stall somewhere in the cluster, and §3.4's schedule is only an

@@ -42,4 +42,4 @@ pub use metadata::LayerMetadataStore;
 pub use optimizer::{ReshardReport, ShardState, SymiOptimizer};
 pub use placement::ExpertPlacement;
 pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
-pub use scheduler::{compute_placement, supports_world, SymiPolicy};
+pub use scheduler::{compute_placement, supports_world, valid_replica_counts, SymiPolicy};

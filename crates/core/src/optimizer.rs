@@ -54,6 +54,44 @@ pub struct ShardState {
     pub t: u64,
 }
 
+impl ShardState {
+    /// Parameters this shard covers.
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    /// Validates this shard against the uniform chunk geometry of
+    /// `(param_count, world, logical_rank)` and its own internal length
+    /// invariants. Returns the name of the first offending field, which a
+    /// checkpoint loader surfaces verbatim so a corrupt-but-CRC-valid blob
+    /// is rejected naming the exact field.
+    pub fn check_geometry(
+        &self,
+        param_count: usize,
+        world: usize,
+        logical_rank: usize,
+    ) -> Result<(), &'static str> {
+        let (start, end) = chunk_range(param_count, world, logical_rank);
+        if self.offset != start {
+            return Err("shard.offset");
+        }
+        if self.master.len() != end - start {
+            return Err("shard.master");
+        }
+        if self.m.len() != self.master.len() {
+            return Err("shard.m");
+        }
+        if self.v.len() != self.master.len() {
+            return Err("shard.v");
+        }
+        Ok(())
+    }
+}
+
 /// Accounting of one [`SymiOptimizer::reshard`]: how many parameters of
 /// this rank's new shard were kept (old chunk overlap, moments intact),
 /// how many were re-acquired with moments reset (the documented, bounded

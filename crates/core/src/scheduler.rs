@@ -77,6 +77,18 @@ pub fn supports_world(expert_classes: usize, slots_per_rank: usize, ranks: usize
     ranks > 0 && slots_per_rank * ranks >= expert_classes
 }
 
+/// Whether a replica-count vector is a legal placement over `total_slots`:
+/// non-empty, one-replica floor everywhere, and exactly filling the slots.
+/// [`compute_placement`] guarantees this by construction; checkpoint
+/// restore re-checks it on counts read from disk, where a CRC-valid but
+/// semantically impossible vector must be rejected before it reaches
+/// `ExpertPlacement::from_counts`.
+pub fn valid_replica_counts(counts: &[usize], total_slots: usize) -> bool {
+    !counts.is_empty()
+        && counts.iter().all(|&c| c >= 1)
+        && counts.iter().sum::<usize>() == total_slots
+}
+
 /// Expands replica counts into the contiguous slot assignment
 /// (`slot → class`), exactly Algorithm 1's final loop.
 pub fn contiguous_assignment(counts: &[usize]) -> Vec<usize> {

@@ -1,0 +1,138 @@
+//! Property test: `EngineSnapshot` → `MoeLayerEngine::from_snapshot` →
+//! `snapshot()` is the identity, bit-for-bit, over random geometries and
+//! adversarial fp32 payloads (NaNs with varied payload bits, denormals,
+//! infinities, signed zeros). This is the in-memory half of the checkpoint
+//! restart contract: what `symi-checkpoint` writes is exactly what a
+//! restarted engine reports, so the disk format tests compose with this one
+//! into end-to-end bit-exactness.
+
+use symi::{EngineConfig, EngineSnapshot, MoeLayerEngine, ShardState};
+use symi_collectives::coll::chunk_range;
+use symi_tensor::rng::{Rng, StdRng};
+use symi_tensor::AdamConfig;
+
+/// Adversarial fp32: ordinary values mixed with every IEEE edge the Adam
+/// state can reach (overflowed moments, flushed denormals, NaN payloads).
+fn hostile_f32(rng: &mut StdRng) -> f32 {
+    match rng.gen_range(0..8usize) {
+        0 => f32::NAN,
+        1 => f32::from_bits(0x7FC0_0001 | (rng.next_u64() as u32 & 0x003F_FFFF)), // NaN, random payload
+        2 => f32::from_bits(rng.gen_range(1..0x0080_0000u64) as u32),             // denormal
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => -0.0,
+        6 => (rng.next_u64() as f32 / u64::MAX as f32) * 2e30 - 1e30,
+        _ => (rng.next_u64() as f32 / u64::MAX as f32) * 4.0 - 2.0,
+    }
+}
+
+fn random_case(rng: &mut StdRng) -> (EngineConfig, EngineSnapshot) {
+    let world = rng.gen_range(1..5usize);
+    let expert_classes = rng.gen_range(1..5usize);
+    // total_slots = world * slots_per_rank must cover every class at least
+    // once.
+    let slots_per_rank = expert_classes.div_ceil(world) + rng.gen_range(0..3usize);
+    let total_slots = world * slots_per_rank;
+    let logical_rank = rng.gen_range(0..world);
+    let cfg = EngineConfig {
+        d_model: rng.gen_range(2..8usize),
+        d_ff: rng.gen_range(2..12usize),
+        expert_classes,
+        slots_per_rank,
+        slot_capacity: rng.gen_range(1..1_000_000usize),
+        adam: AdamConfig { lr: 3e-3, ..AdamConfig::default() },
+        seed: rng.next_u64(),
+        layer_id: rng.gen_range(0..8usize),
+    };
+
+    // Random valid placement: every class ≥ 1 replica, slots exactly filled.
+    let mut replica_counts = vec![1usize; expert_classes];
+    for _ in 0..(total_slots - expert_classes) {
+        replica_counts[rng.gen_range(0..expert_classes)] += 1;
+    }
+
+    let param_count = cfg.d_model * cfg.d_ff + cfg.d_ff + cfg.d_ff * cfg.d_model + cfg.d_model;
+    let (start, end) = chunk_range(param_count, world, logical_rank);
+    let len = end - start;
+    let shards = (0..expert_classes)
+        .map(|_| ShardState {
+            offset: start,
+            master: (0..len).map(|_| hostile_f32(rng)).collect(),
+            m: (0..len).map(|_| hostile_f32(rng)).collect(),
+            v: (0..len).map(|_| hostile_f32(rng)).collect(),
+            t: rng.next_u64() >> 40,
+        })
+        .collect();
+
+    let popularity = if rng.gen_range(0..3usize) > 0 {
+        Some((0..expert_classes).map(|_| rng.next_u64() >> 20).collect())
+    } else {
+        None
+    };
+
+    let snap = EngineSnapshot {
+        iteration: rng.gen_range(0..200_000u64),
+        world_size: world,
+        logical_rank,
+        replica_counts,
+        popularity,
+        shards,
+    };
+    (cfg, snap)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn from_snapshot_then_snapshot_is_the_bitwise_identity() {
+    let mut rng = StdRng::seed_from_u64(0xC4E7);
+    for case in 0..128 {
+        let (cfg, snap) = random_case(&mut rng);
+        let engine = MoeLayerEngine::from_snapshot(cfg, snap.clone());
+
+        assert_eq!(engine.iteration_count(), snap.iteration, "case {case}");
+        assert_eq!(engine.logical_rank(), snap.logical_rank, "case {case}");
+        assert_eq!(engine.config().seed, cfg.seed, "case {case}");
+
+        let back = engine.snapshot();
+        assert_eq!(back.iteration, snap.iteration, "case {case}");
+        assert_eq!(back.world_size, snap.world_size, "case {case}");
+        assert_eq!(back.logical_rank, snap.logical_rank, "case {case}");
+        assert_eq!(back.replica_counts, snap.replica_counts, "case {case}");
+        assert_eq!(back.popularity, snap.popularity, "case {case}");
+        assert_eq!(back.shards.len(), snap.shards.len(), "case {case}");
+        for (class, (a, b)) in back.shards.iter().zip(&snap.shards).enumerate() {
+            assert_eq!(a.offset, b.offset, "case {case} class {class}");
+            assert_eq!(a.t, b.t, "case {case} class {class}");
+            // NaN != NaN under float compare; the contract is *bitwise*.
+            assert_eq!(bits(&a.master), bits(&b.master), "case {case} class {class} master");
+            assert_eq!(bits(&a.m), bits(&b.m), "case {case} class {class} m");
+            assert_eq!(bits(&a.v), bits(&b.v), "case {case} class {class} v");
+        }
+    }
+}
+
+#[test]
+fn restored_engine_preserves_snapshot_under_repeated_round_trips() {
+    // from_snapshot → snapshot → from_snapshot → … must be a fixed point,
+    // not merely idempotent-once (guards against lossy normalization that
+    // happens to cancel on the first hop).
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..16 {
+        let (cfg, snap) = random_case(&mut rng);
+        let mut current = snap.clone();
+        for hop in 0..3 {
+            let engine = MoeLayerEngine::from_snapshot(cfg, current.clone());
+            let next = engine.snapshot();
+            assert_eq!(next.replica_counts, current.replica_counts, "hop {hop}");
+            for (a, b) in next.shards.iter().zip(&current.shards) {
+                assert_eq!(bits(&a.master), bits(&b.master), "hop {hop}");
+                assert_eq!(bits(&a.m), bits(&b.m), "hop {hop}");
+                assert_eq!(bits(&a.v), bits(&b.v), "hop {hop}");
+            }
+            current = next;
+        }
+    }
+}

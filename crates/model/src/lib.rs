@@ -40,4 +40,4 @@ pub mod train;
 
 pub use config::ModelConfig;
 pub use model::GptMoe;
-pub use train::{PlacementPolicy, TrainRecord, Trainer, UniformPolicy};
+pub use train::{Checkpoint, PlacementPolicy, TrainRecord, Trainer, UniformPolicy};

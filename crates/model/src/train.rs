@@ -188,6 +188,12 @@ impl Trainer {
         &self.replicas
     }
 
+    /// Completed training iterations — what a disk checkpoint stamps and a
+    /// resumed run continues from.
+    pub fn iteration_count(&self) -> u64 {
+        self.iteration
+    }
+
     /// Runs one training iteration: forward/backward, optimizer step,
     /// popularity bookkeeping, and placement update for the next iteration.
     pub fn step(&mut self, batch: &symi_workload::Batch) -> StepStats {

@@ -85,6 +85,27 @@ impl AdamState {
     pub fn master_weights(&self) -> &[f32] {
         &self.master
     }
+
+    /// First and second moment vectors (aligned with
+    /// [`AdamState::master_weights`]) — the checkpoint payload.
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.m, &self.v)
+    }
+
+    /// The hyperparameters this state steps with.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
+
+    /// Rebuilds a state from explicit parts — the checkpoint restore path.
+    ///
+    /// # Panics
+    /// Panics if the moment vectors disagree with the master length.
+    pub fn from_parts(cfg: AdamConfig, master: Vec<f32>, m: Vec<f32>, v: Vec<f32>, t: u64) -> Self {
+        assert_eq!(m.len(), master.len(), "first-moment length mismatch");
+        assert_eq!(v.len(), master.len(), "second-moment length mismatch");
+        Self { cfg, master, m, v, t }
+    }
 }
 
 /// One contiguous shard of Adam state for one parameter group.

@@ -1,0 +1,250 @@
+//! Checkpoint/restart contract, end to end on the thread-per-rank cluster:
+//!
+//! 1. **Non-interference**: a healthy run with cadence checkpointing
+//!    produces losses identical to the no-checkpoint oracle, and leaves a
+//!    complete, validated set on disk for every cadence boundary.
+//! 2. **Kill-whole-cluster restart**: every rank dies mid-iteration (power
+//!    loss). A fresh cluster restores the latest *complete* set via
+//!    `MoeLayerEngine::from_snapshot` + `materialize_slots` and finishes
+//!    the run; losses from the resume point equal the uninterrupted
+//!    same-seed oracle `==` bit for bit.
+//! 3. **Loud rejection + fallback**: a torn file and a bit-flipped file in
+//!    the newest sets are rejected with diagnostics naming the file and the
+//!    field/section, restore falls back to the newest fully-valid set, and
+//!    the resumed run is still bit-exact.
+//!
+//! The healthy scenario honors `SYMI_CKPT_DIR` so CI can keep the artifact
+//! and cross-check it with `symi-ckpt validate`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use symi::{EngineConfig, MoeLayerEngine};
+use symi_checkpoint::{CheckpointConfig, CheckpointManager, CheckpointStats, CheckpointStore};
+use symi_collectives::{Cluster, ClusterSpec, FaultPlan, MsgMatch, RetryPolicy, WirePhase};
+use symi_tensor::{AdamConfig, Matrix};
+
+const NODES: usize = 4;
+const D: usize = 8;
+const DFF: usize = 16;
+const E: usize = 4;
+const S: usize = 2;
+const T_LOC: usize = 8;
+const ITERS: usize = 8;
+const CADENCE: u64 = 2;
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        d_model: D,
+        d_ff: DFF,
+        expert_classes: E,
+        slots_per_rank: S,
+        slot_capacity: 1_000_000,
+        adam: AdamConfig::default(),
+        seed: 31,
+        layer_id: 0,
+    }
+}
+
+/// Mildly skewed token embeddings so the placement actually rebalances.
+fn tokens(rank: usize) -> Matrix {
+    Matrix::from_fn(T_LOC, D, |r, c| {
+        (c as f32 * 0.7).sin() + 0.05 * (((rank * T_LOC + r) * D + c) as f32 * 0.613).sin()
+    })
+}
+
+fn temp_ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symi_ckpt_restart_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The uninterrupted same-seed oracle: no checkpoint machinery at all.
+fn oracle_losses() -> Vec<f32> {
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), |ctx| {
+        let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+        let x = tokens(ctx.rank());
+        let target = Matrix::zeros(T_LOC, D);
+        (0..ITERS).map(|_| engine.iteration(ctx, &x, &target).unwrap().loss).collect::<Vec<f32>>()
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+/// The per-rank training loop with cadence checkpointing. Flushes after
+/// each accepted checkpoint so the on-disk contents are deterministic for
+/// the assertions (the async cost story lives in the bench, not here).
+fn train_with_checkpoints(
+    ctx: &mut symi_collectives::RankCtx,
+    dir: &Path,
+) -> Result<(Vec<f32>, CheckpointStats), String> {
+    let mut engine = MoeLayerEngine::new(ctx.rank(), NODES, cfg());
+    let mut manager =
+        CheckpointManager::new(CheckpointConfig::new(dir).with_cadence(CADENCE).with_keep(ITERS))
+            .map_err(|e| e.to_string())?;
+    let x = tokens(ctx.rank());
+    let target = Matrix::zeros(T_LOC, D);
+    let mut losses = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        losses.push(engine.iteration(ctx, &x, &target).map_err(|e| e.to_string())?.loss);
+        if manager.maybe_checkpoint(ctx, &engine).map_err(|e| e.to_string())?.is_some() {
+            manager.flush();
+        }
+    }
+    Ok((losses, manager.stats()))
+}
+
+/// Restores the newest complete set from `dir` and finishes the run on a
+/// fresh cluster. Returns the restored iteration and per-rank resumed
+/// losses. Panics (failing the test) if nothing is restorable.
+fn resume_from_latest(dir: &Path) -> (u64, Vec<Vec<f32>>) {
+    let store = CheckpointStore::new(dir).expect("open checkpoint dir");
+    let latest = store.load_latest_engine(NODES, Some(&cfg())).expect("scan checkpoint dir");
+    let (iteration, snaps) = latest.loaded.expect("a complete restorable checkpoint set");
+    let snaps = Arc::new(snaps);
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), move |ctx| {
+        let mut engine = MoeLayerEngine::from_snapshot(cfg(), snaps[ctx.rank()].clone());
+        engine.materialize_slots(ctx).expect("rematerialize fp16 slots from fp32 masters");
+        let x = tokens(ctx.rank());
+        let target = Matrix::zeros(T_LOC, D);
+        let mut losses = Vec::new();
+        while engine.iteration_count() < ITERS as u64 {
+            losses.push(engine.iteration(ctx, &x, &target).expect("resumed iteration").loss);
+        }
+        losses
+    });
+    (iteration, results)
+}
+
+#[test]
+fn healthy_cadence_run_is_loss_identical_and_leaves_validated_checkpoints() {
+    // CI points SYMI_CKPT_DIR at a workspace path and then runs
+    // `symi-ckpt validate` over the artifact this test leaves behind.
+    let (dir, keep_artifact) = match std::env::var_os("SYMI_CKPT_DIR") {
+        Some(d) => (PathBuf::from(d), true),
+        None => (temp_ckpt_dir("healthy"), false),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let oracle = oracle_losses();
+    let run_dir = dir.clone();
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), move |ctx| {
+        train_with_checkpoints(ctx, &run_dir).expect("healthy training run")
+    });
+
+    let expected_stamps: Vec<u64> = (1..=ITERS as u64).filter(|it| it % CADENCE == 0).collect();
+    for (rank, (losses, stats)) in results.iter().enumerate() {
+        assert_eq!(losses, &oracle, "rank {rank}: checkpointing must not perturb training");
+        assert_eq!(stats.cadence_hits, expected_stamps.len() as u64, "rank {rank}");
+        assert_eq!(stats.snapshots_submitted, expected_stamps.len() as u64, "rank {rank}");
+        assert_eq!(stats.writes_completed, expected_stamps.len() as u64, "rank {rank}");
+        assert_eq!(stats.writes_failed, 0, "rank {rank}");
+        assert_eq!(stats.skipped, 0, "rank {rank}");
+        assert!(stats.bytes_written > 0, "rank {rank}");
+    }
+
+    // Every cadence boundary left a complete set, and the newest restores.
+    let store = CheckpointStore::new(&dir).unwrap();
+    assert_eq!(store.complete_engine_iterations(NODES).unwrap(), expected_stamps);
+    let latest = store.load_latest_engine(NODES, Some(&cfg())).unwrap();
+    let (it, snaps) = latest.loaded.expect("newest set restores");
+    assert_eq!(it, ITERS as u64);
+    assert_eq!(snaps.len(), NODES);
+    assert!(latest.rejected.is_empty());
+
+    if !keep_artifact {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn kill_whole_cluster_then_restart_is_bit_exact_vs_uninterrupted_oracle() {
+    let dir = temp_ckpt_dir("kill_all");
+    let oracle = oracle_losses();
+
+    // Power-loss scenario: every rank dies at its first DispatchRows event
+    // of iteration 5. Checkpoints stamped 2 and 4 are durable by then
+    // (flushed at the cadence boundary); stamp 6 never happens.
+    let plan =
+        FaultPlan::new(7).kill_all(MsgMatch::any().phase(WirePhase::DispatchRows).iteration(5));
+    let run_dir = dir.clone();
+    let (results, _) = Cluster::run_with_faults(ClusterSpec::flat(NODES), plan, move |ctx| {
+        ctx.set_recv_timeout(Some(Duration::from_millis(500)));
+        ctx.set_retry_policy(Some(RetryPolicy::new(1, 2.0)));
+        train_with_checkpoints(ctx, &run_dir)
+    });
+    for (rank, result) in results.iter().enumerate() {
+        let died_or_starved = match result {
+            Err(panic_msg) => panic_msg.contains("cluster-wide kill"),
+            // A rank can also observe its peers' death as a comm error
+            // before its own kill point fires.
+            Ok(Err(_)) => true,
+            Ok(Ok(_)) => false,
+        };
+        assert!(died_or_starved, "rank {rank} must not survive a cluster-wide kill: {result:?}");
+    }
+
+    // Restart: latest complete set is iteration 4 — stamped strictly before
+    // the crash, never partially overwritten by it.
+    let (iteration, resumed) = resume_from_latest(&dir);
+    assert_eq!(iteration, 4, "latest complete checkpoint precedes the crash");
+    for (rank, losses) in resumed.iter().enumerate() {
+        assert_eq!(
+            losses,
+            &oracle[iteration as usize..],
+            "rank {rank}: resumed losses must equal the oracle bit-for-bit"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_and_corrupt_files_are_rejected_loudly_and_restore_falls_back() {
+    let dir = temp_ckpt_dir("torn");
+    let oracle = oracle_losses();
+    let run_dir = dir.clone();
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), move |ctx| {
+        train_with_checkpoints(ctx, &run_dir).expect("healthy training run")
+    });
+    assert_eq!(results.len(), NODES);
+
+    // Sabotage the two newest sets: bit-flip inside iteration 8's rank-2
+    // payload (CRC mismatch) and truncate iteration 6's rank-1 file
+    // mid-payload (torn write that somehow skipped the atomic rename).
+    let store = CheckpointStore::new(&dir).unwrap();
+    let flipped = store.engine_path(8, 2);
+    let mut bytes = std::fs::read(&flipped).unwrap();
+    let at = bytes.len() - 20;
+    bytes[at] ^= 0x04;
+    std::fs::write(&flipped, &bytes).unwrap();
+    let torn = store.engine_path(6, 1);
+    let full = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &full[..full.len() / 2]).unwrap();
+
+    let latest = store.load_latest_engine(NODES, Some(&cfg())).unwrap();
+    let (it, _) = latest.loaded.expect("fallback set restores");
+    assert_eq!(it, 4, "falls back past both damaged sets");
+    assert_eq!(latest.rejected.len(), 2, "both damaged sets diagnosed: {:?}", latest.rejected);
+    assert!(
+        latest.rejected[0].contains("ckpt-it0000000008-rank002.bin")
+            && latest.rejected[0].contains("CRC"),
+        "newest rejection names the file and the CRC failure: {}",
+        latest.rejected[0]
+    );
+    assert!(
+        latest.rejected[1].contains("ckpt-it0000000006-rank001.bin")
+            && latest.rejected[1].contains("truncated")
+            && latest.rejected[1].contains("payload"),
+        "torn-file rejection names the file and the field: {}",
+        latest.rejected[1]
+    );
+
+    // The fallback checkpoint is not merely present — it restores and
+    // resumes bit-exactly.
+    let (iteration, resumed) = resume_from_latest(&dir);
+    assert_eq!(iteration, 4);
+    for (rank, losses) in resumed.iter().enumerate() {
+        assert_eq!(losses, &oracle[4..], "rank {rank}: fallback resume is bit-exact");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
