@@ -29,7 +29,8 @@ impl TransformerBlock {
                 cfg.slot_capacity(),
                 cfg.aux_loss_coef,
                 seed ^ 0xa5a5,
-            ),
+            )
+            .with_f16_experts(cfg.f16_experts),
         }
     }
 

@@ -29,6 +29,11 @@ pub struct ModelConfig {
     pub lr: f32,
     /// Parameter init seed.
     pub seed: u64,
+    /// Run routed-expert FFNs on the f16-storage/f32-accumulate GEMM path
+    /// (binary16 weight shadows streamed by the kernels — half the weight
+    /// traffic; see `symi_tensor::kernels::gemm_nn_f16`). Off by default:
+    /// the f32 path stays the bit-exactness reference.
+    pub f16_experts: bool,
 }
 
 impl ModelConfig {
@@ -49,6 +54,7 @@ impl ModelConfig {
             aux_loss_coef: 0.01,
             lr: 3e-3,
             seed: 42,
+            f16_experts: false,
         }
     }
 
@@ -79,6 +85,7 @@ impl ModelConfig {
             aux_loss_coef: 0.01,
             lr: 3e-3,
             seed: 42,
+            f16_experts: false,
         }
     }
 

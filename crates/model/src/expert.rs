@@ -5,15 +5,26 @@
 //! optimizer shards, the gradient-collection phase gathers, and the
 //! weight-communication phase scatters.
 
-use symi_tensor::ops::{gelu_backward_into, linear_gelu_into};
+use symi_tensor::ops::{gelu_backward_into, gelu_into, linear_gelu_into};
 use symi_tensor::rng::StdRng;
-use symi_tensor::{init, Matrix};
+use symi_tensor::{init, HalfMatrix, Matrix};
 
 /// A two-layer GELU FFN: `y = gelu(x·W1 + b1)·W2 + b2`.
 ///
 /// Forward/backward run on the blocked kernels through persistent caches
 /// and scratch buffers (`*_into` entry points), so a steady-state training
 /// step performs no heap allocation inside the expert.
+///
+/// With [`set_f16_compute`] enabled, the weight matrices additionally keep
+/// binary16 shadows that the forward/backward GEMMs stream at 2 B/element
+/// (f32 accumulation — `kernels::gemm_nn_f16`/`gemm_nt_f16`), halving
+/// weight traffic in the bandwidth-bound `ffn_down` shape. The shadows are
+/// re-encoded from the f32 masters once per forward (O(params), amortized
+/// against the O(tokens·params) GEMMs); backward reuses the same shadows,
+/// so gradients are taken at exactly the weights the forward used.
+/// Parameter gradients (`tn` GEMMs over activations) stay f32.
+///
+/// [`set_f16_compute`]: ExpertFfn::set_f16_compute
 pub struct ExpertFfn {
     pub w1: Matrix,
     pub b1: Matrix,
@@ -28,6 +39,9 @@ pub struct ExpertFfn {
     cached_act: Matrix,
     scratch_dact: Matrix,
     scratch_dpre: Matrix,
+    f16_compute: bool,
+    w1_h: HalfMatrix,
+    w2_h: HalfMatrix,
 }
 
 impl ExpertFfn {
@@ -47,7 +61,28 @@ impl ExpertFfn {
             cached_act: Matrix::zeros(0, 0),
             scratch_dact: Matrix::zeros(0, 0),
             scratch_dpre: Matrix::zeros(0, 0),
+            f16_compute: false,
+            w1_h: HalfMatrix::zeros(0, 0),
+            w2_h: HalfMatrix::zeros(0, 0),
         }
+    }
+
+    /// Toggles the f16-storage compute path. Weights that already sit on
+    /// the fp16 grid (everything the SYMI optimizer publishes — the wire is
+    /// fp16 since the weight-distribute phase) encode losslessly, so for
+    /// distributed experts this changes memory traffic, not values; freshly
+    /// initialized f32 weights round-to-nearest on encode.
+    pub fn set_f16_compute(&mut self, enabled: bool) {
+        self.f16_compute = enabled;
+        if !enabled {
+            self.w1_h = HalfMatrix::zeros(0, 0);
+            self.w2_h = HalfMatrix::zeros(0, 0);
+        }
+    }
+
+    /// Whether the f16-storage compute path is active.
+    pub fn f16_compute(&self) -> bool {
+        self.f16_compute
     }
 
     pub fn d_model(&self) -> usize {
@@ -72,9 +107,19 @@ impl ExpertFfn {
     /// Forward pass into a reusable output buffer. The fused
     /// `linear_gelu` kernel fills both the pre-activation and activation
     /// caches in one pass; backward reuses them without recomputing GELU.
+    /// On the f16 path the weight shadows are re-encoded here, so forward
+    /// and the following backward see one consistent half-precision weight.
     pub fn forward_into(&mut self, x: &Matrix, y: &mut Matrix) {
-        linear_gelu_into(x, &self.w1, &self.b1, &mut self.cached_pre, &mut self.cached_act);
-        self.cached_act.matmul_bias_into(&self.w2, &self.b2, y);
+        if self.f16_compute {
+            self.w1_h.encode_from(&self.w1);
+            self.w2_h.encode_from(&self.w2);
+            x.matmul_f16_bias_into(&self.w1_h, &self.b1, &mut self.cached_pre);
+            gelu_into(&self.cached_pre, &mut self.cached_act);
+            self.cached_act.matmul_f16_bias_into(&self.w2_h, &self.b2, y);
+        } else {
+            linear_gelu_into(x, &self.w1, &self.b1, &mut self.cached_pre, &mut self.cached_act);
+            self.cached_act.matmul_bias_into(&self.w2, &self.b2, y);
+        }
         self.cached_x.copy_from(x);
     }
 
@@ -85,15 +130,26 @@ impl ExpertFfn {
     }
 
     /// Backward pass into a reusable `dx` buffer; gradients accumulate
-    /// into the `*_grad` fields.
+    /// into the `*_grad` fields. The f16 path differentiates through the
+    /// *encoded* weights the forward actually used (the `nt` GEMMs stream
+    /// the same shadows); parameter gradients are `tn` GEMMs over f32
+    /// activations either way.
     pub fn backward_into(&mut self, dy: &Matrix, dx: &mut Matrix) {
         self.cached_act.matmul_tn_acc(dy, &mut self.w2_grad);
         dy.sum_rows_acc(&mut self.b2_grad);
-        dy.matmul_nt_into(&self.w2, &mut self.scratch_dact);
+        if self.f16_compute {
+            dy.matmul_nt_f16_into(&self.w2_h, &mut self.scratch_dact);
+        } else {
+            dy.matmul_nt_into(&self.w2, &mut self.scratch_dact);
+        }
         gelu_backward_into(&self.cached_pre, &self.scratch_dact, &mut self.scratch_dpre);
         self.cached_x.matmul_tn_acc(&self.scratch_dpre, &mut self.w1_grad);
         self.scratch_dpre.sum_rows_acc(&mut self.b1_grad);
-        self.scratch_dpre.matmul_nt_into(&self.w1, dx);
+        if self.f16_compute {
+            self.scratch_dpre.matmul_nt_f16_into(&self.w1_h, dx);
+        } else {
+            self.scratch_dpre.matmul_nt_into(&self.w1, dx);
+        }
     }
 
     /// Parameters as one flat buffer: `[W1 | b1 | W2 | b2]`.

@@ -120,6 +120,21 @@ impl MoeLayer {
         self
     }
 
+    /// Switches every *routed* expert to the f16-storage compute path (the
+    /// shared expert is dense state and stays f32). Builder form:
+    /// `MoeLayer::new(..).with_f16_experts(cfg.f16_experts)`.
+    pub fn with_f16_experts(mut self, enabled: bool) -> Self {
+        self.set_f16_experts(enabled);
+        self
+    }
+
+    /// See [`MoeLayer::with_f16_experts`].
+    pub fn set_f16_experts(&mut self, enabled: bool) {
+        for e in &mut self.experts {
+            e.set_f16_compute(enabled);
+        }
+    }
+
     pub fn expert_classes(&self) -> usize {
         self.experts.len()
     }

@@ -301,6 +301,10 @@ impl Trainer {
             } else {
                 0.0
             });
+            tele.gauge("kernel.seq_fallback")
+                .set(kern.seq_fallback.saturating_sub(self.last_kernel.seq_fallback) as f64);
+            tele.gauge("kernel.b_packs")
+                .set(kern.b_packs.saturating_sub(self.last_kernel.b_packs) as f64);
             tele.gauge("pool.threads").set(pstats.threads as f64);
             tele.gauge("pool.jobs").set(pstats.jobs.saturating_sub(self.last_pool.jobs) as f64);
             tele.gauge("pool.busy_ms")

@@ -1,0 +1,68 @@
+//! End-to-end check of the f16-storage expert path: training with
+//! `f16_experts: true` must track the f32 run closely (the only difference
+//! is binary16 rounding of expert weights at each forward), and flipping
+//! the flag must not perturb the f32 path at all — the f32 run stays the
+//! bit-exactness reference.
+
+use symi_model::{ModelConfig, Trainer, UniformPolicy};
+use symi_workload::{CorpusConfig, DriftingCorpus};
+
+const STEPS: usize = 40;
+// Documented tolerance for the f16 expert path (see DESIGN.md). Only
+// routed-expert weight *storage* is rounded to binary16 (accumulation
+// stays f32), so single-step perturbations are ~1e-3 — but the runs
+// diverge chaotically over time (Adam state and discrete top-1 routing
+// amplify the rounding), reaching ~5e-2 per-step by step 60 on the tiny
+// config. Gates: per-step |Δloss| ≤ 0.1, run-mean |Δ| ≤ 0.02.
+
+fn run(f16: bool) -> Vec<f32> {
+    let cfg = ModelConfig { f16_experts: f16, ..ModelConfig::tiny() };
+    let mut trainer = Trainer::new(
+        cfg,
+        Box::new(UniformPolicy { experts: cfg.experts, total_slots: cfg.total_slots }),
+    );
+    let mut corpus = DriftingCorpus::new(CorpusConfig {
+        vocab_size: cfg.vocab_size,
+        seq_len: cfg.seq_len,
+        batch_size: cfg.batch_size,
+        topics: 4,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    trainer.train(&mut corpus, STEPS);
+    trainer.record.losses.clone()
+}
+
+#[test]
+fn f16_expert_training_tracks_f32_within_tolerance() {
+    let f32_losses = run(false);
+    let f16_losses = run(true);
+    assert_eq!(f32_losses.len(), STEPS);
+    assert_eq!(f16_losses.len(), STEPS);
+
+    let mut worst = 0.0f32;
+    for (step, (a, b)) in f32_losses.iter().zip(&f16_losses).enumerate() {
+        let d = (a - b).abs();
+        assert!(d <= 0.1, "step {step}: f32 loss {a:.6} vs f16 loss {b:.6} (|Δ| {d:.2e} > 1e-1)");
+        worst = worst.max(d);
+    }
+    let mean_delta =
+        f32_losses.iter().zip(&f16_losses).map(|(a, b)| (a - b).abs()).sum::<f32>() / STEPS as f32;
+    assert!(mean_delta <= 0.02, "run-mean |Δloss| {mean_delta:.2e} > 2e-2");
+    // Both runs must actually learn — the f16 path is a compute change,
+    // not a regularizer.
+    let head = |l: &[f32]| l[..5].iter().sum::<f32>() / 5.0;
+    let tail = |l: &[f32]| l[STEPS - 5..].iter().sum::<f32>() / 5.0;
+    assert!(tail(&f16_losses) < head(&f16_losses) - 0.1, "f16 run failed to learn");
+    assert!(tail(&f32_losses) < head(&f32_losses) - 0.1, "f32 run failed to learn");
+    eprintln!("worst per-step |Δloss| over {STEPS} steps: {worst:.2e}");
+}
+
+#[test]
+fn f16_flag_off_leaves_f32_path_bit_exact() {
+    // Two independent f32 runs are bitwise identical — constructing the
+    // trainer with the flag present (but off) must not change anything.
+    let a = run(false);
+    let b = run(false);
+    assert_eq!(a, b, "f32 training must be bit-exactly reproducible");
+}

@@ -297,84 +297,10 @@ fn step_kernel(
     });
 }
 
-/// Rounds an `f32` through IEEE-754 binary16 and back — the model weights in
-/// SYMI live in fp16 on the accelerator while the optimizer keeps fp32
-/// masters, and this models that quantization loss.
-pub fn quantize_f16(x: f32) -> f32 {
-    f16_to_f32(f32_to_f16(x))
-}
-
-/// `f32` → IEEE-754 binary16 bits, round-to-nearest-even.
-pub fn f32_to_f16(x: f32) -> u16 {
-    let bits = x.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let mant = bits & 0x007f_ffff;
-
-    if exp == 0xff {
-        // Inf or NaN.
-        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
-        return sign | 0x7c00 | nan_bit;
-    }
-    let unbiased = exp - 127;
-    if unbiased > 15 {
-        return sign | 0x7c00; // overflow → inf
-    }
-    if unbiased >= -14 {
-        // Normal half.
-        let half_exp = ((unbiased + 15) as u16) << 10;
-        let half_mant = (mant >> 13) as u16;
-        let round_bit = (mant >> 12) & 1;
-        let sticky = mant & 0x0fff;
-        let mut h = sign | half_exp | half_mant;
-        if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
-            h += 1; // may carry into the exponent, which is correct behaviour
-        }
-        return h;
-    }
-    if unbiased >= -24 {
-        // Subnormal half.
-        let full_mant = mant | 0x0080_0000;
-        let shift = (-unbiased - 14 + 13) as u32;
-        let half_mant = (full_mant >> shift) as u16;
-        let round = (full_mant >> (shift - 1)) & 1;
-        let sticky = full_mant & ((1u32 << (shift - 1)) - 1);
-        let mut h = sign | half_mant;
-        if round == 1 && (sticky != 0 || (half_mant & 1) == 1) {
-            h += 1;
-        }
-        return h;
-    }
-    sign // underflow → signed zero
-}
-
-/// IEEE-754 binary16 bits → `f32`.
-pub fn f16_to_f32(h: u16) -> f32 {
-    let sign = ((h & 0x8000) as u32) << 16;
-    let exp = ((h >> 10) & 0x1f) as u32;
-    let mant = (h & 0x03ff) as u32;
-    let bits = if exp == 0 {
-        if mant == 0 {
-            sign
-        } else {
-            // Subnormal: renormalize. After s left-shifts the value is
-            // 1.f x 2^(-14 - s), i.e. e = -s below the minimum normal.
-            let mut e = 0i32;
-            let mut m = mant;
-            while m & 0x0400 == 0 {
-                m <<= 1;
-                e -= 1;
-            }
-            m &= 0x03ff;
-            sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
-        }
-    } else if exp == 0x1f {
-        sign | 0x7f80_0000 | (mant << 13)
-    } else {
-        sign | ((exp + 127 - 15) << 23) | (mant << 13)
-    };
-    f32::from_bits(bits)
-}
+// The canonical binary16 conversions now live in [`crate::half`]; they are
+// re-exported here because the wire codec, baselines, and older tests import
+// them through the `adam` path.
+pub use crate::half::{f16_to_f32, f32_to_f16, quantize_f16};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,196 @@
+//! IEEE-754 binary16 ("f16") storage: scalar conversions and a half-precision
+//! matrix container for the f16-storage / f32-accumulate GEMM path.
+//!
+//! SYMI's wire protocol already ships expert weights as fp16 (2 B/param), and
+//! the Adam optimizer publishes parameters *on the fp16 grid* (each published
+//! value round-trips f32→f16→f32 losslessly). [`HalfMatrix`] lets those
+//! weights also *live* in half precision on the compute side: the GEMM
+//! kernels stream 2-byte weight panels and widen to f32 only inside the
+//! microkernel registers (see `kernels::gemm_nn_f16` / `gemm_nt_f16`),
+//! halving the memory traffic of the bandwidth-bound weight-stationary GEMMs
+//! while every accumulation still happens in f32.
+//!
+//! The scalar conversions here are the canonical ones for the whole
+//! workspace (the wire codec and baselines re-use them through the `adam`
+//! re-exports): round-to-nearest-even on encode, exact on decode.
+
+use crate::matrix::Matrix;
+
+/// Rounds an `f32` through IEEE-754 binary16 and back — the model weights in
+/// SYMI live in fp16 on the accelerator while the optimizer keeps fp32
+/// masters, and this models that quantization loss.
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_to_f32(f32_to_f16(x))
+}
+
+/// `f32` → IEEE-754 binary16 bits, round-to-nearest-even.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mant >> 13) as u16;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0fff;
+        let mut h = sign | half_exp | half_mant;
+        if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+            h += 1; // may carry into the exponent, which is correct behaviour
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-unbiased - 14 + 13) as u32;
+        let half_mant = (full_mant >> shift) as u16;
+        let round = (full_mant >> (shift - 1)) & 1;
+        let sticky = full_mant & ((1u32 << (shift - 1)) - 1);
+        let mut h = sign | half_mant;
+        if round == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+            h += 1;
+        }
+        return h;
+    }
+    sign // underflow → signed zero
+}
+
+/// IEEE-754 binary16 bits → `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize. After s left-shifts the value is
+            // 1.f x 2^(-14 - s), i.e. e = -s below the minimum normal.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// A dense, row-major matrix stored as IEEE-754 binary16 bits.
+///
+/// This is a *storage* format: arithmetic always widens to f32 (decode is
+/// exact), so a `HalfMatrix` built from weights that already sit on the fp16
+/// grid — everything the SYMI optimizer publishes — reproduces the same f32
+/// values bit-for-bit. Values off the grid round-to-nearest-even on encode.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HalfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl HalfMatrix {
+    /// A `rows × cols` matrix of (+0.0) zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0u16; rows * cols] }
+    }
+
+    /// Encodes an f32 matrix (round-to-nearest-even per element).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let mut out = Self::zeros(0, 0);
+        out.encode_from(m);
+        out
+    }
+
+    /// Re-encodes `m` into `self`, reusing the allocation.
+    pub fn encode_from(&mut self, m: &Matrix) {
+        self.rows = m.rows();
+        self.cols = m.cols();
+        self.data.clear();
+        self.data.extend(m.as_slice().iter().map(|&v| f32_to_f16(v)));
+    }
+
+    /// Decodes to an f32 matrix (exact).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&h| f16_to_f32(h)).collect())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw binary16 bits, row-major.
+    pub fn as_bits(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Element `(r, c)` widened to f32.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        f16_to_f32(self.data[r * self.cols + c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_is_quantize() {
+        let m = Matrix::from_fn(7, 5, |r, c| ((r * 5 + c) as f32 * 0.137).sin() * 3.0);
+        let h = HalfMatrix::from_matrix(&m);
+        let back = h.to_matrix();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(*b, quantize_f16(*a));
+        }
+    }
+
+    #[test]
+    fn grid_values_round_trip_exactly() {
+        // Values already on the fp16 grid (what the optimizer publishes)
+        // must survive storage bit-for-bit.
+        let m = Matrix::from_fn(4, 4, |r, c| quantize_f16((r as f32 - 1.5) * 0.31 + c as f32));
+        let h = HalfMatrix::from_matrix(&m);
+        assert_eq!(h.to_matrix(), m);
+    }
+
+    #[test]
+    fn encode_from_reuses_and_resizes() {
+        let mut h = HalfMatrix::zeros(2, 2);
+        let m = Matrix::from_fn(3, 5, |r, c| (r + c) as f32);
+        h.encode_from(&m);
+        assert_eq!((h.rows(), h.cols()), (3, 5));
+        assert_eq!(h.get(2, 4), 6.0);
+    }
+}

@@ -3,46 +3,90 @@
 //! Three specialized layouts cover everything manual backprop needs without
 //! materializing transposes:
 //!
-//! - `nn` (`A·B`, forward): B is packed once into column panels of
-//!   [`NR`] values laid out k-major, so the microkernel streams both the A
-//!   row values and the packed panel contiguously. Each microkernel
-//!   invocation holds an `MR×NR` block of outputs in registers for the whole
-//!   k sweep.
+//! - `nn` (`A·B`, forward): B is read **in place** — row-major B already
+//!   stores the microkernel's column strips contiguously, so the kernels
+//!   take B's row stride as a parameter and there is no packing pass at
+//!   all. Each microkernel invocation holds an `MR×NR` block of outputs in
+//!   registers; the AVX2 drivers additionally cache-block the k extent
+//!   (exact f32 spill/reload between chunks).
 //! - `nt` (`A·Bᵀ`, input gradients / attention scores): both operands are
-//!   walked along contiguous rows; a 4×4 register tile of independent dot
+//!   walked along contiguous rows; a register tile of independent dot
 //!   products provides the instruction-level parallelism.
 //! - `tn` (`Aᵀ·B`, parameter gradients): the A column block is packed into a
 //!   k-major strip per output row block, then the kernel runs like `nn`.
 //!
+//! # SIMD dispatch
+//!
+//! Each layout has two microkernel families selected once per process by
+//! [`active_path`]: a portable scalar family (the original kernels, kept as
+//! the fallback and the forced-`SYMI_SIMD=scalar` CI path) and an AVX2+FMA
+//! family ([`crate::simd`], x86_64 only, runtime feature detection). The
+//! scalar family is **bit-exact** against the [`naive`] oracle (single
+//! accumulator folded over ascending `k`, mul-then-add). The AVX2 family
+//! keeps f32 accumulation and the same *global* tile decomposition but uses
+//! fused multiply-add (and, for `nt`, fixed 8-lane k-splitting), so it is
+//! held to the oracle by a ULP/error-bound gate instead of `==` — see
+//! `tests/simd_oracle.rs`. `SYMI_SIMD=scalar|avx2` overrides detection.
+//!
+//! # f16 storage / f32 accumulate
+//!
+//! `gemm_nn_f16` / `gemm_nt_f16` take the weight operand as a
+//! [`crate::half::HalfMatrix`]: with F16C the microkernels stream the
+//! 2-byte binary16 strips in place and widen with `vcvtph2ps` on the way
+//! into the FMA (half the B traffic per k step); without it, B is decoded
+//! to f32 **once per call** into a thread-local scratch and the f32
+//! drivers run — both conversions are exact, so the paths agree on values.
+//! Accumulation is always f32.
+//!
 //! # Determinism contract
 //!
-//! Every output element is produced by a **single accumulator folded over
-//! `k` in ascending order**, regardless of tile shape, edge handling, or
-//! worker count. Partial sums never cross participants and are never split
-//! within an element, so the blocked kernels are bit-identical to the
-//! [`naive`] oracle (classic i-j-k loop) and to themselves under any
-//! `SYMI_THREADS` setting. Fused epilogues (`+ bias`, then activation) apply
-//! *after* the fold completes, matching the unfused `matmul` →
-//! `add_bias` → `gelu` sequence bit-for-bit.
+//! Within one process (one resolved SIMD path), every GEMM is a pure
+//! function of its operands — independent of worker count and repeatable
+//! across runs. Work splits only across *output* elements, never across the
+//! `k` reduction, and share boundaries are aligned to the active path's row
+//! tile ([`crate::pool::par_rows_planned`]), so the full-tile/edge-tile
+//! decomposition — which decides where FMA vs scalar rounding applies — is a
+//! global property of the shape, not of the split. The scalar path is
+//! additionally bit-exact against [`naive`]. Fused epilogues (`+ bias`, then
+//! activation) apply *after* the fold completes, matching the unfused
+//! `matmul` → `add_bias` → `gelu` sequence bit-for-bit on every path.
 //!
-//! Parallelism: work splits over contiguous output row ranges via
-//! [`crate::pool::par_rows`]; each participant owns a disjoint output chunk.
+//! # Cost-model gate
+//!
+//! Dispatching a parallel region costs wake-ups, cache re-warming, and (on
+//! oversubscribed hosts) context switches, so small GEMMs lose by
+//! splitting: the seed benchmark showed 64×64×128 *dropping* from 19.3 to
+//! 13.6 GFLOP/s going 1→8 threads. [`plan_shares`] therefore caps the share
+//! count so each share keeps at least `SYMI_GEMM_FLOPS_PER_SHARE` FLOPs
+//! (default 128 M ≈ a couple of milliseconds of SIMD work) **and** never
+//! exceeds the machine's `available_parallelism` — extra shares beyond
+//! cores cannot run concurrently, they only pay dispatch and cache-handoff
+//! cost. Gated calls run sequentially on the submitting thread with zero
+//! dispatch and bump the `kernel.seq_fallback` counter.
 
+use crate::half::HalfMatrix;
 use crate::matrix::Matrix;
-use crate::pool::{par_rows, par_rows2};
+use crate::pool::{par_rows2_planned, par_rows_planned};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
-/// Microkernel row tile.
+/// Scalar-path microkernel row tile.
 pub const MR: usize = 4;
-/// Microkernel column tile / packed panel width.
+/// Scalar-path microkernel column tile / packed panel width.
 pub const NR: usize = 8;
-/// Row granularity below which a GEMM is not worth splitting across shares.
-const MIN_ROWS_PER_SHARE: usize = 4;
+
+/// Default minimum FLOPs a share must amortize before the cost model grants
+/// it a pool dispatch (override: `SYMI_GEMM_FLOPS_PER_SHARE`). ~2 ms of
+/// work at the AVX2 kernels' measured single-thread throughput — an order
+/// of magnitude above dispatch + cache-rewarm cost even on oversubscribed
+/// single-core hosts.
+pub const DEFAULT_FLOPS_PER_SHARE: u64 = 128_000_000;
 
 static GEMM_NS: AtomicU64 = AtomicU64::new(0);
 static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
+static SEQ_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static B_PACKS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative kernel counters (monotonic; consumers diff between reads).
 #[derive(Clone, Copy, Debug, Default)]
@@ -51,6 +95,13 @@ pub struct KernelStats {
     pub gemm_ns: u64,
     /// Multiply-add FLOPs issued (2·m·n·k per GEMM).
     pub gemm_flops: u64,
+    /// GEMM calls the cost model ran sequentially although the pool had
+    /// threads to offer (parallelism could not amortize dispatch).
+    pub seq_fallback: u64,
+    /// B-operand preparation passes. The f32 nn family reads B in place
+    /// (never counts); only the no-F16C f16 fallback decodes B, exactly
+    /// once per call — preparation is never repeated per share.
+    pub b_packs: u64,
 }
 
 /// Snapshot of the process-wide kernel counters.
@@ -58,6 +109,8 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         gemm_ns: GEMM_NS.load(Ordering::Relaxed),
         gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed),
+        seq_fallback: SEQ_FALLBACK.load(Ordering::Relaxed),
+        b_packs: B_PACKS.load(Ordering::Relaxed),
     }
 }
 
@@ -66,42 +119,269 @@ fn record(t0: Instant, m: usize, n: usize, k: usize) {
     GEMM_FLOPS.fetch_add(2 * (m as u64) * (n as u64) * (k as u64), Ordering::Relaxed);
 }
 
-thread_local! {
-    /// Packed-B scratch for `nn` (reused across calls; grows monotonically).
-    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
-    /// Packed-A column-strip scratch for `tn` (per worker thread).
-    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+// ---------------------------------------------------------------------------
+// SIMD path selection
+// ---------------------------------------------------------------------------
+
+/// Which microkernel family the drivers dispatch to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdPath {
+    /// Portable scalar kernels: bit-exact vs [`naive`], run anywhere.
+    Scalar,
+    /// AVX2 + FMA microkernels (x86_64, runtime-detected).
+    Avx2,
 }
 
-/// Packs `b` (k×n) into `ceil(n/NR)` k-major panels of width [`NR`],
-/// zero-padding the last panel. Panel `p` occupies
-/// `pack[p·k·NR .. (p+1)·k·NR]`, element `(kk, j)` at `kk·NR + j`.
-fn pack_b(b: &Matrix, pack: &mut Vec<f32>) {
-    let k = b.rows();
-    let n = b.cols();
-    let panels = n.div_ceil(NR);
-    pack.clear();
-    pack.resize(panels * k * NR, 0.0);
-    let bs = b.as_slice();
-    for p in 0..panels {
-        let j0 = p * NR;
-        let w = NR.min(n - j0);
-        let dst = &mut pack[p * k * NR..(p + 1) * k * NR];
-        for kk in 0..k {
-            dst[kk * NR..kk * NR + w].copy_from_slice(&bs[kk * n + j0..kk * n + j0 + w]);
+/// 0 = undecided, 1 = scalar, 2 = avx2.
+static PATH: AtomicU8 = AtomicU8::new(0);
+
+fn detect_path() -> SimdPath {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::have_avx2_fma() {
+            return SimdPath::Avx2;
+        }
+    }
+    SimdPath::Scalar
+}
+
+fn decide_path() -> SimdPath {
+    match std::env::var("SYMI_SIMD") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "0" | "off" => SimdPath::Scalar,
+            "avx2" => {
+                let detected = detect_path();
+                assert!(
+                    detected == SimdPath::Avx2,
+                    "SYMI_SIMD=avx2 requested but this CPU lacks AVX2+FMA"
+                );
+                SimdPath::Avx2
+            }
+            other => {
+                eprintln!(
+                    "symi: ignoring unknown SYMI_SIMD={other:?} \
+                     (expected scalar|avx2); auto-detecting"
+                );
+                detect_path()
+            }
+        },
+        Err(_) => detect_path(),
+    }
+}
+
+/// The microkernel family in use, resolved once per process from
+/// `SYMI_SIMD` (else CPU feature detection) on first GEMM.
+pub fn active_path() -> SimdPath {
+    match PATH.load(Ordering::Relaxed) {
+        1 => SimdPath::Scalar,
+        2 => SimdPath::Avx2,
+        _ => {
+            let p = decide_path();
+            force_simd_path(p);
+            p
         }
     }
 }
 
+/// Overrides the dispatch path. Intended for tests and benches that must
+/// exercise a specific family (mirrors `pool::set_threads`); results differ
+/// *between* paths at the documented ULP bound, so test binaries that
+/// switch paths serialize around it.
+pub fn force_simd_path(p: SimdPath) {
+    PATH.store(
+        match p {
+            SimdPath::Scalar => 1,
+            SimdPath::Avx2 => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Human-readable name of the active path (telemetry / bench metadata).
+pub fn simd_path_name() -> &'static str {
+    match active_path() {
+        SimdPath::Scalar => "scalar",
+        SimdPath::Avx2 => "avx2",
+    }
+}
+
+/// Whether the f16-storage GEMMs can stream binary16 panels directly
+/// (AVX2 path + F16C). Otherwise they widen at pack time and run the f32
+/// microkernels — same values, full-width panel traffic.
+pub fn f16_fast_path() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        return active_path() == SimdPath::Avx2 && crate::simd::have_f16c();
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+/// `(row tile, panel width)` of the nn/tn-family kernels for `path`.
+fn nn_tile(path: SimdPath) -> (usize, usize) {
+    match path {
+        SimdPath::Scalar => (MR, NR),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => (crate::simd::MR_NN, crate::simd::NR_NN),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => unreachable!("avx2 path selected on non-x86_64"),
+    }
+}
+
+fn tn_tile(path: SimdPath) -> (usize, usize) {
+    match path {
+        SimdPath::Scalar => (MR, NR),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => (crate::simd::TN_MR, crate::simd::TN_NR),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => unreachable!("avx2 path selected on non-x86_64"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// 0 = uninitialized (resolve from env on first use).
+static MIN_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+fn min_flops_per_share() -> u64 {
+    let v = MIN_FLOPS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let init = match std::env::var("SYMI_GEMM_FLOPS_PER_SHARE") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!(
+                    "symi: ignoring invalid SYMI_GEMM_FLOPS_PER_SHARE={raw:?} \
+                     (expected a positive integer); using {DEFAULT_FLOPS_PER_SHARE}"
+                );
+                DEFAULT_FLOPS_PER_SHARE
+            }
+        },
+        Err(_) => DEFAULT_FLOPS_PER_SHARE,
+    };
+    MIN_FLOPS.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Overrides the cost-model minimum (mirrors `pool::set_threads`: for tests
+/// and benches that must exercise multi-share execution on shapes the gate
+/// would otherwise run sequentially). Pass [`DEFAULT_FLOPS_PER_SHARE`] to
+/// restore the default.
+pub fn set_flops_per_share(v: u64) {
+    MIN_FLOPS.store(v.max(1), Ordering::Relaxed);
+}
+
+/// Hardware parallelism, cached: the most workers that can make a
+/// CPU-bound kernel faster. A thread budget above this (oversubscribed
+/// `SYMI_THREADS` on a small container) only adds handoff overhead — the
+/// seed regression this gate exists to prevent.
+fn hardware_parallelism() -> usize {
+    let v = HW_PARALLELISM.load(Ordering::Relaxed);
+    if v != 0 {
+        return v as usize;
+    }
+    let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+    HW_PARALLELISM.store(n as u64, Ordering::Relaxed);
+    n
+}
+
+static HW_PARALLELISM: AtomicU64 = AtomicU64::new(0);
+
+/// Overrides the detected hardware parallelism (mirrors
+/// [`set_flops_per_share`]: for tests that must exercise multi-share
+/// execution on hosts with fewer cores than the scenario under test).
+/// Pass 0 to restore detection.
+pub fn set_hardware_parallelism(v: usize) {
+    HW_PARALLELISM.store(v as u64, Ordering::Relaxed);
+}
+
+/// How many pool shares a GEMM over `rows` output rows (tiled in
+/// `block`-high strips) and `flops` total work deserves. Returns 1 — a
+/// zero-dispatch sequential run — unless every share can amortize the
+/// dispatch cost; such gated calls count as `seq_fallback`. The share
+/// count is also capped at the machine's physical parallelism: extra
+/// shares beyond cores cannot run concurrently, so they pay dispatch and
+/// cache-handoff cost for zero speedup.
+fn plan_shares(rows: usize, block: usize, flops: u64) -> usize {
+    let budget = crate::pool::current_threads().min(hardware_parallelism());
+    if budget <= 1 {
+        if crate::pool::current_threads() > 1 {
+            SEQ_FALLBACK.fetch_add(1, Ordering::Relaxed);
+        }
+        return 1;
+    }
+    let by_blocks = rows.div_ceil(block.max(1));
+    let by_cost = (flops / min_flops_per_share().max(1)).max(1) as usize;
+    let p = budget.min(by_blocks).min(by_cost);
+    if p == 1 {
+        SEQ_FALLBACK.fetch_add(1, Ordering::Relaxed);
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Decoded-B scratch for the f16 fallback paths (no F16C): B widened
+    /// to f32 once per call, shared read-only across workers.
+    static DEC_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Packed-A column-strip scratch for `tn` (per worker thread).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Decodes a binary16 B to f32 once per call (exact — binary16 ⊂ f32), so
+/// fallback paths without F16C compute the same function of the decoded B
+/// as the in-register-widening fast path. Counted in
+/// [`KernelStats::b_packs`]: per-call B preparation work, shared
+/// read-only across workers — never repeated per share.
+fn decode_b_f16(bh: &[u16], dec: &mut Vec<f32>) {
+    B_PACKS.fetch_add(1, Ordering::Relaxed);
+    dec.clear();
+    dec.extend(bh.iter().map(|&h| crate::half::f16_to_f32(h)));
+}
+
+/// Packs columns `col0 .. col0+ih` of the `r×m` matrix `a` k-major:
+/// `strip[kk·ih + ii] = a[kk][col0 + ii]` (shared by scalar and AVX2 tn).
+pub(crate) fn pack_a_strip(
+    asl: &[f32],
+    m: usize,
+    r: usize,
+    col0: usize,
+    ih: usize,
+    strip: &mut Vec<f32>,
+) {
+    strip.clear();
+    strip.resize(r * ih, 0.0);
+    for kk in 0..r {
+        for ii in 0..ih {
+            strip[kk * ih + ii] = asl[kk * m + col0 + ii];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar microkernels
+// ---------------------------------------------------------------------------
+
 /// Full `MR×NR` nn microkernel: `out_block (+)= a_block · panel` with the
 /// `MR·NR` accumulators held in registers across the whole ascending-k
-/// sweep. `a` holds `MR` rows of length ≥ `k` at stride `lda`; `out` points
-/// at the block's first element with row stride `ldc`.
+/// sweep. `a` holds `MR` rows of length ≥ `k` at stride `lda`; `panel`
+/// points at B's `(0, j0)` element with row stride `pstride` (B is read in
+/// place — no packing); `out` points at the block's first element with row
+/// stride `ldc`.
+#[allow(clippy::too_many_arguments)]
 fn kern_nn_full(
     a: &[f32],
     lda: usize,
     k: usize,
     panel: &[f32],
+    pstride: usize,
     out: &mut [f32],
     ldc: usize,
     acc: bool,
@@ -112,7 +392,8 @@ fn kern_nn_full(
             ci.copy_from_slice(&out[i * ldc..i * ldc + NR]);
         }
     }
-    for (kk, pb) in panel.chunks_exact(NR).take(k).enumerate() {
+    for kk in 0..k {
+        let pb = &panel[kk * pstride..kk * pstride + NR];
         for (i, ci) in c.iter_mut().enumerate() {
             let av = a[i * lda + kk];
             for (cv, &bv) in ci.iter_mut().zip(pb) {
@@ -125,16 +406,18 @@ fn kern_nn_full(
     }
 }
 
-/// Edge nn microkernel for partial tiles (`rows ≤ MR`, `w ≤ NR`): same
-/// single-accumulator ascending-k fold, scalar loops.
+/// Edge nn microkernel for partial tiles (`rows ≤ mr`, `w ≤ nr`): same
+/// single-accumulator ascending-k fold, scalar loops. `nr` is the panel
+/// stride of the *caller's* pack layout (8 scalar, 16 AVX2).
 #[allow(clippy::too_many_arguments)]
-fn kern_nn_edge(
+pub(crate) fn kern_nn_edge(
     a: &[f32],
     lda: usize,
     k: usize,
     rows: usize,
     panel: &[f32],
     w: usize,
+    nr: usize,
     out: &mut [f32],
     ldc: usize,
     acc: bool,
@@ -143,22 +426,50 @@ fn kern_nn_edge(
         for j in 0..w {
             let mut s = if acc { out[i * ldc + j] } else { 0.0 };
             for kk in 0..k {
-                s += a[i * lda + kk] * panel[kk * NR + j];
+                s += a[i * lda + kk] * panel[kk * nr + j];
             }
             out[i * ldc + j] = s;
         }
     }
 }
 
-/// Row-range worker for nn: computes `out_chunk (+)= A[rows]·B` from the
-/// packed panels, then applies the optional bias epilogue.
+/// [`kern_nn_edge`] over a binary16 panel (widened per element; exact).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kern_nn_edge_f16(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    rows: usize,
+    panel: &[u16],
+    w: usize,
+    nr: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    for i in 0..rows {
+        for j in 0..w {
+            let mut s = if acc { out[i * ldc + j] } else { 0.0 };
+            for kk in 0..k {
+                s += a[i * lda + kk] * crate::half::f16_to_f32(panel[kk * nr + j]);
+            }
+            out[i * ldc + j] = s;
+        }
+    }
+}
+
+/// Row-range worker for scalar nn: computes `out_chunk (+)= A[rows]·B`
+/// reading B in place (`bs` row-major with stride `bstride` — the kernel
+/// loads a contiguous `NR`-wide strip per k-step, so packing would only
+/// add traffic), then applies the optional bias epilogue.
 #[allow(clippy::too_many_arguments)]
 fn nn_rows(
     a: &Matrix,
     rows: std::ops::Range<usize>,
     k: usize,
     n: usize,
-    pack: &[f32],
+    bs: &[f32],
+    bstride: usize,
     out: &mut [f32],
     acc: bool,
     bias: Option<&[f32]>,
@@ -167,22 +478,25 @@ fn nn_rows(
     let lda = a.cols();
     let m = rows.len();
     let panels = n.div_ceil(NR);
-    let mut i = 0;
-    while i < m {
-        let rows_here = MR.min(m - i);
-        let arow = &asl[(rows.start + i) * lda..];
-        for p in 0..panels {
-            let j0 = p * NR;
-            let w = NR.min(n - j0);
-            let panel = &pack[p * k * NR..(p + 1) * k * NR];
+    // Panel-outer so one column strip of B stays cache-hot across all row
+    // tiles (matches the SIMD workers; visit order is result-neutral —
+    // every C tile still folds its full k sweep in registers).
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = &bs[j0..];
+        let mut i = 0;
+        while i < m {
+            let rows_here = MR.min(m - i);
+            let arow = &asl[(rows.start + i) * lda..];
             let oblock = &mut out[i * n + j0..];
             if rows_here == MR && w == NR {
-                kern_nn_full(arow, lda, k, panel, oblock, n, acc);
+                kern_nn_full(arow, lda, k, panel, bstride, oblock, n, acc);
             } else {
-                kern_nn_edge(arow, lda, k, rows_here, panel, w, oblock, n, acc);
+                kern_nn_edge(arow, lda, k, rows_here, panel, w, bstride, oblock, n, acc);
             }
+            i += rows_here;
         }
-        i += rows_here;
     }
     if let Some(bias) = bias {
         for r in 0..m {
@@ -192,6 +506,201 @@ fn nn_rows(
         }
     }
 }
+
+/// Row-range worker for scalar nt: 4×4 register tile of independent
+/// contiguous dot products, each one accumulator over ascending k.
+fn nt_rows(
+    a: &Matrix,
+    bsl: &[f32],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    const TI: usize = 4;
+    const TJ: usize = 4;
+    let asl = a.as_slice();
+    let mlocal = rows.len();
+    let mut i = 0;
+    while i < mlocal {
+        let ih = TI.min(mlocal - i);
+        let mut j = 0;
+        while j < n {
+            let jh = TJ.min(n - j);
+            if ih == TI && jh == TJ {
+                let mut c = [[0.0f32; TJ]; TI];
+                if acc {
+                    for (ii, ci) in c.iter_mut().enumerate() {
+                        ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + TJ]);
+                    }
+                }
+                let ar0 = (rows.start + i) * k;
+                let br0 = j * k;
+                for kk in 0..k {
+                    for (ii, ci) in c.iter_mut().enumerate() {
+                        let av = asl[ar0 + ii * k + kk];
+                        for (jj, cv) in ci.iter_mut().enumerate() {
+                            *cv += av * bsl[br0 + jj * k + kk];
+                        }
+                    }
+                }
+                for (ii, ci) in c.iter().enumerate() {
+                    chunk[(i + ii) * n + j..(i + ii) * n + j + TJ].copy_from_slice(ci);
+                }
+            } else {
+                for ii in 0..ih {
+                    let arow = &asl[(rows.start + i + ii) * k..(rows.start + i + ii + 1) * k];
+                    for jj in 0..jh {
+                        let brow = &bsl[(j + jj) * k..(j + jj + 1) * k];
+                        let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
+                        for (av, bv) in arow.iter().zip(brow) {
+                            s += av * bv;
+                        }
+                        chunk[(i + ii) * n + j + jj] = s;
+                    }
+                }
+            }
+            j += jh;
+        }
+        i += ih;
+    }
+}
+
+/// Row-range worker for scalar tn (`rows` are *output* rows = A columns).
+#[allow(clippy::too_many_arguments)]
+fn tn_rows(
+    asl: &[f32],
+    bsl: &[f32],
+    rows: std::ops::Range<usize>,
+    r: usize,
+    m: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    PACK_A.with(|p| {
+        let mut strip = p.borrow_mut();
+        let mlocal = rows.len();
+        let mut i = 0;
+        while i < mlocal {
+            let ih = MR.min(mlocal - i);
+            pack_a_strip(asl, m, r, rows.start + i, ih, &mut strip);
+            let mut j = 0;
+            while j < n {
+                let jh = NR.min(n - j);
+                if ih == MR && jh == NR {
+                    let mut c = [[0.0f32; NR]; MR];
+                    if acc {
+                        for (ii, ci) in c.iter_mut().enumerate() {
+                            ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + NR]);
+                        }
+                    }
+                    for kk in 0..r {
+                        let av = &strip[kk * MR..kk * MR + MR];
+                        let bv = &bsl[kk * n + j..kk * n + j + NR];
+                        for (ii, ci) in c.iter_mut().enumerate() {
+                            let a_ik = av[ii];
+                            for (cv, &b_kj) in ci.iter_mut().zip(bv) {
+                                *cv += a_ik * b_kj;
+                            }
+                        }
+                    }
+                    for (ii, ci) in c.iter().enumerate() {
+                        chunk[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(ci);
+                    }
+                } else {
+                    for ii in 0..ih {
+                        for jj in 0..jh {
+                            let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
+                            for kk in 0..r {
+                                s += strip[kk * ih + ii] * bsl[kk * n + j + jj];
+                            }
+                            chunk[(i + ii) * n + j + jj] = s;
+                        }
+                    }
+                }
+                j += jh;
+            }
+            i += ih;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn nn_rows_dispatch(
+    path: SimdPath,
+    a: &Matrix,
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    bs: &[f32],
+    bstride: usize,
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    match path {
+        SimdPath::Scalar => nn_rows(a, rows, k, n, bs, bstride, out, acc, bias),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => crate::simd::nn_rows(a, rows, k, n, bs, bstride, out, acc, bias),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => unreachable!("avx2 path selected on non-x86_64"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nt_rows_dispatch(
+    path: SimdPath,
+    a: &Matrix,
+    bsl: &[f32],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    match path {
+        SimdPath::Scalar => nt_rows(a, bsl, rows, k, n, chunk, acc),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => crate::simd::nt_rows(a, bsl, rows, k, n, chunk, acc),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => unreachable!("avx2 path selected on non-x86_64"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tn_rows_dispatch(
+    path: SimdPath,
+    asl: &[f32],
+    bsl: &[f32],
+    rows: std::ops::Range<usize>,
+    r: usize,
+    m: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    match path {
+        SimdPath::Scalar => tn_rows(asl, bsl, rows, r, m, n, chunk, acc),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => {
+            PACK_A.with(|p| {
+                crate::simd::tn_rows(asl, bsl, rows, r, m, n, chunk, acc, &mut p.borrow_mut())
+            });
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => unreachable!("avx2 path selected on non-x86_64"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
 
 /// `out (+)= a · b`, optional fused `+ bias` epilogue.
 pub fn gemm_nn(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool, bias: Option<&Matrix>) {
@@ -215,14 +724,13 @@ pub fn gemm_nn(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool, bias: Option
         record(t0, m, n, k);
         return;
     }
-    PACK_B.with(|p| {
-        let mut p = p.borrow_mut();
-        pack_b(b, &mut p);
-        let pack: &[f32] = &p;
-        let bias = bias.map(|bm| bm.as_slice());
-        par_rows(m, n, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |rows, chunk| {
-            nn_rows(a, rows, k, n, pack, chunk, acc, bias);
-        });
+    let path = active_path();
+    let (mr, _) = nn_tile(path);
+    let shares = plan_shares(m, mr, 2 * (m as u64) * (n as u64) * (k as u64));
+    let bsl = b.as_slice();
+    let bias = bias.map(|bm| bm.as_slice());
+    par_rows_planned(m, n, mr, shares, out.as_mut_slice(), |rows, chunk| {
+        nn_rows_dispatch(path, a, rows, k, n, bsl, n, chunk, acc, bias);
     });
     record(t0, m, n, k);
 }
@@ -248,30 +756,31 @@ pub fn gemm_nn_bias_gelu(
         record(t0, m, n, k);
         return;
     }
-    PACK_B.with(|p| {
-        let mut p = p.borrow_mut();
-        pack_b(b, &mut p);
-        let pack: &[f32] = &p;
-        let bias = bias.as_slice();
-        par_rows2(
-            m,
-            n,
-            MIN_ROWS_PER_SHARE,
-            pre.as_mut_slice(),
-            act.as_mut_slice(),
-            |rows, pre_chunk, act_chunk| {
-                nn_rows(a, rows, k, n, pack, pre_chunk, false, Some(bias));
-                for (av, pv) in act_chunk.iter_mut().zip(pre_chunk.iter()) {
-                    *av = crate::ops::gelu_scalar(*pv);
-                }
-            },
-        );
-    });
+    let path = active_path();
+    let (mr, _) = nn_tile(path);
+    let shares = plan_shares(m, mr, 2 * (m as u64) * (n as u64) * (k as u64));
+    let bsl = b.as_slice();
+    let bias = bias.as_slice();
+    par_rows2_planned(
+        m,
+        n,
+        mr,
+        shares,
+        pre.as_mut_slice(),
+        act.as_mut_slice(),
+        |rows, pre_chunk, act_chunk| {
+            nn_rows_dispatch(path, a, rows, k, n, bsl, n, pre_chunk, false, Some(bias));
+            for (av, pv) in act_chunk.iter_mut().zip(pre_chunk.iter()) {
+                *av = crate::ops::gelu_scalar(*pv);
+            }
+        },
+    );
     record(t0, m, n, k);
 }
 
-/// `out (+)= a · bᵀ` (`b` is `n×k`): independent contiguous dot products,
-/// tiled 4×4 for ILP. Each dot is one accumulator over ascending k.
+/// `out (+)= a · bᵀ` (`b` is `n×k`): independent contiguous dot products.
+/// Each dot is one accumulator chain over ascending k (8-lane k-splitting
+/// with a fixed reduction order on the AVX2 path).
 pub fn gemm_nt(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
     assert_eq!(
         a.cols(),
@@ -289,55 +798,11 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
         record(t0, m, n, k);
         return;
     }
-    let asl = a.as_slice();
+    let path = active_path();
+    let shares = plan_shares(m, MR, 2 * (m as u64) * (n as u64) * (k as u64));
     let bsl = b.as_slice();
-    par_rows(m, n, MIN_ROWS_PER_SHARE, out.as_mut_slice(), |rows, chunk| {
-        const TI: usize = 4;
-        const TJ: usize = 4;
-        let mlocal = rows.len();
-        let mut i = 0;
-        while i < mlocal {
-            let ih = TI.min(mlocal - i);
-            let mut j = 0;
-            while j < n {
-                let jh = TJ.min(n - j);
-                if ih == TI && jh == TJ {
-                    let mut c = [[0.0f32; TJ]; TI];
-                    if acc {
-                        for (ii, ci) in c.iter_mut().enumerate() {
-                            ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + TJ]);
-                        }
-                    }
-                    let ar0 = (rows.start + i) * k;
-                    let br0 = j * k;
-                    for kk in 0..k {
-                        for (ii, ci) in c.iter_mut().enumerate() {
-                            let av = asl[ar0 + ii * k + kk];
-                            for (jj, cv) in ci.iter_mut().enumerate() {
-                                *cv += av * bsl[br0 + jj * k + kk];
-                            }
-                        }
-                    }
-                    for (ii, ci) in c.iter().enumerate() {
-                        chunk[(i + ii) * n + j..(i + ii) * n + j + TJ].copy_from_slice(ci);
-                    }
-                } else {
-                    for ii in 0..ih {
-                        let arow = &asl[(rows.start + i + ii) * k..(rows.start + i + ii + 1) * k];
-                        for jj in 0..jh {
-                            let brow = &bsl[(j + jj) * k..(j + jj + 1) * k];
-                            let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
-                            for (av, bv) in arow.iter().zip(brow) {
-                                s += av * bv;
-                            }
-                            chunk[(i + ii) * n + j + jj] = s;
-                        }
-                    }
-                }
-                j += jh;
-            }
-            i += ih;
-        }
+    par_rows_planned(m, n, MR, shares, out.as_mut_slice(), |rows, chunk| {
+        nt_rows_dispatch(path, a, bsl, rows, k, n, chunk, acc);
     });
     record(t0, m, n, k);
 }
@@ -364,71 +829,142 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
         record(t0, m, n, r);
         return;
     }
+    let path = active_path();
+    let (mr, _) = tn_tile(path);
+    let shares = plan_shares(m, mr, 2 * (m as u64) * (n as u64) * (r as u64));
     let asl = a.as_slice();
     let bsl = b.as_slice();
-    par_rows(m, n, 1, out.as_mut_slice(), |rows, chunk| {
-        PACK_A.with(|p| {
-            let mut strip = p.borrow_mut();
-            let mlocal = rows.len();
-            let mut i = 0;
-            while i < mlocal {
-                let ih = MR.min(mlocal - i);
-                // Pack columns `rows.start+i .. +ih` of `a` k-major:
-                // strip[kk·ih + ii] = a[kk][rows.start + i + ii].
-                strip.clear();
-                strip.resize(r * ih, 0.0);
-                for kk in 0..r {
-                    for ii in 0..ih {
-                        strip[kk * ih + ii] = asl[kk * m + rows.start + i + ii];
-                    }
-                }
-                let mut j = 0;
-                while j < n {
-                    let jh = NR.min(n - j);
-                    if ih == MR && jh == NR {
-                        let mut c = [[0.0f32; NR]; MR];
-                        if acc {
-                            for (ii, ci) in c.iter_mut().enumerate() {
-                                ci.copy_from_slice(&chunk[(i + ii) * n + j..(i + ii) * n + j + NR]);
-                            }
-                        }
-                        for kk in 0..r {
-                            let av = &strip[kk * MR..kk * MR + MR];
-                            let bv = &bsl[kk * n + j..kk * n + j + NR];
-                            for (ii, ci) in c.iter_mut().enumerate() {
-                                let a_ik = av[ii];
-                                for (cv, &b_kj) in ci.iter_mut().zip(bv) {
-                                    *cv += a_ik * b_kj;
-                                }
-                            }
-                        }
-                        for (ii, ci) in c.iter().enumerate() {
-                            chunk[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(ci);
-                        }
-                    } else {
-                        for ii in 0..ih {
-                            for jj in 0..jh {
-                                let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
-                                for kk in 0..r {
-                                    s += strip[kk * ih + ii] * bsl[kk * n + j + jj];
-                                }
-                                chunk[(i + ii) * n + j + jj] = s;
-                            }
-                        }
-                    }
-                    j += jh;
-                }
-                i += ih;
-            }
-        });
+    par_rows_planned(m, n, mr, shares, out.as_mut_slice(), |rows, chunk| {
+        tn_rows_dispatch(path, asl, bsl, rows, r, m, n, chunk, acc);
     });
     record(t0, m, n, r);
+}
+
+// ---------------------------------------------------------------------------
+// f16-storage drivers
+// ---------------------------------------------------------------------------
+
+/// `out (+)= a · b` where `b` is stored as binary16, optional fused
+/// `+ bias`. Accumulation is f32; panels stream as 2 bytes/element on the
+/// F16C fast path and are widened exactly at pack time otherwise, so both
+/// variants compute the same function of the *decoded* B.
+pub fn gemm_nn_f16(a: &Matrix, b: &HalfMatrix, out: &mut Matrix, acc: bool, bias: Option<&Matrix>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_f16 shape mismatch: {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if let Some(bias) = bias {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), n, "bias width mismatch");
+    }
+    let t0 = Instant::now();
+    out.resize_to(m, n);
+    if n == 0 || m == 0 {
+        record(t0, m, n, k);
+        return;
+    }
+    let path = active_path();
+    let (mr, _) = nn_tile(path);
+    let shares = plan_shares(m, mr, 2 * (m as u64) * (n as u64) * (k as u64));
+    let bias = bias.map(|bm| bm.as_slice());
+    #[cfg(target_arch = "x86_64")]
+    if f16_fast_path() {
+        let bh = b.as_bits();
+        par_rows_planned(m, n, mr, shares, out.as_mut_slice(), |rows, chunk| {
+            crate::simd::nn_rows_f16(a, rows, k, n, bh, n, chunk, acc, bias);
+        });
+        record(t0, m, n, k);
+        return;
+    }
+    DEC_B.with(|p| {
+        let mut p = p.borrow_mut();
+        decode_b_f16(b.as_bits(), &mut p);
+        let bsl: &[f32] = &p;
+        par_rows_planned(m, n, mr, shares, out.as_mut_slice(), |rows, chunk| {
+            nn_rows_dispatch(path, a, rows, k, n, bsl, n, chunk, acc, bias);
+        });
+    });
+    record(t0, m, n, k);
+}
+
+/// `out (+)= a · bᵀ` where `b` (`n×k`) is stored as binary16 — the
+/// input-gradient GEMM against half-precision weights.
+pub fn gemm_nt_f16(a: &Matrix, b: &HalfMatrix, out: &mut Matrix, acc: bool) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt_f16 shape mismatch: {}x{} · ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let t0 = Instant::now();
+    out.resize_to(m, n);
+    if m == 0 || n == 0 {
+        record(t0, m, n, k);
+        return;
+    }
+    let path = active_path();
+    let shares = plan_shares(m, MR, 2 * (m as u64) * (n as u64) * (k as u64));
+    #[cfg(target_arch = "x86_64")]
+    if f16_fast_path() {
+        let bh = b.as_bits();
+        par_rows_planned(m, n, MR, shares, out.as_mut_slice(), |rows, chunk| {
+            crate::simd::nt_rows_f16(a, bh, rows, k, n, chunk, acc);
+        });
+        record(t0, m, n, k);
+        return;
+    }
+    DEC_B.with(|p| {
+        let mut p = p.borrow_mut();
+        decode_b_f16(b.as_bits(), &mut p);
+        let bsl: &[f32] = &p;
+        par_rows_planned(m, n, MR, shares, out.as_mut_slice(), |rows, chunk| {
+            nt_rows_dispatch(path, a, bsl, rows, k, n, chunk, acc);
+        });
+    });
+    record(t0, m, n, k);
+}
+
+// ---------------------------------------------------------------------------
+// ULP distance (test support for the SIMD/f16 tolerance gates)
+// ---------------------------------------------------------------------------
+
+/// Distance between two f32s in units of last place: 0 for equal values
+/// (including `-0.0 == 0.0`), `u64::MAX` if either is NaN. The SIMD oracle
+/// tests gate on this plus the classic `k·ε·(|A||B|)ᵢⱼ` forward error
+/// bound.
+pub fn ulp_diff(a: f32, b: f32) -> u64 {
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -((bits & 0x7fff_ffff) as i64)
+        } else {
+            bits as i64
+        }
+    }
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    (ordered(a) - ordered(b)).unsigned_abs()
 }
 
 /// Reference kernels: the classic textbook loops, kept as the correctness
 /// oracle for property tests and the bench baseline. Each output element is
 /// a single accumulator folded over ascending k — the exact contract the
-/// blocked kernels reproduce, so comparisons are `==`, not tolerance-based.
+/// scalar blocked kernels reproduce bitwise (the AVX2 kernels are held to a
+/// ULP gate instead; see the module docs).
 pub mod naive {
     use crate::matrix::Matrix;
 
@@ -487,91 +1023,127 @@ pub mod naive {
         out.add_bias(bias);
         out
     }
+
+    /// Entry-wise `|a|·|b|` — the scale factor of the GEMM forward error
+    /// bound `|computed − exact| ≤ k·ε·(|A||B|)ᵢⱼ` the SIMD gates use.
+    pub fn abs_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for kk in 0..a.cols() {
+                    s += (a[(i, kk)] * b[(kk, j)]).abs();
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::{Rng, StdRng};
+    use std::sync::Mutex;
 
     fn random(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
         Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
     }
 
-    #[test]
-    fn blocked_nn_is_bit_exact_vs_naive() {
-        let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in
-            &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (13, 17, 19), (64, 64, 64), (2, 100, 3)]
-        {
-            let a = random(m, k, &mut rng);
-            let b = random(k, n, &mut rng);
-            let mut out = Matrix::zeros(0, 0);
-            gemm_nn(&a, &b, &mut out, false, None);
-            assert_eq!(out, naive::matmul(&a, &b), "shape {m}x{k}x{n}");
-        }
+    /// Serializes tests that pin the dispatch path (results differ between
+    /// paths, so concurrent tests must not flip it mid-GEMM).
+    fn with_path(p: SimdPath, f: impl FnOnce()) {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = active_path();
+        force_simd_path(p);
+        f();
+        force_simd_path(prev);
     }
 
     #[test]
-    fn blocked_nt_is_bit_exact_vs_naive() {
-        let mut rng = StdRng::seed_from_u64(8);
-        for &(m, k, n) in &[(1, 1, 1), (5, 3, 9), (12, 16, 4), (33, 65, 31)] {
-            let a = random(m, k, &mut rng);
-            let b = random(n, k, &mut rng);
-            let mut out = Matrix::zeros(0, 0);
-            gemm_nt(&a, &b, &mut out, false);
-            assert_eq!(out, naive::matmul_nt(&a, &b), "shape {m}x{k}x{n}");
-        }
+    fn scalar_nn_is_bit_exact_vs_naive() {
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            for &(m, k, n) in
+                &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (13, 17, 19), (64, 64, 64), (2, 100, 3)]
+            {
+                let a = random(m, k, &mut rng);
+                let b = random(k, n, &mut rng);
+                let mut out = Matrix::zeros(0, 0);
+                gemm_nn(&a, &b, &mut out, false, None);
+                assert_eq!(out, naive::matmul(&a, &b), "shape {m}x{k}x{n}");
+            }
+        });
     }
 
     #[test]
-    fn blocked_tn_is_bit_exact_vs_naive() {
-        let mut rng = StdRng::seed_from_u64(9);
-        for &(r, m, n) in &[(1, 1, 1), (6, 5, 3), (17, 13, 23), (50, 9, 40)] {
-            let a = random(r, m, &mut rng);
-            let b = random(r, n, &mut rng);
-            let mut out = Matrix::zeros(0, 0);
-            gemm_tn(&a, &b, &mut out, false);
-            assert_eq!(out, naive::matmul_tn(&a, &b), "shape {r}x{m}x{n}");
-        }
+    fn scalar_nt_is_bit_exact_vs_naive() {
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(8);
+            for &(m, k, n) in &[(1, 1, 1), (5, 3, 9), (12, 16, 4), (33, 65, 31)] {
+                let a = random(m, k, &mut rng);
+                let b = random(n, k, &mut rng);
+                let mut out = Matrix::zeros(0, 0);
+                gemm_nt(&a, &b, &mut out, false);
+                assert_eq!(out, naive::matmul_nt(&a, &b), "shape {m}x{k}x{n}");
+            }
+        });
+    }
+
+    #[test]
+    fn scalar_tn_is_bit_exact_vs_naive() {
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(9);
+            for &(r, m, n) in &[(1, 1, 1), (6, 5, 3), (17, 13, 23), (50, 9, 40)] {
+                let a = random(r, m, &mut rng);
+                let b = random(r, n, &mut rng);
+                let mut out = Matrix::zeros(0, 0);
+                gemm_tn(&a, &b, &mut out, false);
+                assert_eq!(out, naive::matmul_tn(&a, &b), "shape {r}x{m}x{n}");
+            }
+        });
     }
 
     #[test]
     fn acc_mode_adds_on_top() {
-        let mut rng = StdRng::seed_from_u64(10);
-        let a = random(9, 11, &mut rng);
-        let b = random(11, 7, &mut rng);
-        let seed = random(9, 7, &mut rng);
-        let mut out = seed.clone();
-        gemm_nn(&a, &b, &mut out, true, None);
-        let plain = naive::matmul(&a, &b);
-        for i in 0..out.len() {
-            let expect = seed.as_slice()[i] + plain.as_slice()[i];
-            // acc seeds the fold with the prior value instead of 0.0; the
-            // fold order within k is unchanged, so this stays exact.
-            let mut s = seed.as_slice()[i];
-            let (r, c) = (i / 7, i % 7);
-            for kk in 0..11 {
-                s += a[(r, kk)] * b[(kk, c)];
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(10);
+            let a = random(9, 11, &mut rng);
+            let b = random(11, 7, &mut rng);
+            let seed = random(9, 7, &mut rng);
+            let mut out = seed.clone();
+            gemm_nn(&a, &b, &mut out, true, None);
+            for i in 0..out.len() {
+                // acc seeds the fold with the prior value instead of 0.0; the
+                // fold order within k is unchanged, so this stays exact.
+                let mut s = seed.as_slice()[i];
+                let (r, c) = (i / 7, i % 7);
+                for kk in 0..11 {
+                    s += a[(r, kk)] * b[(kk, c)];
+                }
+                assert_eq!(out.as_slice()[i], s);
             }
-            assert_eq!(out.as_slice()[i], s);
-            let _ = expect;
-        }
+        });
     }
 
     #[test]
     fn fused_bias_gelu_matches_unfused() {
-        let mut rng = StdRng::seed_from_u64(11);
-        let x = random(10, 6, &mut rng);
-        let w = random(6, 14, &mut rng);
-        let bias = random(1, 14, &mut rng);
-        let mut pre = Matrix::zeros(0, 0);
-        let mut act = Matrix::zeros(0, 0);
-        gemm_nn_bias_gelu(&x, &w, &bias, &mut pre, &mut act);
-        let expect_pre = naive::linear(&x, &w, &bias);
-        assert_eq!(pre, expect_pre);
-        let expect_act = crate::ops::gelu(&expect_pre);
-        assert_eq!(act, expect_act);
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let x = random(10, 6, &mut rng);
+            let w = random(6, 14, &mut rng);
+            let bias = random(1, 14, &mut rng);
+            let mut pre = Matrix::zeros(0, 0);
+            let mut act = Matrix::zeros(0, 0);
+            gemm_nn_bias_gelu(&x, &w, &bias, &mut pre, &mut act);
+            let expect_pre = naive::linear(&x, &w, &bias);
+            assert_eq!(pre, expect_pre);
+            let expect_act = crate::ops::gelu(&expect_pre);
+            assert_eq!(act, expect_act);
+        });
     }
 
     #[test]
@@ -589,12 +1161,85 @@ mod tests {
 
     #[test]
     fn counters_advance() {
-        let before = kernel_stats();
-        let a = Matrix::zeros(8, 8);
-        let b = Matrix::zeros(8, 8);
-        let mut out = Matrix::zeros(0, 0);
-        gemm_nn(&a, &b, &mut out, false, None);
-        let after = kernel_stats();
-        assert!(after.gemm_flops >= before.gemm_flops + 2 * 8 * 8 * 8);
+        // Under the path lock: b_packs is process-global and the only other
+        // writers are f16 fallback calls, which all run under `with_path`.
+        with_path(SimdPath::Scalar, || {
+            let before = kernel_stats();
+            let a = Matrix::zeros(8, 8);
+            let b = Matrix::zeros(8, 8);
+            let mut out = Matrix::zeros(0, 0);
+            gemm_nn(&a, &b, &mut out, false, None);
+            let after = kernel_stats();
+            assert!(after.gemm_flops >= before.gemm_flops + 2 * 8 * 8 * 8);
+            assert_eq!(after.b_packs, before.b_packs, "f32 nn reads B in place — no prep pass");
+            // The f16 fallback is the one path that still prepares B (a
+            // decode pass, exactly once per call).
+            let bh = crate::half::HalfMatrix::from_matrix(&b);
+            gemm_nn_f16(&a, &bh, &mut out, false, None);
+            assert_eq!(kernel_stats().b_packs, after.b_packs + 1, "f16 fallback decodes B once");
+        });
+    }
+
+    #[test]
+    fn cost_model_gates_small_shapes_sequential() {
+        // 64×64×128 = 1 MFLOP — far below any sane per-share minimum; with a
+        // multi-thread budget the gate must still choose 1 share and count
+        // the fallback.
+        let _g = crate::pool::TEST_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = crate::pool::current_threads();
+        crate::pool::set_threads(8);
+        set_hardware_parallelism(8);
+        let small = plan_shares(64, MR, 2 * 64 * 64 * 128);
+        assert_eq!(small, 1, "tiny GEMM must not be split");
+        let fell_back = kernel_stats().seq_fallback;
+        let _ = plan_shares(64, MR, 2 * 64 * 64 * 128);
+        assert!(kernel_stats().seq_fallback > fell_back, "gated call counts as seq_fallback");
+        // A big GEMM gets more shares, but never more than the budget or
+        // what the per-share minimum allows.
+        let big_flops = 2u64 * 128 * 768 * 3072;
+        let big = plan_shares(128, MR, big_flops);
+        assert!(big > 1, "large GEMM should parallelize");
+        assert!(big as u64 <= big_flops / min_flops_per_share() + 1);
+        // On a host with a single core the hardware cap wins regardless of
+        // the thread budget: oversubscribed shares can't run concurrently.
+        set_hardware_parallelism(1);
+        assert_eq!(plan_shares(128, MR, big_flops), 1, "1-core host never splits");
+        set_hardware_parallelism(0);
+        crate::pool::set_threads(before);
+    }
+
+    #[test]
+    fn ulp_diff_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(-1.0, f32::from_bits((-1.0f32).to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u64::MAX);
+        // Straddling zero: distance is the sum of distances to zero.
+        let tiny = f32::from_bits(1);
+        assert_eq!(ulp_diff(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn f16_gemm_matches_decoded_oracle_on_scalar_path() {
+        // On the widen-at-pack path the f16 GEMM is *bitwise* the f32 GEMM
+        // over the decoded B (decode is exact, fold identical).
+        with_path(SimdPath::Scalar, || {
+            let mut rng = StdRng::seed_from_u64(12);
+            for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 7, 9), (13, 20, 17)] {
+                let a = random(m, k, &mut rng);
+                let b = random(k, n, &mut rng);
+                let bh = HalfMatrix::from_matrix(&b);
+                let bdec = bh.to_matrix();
+                let mut got = Matrix::zeros(0, 0);
+                gemm_nn_f16(&a, &bh, &mut got, false, None);
+                assert_eq!(got, naive::matmul(&a, &bdec), "nn f16 {m}x{k}x{n}");
+                let bt = random(n, k, &mut rng);
+                let bth = HalfMatrix::from_matrix(&bt);
+                let btdec = bth.to_matrix();
+                gemm_nt_f16(&a, &bth, &mut got, false);
+                assert_eq!(got, naive::matmul_nt(&a, &btdec), "nt f16 {m}x{k}x{n}");
+            }
+        });
     }
 }

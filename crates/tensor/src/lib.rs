@@ -13,12 +13,19 @@
 //! paper's cost analysis.
 //!
 //! Design notes:
-//! - Everything is `f32`, row-major, and allocation-explicit. The hot GEMM
-//!   paths are cache-blocked and register-tiled ([`kernels`]) and run on a
-//!   std-only fixed worker pool ([`pool`]); results are bit-identical to the
-//!   sequential naive oracle for **any** worker count (see the determinism
-//!   contract in [`kernels`]). The only `unsafe` in the workspace is the
-//!   pool's scoped-dispatch lifetime erasure, documented in [`pool`].
+//! - Everything accumulates in `f32`, row-major, allocation-explicit; expert
+//!   weights can optionally *live* in binary16 ([`half::HalfMatrix`]) with
+//!   the f16-storage/f32-accumulate GEMMs streaming 2-byte panels. The hot
+//!   GEMM paths are cache-blocked and register-tiled ([`kernels`]), dispatch
+//!   to AVX2+FMA microkernels when the CPU has them ([`simd`], scalar
+//!   fallback otherwise, `SYMI_SIMD` override) and run on a std-only fixed
+//!   worker pool ([`pool`]) behind a cost-model gate; within one process a
+//!   GEMM's result is bit-identical for **any** worker count (see the
+//!   determinism contract in [`kernels`]), and the scalar path is
+//!   additionally bit-exact vs the naive oracle. The workspace's `unsafe` is
+//!   confined to this crate: the pool's scoped-dispatch lifetime erasure
+//!   (documented in [`pool`]) and the feature-gated `std::arch` intrinsics
+//!   in [`simd`] behind safe runtime-detected wrappers.
 //! - All stochastic initialization takes a caller-provided RNG so experiments
 //!   are reproducible bit-for-bit.
 //! - [`gradcheck`] provides the numerical-differentiation harness used by the
@@ -26,14 +33,18 @@
 
 pub mod adam;
 pub mod gradcheck;
+pub mod half;
 pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
 
 pub use adam::{AdamConfig, AdamShard, AdamState};
+pub use half::HalfMatrix;
 pub use kernels::{kernel_stats, KernelStats};
 pub use matrix::Matrix;
 pub use pool::PoolStats;

@@ -200,6 +200,28 @@ impl Matrix {
         crate::kernels::gemm_tn(self, other, out, true);
     }
 
+    /// `out = self · w` with `w` stored as binary16 (f32 accumulation; the
+    /// weight panels stream at 2 B/element — see `kernels::gemm_nn_f16`).
+    pub fn matmul_f16_into(&self, w: &crate::half::HalfMatrix, out: &mut Matrix) {
+        crate::kernels::gemm_nn_f16(self, w, out, false, None);
+    }
+
+    /// `out = self · w + bias` with `w` stored as binary16.
+    pub fn matmul_f16_bias_into(
+        &self,
+        w: &crate::half::HalfMatrix,
+        bias: &Matrix,
+        out: &mut Matrix,
+    ) {
+        crate::kernels::gemm_nn_f16(self, w, out, false, Some(bias));
+    }
+
+    /// `out = self · wᵀ` with `w` stored as binary16 — the input-gradient
+    /// GEMM (`dX = dY · Wᵀ`) against half-precision weights.
+    pub fn matmul_nt_f16_into(&self, w: &crate::half::HalfMatrix, out: &mut Matrix) {
+        crate::kernels::gemm_nt_f16(self, w, out, false);
+    }
+
     /// Materialized transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

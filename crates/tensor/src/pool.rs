@@ -188,6 +188,11 @@ pub fn set_threads(threads: usize) {
     global().threads.store(threads.clamp(1, MAX_WORKERS), Ordering::Relaxed);
 }
 
+/// Serializes in-crate tests that temporarily rewire the global budget via
+/// [`set_threads`] (the pool is process-global, so concurrent sweeps race).
+#[cfg(test)]
+pub(crate) static TEST_POOL_LOCK: Mutex<()> = Mutex::new(());
+
 /// Snapshot of the global pool's counters.
 pub fn stats() -> PoolStats {
     let p = global();
@@ -358,6 +363,89 @@ pub fn share_bounds(items: usize, p: usize) -> ([(usize, usize); MAX_WORKERS], u
     (bounds, p)
 }
 
+/// Row bounds for `rows` rows split `shares` ways at `block`-row granularity:
+/// every share boundary is a multiple of `block` (except the final `rows`
+/// cap), so a kernel that tiles rows in `block`-high strips sees the *same
+/// global tile decomposition* no matter how many shares execute it. That is
+/// what keeps SIMD kernels — whose full-tile and edge-tile code round
+/// differently (FMA vs mul-then-add) — bit-identical across worker counts.
+fn block_share_bounds(
+    rows: usize,
+    block: usize,
+    shares: usize,
+) -> ([(usize, usize); MAX_WORKERS], usize) {
+    let nblocks = rows.div_ceil(block.max(1));
+    let p = shares.clamp(1, nblocks.max(1)).min(MAX_WORKERS);
+    let mut bounds = [(0usize, 0usize); MAX_WORKERS];
+    for (w, bound) in bounds.iter_mut().enumerate().take(p) {
+        let (ba, bb) = chunk_range(nblocks, p, w);
+        *bound = ((ba * block).min(rows), (bb * block).min(rows));
+    }
+    (bounds, p)
+}
+
+/// [`par_rows`] with an explicit share count (the caller's cost model
+/// decides, e.g. `kernels::plan_shares`) and `block`-aligned boundaries.
+/// `shares <= 1` runs inline on the calling thread with zero dispatch.
+pub fn par_rows_planned(
+    rows: usize,
+    width: usize,
+    block: usize,
+    shares: usize,
+    out: &mut [f32],
+    f: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * width);
+    if rows == 0 {
+        return;
+    }
+    // `run` executes at most `threads()` shares; planning more would leave
+    // bounds unvisited, so cap here rather than trusting the caller's model.
+    let (bounds, p) = block_share_bounds(rows, block, shares.min(current_threads()));
+    if p == 1 {
+        f(0..rows, out);
+        return;
+    }
+    let parts = Parts::split(out, &bounds[..p], width);
+    global().run(p, &|w| {
+        let (a, b) = bounds[w];
+        if a < b {
+            f(a..b, &mut parts.lock(w));
+        }
+    });
+}
+
+/// Like [`par_rows_planned`] with two output buffers sharing the same row
+/// geometry (pre-activation + activation for the fused GEMM epilogue).
+pub fn par_rows2_planned(
+    rows: usize,
+    width: usize,
+    block: usize,
+    shares: usize,
+    out_a: &mut [f32],
+    out_b: &mut [f32],
+    f: impl Fn(Range<usize>, &mut [f32], &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out_a.len(), rows * width);
+    debug_assert_eq!(out_b.len(), rows * width);
+    if rows == 0 {
+        return;
+    }
+    let (bounds, p) = block_share_bounds(rows, block, shares.min(current_threads()));
+    if p == 1 {
+        f(0..rows, out_a, out_b);
+        return;
+    }
+    let parts_a = Parts::split(out_a, &bounds[..p], width);
+    let parts_b = Parts::split(out_b, &bounds[..p], width);
+    global().run(p, &|w| {
+        let (a, b) = bounds[w];
+        if a < b {
+            f(a..b, &mut parts_a.lock(w), &mut parts_b.lock(w));
+        }
+    });
+}
+
 /// Parallel "rows" map: splits `out` into per-share row ranges (each row is
 /// `width` elements) and calls `f(rows, out_rows)` per share. Disjointness
 /// is structural, so this is a fully safe parallel-mutation primitive.
@@ -522,6 +610,45 @@ mod tests {
             }
         });
         assert_eq!(outer.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn block_aligned_bounds_partition_and_align() {
+        for rows in [1usize, 4, 5, 23, 64, 101] {
+            for block in [1usize, 4, 6, 8] {
+                for shares in 1..=8 {
+                    let (bounds, p) = block_share_bounds(rows, block, shares);
+                    let mut next = 0usize;
+                    for &(a, b) in bounds.iter().take(p) {
+                        assert_eq!(a, next, "rows={rows} block={block} shares={shares}");
+                        assert!(b == rows || b % block == 0, "interior boundary not aligned");
+                        next = b;
+                    }
+                    assert_eq!(next, rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_rows_planned_covers_every_row_once() {
+        let _g = crate::pool::TEST_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = current_threads();
+        set_threads(4);
+        let rows = 29;
+        let width = 3;
+        let mut out = vec![0.0f32; rows * width];
+        par_rows_planned(rows, width, 4, 8, &mut out, |range, chunk| {
+            for (local, r) in range.clone().enumerate() {
+                for c in 0..width {
+                    chunk[local * width + c] += (r * width + c) as f32 + 1.0;
+                }
+            }
+        });
+        set_threads(prev);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32 + 1.0, "row element written exactly once");
+        }
     }
 
     #[test]

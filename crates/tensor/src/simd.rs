@@ -1,0 +1,912 @@
+//! AVX2 + FMA GEMM microkernels (x86_64 only).
+//!
+//! The drivers in [`crate::kernels`] dispatch here when [`have_avx2_fma`]
+//! holds (or `SYMI_SIMD=avx2` forces it). Every public function is a *safe*
+//! wrapper that `debug_assert!`s the feature set and then calls a
+//! `#[target_feature(enable = "avx2", enable = "fma")]` implementation — the
+//! `unsafe` is confined to those implementations plus the intrinsic calls,
+//! and is sound exactly because the drivers never pick this path without
+//! runtime detection.
+//!
+//! Tile shapes (chosen for 16 architectural YMM registers):
+//!
+//! - `nn`: 6×16 — 12 accumulator registers, 2 B-strip loads and one `a`
+//!   broadcast per k step. B is read in place (contiguous [`NR_NN`] = 16
+//!   wide strips at B's row stride), cache-blocked k-chunk → strip → row
+//!   tile, so there is no packing pass at all.
+//! - `nt`: 2×4 register tile of independent dot products; each dot splits
+//!   `k` into 8-lane octets folded by FMA, reduced by a *fixed* pairwise
+//!   horizontal sum, plus a scalar tail. Because every dot product — full
+//!   tile, edge, or remainder — runs the identical octet/hsum/tail
+//!   sequence, `nt` results do not depend on how rows are grouped.
+//! - `tn`: 4×16 over a k-major packed A strip (stride [`TN_MR`]).
+//!
+//! `*_f16` variants take the B operand as binary16 bits and widen inside
+//! the kernel with F16C `vcvtph2ps`, so panel traffic stays at 2 B/element.
+//!
+//! Numerics: accumulation is f32 throughout. FMA keeps the infinitely
+//! precise product before each add, so results differ from the scalar
+//! mul-then-add kernels by bounded rounding — the oracle property tests
+//! gate this at an explicit ULP / forward-error bound
+//! (`tests/simd_oracle.rs`) instead of bit equality. Within *this* path,
+//! the decomposition-invariance rules from [`crate::kernels`] still hold:
+//! share boundaries are tile-aligned, so worker count never changes which
+//! elements go through full vs edge kernels.
+
+use crate::half::f16_to_f32;
+use crate::kernels::{kern_nn_edge, kern_nn_edge_f16, pack_a_strip};
+use crate::matrix::Matrix;
+use core::arch::x86_64::*;
+use std::ops::Range;
+
+/// nn microkernel row tile.
+pub const MR_NN: usize = 6;
+/// nn packed-panel width (two YMM vectors).
+pub const NR_NN: usize = 16;
+/// k-chunk length for the nn drivers: a KC×[`NR_NN`] f32 panel chunk is
+/// 16 KB, sized to stay L1-resident while every row tile sweeps it.
+const KC: usize = 256;
+/// tn microkernel row tile (packed A strip stride).
+pub const TN_MR: usize = 4;
+/// tn column tile.
+pub const TN_NR: usize = 16;
+
+/// Runtime check for the f32 kernels.
+pub fn have_avx2_fma() -> bool {
+    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+}
+
+/// Runtime check for the binary16-streaming kernels (in addition to
+/// [`have_avx2_fma`]).
+pub fn have_f16c() -> bool {
+    is_x86_feature_detected!("f16c")
+}
+
+// ---------------------------------------------------------------------------
+// nn: A·B over packed 16-wide B panels
+// ---------------------------------------------------------------------------
+
+/// AVX2 worker for a row range of `out (+)= a·B` (+ optional bias). B is
+/// read in place (`bs` row-major, row stride `bstride`): the kernels load
+/// contiguous [`NR_NN`]-wide strips per k step, so packing would only add
+/// a full extra read+write pass over B.
+#[allow(clippy::too_many_arguments)]
+pub fn nn_rows(
+    a: &Matrix,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    bs: &[f32],
+    bstride: usize,
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    debug_assert!(have_avx2_fma());
+    // SAFETY: drivers dispatch here only after runtime AVX2+FMA detection.
+    unsafe { nn_rows_impl(a, rows, k, n, bs, bstride, out, acc, bias) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn nn_rows_impl(
+    a: &Matrix,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    bs: &[f32],
+    bstride: usize,
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    let asl = a.as_slice();
+    let lda = a.cols();
+    let m = rows.len();
+    let panels = n.div_ceil(NR_NN);
+    // Cache-blocked loop nest: k-chunk outer (the m×KC slab of A becomes
+    // L2-resident after the first panel sweeps it), panel next (one KC×16
+    // panel chunk — 16 KB — stays L1-resident across the row tiles), row
+    // tiles inner. Results are unchanged: each C element still folds its
+    // k terms in ascending order — later chunks resume from the spilled
+    // f32 partial, and an f32 round-trips memory exactly.
+    let mut kc = 0;
+    while kc < k.max(1) {
+        let klen = KC.min(k - kc);
+        let tile_acc = acc || kc > 0;
+        for p in 0..panels {
+            let j0 = p * NR_NN;
+            let w = NR_NN.min(n - j0);
+            let chunk = &bs[kc * bstride + j0..];
+            let mut i = 0;
+            while i < m {
+                let rows_here = MR_NN.min(m - i);
+                let arow = &asl[(rows.start + i) * lda + kc..];
+                let oblock = &mut out[i * n + j0..];
+                if rows_here == MR_NN && w == NR_NN {
+                    kern_nn_6x16(arow, lda, klen, chunk, bstride, oblock, n, tile_acc);
+                } else if w == NR_NN {
+                    kern_nn_edge_rows(
+                        arow, lda, klen, rows_here, chunk, bstride, oblock, n, tile_acc,
+                    );
+                } else {
+                    kern_nn_edge(
+                        arow, lda, klen, rows_here, chunk, w, bstride, oblock, n, tile_acc,
+                    );
+                }
+                i += rows_here;
+            }
+        }
+        kc += klen.max(1);
+    }
+    if let Some(bias) = bias {
+        for r in 0..m {
+            for (o, b) in out[r * n..(r + 1) * n].iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// Full 6×16 nn tile: 12 YMM accumulators live across the whole k sweep.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kern_nn_6x16(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[f32],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    debug_assert!(k == 0 || panel.len() >= (k - 1) * pstride + NR_NN);
+    debug_assert!(a.len() >= (MR_NN - 1) * lda + k);
+    debug_assert!(out.len() >= (MR_NN - 1) * ldc + NR_NN);
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    let op = out.as_mut_ptr();
+    let (
+        mut c00,
+        mut c01,
+        mut c10,
+        mut c11,
+        mut c20,
+        mut c21,
+        mut c30,
+        mut c31,
+        mut c40,
+        mut c41,
+        mut c50,
+        mut c51,
+    );
+    if acc {
+        c00 = _mm256_loadu_ps(op);
+        c01 = _mm256_loadu_ps(op.add(8));
+        c10 = _mm256_loadu_ps(op.add(ldc));
+        c11 = _mm256_loadu_ps(op.add(ldc + 8));
+        c20 = _mm256_loadu_ps(op.add(2 * ldc));
+        c21 = _mm256_loadu_ps(op.add(2 * ldc + 8));
+        c30 = _mm256_loadu_ps(op.add(3 * ldc));
+        c31 = _mm256_loadu_ps(op.add(3 * ldc + 8));
+        c40 = _mm256_loadu_ps(op.add(4 * ldc));
+        c41 = _mm256_loadu_ps(op.add(4 * ldc + 8));
+        c50 = _mm256_loadu_ps(op.add(5 * ldc));
+        c51 = _mm256_loadu_ps(op.add(5 * ldc + 8));
+    } else {
+        let z = _mm256_setzero_ps();
+        c00 = z;
+        c01 = z;
+        c10 = z;
+        c11 = z;
+        c20 = z;
+        c21 = z;
+        c30 = z;
+        c31 = z;
+        c40 = z;
+        c41 = z;
+        c50 = z;
+        c51 = z;
+    }
+    for kk in 0..k {
+        // B rows sit a full matrix row apart (`pstride`), a stride the
+        // hardware prefetcher won't track — fetch a few k-steps ahead.
+        if kk + 4 < k {
+            _mm_prefetch::<_MM_HINT_T0>(pp.add((kk + 4) * pstride) as *const i8);
+        }
+        let b0 = _mm256_loadu_ps(pp.add(kk * pstride));
+        let b1 = _mm256_loadu_ps(pp.add(kk * pstride + 8));
+        let a0 = _mm256_set1_ps(*ap.add(kk));
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(lda + kk));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(2 * lda + kk));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(3 * lda + kk));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_set1_ps(*ap.add(4 * lda + kk));
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_set1_ps(*ap.add(5 * lda + kk));
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+    }
+    _mm256_storeu_ps(op, c00);
+    _mm256_storeu_ps(op.add(8), c01);
+    _mm256_storeu_ps(op.add(ldc), c10);
+    _mm256_storeu_ps(op.add(ldc + 8), c11);
+    _mm256_storeu_ps(op.add(2 * ldc), c20);
+    _mm256_storeu_ps(op.add(2 * ldc + 8), c21);
+    _mm256_storeu_ps(op.add(3 * ldc), c30);
+    _mm256_storeu_ps(op.add(3 * ldc + 8), c31);
+    _mm256_storeu_ps(op.add(4 * ldc), c40);
+    _mm256_storeu_ps(op.add(4 * ldc + 8), c41);
+    _mm256_storeu_ps(op.add(5 * ldc), c50);
+    _mm256_storeu_ps(op.add(5 * ldc + 8), c51);
+}
+
+/// Row-remainder nn tile: `R` (< 6) rows × full 16 cols, same ascending-k
+/// FMA schedule as [`kern_nn_6x16`] with `R` accumulator pairs. Keeps the
+/// m-edge on SIMD throughput — a 2-row edge at m = 128 was ~30% of wall
+/// time on the GPT-Small ffn shapes when it fell back to the scalar edge.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kern_nn_rx16<const R: usize>(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[f32],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    debug_assert!(k == 0 || panel.len() >= (k - 1) * pstride + NR_NN);
+    debug_assert!(a.len() >= (R - 1) * lda + k);
+    debug_assert!(out.len() >= (R - 1) * ldc + NR_NN);
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut c0 = [_mm256_setzero_ps(); R];
+    let mut c1 = [_mm256_setzero_ps(); R];
+    if acc {
+        for r in 0..R {
+            c0[r] = _mm256_loadu_ps(op.add(r * ldc));
+            c1[r] = _mm256_loadu_ps(op.add(r * ldc + 8));
+        }
+    }
+    for kk in 0..k {
+        let b0 = _mm256_loadu_ps(pp.add(kk * pstride));
+        let b1 = _mm256_loadu_ps(pp.add(kk * pstride + 8));
+        for r in 0..R {
+            let av = _mm256_set1_ps(*ap.add(r * lda + kk));
+            c0[r] = _mm256_fmadd_ps(av, b0, c0[r]);
+            c1[r] = _mm256_fmadd_ps(av, b1, c1[r]);
+        }
+    }
+    for r in 0..R {
+        _mm256_storeu_ps(op.add(r * ldc), c0[r]);
+        _mm256_storeu_ps(op.add(r * ldc + 8), c1[r]);
+    }
+}
+
+/// Dispatches a full-width row-remainder tile to the monomorphized
+/// [`kern_nn_rx16`] for 1–5 rows.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kern_nn_edge_rows(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    rows: usize,
+    panel: &[f32],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    match rows {
+        1 => kern_nn_rx16::<1>(a, lda, k, panel, pstride, out, ldc, acc),
+        2 => kern_nn_rx16::<2>(a, lda, k, panel, pstride, out, ldc, acc),
+        3 => kern_nn_rx16::<3>(a, lda, k, panel, pstride, out, ldc, acc),
+        4 => kern_nn_rx16::<4>(a, lda, k, panel, pstride, out, ldc, acc),
+        5 => kern_nn_rx16::<5>(a, lda, k, panel, pstride, out, ldc, acc),
+        _ => unreachable!("row remainder must be 1..6"),
+    }
+}
+
+/// [`nn_rows`] with B packed as binary16 bits, widened in-register (F16C).
+#[allow(clippy::too_many_arguments)]
+pub fn nn_rows_f16(
+    a: &Matrix,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    bs: &[u16],
+    bstride: usize,
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    debug_assert!(have_avx2_fma() && have_f16c());
+    // SAFETY: drivers dispatch here only after runtime AVX2+FMA+F16C detection.
+    unsafe { nn_rows_f16_impl(a, rows, k, n, bs, bstride, out, acc, bias) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn nn_rows_f16_impl(
+    a: &Matrix,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    bs: &[u16],
+    bstride: usize,
+    out: &mut [f32],
+    acc: bool,
+    bias: Option<&[f32]>,
+) {
+    let asl = a.as_slice();
+    let lda = a.cols();
+    let m = rows.len();
+    let panels = n.div_ceil(NR_NN);
+    // Cache-blocked k-chunk → panel → row-tile nest — see `nn_rows_impl`.
+    let mut kc = 0;
+    while kc < k.max(1) {
+        let klen = KC.min(k - kc);
+        let tile_acc = acc || kc > 0;
+        for p in 0..panels {
+            let j0 = p * NR_NN;
+            let w = NR_NN.min(n - j0);
+            let chunk = &bs[kc * bstride + j0..];
+            let mut i = 0;
+            while i < m {
+                let rows_here = MR_NN.min(m - i);
+                let arow = &asl[(rows.start + i) * lda + kc..];
+                let oblock = &mut out[i * n + j0..];
+                if rows_here == MR_NN && w == NR_NN {
+                    kern_nn_f16_6x16(arow, lda, klen, chunk, bstride, oblock, n, tile_acc);
+                } else if w == NR_NN {
+                    kern_nn_f16_edge_rows(
+                        arow, lda, klen, rows_here, chunk, bstride, oblock, n, tile_acc,
+                    );
+                } else {
+                    kern_nn_edge_f16(
+                        arow, lda, klen, rows_here, chunk, w, bstride, oblock, n, tile_acc,
+                    );
+                }
+                i += rows_here;
+            }
+        }
+        kc += klen.max(1);
+    }
+    if let Some(bias) = bias {
+        for r in 0..m {
+            for (o, b) in out[r * n..(r + 1) * n].iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// Widens 8 packed binary16 values to a YMM of f32 (`vcvtph2ps`).
+#[target_feature(enable = "avx2", enable = "f16c")]
+unsafe fn load_f16x8(p: *const u16) -> __m256 {
+    _mm256_cvtph_ps(_mm_loadu_si128(p as *const __m128i))
+}
+
+/// Full 6×16 nn tile over a binary16 panel: identical FMA schedule to
+/// [`kern_nn_6x16`], the B loads just widen on the way in (decode is
+/// exact, so values match the widen-at-pack fallback bit-for-bit).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn kern_nn_f16_6x16(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[u16],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    debug_assert!(k == 0 || panel.len() >= (k - 1) * pstride + NR_NN);
+    debug_assert!(a.len() >= (MR_NN - 1) * lda + k);
+    debug_assert!(out.len() >= (MR_NN - 1) * ldc + NR_NN);
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    let op = out.as_mut_ptr();
+    let (
+        mut c00,
+        mut c01,
+        mut c10,
+        mut c11,
+        mut c20,
+        mut c21,
+        mut c30,
+        mut c31,
+        mut c40,
+        mut c41,
+        mut c50,
+        mut c51,
+    );
+    if acc {
+        c00 = _mm256_loadu_ps(op);
+        c01 = _mm256_loadu_ps(op.add(8));
+        c10 = _mm256_loadu_ps(op.add(ldc));
+        c11 = _mm256_loadu_ps(op.add(ldc + 8));
+        c20 = _mm256_loadu_ps(op.add(2 * ldc));
+        c21 = _mm256_loadu_ps(op.add(2 * ldc + 8));
+        c30 = _mm256_loadu_ps(op.add(3 * ldc));
+        c31 = _mm256_loadu_ps(op.add(3 * ldc + 8));
+        c40 = _mm256_loadu_ps(op.add(4 * ldc));
+        c41 = _mm256_loadu_ps(op.add(4 * ldc + 8));
+        c50 = _mm256_loadu_ps(op.add(5 * ldc));
+        c51 = _mm256_loadu_ps(op.add(5 * ldc + 8));
+    } else {
+        let z = _mm256_setzero_ps();
+        c00 = z;
+        c01 = z;
+        c10 = z;
+        c11 = z;
+        c20 = z;
+        c21 = z;
+        c30 = z;
+        c31 = z;
+        c40 = z;
+        c41 = z;
+        c50 = z;
+        c51 = z;
+    }
+    for kk in 0..k {
+        let b0 = load_f16x8(pp.add(kk * pstride));
+        let b1 = load_f16x8(pp.add(kk * pstride + 8));
+        let a0 = _mm256_set1_ps(*ap.add(kk));
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(lda + kk));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(2 * lda + kk));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(3 * lda + kk));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_set1_ps(*ap.add(4 * lda + kk));
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_set1_ps(*ap.add(5 * lda + kk));
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+    }
+    _mm256_storeu_ps(op, c00);
+    _mm256_storeu_ps(op.add(8), c01);
+    _mm256_storeu_ps(op.add(ldc), c10);
+    _mm256_storeu_ps(op.add(ldc + 8), c11);
+    _mm256_storeu_ps(op.add(2 * ldc), c20);
+    _mm256_storeu_ps(op.add(2 * ldc + 8), c21);
+    _mm256_storeu_ps(op.add(3 * ldc), c30);
+    _mm256_storeu_ps(op.add(3 * ldc + 8), c31);
+    _mm256_storeu_ps(op.add(4 * ldc), c40);
+    _mm256_storeu_ps(op.add(4 * ldc + 8), c41);
+    _mm256_storeu_ps(op.add(5 * ldc), c50);
+    _mm256_storeu_ps(op.add(5 * ldc + 8), c51);
+}
+
+/// Row-remainder f16 nn tile — [`kern_nn_rx16`] with widening B loads.
+/// Same FMA schedule as the f32 variant so the widen-at-pack fallback
+/// stays bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn kern_nn_f16_rx16<const R: usize>(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[u16],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    debug_assert!(k == 0 || panel.len() >= (k - 1) * pstride + NR_NN);
+    debug_assert!(a.len() >= (R - 1) * lda + k);
+    debug_assert!(out.len() >= (R - 1) * ldc + NR_NN);
+    let ap = a.as_ptr();
+    let pp = panel.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut c0 = [_mm256_setzero_ps(); R];
+    let mut c1 = [_mm256_setzero_ps(); R];
+    if acc {
+        for r in 0..R {
+            c0[r] = _mm256_loadu_ps(op.add(r * ldc));
+            c1[r] = _mm256_loadu_ps(op.add(r * ldc + 8));
+        }
+    }
+    for kk in 0..k {
+        let b0 = load_f16x8(pp.add(kk * pstride));
+        let b1 = load_f16x8(pp.add(kk * pstride + 8));
+        for r in 0..R {
+            let av = _mm256_set1_ps(*ap.add(r * lda + kk));
+            c0[r] = _mm256_fmadd_ps(av, b0, c0[r]);
+            c1[r] = _mm256_fmadd_ps(av, b1, c1[r]);
+        }
+    }
+    for r in 0..R {
+        _mm256_storeu_ps(op.add(r * ldc), c0[r]);
+        _mm256_storeu_ps(op.add(r * ldc + 8), c1[r]);
+    }
+}
+
+/// f16 counterpart of [`kern_nn_edge_rows`].
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn kern_nn_f16_edge_rows(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    rows: usize,
+    panel: &[u16],
+    pstride: usize,
+    out: &mut [f32],
+    ldc: usize,
+    acc: bool,
+) {
+    match rows {
+        1 => kern_nn_f16_rx16::<1>(a, lda, k, panel, pstride, out, ldc, acc),
+        2 => kern_nn_f16_rx16::<2>(a, lda, k, panel, pstride, out, ldc, acc),
+        3 => kern_nn_f16_rx16::<3>(a, lda, k, panel, pstride, out, ldc, acc),
+        4 => kern_nn_f16_rx16::<4>(a, lda, k, panel, pstride, out, ldc, acc),
+        5 => kern_nn_f16_rx16::<5>(a, lda, k, panel, pstride, out, ldc, acc),
+        _ => unreachable!("row remainder must be 1..6"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nt: A·Bᵀ as independent contiguous dot products
+// ---------------------------------------------------------------------------
+
+/// Fixed pairwise horizontal sum of a YMM: `(lo+hi)` 128-bit halves, then
+/// two pairwise 128-bit steps. Every nt dot product reduces through this
+/// exact tree, so grouping of rows/columns never changes a result.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let q = _mm_add_ps(lo, hi);
+    let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    _mm_cvtss_f32(_mm_add_ss(h, _mm_movehdup_ps(h)))
+}
+
+/// One dot product: FMA over 8-lane octets in ascending k, [`hsum`], then
+/// a scalar mul-add tail — the canonical per-element fold of the AVX2 nt
+/// path (full tiles replay this schedule per accumulator).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_f32(a: *const f32, b: *const f32, k: usize) -> f32 {
+    let k8 = k & !7usize;
+    let mut acc = _mm256_setzero_ps();
+    let mut kk = 0;
+    while kk < k8 {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(kk)), _mm256_loadu_ps(b.add(kk)), acc);
+        kk += 8;
+    }
+    let mut s = hsum(acc);
+    for t in k8..k {
+        s += *a.add(t) * *b.add(t);
+    }
+    s
+}
+
+/// Binary16-B variant of [`dot_f32`] (widens the B octets with F16C).
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn dot_f16(a: *const f32, b: *const u16, k: usize) -> f32 {
+    let k8 = k & !7usize;
+    let mut acc = _mm256_setzero_ps();
+    let mut kk = 0;
+    while kk < k8 {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(kk)), load_f16x8(b.add(kk)), acc);
+        kk += 8;
+    }
+    let mut s = hsum(acc);
+    for t in k8..k {
+        s += *a.add(t) * f16_to_f32(*b.add(t));
+    }
+    s
+}
+
+/// AVX2 worker for a row range of `out (+)= a·bᵀ` (`b` row-major `n×k`).
+#[allow(clippy::too_many_arguments)]
+pub fn nt_rows(
+    a: &Matrix,
+    bsl: &[f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    debug_assert!(have_avx2_fma());
+    // SAFETY: drivers dispatch here only after runtime AVX2+FMA detection.
+    unsafe { nt_rows_impl(a, bsl, rows, k, n, chunk, acc) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn nt_rows_impl(
+    a: &Matrix,
+    bsl: &[f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    const TI: usize = 2;
+    const TJ: usize = 4;
+    let asl = a.as_slice();
+    let mlocal = rows.len();
+    let mut i = 0;
+    while i < mlocal {
+        let ih = TI.min(mlocal - i);
+        let mut j = 0;
+        while j < n {
+            let jh = TJ.min(n - j);
+            if ih == TI && jh == TJ {
+                kern_nt_2x4(
+                    asl.as_ptr().add((rows.start + i) * k),
+                    bsl.as_ptr().add(j * k),
+                    k,
+                    chunk.as_mut_ptr().add(i * n + j),
+                    n,
+                    acc,
+                );
+            } else {
+                for ii in 0..ih {
+                    let ap = asl.as_ptr().add((rows.start + i + ii) * k);
+                    for jj in 0..jh {
+                        let d = dot_f32(ap, bsl.as_ptr().add((j + jj) * k), k);
+                        let o = &mut chunk[(i + ii) * n + j + jj];
+                        *o = if acc { *o + d } else { d };
+                    }
+                }
+            }
+            j += jh;
+        }
+        i += ih;
+    }
+}
+
+/// 2×4 tile of dot products: 8 YMM accumulators, 6 loads / 8 FMAs per
+/// octet. Each accumulator's fold is exactly [`dot_f32`]'s schedule.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kern_nt_2x4(
+    ap: *const f32,
+    bp: *const f32,
+    k: usize,
+    op: *mut f32,
+    ldc: usize,
+    acc: bool,
+) {
+    let k8 = k & !7usize;
+    let z = _mm256_setzero_ps();
+    let (mut c00, mut c01, mut c02, mut c03) = (z, z, z, z);
+    let (mut c10, mut c11, mut c12, mut c13) = (z, z, z, z);
+    let a1 = ap.add(k);
+    let (b0, b1, b2, b3) = (bp, bp.add(k), bp.add(2 * k), bp.add(3 * k));
+    let mut kk = 0;
+    while kk < k8 {
+        let va0 = _mm256_loadu_ps(ap.add(kk));
+        let va1 = _mm256_loadu_ps(a1.add(kk));
+        let vb0 = _mm256_loadu_ps(b0.add(kk));
+        let vb1 = _mm256_loadu_ps(b1.add(kk));
+        let vb2 = _mm256_loadu_ps(b2.add(kk));
+        let vb3 = _mm256_loadu_ps(b3.add(kk));
+        c00 = _mm256_fmadd_ps(va0, vb0, c00);
+        c01 = _mm256_fmadd_ps(va0, vb1, c01);
+        c02 = _mm256_fmadd_ps(va0, vb2, c02);
+        c03 = _mm256_fmadd_ps(va0, vb3, c03);
+        c10 = _mm256_fmadd_ps(va1, vb0, c10);
+        c11 = _mm256_fmadd_ps(va1, vb1, c11);
+        c12 = _mm256_fmadd_ps(va1, vb2, c12);
+        c13 = _mm256_fmadd_ps(va1, vb3, c13);
+        kk += 8;
+    }
+    let mut s = [
+        [hsum(c00), hsum(c01), hsum(c02), hsum(c03)],
+        [hsum(c10), hsum(c11), hsum(c12), hsum(c13)],
+    ];
+    for t in k8..k {
+        let (x0, x1) = (*ap.add(t), *a1.add(t));
+        let (y0, y1, y2, y3) = (*b0.add(t), *b1.add(t), *b2.add(t), *b3.add(t));
+        s[0][0] += x0 * y0;
+        s[0][1] += x0 * y1;
+        s[0][2] += x0 * y2;
+        s[0][3] += x0 * y3;
+        s[1][0] += x1 * y0;
+        s[1][1] += x1 * y1;
+        s[1][2] += x1 * y2;
+        s[1][3] += x1 * y3;
+    }
+    for (ii, si) in s.iter().enumerate() {
+        for (jj, &sv) in si.iter().enumerate() {
+            let o = op.add(ii * ldc + jj);
+            *o = if acc { *o + sv } else { sv };
+        }
+    }
+}
+
+/// [`nt_rows`] with `b` stored as binary16 bits (no pack, no decode pass —
+/// the octets widen in-register).
+#[allow(clippy::too_many_arguments)]
+pub fn nt_rows_f16(
+    a: &Matrix,
+    bh: &[u16],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    debug_assert!(have_avx2_fma() && have_f16c());
+    // SAFETY: drivers dispatch here only after runtime AVX2+FMA+F16C detection.
+    unsafe { nt_rows_f16_impl(a, bh, rows, k, n, chunk, acc) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn nt_rows_f16_impl(
+    a: &Matrix,
+    bh: &[u16],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+) {
+    let asl = a.as_slice();
+    let mlocal = rows.len();
+    for i in 0..mlocal {
+        let ap = asl.as_ptr().add((rows.start + i) * k);
+        for j in 0..n {
+            let d = dot_f16(ap, bh.as_ptr().add(j * k), k);
+            let o = &mut chunk[i * n + j];
+            *o = if acc { *o + d } else { d };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tn: Aᵀ·B over a k-major packed A strip
+// ---------------------------------------------------------------------------
+
+/// AVX2 worker for a row range of `out (+)= aᵀ·b` (`a` is `r×m`, `b` is
+/// `r×n`; `rows` are *output* rows = columns of `a`). `strip` is the
+/// caller's per-thread pack scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn tn_rows(
+    asl: &[f32],
+    bsl: &[f32],
+    rows: Range<usize>,
+    r: usize,
+    m: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+    strip: &mut Vec<f32>,
+) {
+    debug_assert!(have_avx2_fma());
+    // SAFETY: drivers dispatch here only after runtime AVX2+FMA detection.
+    unsafe { tn_rows_impl(asl, bsl, rows, r, m, n, chunk, acc, strip) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tn_rows_impl(
+    asl: &[f32],
+    bsl: &[f32],
+    rows: Range<usize>,
+    r: usize,
+    m: usize,
+    n: usize,
+    chunk: &mut [f32],
+    acc: bool,
+    strip: &mut Vec<f32>,
+) {
+    let mlocal = rows.len();
+    let mut i = 0;
+    while i < mlocal {
+        let ih = TN_MR.min(mlocal - i);
+        pack_a_strip(asl, m, r, rows.start + i, ih, strip);
+        let mut j = 0;
+        while j < n {
+            let jh = TN_NR.min(n - j);
+            if ih == TN_MR && jh == TN_NR {
+                kern_tn_4x16(
+                    strip.as_ptr(),
+                    bsl.as_ptr().add(j),
+                    r,
+                    n,
+                    chunk.as_mut_ptr().add(i * n + j),
+                    n,
+                    acc,
+                );
+            } else {
+                for ii in 0..ih {
+                    for jj in 0..jh {
+                        let mut s = if acc { chunk[(i + ii) * n + j + jj] } else { 0.0 };
+                        for kk in 0..r {
+                            s = strip[kk * ih + ii].mul_add(bsl[kk * n + j + jj], s);
+                        }
+                        chunk[(i + ii) * n + j + jj] = s;
+                    }
+                }
+            }
+            j += jh;
+        }
+        i += ih;
+    }
+}
+
+/// Full 4×16 tn tile: 8 YMM accumulators, B rows loaded unaligned at
+/// stride `ldb`, A broadcast from the packed strip (stride [`TN_MR`]).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kern_tn_4x16(
+    sp: *const f32,
+    bp: *const f32,
+    r: usize,
+    ldb: usize,
+    op: *mut f32,
+    ldc: usize,
+    acc: bool,
+) {
+    let (mut c00, mut c01, mut c10, mut c11, mut c20, mut c21, mut c30, mut c31);
+    if acc {
+        c00 = _mm256_loadu_ps(op);
+        c01 = _mm256_loadu_ps(op.add(8));
+        c10 = _mm256_loadu_ps(op.add(ldc));
+        c11 = _mm256_loadu_ps(op.add(ldc + 8));
+        c20 = _mm256_loadu_ps(op.add(2 * ldc));
+        c21 = _mm256_loadu_ps(op.add(2 * ldc + 8));
+        c30 = _mm256_loadu_ps(op.add(3 * ldc));
+        c31 = _mm256_loadu_ps(op.add(3 * ldc + 8));
+    } else {
+        let z = _mm256_setzero_ps();
+        c00 = z;
+        c01 = z;
+        c10 = z;
+        c11 = z;
+        c20 = z;
+        c21 = z;
+        c30 = z;
+        c31 = z;
+    }
+    for kk in 0..r {
+        let b0 = _mm256_loadu_ps(bp.add(kk * ldb));
+        let b1 = _mm256_loadu_ps(bp.add(kk * ldb + 8));
+        let a0 = _mm256_set1_ps(*sp.add(kk * TN_MR));
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*sp.add(kk * TN_MR + 1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*sp.add(kk * TN_MR + 2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*sp.add(kk * TN_MR + 3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+    }
+    _mm256_storeu_ps(op, c00);
+    _mm256_storeu_ps(op.add(8), c01);
+    _mm256_storeu_ps(op.add(ldc), c10);
+    _mm256_storeu_ps(op.add(ldc + 8), c11);
+    _mm256_storeu_ps(op.add(2 * ldc), c20);
+    _mm256_storeu_ps(op.add(2 * ldc + 8), c21);
+    _mm256_storeu_ps(op.add(3 * ldc), c30);
+    _mm256_storeu_ps(op.add(3 * ldc + 8), c31);
+}

@@ -1,17 +1,33 @@
-//! Bit-exactness properties of the blocked/threaded GEMM kernels.
+//! Determinism properties of the blocked/threaded GEMM kernels.
 //!
-//! The contract (see `symi_tensor::kernels`): every output element is one
-//! accumulator folded over `k` in ascending order, so the blocked kernels
-//! must equal the naive i-j-k oracle *bitwise* — for every shape, tile-edge
-//! case, and worker count. These tests sweep deliberately awkward shapes
-//! (1×1, primes, tall/thin, short/wide, empty) and repeat runs across
-//! thread counts, comparing with `==` rather than a tolerance.
+//! Two contracts (see `symi_tensor::kernels`):
+//!
+//! 1. The **scalar** kernel family equals the naive i-j-k oracle *bitwise* —
+//!    every output element is one accumulator folded over `k` ascending, for
+//!    every shape, tile-edge case, and worker count. Those tests pin
+//!    `SimdPath::Scalar`.
+//! 2. Whatever family is **active** (AVX2 on capable hosts), results are
+//!    bit-identical across worker counts and across repeated runs: the
+//!    tile decomposition is a global property of the shape (block-aligned
+//!    share bounds), never of the split. Those tests run the detected path
+//!    and force the cost-model gate low so the pool really splits.
+//!
+//! Path pinning and `set_threads`/`set_flops_per_share` rewire process
+//! globals, so every test in this binary serializes on one mutex.
+//! (SIMD-vs-oracle *accuracy* is gated separately in `simd_oracle.rs`.)
 
-use symi_tensor::kernels::naive;
+use std::sync::{Mutex, MutexGuard};
+use symi_tensor::kernels::{self, naive, SimdPath};
 use symi_tensor::ops::{gelu, softmax_rows};
 use symi_tensor::pool;
 use symi_tensor::rng::{Rng, StdRng};
-use symi_tensor::Matrix;
+use symi_tensor::{HalfMatrix, Matrix};
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 4.0 - 2.0)
@@ -25,6 +41,7 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (3, 1, 7),
     (4, 8, 8),
     (5, 5, 5),
+    (6, 16, 16),
     (7, 11, 13),
     (17, 19, 23),
     (97, 3, 5),
@@ -36,101 +53,190 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (4, 4, 0),
 ];
 
-#[test]
-fn blocked_gemm_nn_is_bitwise_equal_to_naive_oracle() {
-    let mut rng = StdRng::seed_from_u64(501);
-    for &(m, k, n) in SHAPES {
-        let a = random_matrix(&mut rng, m, k);
-        let b = random_matrix(&mut rng, k, n);
-        let blocked = a.matmul(&b);
-        let oracle = naive::matmul(&a, &b);
-        assert_eq!(blocked.as_slice(), oracle.as_slice(), "nn mismatch at {m}x{k}x{n}");
-    }
+fn with_scalar(f: impl FnOnce()) {
+    let _g = lock();
+    let prev = kernels::active_path();
+    kernels::force_simd_path(SimdPath::Scalar);
+    f();
+    kernels::force_simd_path(prev);
 }
 
 #[test]
-fn blocked_gemm_nt_is_bitwise_equal_to_naive_oracle() {
-    let mut rng = StdRng::seed_from_u64(502);
-    for &(m, k, n) in SHAPES {
-        let a = random_matrix(&mut rng, m, k);
-        let b = random_matrix(&mut rng, n, k);
-        let blocked = a.matmul_nt(&b);
-        let oracle = naive::matmul_nt(&a, &b);
-        assert_eq!(blocked.as_slice(), oracle.as_slice(), "nt mismatch at {m}x{k}x{n}");
-    }
+fn scalar_gemm_nn_is_bitwise_equal_to_naive_oracle() {
+    with_scalar(|| {
+        let mut rng = StdRng::seed_from_u64(501);
+        for &(m, k, n) in SHAPES {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let blocked = a.matmul(&b);
+            let oracle = naive::matmul(&a, &b);
+            assert_eq!(blocked.as_slice(), oracle.as_slice(), "nn mismatch at {m}x{k}x{n}");
+        }
+    });
 }
 
 #[test]
-fn blocked_gemm_tn_is_bitwise_equal_to_naive_oracle() {
-    let mut rng = StdRng::seed_from_u64(503);
-    for &(m, k, n) in SHAPES {
-        let a = random_matrix(&mut rng, k, m);
-        let b = random_matrix(&mut rng, k, n);
-        let blocked = a.matmul_tn(&b);
-        let oracle = naive::matmul_tn(&a, &b);
-        assert_eq!(blocked.as_slice(), oracle.as_slice(), "tn mismatch at {m}x{k}x{n}");
-    }
+fn scalar_gemm_nt_is_bitwise_equal_to_naive_oracle() {
+    with_scalar(|| {
+        let mut rng = StdRng::seed_from_u64(502);
+        for &(m, k, n) in SHAPES {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, n, k);
+            let blocked = a.matmul_nt(&b);
+            let oracle = naive::matmul_nt(&a, &b);
+            assert_eq!(blocked.as_slice(), oracle.as_slice(), "nt mismatch at {m}x{k}x{n}");
+        }
+    });
 }
 
 #[test]
-fn fused_linear_gelu_is_bitwise_equal_to_unfused_pipeline() {
-    let mut rng = StdRng::seed_from_u64(504);
-    for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 11, 13), (33, 17, 9)] {
-        let x = random_matrix(&mut rng, m, k);
-        let w = random_matrix(&mut rng, k, n);
-        let bias = random_matrix(&mut rng, 1, n);
-        let mut pre = Matrix::zeros(0, 0);
-        let mut act = Matrix::zeros(0, 0);
-        symi_tensor::ops::linear_gelu_into(&x, &w, &bias, &mut pre, &mut act);
-        let unfused_pre = naive::linear(&x, &w, &bias);
-        let unfused_act = gelu(&unfused_pre);
-        assert_eq!(pre.as_slice(), unfused_pre.as_slice(), "pre mismatch at {m}x{k}x{n}");
-        assert_eq!(act.as_slice(), unfused_act.as_slice(), "act mismatch at {m}x{k}x{n}");
-    }
+fn scalar_gemm_tn_is_bitwise_equal_to_naive_oracle() {
+    with_scalar(|| {
+        let mut rng = StdRng::seed_from_u64(503);
+        for &(m, k, n) in SHAPES {
+            let a = random_matrix(&mut rng, k, m);
+            let b = random_matrix(&mut rng, k, n);
+            let blocked = a.matmul_tn(&b);
+            let oracle = naive::matmul_tn(&a, &b);
+            assert_eq!(blocked.as_slice(), oracle.as_slice(), "tn mismatch at {m}x{k}x{n}");
+        }
+    });
 }
 
 #[test]
-fn gemm_results_are_invariant_across_worker_counts() {
-    let mut rng = StdRng::seed_from_u64(505);
-    // Large enough that parallel_for actually splits at every count.
-    let a = random_matrix(&mut rng, 64, 37);
-    let b = random_matrix(&mut rng, 37, 53);
+fn scalar_fused_linear_gelu_is_bitwise_equal_to_unfused_pipeline() {
+    with_scalar(|| {
+        let mut rng = StdRng::seed_from_u64(504);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 11, 13), (33, 17, 9)] {
+            let x = random_matrix(&mut rng, m, k);
+            let w = random_matrix(&mut rng, k, n);
+            let bias = random_matrix(&mut rng, 1, n);
+            let mut pre = Matrix::zeros(0, 0);
+            let mut act = Matrix::zeros(0, 0);
+            symi_tensor::ops::linear_gelu_into(&x, &w, &bias, &mut pre, &mut act);
+            let unfused_pre = naive::linear(&x, &w, &bias);
+            let unfused_act = gelu(&unfused_pre);
+            assert_eq!(pre.as_slice(), unfused_pre.as_slice(), "pre mismatch at {m}x{k}x{n}");
+            assert_eq!(act.as_slice(), unfused_act.as_slice(), "act mismatch at {m}x{k}x{n}");
+        }
+    });
+}
+
+#[test]
+fn scalar_f16_gemm_equals_f32_gemm_over_decoded_weights() {
+    // With the widen-at-pack fallback, the f16 GEMMs are the f32 GEMMs over
+    // the exactly-decoded B — bitwise.
+    with_scalar(|| {
+        let mut rng = StdRng::seed_from_u64(508);
+        for &(m, k, n) in SHAPES {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let bh = HalfMatrix::from_matrix(&b);
+            let bdec = bh.to_matrix();
+            let mut got = Matrix::zeros(0, 0);
+            kernels::gemm_nn_f16(&a, &bh, &mut got, false, None);
+            assert_eq!(
+                got.as_slice(),
+                naive::matmul(&a, &bdec).as_slice(),
+                "f16 nn mismatch at {m}x{k}x{n}"
+            );
+            let bt = random_matrix(&mut rng, n, k);
+            let bth = HalfMatrix::from_matrix(&bt);
+            let btdec = bth.to_matrix();
+            kernels::gemm_nt_f16(&a, &bth, &mut got, false);
+            assert_eq!(
+                got.as_slice(),
+                naive::matmul_nt(&a, &btdec).as_slice(),
+                "f16 nt mismatch at {m}x{k}x{n}"
+            );
+        }
+    });
+}
+
+/// Runs `f` with the pool really splitting: multi-thread budget, a
+/// floor-level cost gate, and the hardware-parallelism cap lifted (so the
+/// multi-share paths are exercised even on single-core CI hosts), all
+/// restored afterwards.
+fn with_split_pool(f: impl FnOnce()) {
+    let _g = lock();
     let before = pool::current_threads();
-    pool::set_threads(1);
-    let reference = a.matmul(&b);
-    for &t in &[2usize, 3, 4, 8, 16] {
-        pool::set_threads(t);
-        let got = a.matmul(&b);
-        assert_eq!(got.as_slice(), reference.as_slice(), "nn differs at {t} threads");
-        let nt = a.matmul_nt(&b.transpose());
-        pool::set_threads(1);
-        let nt_ref = a.matmul_nt(&b.transpose());
-        assert_eq!(nt.as_slice(), nt_ref.as_slice(), "nt differs at {t} threads");
-    }
+    kernels::set_flops_per_share(1);
+    kernels::set_hardware_parallelism(8);
+    f();
+    kernels::set_hardware_parallelism(0);
+    kernels::set_flops_per_share(kernels::DEFAULT_FLOPS_PER_SHARE);
     pool::set_threads(before);
+}
+
+#[test]
+fn active_path_gemm_is_invariant_across_worker_counts() {
+    // Whatever family is active (AVX2 here if the host has it), the result
+    // must not depend on how many workers executed: share bounds are
+    // tile-aligned, so the full/edge decomposition is split-invariant.
+    with_split_pool(|| {
+        let mut rng = StdRng::seed_from_u64(505);
+        for &(m, k, n) in &[(64usize, 37usize, 53usize), (13, 29, 17), (127, 65, 33)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let bt = b.transpose();
+            let bh = HalfMatrix::from_matrix(&b);
+            pool::set_threads(1);
+            let nn_ref = a.matmul(&b);
+            let nt_ref = a.matmul_nt(&bt);
+            let tn_ref = a.matmul_tn(&nn_ref);
+            let mut f16_ref = Matrix::zeros(0, 0);
+            kernels::gemm_nn_f16(&a, &bh, &mut f16_ref, false, None);
+            for &t in &[2usize, 3, 4, 8, 16] {
+                pool::set_threads(t);
+                assert_eq!(
+                    a.matmul(&b).as_slice(),
+                    nn_ref.as_slice(),
+                    "nn {m}x{k}x{n} differs at {t} threads"
+                );
+                assert_eq!(
+                    a.matmul_nt(&bt).as_slice(),
+                    nt_ref.as_slice(),
+                    "nt {m}x{k}x{n} differs at {t} threads"
+                );
+                assert_eq!(
+                    a.matmul_tn(&nn_ref).as_slice(),
+                    tn_ref.as_slice(),
+                    "tn {m}x{k}x{n} differs at {t} threads"
+                );
+                let mut f16_got = Matrix::zeros(0, 0);
+                kernels::gemm_nn_f16(&a, &bh, &mut f16_got, false, None);
+                assert_eq!(
+                    f16_got.as_slice(),
+                    f16_ref.as_slice(),
+                    "f16 nn {m}x{k}x{n} differs at {t} threads"
+                );
+            }
+        }
+    });
 }
 
 #[test]
 fn repeated_runs_are_deterministic_at_every_worker_count() {
-    let mut rng = StdRng::seed_from_u64(506);
-    let x = random_matrix(&mut rng, 48, 40);
-    let before = pool::current_threads();
-    for &t in &[1usize, 2, 4, 8] {
-        pool::set_threads(t);
-        let first = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
-        for _ in 0..5 {
-            let again = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
-            assert_eq!(first.0.as_slice(), again.0.as_slice(), "matmul flaky at {t} threads");
-            assert_eq!(first.1.as_slice(), again.1.as_slice(), "softmax flaky at {t} threads");
-            assert_eq!(first.2.as_slice(), again.2.as_slice(), "gelu flaky at {t} threads");
+    with_split_pool(|| {
+        let mut rng = StdRng::seed_from_u64(506);
+        let x = random_matrix(&mut rng, 48, 40);
+        for &t in &[1usize, 2, 4, 8] {
+            pool::set_threads(t);
+            let first = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
+            for _ in 0..5 {
+                let again = (x.matmul(&x.transpose()), softmax_rows(&x), gelu(&x));
+                assert_eq!(first.0.as_slice(), again.0.as_slice(), "matmul flaky at {t} threads");
+                assert_eq!(first.1.as_slice(), again.1.as_slice(), "softmax flaky at {t} threads");
+                assert_eq!(first.2.as_slice(), again.2.as_slice(), "gelu flaky at {t} threads");
+            }
         }
-    }
-    pool::set_threads(before);
+    });
 }
 
 #[test]
 fn adam_step_is_invariant_across_worker_counts() {
     use symi_tensor::{AdamConfig, AdamState};
+    let _g = lock();
     let mut rng = StdRng::seed_from_u64(507);
     let len = 40_000; // crosses the pool's per-share threshold
     let params: Vec<f32> = (0..len).map(|_| rng.gen::<f32>() - 0.5).collect();
@@ -150,4 +256,43 @@ fn adam_step_is_invariant_across_worker_counts() {
         assert_eq!(out, reference, "adam step differs at {t} threads");
     }
     pool::set_threads(before);
+}
+
+#[test]
+fn b_prep_work_is_independent_of_share_count() {
+    // Regression for the per-share re-packing bug class: B preparation must
+    // be a per-call property, never a per-share one. After the zero-copy
+    // rework the f32 nn family reads B in place (b_packs stays flat at any
+    // worker count), and the f16 *fallback* path decodes B exactly once per
+    // call — again at any worker count.
+    with_split_pool(|| {
+        let mut rng = StdRng::seed_from_u64(509);
+        let a = random_matrix(&mut rng, 64, 32);
+        let b = random_matrix(&mut rng, 32, 48);
+        let bh = HalfMatrix::from_matrix(&b);
+        let bias = random_matrix(&mut rng, 1, 48);
+        let prev = kernels::active_path();
+        kernels::force_simd_path(SimdPath::Scalar);
+        for &t in &[1usize, 8] {
+            pool::set_threads(t);
+            let before = kernels::kernel_stats().b_packs;
+            let _ = a.matmul(&b);
+            let mut pre = Matrix::zeros(0, 0);
+            let mut act = Matrix::zeros(0, 0);
+            symi_tensor::ops::linear_gelu_into(&a, &b, &bias, &mut pre, &mut act);
+            assert_eq!(
+                kernels::kernel_stats().b_packs,
+                before,
+                "f32 nn reads B in place — no prep pass at {t} threads"
+            );
+            let mut out = Matrix::zeros(64, 48);
+            a.matmul_f16_into(&bh, &mut out);
+            assert_eq!(
+                kernels::kernel_stats().b_packs,
+                before + 1,
+                "f16 fallback decodes B exactly once per call at {t} threads"
+            );
+        }
+        kernels::force_simd_path(prev);
+    });
 }

@@ -1,0 +1,263 @@
+//! SIMD-vs-naive-oracle accuracy gate.
+//!
+//! The scalar kernel family is bitwise-equal to the naive oracle (pinned in
+//! `kernel_properties.rs`). The AVX2 family uses FMA and, for `nt`, 8-lane
+//! k-splitting, so its results legitimately differ from the oracle — but
+//! only within classical floating-point error bounds. These tests hold the
+//! *active* path (whatever the host resolves to) to an explicit gate:
+//!
+//! > an element passes if it is within [`MAX_ULPS`] ULPs of the oracle, OR
+//! > within the forward error bound `C·k·ε·(|A||B|)ᵢⱼ`.
+//!
+//! The sweep covers random shapes plus deliberate microkernel remainder
+//! edges (row counts around the 6-row MR, widths around the 16-wide NR),
+//! `k = 0`, accumulate mode, operand aliasing (`x·x` with the bias taken
+//! from `x` itself), and the f16-storage GEMMs against an oracle over the
+//! exactly-decoded weights. A forced-scalar test keeps the fallback family
+//! exercised in this binary on every host (CI additionally runs the whole
+//! suite under `SYMI_SIMD=scalar`).
+
+use std::sync::{Mutex, MutexGuard};
+use symi_tensor::kernels::{self, naive, ulp_diff, SimdPath};
+use symi_tensor::pool;
+use symi_tensor::rng::{Rng, StdRng};
+use symi_tensor::{HalfMatrix, Matrix};
+
+/// ULP slack before falling back to the analytic error bound. FMA vs
+/// mul-then-add perturbs each partial sum by at most half an ULP, so real
+/// differences concentrate at 0–2 ULPs; 8 keeps the gate meaningfully tight.
+const MAX_ULPS: u64 = 8;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 4.0 - 2.0)
+}
+
+/// Gate: every element within `MAX_ULPS` of the oracle or within the
+/// componentwise GEMM forward error bound scaled by `(|A||B|)ᵢⱼ`.
+fn assert_within_gate(got: &Matrix, oracle: &Matrix, absbound: &Matrix, k: usize, label: &str) {
+    assert_eq!((got.rows(), got.cols()), (oracle.rows(), oracle.cols()), "{label}: shape");
+    for (i, ((&g, &w), &ab)) in
+        got.as_slice().iter().zip(oracle.as_slice()).zip(absbound.as_slice()).enumerate()
+    {
+        let ulps = ulp_diff(g, w);
+        if ulps <= MAX_ULPS {
+            continue;
+        }
+        let bound = 4.0 * (k.max(1) as f32) * f32::EPSILON * ab + f32::MIN_POSITIVE;
+        assert!(
+            (g - w).abs() <= bound,
+            "{label}: element {i} off by {} (got {g}, oracle {w}, {ulps} ulps, bound {bound})",
+            (g - w).abs()
+        );
+    }
+}
+
+/// Shape list: microkernel remainder edges around MR=6 rows / NR=16 panel
+/// width (and the scalar 4/8 tiles), k = 0, primes, plus k around the
+/// nt octet width 8.
+fn edge_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (1, 1, 1),
+        (6, 8, 16),    // exact AVX2 nn tile
+        (5, 8, 16),    // row remainder under MR
+        (7, 8, 16),    // one row over MR
+        (12, 9, 32),   // multiple full tiles
+        (13, 9, 31),   // row + column remainder
+        (6, 8, 15),    // column remainder under NR
+        (6, 8, 17),    // one column over NR
+        (4, 7, 8),     // exact scalar tile
+        (3, 0, 5),     // k = 0: zero fold
+        (9, 1, 9),     // k = 1
+        (8, 7, 8),     // k just under the nt octet
+        (8, 8, 8),     // k exactly one octet
+        (8, 9, 8),     // k one past an octet
+        (23, 129, 19), // prime-ish, k crosses many octets
+    ];
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..25 {
+        shapes.push((
+            1 + (rng.gen::<u32>() as usize) % 64,
+            (rng.gen::<u32>() as usize) % 96,
+            1 + (rng.gen::<u32>() as usize) % 48,
+        ));
+    }
+    shapes
+}
+
+#[test]
+fn active_path_nn_within_ulp_gate_of_oracle() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(601);
+    for (m, k, n) in edge_shapes() {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let got = a.matmul(&b);
+        let oracle = naive::matmul(&a, &b);
+        let absb = naive::abs_matmul(&a, &b);
+        assert_within_gate(&got, &oracle, &absb, k, &format!("nn {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn active_path_nt_within_ulp_gate_of_oracle() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(602);
+    for (m, k, n) in edge_shapes() {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, n, k);
+        let got = a.matmul_nt(&b);
+        let oracle = naive::matmul_nt(&a, &b);
+        let absb = naive::abs_matmul(&a, &b.transpose());
+        assert_within_gate(&got, &oracle, &absb, k, &format!("nt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn active_path_tn_within_ulp_gate_of_oracle() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(603);
+    for (m, k, n) in edge_shapes() {
+        // Here k plays the reduction role r: a is r×m, b is r×n.
+        let a = random_matrix(&mut rng, k, m);
+        let b = random_matrix(&mut rng, k, n);
+        let got = a.matmul_tn(&b);
+        let oracle = naive::matmul_tn(&a, &b);
+        let absb = naive::abs_matmul(&a.transpose(), &b);
+        assert_within_gate(&got, &oracle, &absb, k, &format!("tn {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn accumulate_mode_within_gate() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(604);
+    for &(m, k, n) in &[(6usize, 8usize, 16usize), (13, 21, 17), (5, 8, 33)] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let seed = random_matrix(&mut rng, m, n);
+        let mut got = seed.clone();
+        kernels::gemm_nn(&a, &b, &mut got, true, None);
+        // Oracle: seed + naive product, with the seed folded first (the
+        // kernels start the accumulator at the prior value).
+        let oracle = Matrix::from_fn(m, n, |i, j| {
+            let mut s = seed[(i, j)];
+            for kk in 0..k {
+                s += a[(i, kk)] * b[(kk, j)];
+            }
+            s
+        });
+        let mut absb = naive::abs_matmul(&a, &b);
+        for (abv, sv) in absb.as_mut_slice().iter_mut().zip(seed.as_slice()) {
+            *abv += sv.abs();
+        }
+        assert_within_gate(&got, &oracle, &absb, k + 1, &format!("acc {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn aliased_operands_and_bias_within_gate() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(605);
+    // x·x with bias taken from x's own first row: operand aliasing must not
+    // disturb packing (B is snapshotted into the pack before any writes).
+    for &d in &[6usize, 16, 31] {
+        let x = random_matrix(&mut rng, d, d);
+        let bias = Matrix::from_fn(1, d, |_, j| x[(0, j)]);
+        let mut got = Matrix::zeros(0, 0);
+        kernels::gemm_nn(&x, &x, &mut got, false, Some(&bias));
+        let mut oracle = naive::matmul(&x, &x);
+        oracle.add_bias(&bias);
+        let mut absb = naive::abs_matmul(&x, &x);
+        for (abv, j) in absb.as_mut_slice().iter_mut().zip((0..d).cycle()) {
+            *abv += x[(0, j)].abs();
+        }
+        assert_within_gate(&got, &oracle, &absb, d + 1, &format!("aliased {d}x{d}"));
+    }
+}
+
+#[test]
+fn f16_storage_gemms_within_gate_of_decoded_oracle() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(606);
+    for (m, k, n) in edge_shapes() {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let bh = HalfMatrix::from_matrix(&b);
+        let bdec = bh.to_matrix();
+        let mut got = Matrix::zeros(0, 0);
+        kernels::gemm_nn_f16(&a, &bh, &mut got, false, None);
+        let oracle = naive::matmul(&a, &bdec);
+        let absb = naive::abs_matmul(&a, &bdec);
+        assert_within_gate(&got, &oracle, &absb, k, &format!("f16 nn {m}x{k}x{n}"));
+
+        let bt = random_matrix(&mut rng, n, k);
+        let bth = HalfMatrix::from_matrix(&bt);
+        let btdec = bth.to_matrix();
+        kernels::gemm_nt_f16(&a, &bth, &mut got, false);
+        let oracle = naive::matmul_nt(&a, &btdec);
+        let absb = naive::abs_matmul(&a, &btdec.transpose());
+        assert_within_gate(&got, &oracle, &absb, k, &format!("f16 nt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn f16_bias_epilogue_matches_f32_bias_epilogue() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(607);
+    let a = random_matrix(&mut rng, 11, 14);
+    let b = random_matrix(&mut rng, 14, 19);
+    let bias = random_matrix(&mut rng, 1, 19);
+    let bh = HalfMatrix::from_matrix(&b);
+    let bdec = bh.to_matrix();
+    let mut got = Matrix::zeros(0, 0);
+    kernels::gemm_nn_f16(&a, &bh, &mut got, false, Some(&bias));
+    let mut plain = Matrix::zeros(0, 0);
+    kernels::gemm_nn(&a, &bdec, &mut plain, false, Some(&bias));
+    // Same path, same decoded values → identical epilogue and fold.
+    assert_eq!(got.as_slice(), plain.as_slice(), "f16+bias vs f32-over-decoded+bias");
+}
+
+#[test]
+fn gate_holds_when_pool_actually_splits() {
+    // Re-run a mid shape with a floor-level cost gate and a multi-thread
+    // budget so the parallel dispatch path (not just inline p=1) is gated.
+    let _g = lock();
+    let before = pool::current_threads();
+    kernels::set_flops_per_share(1);
+    pool::set_threads(8);
+    let mut rng = StdRng::seed_from_u64(608);
+    let a = random_matrix(&mut rng, 61, 33);
+    let b = random_matrix(&mut rng, 33, 47);
+    let got = a.matmul(&b);
+    kernels::set_flops_per_share(kernels::DEFAULT_FLOPS_PER_SHARE);
+    pool::set_threads(before);
+    let oracle = naive::matmul(&a, &b);
+    let absb = naive::abs_matmul(&a, &b);
+    assert_within_gate(&got, &oracle, &absb, 33, "split nn 61x33x47");
+}
+
+#[test]
+fn forced_scalar_fallback_is_bitwise_exact() {
+    // Guarantees the non-AVX2 family is exercised on every host: force the
+    // scalar path and require full bit equality with the oracle.
+    let _g = lock();
+    let prev = kernels::active_path();
+    kernels::force_simd_path(SimdPath::Scalar);
+    let mut rng = StdRng::seed_from_u64(609);
+    for &(m, k, n) in &[(6usize, 8usize, 16usize), (13, 29, 17), (1, 1, 1), (3, 0, 5)] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        assert_eq!(
+            a.matmul(&b).as_slice(),
+            naive::matmul(&a, &b).as_slice(),
+            "forced scalar nn {m}x{k}x{n}"
+        );
+    }
+    kernels::force_simd_path(prev);
+}
