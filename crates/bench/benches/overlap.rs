@@ -1,0 +1,196 @@
+//! Compute/communication overlap: the sequential iteration vs the
+//! overlapped scheduler on one multi-rank engine, same shapes as the
+//! fig12 breakdown (d_model 64, d_ff 256, 8 expert classes), interleaved
+//! round-for-round so both modes see the same machine state. Rank 0 also
+//! samples the per-iteration hidden/exposed byte gauges the overlapped
+//! engine publishes, so the JSON reports *how much* of the transfer
+//! latency the schedule actually hid. Results land in
+//! `BENCH_overlap.json` at the repo root.
+//!
+//! With `SYMI_OVERLAP_SMOKE=1` (the CI leg) the run additionally gates:
+//! the overlapped mean step time must not exceed the sequential one
+//! beyond the measured noise floor, and some bytes must have been hidden.
+
+use std::path::Path;
+use std::time::Instant;
+
+use symi::{EngineConfig, MoeLayerEngine};
+use symi_collectives::{Cluster, ClusterSpec, RankCtx};
+use symi_telemetry::json::{Obj, Value};
+use symi_telemetry::ClusterTelemetry;
+use symi_tensor::{AdamConfig, Matrix};
+
+const NODES: usize = 4;
+const D: usize = 64;
+const DFF: usize = 256;
+const E: usize = 8;
+const S: usize = 2;
+const T: usize = 64;
+const WARMUP_ROUNDS: usize = 2;
+const ROUNDS: usize = 16;
+const STEPS: usize = 8;
+const KEEP: usize = 8;
+
+/// Distinct layer ids keep the two engines' wire tags disjoint even though
+/// they share one rank context.
+fn engine_cfg(layer_id: usize) -> EngineConfig {
+    EngineConfig {
+        d_model: D,
+        d_ff: DFF,
+        expert_classes: E,
+        slots_per_rank: S,
+        slot_capacity: 1_000_000,
+        adam: AdamConfig::default(),
+        seed: 97,
+        layer_id,
+    }
+}
+
+/// Rank-skewed tokens so popularity shifts and the placement rebalances —
+/// the overlapped scatter then carries changing assignments.
+fn tokens(rank: usize) -> Matrix {
+    Matrix::from_fn(T, D, |r, c| {
+        (c as f32 * 0.7).sin() + 0.05 * (((rank * T + r) * D + c) as f32 * 0.613).sin()
+    })
+}
+
+/// Mean ns/step over one round of `STEPS` iterations.
+fn time_round(ctx: &mut RankCtx, engine: &mut MoeLayerEngine, x: &Matrix, target: &Matrix) -> f64 {
+    let t = Instant::now();
+    for _ in 0..STEPS {
+        std::hint::black_box(engine.iteration(ctx, x, target).expect("bench iteration").loss);
+    }
+    t.elapsed().as_nanos() as f64 / STEPS as f64
+}
+
+#[derive(Default)]
+struct OverlapTotals {
+    hidden_bytes: f64,
+    exposed_bytes: f64,
+    exposed_ms: f64,
+    steps: u64,
+}
+
+struct BenchOut {
+    seq_rounds: Vec<f64>,
+    ovl_rounds: Vec<f64>,
+    totals: OverlapTotals,
+}
+
+fn run() -> BenchOut {
+    let telemetry = ClusterTelemetry::new(NODES);
+    let tele = telemetry.clone();
+    let (results, _) = Cluster::run(ClusterSpec::flat(NODES), move |ctx| {
+        let x = tokens(ctx.rank());
+        let target = Matrix::zeros(T, D);
+        let mut seq = MoeLayerEngine::new(ctx.rank(), NODES, engine_cfg(0));
+        seq.set_overlap(false);
+        let mut ovl = MoeLayerEngine::new(ctx.rank(), NODES, engine_cfg(1));
+        ovl.set_overlap(true);
+        // Only rank 0's overlapped engine publishes gauges, so the samples
+        // below are never clobbered by a sibling rank.
+        if ctx.rank() == 0 {
+            ovl.attach_telemetry(tele.handle(0));
+        }
+
+        for _ in 0..WARMUP_ROUNDS {
+            time_round(ctx, &mut seq, &x, &target);
+            time_round(ctx, &mut ovl, &x, &target);
+        }
+        let mut seq_rounds = Vec::with_capacity(ROUNDS);
+        let mut ovl_rounds = Vec::with_capacity(ROUNDS);
+        let mut totals = OverlapTotals::default();
+        let registry = tele.registry().clone();
+        for _ in 0..ROUNDS {
+            seq_rounds.push(time_round(ctx, &mut seq, &x, &target));
+            // Sample the per-iteration overlap gauges once per step: each
+            // engine iteration overwrites them, so accumulate step by step.
+            let t = Instant::now();
+            for _ in 0..STEPS {
+                std::hint::black_box(ovl.iteration(ctx, &x, &target).expect("bench iteration"));
+                if ctx.rank() == 0 {
+                    totals.hidden_bytes += registry.gauge("overlap_hidden_bytes").get();
+                    totals.exposed_bytes += registry.gauge("overlap_exposed_bytes").get();
+                    totals.exposed_ms += registry.gauge("overlap_exposed_ms").get();
+                    totals.steps += 1;
+                }
+            }
+            ovl_rounds.push(t.elapsed().as_nanos() as f64 / STEPS as f64);
+        }
+        ovl.drain(ctx).expect("drain the in-flight scatter");
+        BenchOut { seq_rounds, ovl_rounds, totals }
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+fn tail_mean(rounds: &[f64]) -> f64 {
+    let mut s = rounds.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    s[..KEEP].iter().sum::<f64>() / KEEP as f64
+}
+
+fn spread(rounds: &[f64]) -> f64 {
+    let mut s = rounds.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    (s[s.len() / 2] - s[0]) / s[0]
+}
+
+fn main() {
+    println!("== compute/communication overlap (sequential vs overlapped engine) ==");
+    let out = run();
+
+    let seq = tail_mean(&out.seq_rounds);
+    let ovl = tail_mean(&out.ovl_rounds);
+    let noise = spread(&out.seq_rounds).max(spread(&out.ovl_rounds));
+    let reduction = (seq - ovl) / seq;
+    let total_bytes = out.totals.hidden_bytes + out.totals.exposed_bytes;
+    let exposed_fraction =
+        if total_bytes > 0.0 { out.totals.exposed_bytes / total_bytes } else { 0.0 };
+    let steps = out.totals.steps.max(1) as f64;
+
+    println!(
+        "sequential {:.0} ns/step   overlapped {:.0} ns/step   reduction {:+.2}% (noise floor {:.2}%)",
+        seq,
+        ovl,
+        reduction * 100.0,
+        noise * 100.0
+    );
+    println!(
+        "per step: hidden {:.0} B   exposed {:.0} B   exposed fraction {:.4}   exposed wait {:.4} ms",
+        out.totals.hidden_bytes / steps,
+        out.totals.exposed_bytes / steps,
+        exposed_fraction,
+        out.totals.exposed_ms / steps
+    );
+
+    let mut o = Obj::new();
+    o.set("bench", Value::str("overlap"));
+    o.set("model", Value::str("engine_d64_ff256_e8"));
+    o.set("nodes", Value::u64(NODES as u64));
+    o.set("rounds", Value::u64(ROUNDS as u64));
+    o.set("steps_per_round", Value::u64(STEPS as u64));
+    o.set("sequential_ns_per_step", Value::Num(seq));
+    o.set("overlapped_ns_per_step", Value::Num(ovl));
+    o.set("step_time_reduction_fraction", Value::Num(reduction));
+    o.set("step_time_reduction_percent", Value::Num(reduction * 100.0));
+    o.set("noise_floor_percent", Value::Num(noise * 100.0));
+    o.set("hidden_bytes_per_step", Value::Num(out.totals.hidden_bytes / steps));
+    o.set("exposed_bytes_per_step", Value::Num(out.totals.exposed_bytes / steps));
+    o.set("exposed_comm_fraction", Value::Num(exposed_fraction));
+    o.set("exposed_wait_ms_per_step", Value::Num(out.totals.exposed_ms / steps));
+    o.set("overlapped_not_slower", Value::Bool(ovl <= seq * (1.0 + noise)));
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_overlap.json");
+    std::fs::write(&path, Value::Obj(o).to_string()).expect("write overlap json");
+    println!("wrote {}", path.display());
+
+    if std::env::var("SYMI_OVERLAP_SMOKE").is_ok_and(|v| v == "1") {
+        assert!(out.totals.hidden_bytes > 0.0, "overlap smoke: the scheduler hid no bytes at all");
+        assert!(
+            ovl <= seq * (1.0 + noise),
+            "overlap smoke: overlapped step time {ovl:.0} ns exceeds sequential {seq:.0} ns \
+             beyond the {:.2}% noise floor",
+            noise * 100.0
+        );
+    }
+}

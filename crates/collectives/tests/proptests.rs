@@ -3,7 +3,7 @@
 //! sequential specification. Driven by `symi_tensor::rng` with fixed seeds.
 
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{tag, Cluster, ClusterSpec, TagSpace, WirePhase};
+use symi_collectives::{tag, Cluster, ClusterSpec, CommError, RecvOp, SendOp, TagSpace, WirePhase};
 use symi_tensor::rng::{Rng, StdRng};
 
 #[test]
@@ -201,6 +201,146 @@ fn legacy_xor_scheme_aliased_grad_and_weight_phases() {
                 "slot {slot} src {src}"
             );
         }
+    }
+}
+
+/// Deterministic payload for message `i` of the `(src, dst)` stream — both
+/// endpoints (and the oracle) compute it independently.
+fn stream_payload(src: usize, dst: usize, i: usize) -> Vec<f32> {
+    let len = (src * 3 + dst + i) % 7 + 1;
+    (0..len).map(|k| (src * 10_000 + dst * 1_000 + i * 100 + k) as f32 * 0.251).collect()
+}
+
+/// Messages on the `(src, dst)` stream — fixed by the endpoints so every
+/// rank agrees without communicating.
+fn stream_depth(src: usize, dst: usize) -> usize {
+    (src + dst) % 3 + 1
+}
+
+#[test]
+fn any_poll_interleaving_of_a_pending_batch_is_bit_exact_vs_blocking() {
+    // Every rank sends a multi-message stream to every other rank, with
+    // several messages reusing one (from, tag) pair so FIFO pairing is
+    // actually load-bearing. One run completes the batch through
+    // `batch_isend_irecv` (the blocking oracle); the others drive the same
+    // batch through randomized poll / sleep / complete interleavings. The
+    // received payloads must be bit-identical in every schedule, and the
+    // hidden/exposed accounting must cover exactly the received bytes.
+    let mut rng = StdRng::seed_from_u64(209);
+    for trial in 0..12u64 {
+        let n = rng.gen_range(2..5usize);
+        let plan = |me: usize| -> (Vec<SendOp>, Vec<RecvOp>) {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for other in 0..n {
+                if other == me {
+                    continue;
+                }
+                for i in 0..stream_depth(me, other) {
+                    // All messages of a stream share one tag: ordering
+                    // within the stream comes from FIFO pairing alone.
+                    sends.push(SendOp::new(other, 11, stream_payload(me, other, i)));
+                }
+                for i in 0..stream_depth(other, me) {
+                    recvs.push(RecvOp::sized(other, 11, stream_payload(other, me, i).len()));
+                }
+            }
+            (sends, recvs)
+        };
+        let expect = |me: usize| -> Vec<Vec<f32>> {
+            let mut out = Vec::new();
+            for other in 0..n {
+                if other == me {
+                    continue;
+                }
+                for i in 0..stream_depth(other, me) {
+                    out.push(stream_payload(other, me, i));
+                }
+            }
+            out
+        };
+
+        let (oracle, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+            let (sends, recvs) = plan(ctx.rank());
+            let payloads = ctx.batch_isend_irecv(sends, &recvs).unwrap();
+            payloads.into_iter().map(|p| p.into_f32().unwrap()).collect::<Vec<_>>()
+        });
+        for (rank, got) in oracle.iter().enumerate() {
+            assert_eq!(got, &expect(rank), "blocking oracle wrong for rank {rank}");
+        }
+
+        for round in 0..3u64 {
+            let (overlapped, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+                let mut local =
+                    StdRng::seed_from_u64(trial * 1_000 + round * 100 + ctx.rank() as u64);
+                let (sends, recvs) = plan(ctx.rank());
+                let mut batch = ctx.batch_issue(sends, &recvs).unwrap();
+                // Random schedule: poll, stall, or give up and block.
+                loop {
+                    match local.gen_range(0..4u32) {
+                        0 => {
+                            if batch.poll(ctx).unwrap() {
+                                assert!(batch.is_complete());
+                                assert_eq!(batch.outstanding(), 0);
+                                break;
+                            }
+                        }
+                        1 => std::thread::sleep(std::time::Duration::from_micros(
+                            local.gen_range(0..200u64),
+                        )),
+                        2 => std::thread::yield_now(),
+                        _ => break,
+                    }
+                }
+                let (payloads, stats) = batch.complete(ctx).unwrap();
+                let byte_total: u64 = payloads.iter().map(|p| p.byte_len()).sum();
+                assert_eq!(
+                    stats.hidden_bytes + stats.exposed_bytes,
+                    byte_total,
+                    "overlap accounting must cover every received byte"
+                );
+                payloads.into_iter().map(|p| p.into_f32().unwrap()).collect::<Vec<_>>()
+            });
+            assert_eq!(
+                overlapped, oracle,
+                "trial {trial} round {round}: a poll/wait schedule changed the received data"
+            );
+        }
+    }
+}
+
+#[test]
+fn recv_timeout_diagnostic_names_pending_overlapped_ops() {
+    // A starved blocking receive that times out while overlapped irecvs
+    // are still posted must name those in-flight ops — that listing is how
+    // a wedged fence is diagnosed as "waiting on the wrong iteration's
+    // scatter" instead of a bare timeout.
+    use std::time::Duration;
+
+    let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+        if ctx.rank() == 0 {
+            return None; // never sends anything: rank 1 starves
+        }
+        let tags = TagSpace::new(0, 7);
+        let scatter = RecvOp::sized(0, tags.tag(WirePhase::WeightDistribute, 3, 0), 16);
+        let batch = ctx.batch_issue(vec![], &[scatter]).unwrap();
+        ctx.set_recv_timeout(Some(Duration::from_millis(10)));
+        let err = ctx.recv_f32(0, tags.tag(WirePhase::GradCollect, 1, 0)).unwrap_err();
+        batch.cancel(ctx);
+        Some(err)
+    });
+    match results[1].as_ref().unwrap() {
+        CommError::RecvTimeout { pending, .. } => {
+            let posted: Vec<&String> =
+                pending.iter().filter(|line| line.starts_with("posted irecv from=0")).collect();
+            assert!(
+                posted
+                    .iter()
+                    .any(|line| line.contains("WeightDistribute") && line.contains("expect=16")),
+                "timeout must name the posted overlapped irecv: {pending:?}"
+            );
+        }
+        other => panic!("expected RecvTimeout with pending listing, got {other:?}"),
     }
 }
 

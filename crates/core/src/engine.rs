@@ -27,11 +27,15 @@
 //! `symi-model`; the integration suite cross-checks the two).
 
 use crate::metadata::LayerMetadataStore;
-use crate::optimizer::{ReshardReport, ShardState, SymiOptimizer};
+use crate::optimizer::{ReshardReport, ShardState, SymiOptimizer, WeightDistributePending};
 use crate::placement::ExpertPlacement;
 use crate::scheduler::{compute_placement, supports_world};
+use crate::taskgraph::TaskGraph;
+use std::time::Instant;
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{CommError, MembershipView, RankCtx, TagSpace, WirePhase, RECOVERY_LAYER};
+use symi_collectives::{
+    CommError, MembershipView, OverlapStats, RankCtx, TagSpace, WirePhase, RECOVERY_LAYER,
+};
 use symi_model::expert::ExpertFfn;
 use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::ops::softmax_rows;
@@ -62,11 +66,23 @@ impl EngineConfig {
     }
 }
 
+/// A weight scatter issued at the end of iteration *i* whose fence is
+/// deferred into iteration *i+1*: the receives complete under the cover of
+/// *i+1*'s routing and popularity phases, and the slot writes (plus the
+/// placement switch they realize) happen at the hard fence before *i+1*'s
+/// dispatch reads either.
+struct PendingWeights {
+    state: WeightDistributePending,
+    placement: ExpertPlacement,
+}
+
 /// Statistics from one engine iteration, identical on every rank.
 #[derive(Clone, Debug)]
 pub struct IterStats {
     /// Mean squared error of the gated expert outputs vs the targets
-    /// (global mean over tokens).
+    /// (global mean over tokens). On a `degraded` iteration the advisory
+    /// exchange that aggregates it may have starved, leaving a rank-local
+    /// value.
     pub loss: f32,
     /// Globally aggregated per-class popularity.
     pub popularity: Vec<u64>,
@@ -196,7 +212,24 @@ pub struct MoeLayerEngine {
     /// Iterations that fell back to the previous placement because a
     /// degradable collective (popularity/stats sync) starved.
     degraded_iterations: u64,
+    /// Overlap scheduler switch: when set, the weight scatter issued at the
+    /// end of each iteration stays in flight across the iteration boundary
+    /// and gradient collection interleaves with the backward GEMMs. Off by
+    /// default (`SYMI_OVERLAP=on` or [`MoeLayerEngine::set_overlap`]); both
+    /// modes are bit-exact.
+    overlap: bool,
+    /// The weight scatter currently in flight across an iteration boundary
+    /// (overlap mode only).
+    pending_weights: Option<PendingWeights>,
     telemetry: TelemetryHandle,
+}
+
+/// `SYMI_OVERLAP` env switch: `on`/`1`/`true` enables the overlap
+/// scheduler, anything else (or unset) keeps the sequential pipeline.
+fn overlap_from_env() -> bool {
+    std::env::var("SYMI_OVERLAP")
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "on" | "1" | "true"))
+        .unwrap_or(false)
 }
 
 impl MoeLayerEngine {
@@ -243,6 +276,8 @@ impl MoeLayerEngine {
             router_w,
             iteration: 0,
             degraded_iterations: 0,
+            overlap: overlap_from_env(),
+            pending_weights: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -251,6 +286,50 @@ impl MoeLayerEngine {
     /// instead of aborting on a starved popularity/stats collective.
     pub fn degraded_iterations(&self) -> u64 {
         self.degraded_iterations
+    }
+
+    /// Enables or disables the overlap scheduler (overrides `SYMI_OVERLAP`).
+    /// Takes effect at the next [`MoeLayerEngine::iteration`]; call
+    /// [`MoeLayerEngine::drain`] first when switching overlap → sequential
+    /// mid-run so no scatter is left in flight.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
+    }
+
+    /// Whether the overlap scheduler is active.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap
+    }
+
+    /// Hard fence: completes the cross-iteration weight scatter, writes the
+    /// slots, and switches to the placement it materializes. Returns the
+    /// hidden/exposed transfer accounting, or `None` if nothing was in
+    /// flight.
+    fn complete_pending_weights(
+        &mut self,
+        ctx: &mut RankCtx,
+    ) -> Result<Option<OverlapStats>, CommError> {
+        let Some(pw) = self.pending_weights.take() else {
+            return Ok(None);
+        };
+        let (new_weights, stats) = self.optimizer.distribute_weights_finish(ctx, pw.state)?;
+        {
+            let _span = self.telemetry.span(Phase::WeightComm);
+            for (local, weights) in new_weights.into_iter().enumerate() {
+                self.slots[local].load_flat(&weights);
+            }
+        }
+        self.placement = pw.placement;
+        Ok(Some(stats))
+    }
+
+    /// Lands any weight scatter still in flight (overlap mode issues one at
+    /// the end of every iteration). Call before inspecting slot weights,
+    /// checkpointing the slots, or switching to sequential mode; a no-op
+    /// when nothing is pending.
+    pub fn drain(&mut self, ctx: &mut RankCtx) -> Result<(), CommError> {
+        self.complete_pending_weights(ctx)?;
+        Ok(())
     }
 
     /// The membership view the engine's geometry is currently built over.
@@ -413,7 +492,11 @@ impl MoeLayerEngine {
         let popularity = best.map(|(_, pop)| pop);
 
         // Purge everything the aborted attempt (and older) left in flight:
-        // the resumed protocol starts from a clean fenced stream.
+        // the resumed protocol starts from a clean fenced stream. An
+        // overlapped weight scatter from the old world is abandoned with
+        // it — `discard_stale_below` cancels its posted receives, and the
+        // re-sharded masters re-materialize the slots below.
+        self.pending_weights = None;
         let stale_discarded = ctx.discard_stale_below(resume_iter << 5);
 
         // Algorithm 1 over the survivors: same classes, fewer slots.
@@ -494,11 +577,19 @@ impl MoeLayerEngine {
     /// Captures this rank's full training state (snapshot support and the
     /// oracle side of the elastic recovery tests).
     pub fn snapshot(&self) -> EngineSnapshot {
+        // Fast-forward past an in-flight weight scatter: the fp32 masters
+        // have already stepped, so the authoritative placement is the
+        // pending one — a restart materializes from the masters and gets
+        // the exact fp16 image the fence would have installed.
+        let replica_counts = match &self.pending_weights {
+            Some(pw) => pw.placement.replica_counts(),
+            None => self.placement.replica_counts(),
+        };
         EngineSnapshot {
             iteration: self.iteration,
             world_size: self.view.size(),
             logical_rank: self.lrank,
-            replica_counts: self.placement.replica_counts(),
+            replica_counts,
             popularity: self.metadata.latest(0).map(|p| p.to_vec()),
             shards: self.optimizer.export_shard_states(),
         }
@@ -545,6 +636,8 @@ impl MoeLayerEngine {
             router_w,
             iteration: snap.iteration,
             degraded_iterations: 0,
+            overlap: overlap_from_env(),
+            pending_weights: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -579,6 +672,30 @@ impl MoeLayerEngine {
         // bit fields, so no two phases can alias on the wire.
         let tags = TagSpace::new(self.cfg.layer_id, self.iteration);
 
+        // The iteration's ordering constraints as an explicit task graph,
+        // enforced live in both modes: completing a task before its
+        // dependencies panics. This is what lets the overlapped schedule
+        // move work around without silently crossing a fence — routing and
+        // the popularity sync read neither slots nor placement, so the
+        // previous iteration's weight scatter may land under them, but the
+        // fence MUST close before dispatch touches either.
+        let mut graph = TaskGraph::new();
+        let t_route = graph.task("route", &[]);
+        let t_pop = graph.task("popularity_sync", &[t_route]);
+        let t_fence = graph.task("weight_fence", &[]);
+        let t_dispatch = graph.task("dispatch", &[t_route, t_fence]);
+        let t_forward = graph.task("expert_forward", &[t_dispatch]);
+        let t_combine = graph.task("combine", &[t_forward]);
+        let t_grad_dispatch = graph.task("grad_dispatch", &[t_combine]);
+        let t_grad_issue = graph.task("grad_collect_issue", &[t_grad_dispatch]);
+        let t_backward = graph.task("backward", &[t_grad_dispatch]);
+        let t_grad_sync = graph.task("grad_sync", &[t_backward]);
+        let t_grad_serve = graph.task("grad_serve", &[t_grad_sync, t_grad_issue]);
+        let t_step = graph.task("adam_step", &[t_grad_issue, t_grad_serve]);
+        let t_rebalance = graph.task("rebalance", &[t_pop, t_step]);
+        let t_weight_issue = graph.task("weight_issue", &[t_rebalance, t_step]);
+        let t_advisory = graph.task("advisory_sync", &[t_weight_issue]);
+
         // ---- Step 1: route locally, aggregate popularity globally. ----
         let routing_span = tele.span(Phase::Routing);
         let logits = x_local.matmul(&self.router_w);
@@ -598,6 +715,7 @@ impl MoeLayerEngine {
             popularity[best] += 1;
         }
         drop(routing_span);
+        graph.complete(t_route);
         let mut degraded = false;
         {
             let _span = tele.span(Phase::PopularityAllReduce);
@@ -622,6 +740,16 @@ impl MoeLayerEngine {
                 Err(e) => return Err(e),
             }
         }
+        graph.complete(t_pop);
+
+        // ---- Hard fence: land the previous iteration's weight scatter. ----
+        // In overlap mode the scatter issued at the end of iteration i−1
+        // completed its transfers under the routing + popularity compute
+        // above; its slot writes and placement switch happen here, strictly
+        // before dispatch reads either. Sequential mode never has anything
+        // in flight and falls straight through.
+        let fence_stats = self.complete_pending_weights(ctx)?;
+        graph.complete(t_fence);
 
         // ---- Step 2: capacity + replica load balancing + dispatch. ----
         let dispatch_span = tele.span(Phase::Dispatch);
@@ -663,6 +791,7 @@ impl MoeLayerEngine {
             }
         }
         drop(dispatch_span);
+        graph.complete(t_dispatch);
 
         // ---- Step 3: expert forward + combine. ----
         let ffn_span = tele.span(Phase::ExpertFfn);
@@ -679,6 +808,7 @@ impl MoeLayerEngine {
             })
             .collect();
         drop(ffn_span);
+        graph.complete(t_forward);
 
         // Return outputs in each source's original send order.
         let combine_span = tele.span(Phase::Combine);
@@ -707,18 +837,20 @@ impl MoeLayerEngine {
         }
 
         // ---- Loss: global-mean squared error. ----
+        // The backward pass only needs the *local* dy — the loss scalar is
+        // purely advisory — so its all-reduce is deferred into the single
+        // trailing advisory exchange (with the stats counts) instead of
+        // barriering here mid-step.
         let t_global = (t_loc * n) as f32;
         let mut dy = y.clone();
         dy.axpy(-1.0, target_local);
         let local_sq: f32 = dy.as_slice().iter().map(|v| v * v).sum();
-        let mut loss_acc = vec![local_sq];
         // dLoss/dy = 2 (y - target) / (T_global · d) for the mean of
         // squares — the finite-difference probe in the tests pins the
         // factor 2 the loss/gradient pair needs to stay consistent.
         dy.scale(2.0 / (t_global * d as f32));
-        ctx.allreduce_sum(&world, tags.phase_tag(WirePhase::LossSync), &mut loss_acc)?;
-        let loss = loss_acc[0] / (t_global * d as f32);
         drop(combine_span);
+        graph.complete(t_combine);
 
         // ---- Step 4: backward. Send gated upstream grads to the slots. ----
         let grad_dispatch_span = tele.span(Phase::GradComm);
@@ -739,42 +871,145 @@ impl MoeLayerEngine {
             }
         }
         drop(grad_dispatch_span);
-        {
-            let _span = tele.span(Phase::ExpertFfn);
-            for (local, expert) in self.slots.iter_mut().enumerate() {
-                expert.zero_grad();
-                if !slot_dys[local].is_empty() {
-                    let rows = slot_dys[local].len() / d;
-                    let _ = expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+        graph.complete(t_grad_dispatch);
+
+        // ---- Steps 3–7: backward, §4.1 grad all-reduce, Algorithm-2 grad
+        // collection, Adam step. Two schedules over the same halves:
+        //
+        // Sequential: backward all slots → grad-sync all classes → collect
+        // all shards → step all shards.
+        //
+        // Overlapped: the collection receives are posted *first*, then per
+        // hosted class: backward its slots → grad-sync it → serve its shard
+        // sends → opportunistically take-and-step any class whose shard has
+        // already landed. The wire transfers for class c thus ride under
+        // the backward GEMMs of the classes after it; only shards still
+        // outstanding when the GEMMs run out are waited on (the exposed
+        // remainder, timed below).
+        //
+        // Bit-exact across both: the shard values are produced by the same
+        // sends/receives under the same tags, per-class Adam steps touch
+        // disjoint state (any completion order is the same math), and the
+        // per-class backward partitions exactly the slot set the sequential
+        // loop walks.
+        let mut grad_stats = OverlapStats::default();
+        let weight_shards: Vec<Vec<f32>> = if self.overlap {
+            let mut pending = self.optimizer.collect_grads_begin(ctx, &self.placement, tags);
+            graph.complete(t_grad_issue);
+            let mut shards: Vec<Option<Vec<f32>>> = vec![None; e];
+            for (class, locals) in self.placement.classes_on_rank(self.lrank) {
+                {
+                    let _span = tele.span(Phase::ExpertFfn);
+                    for &local in &locals {
+                        let expert = &mut self.slots[local];
+                        expert.zero_grad();
+                        if !slot_dys[local].is_empty() {
+                            let rows = slot_dys[local].len() / d;
+                            let _ = expert.backward(&Matrix::from_vec(
+                                rows,
+                                d,
+                                slot_dys[local].clone(),
+                            ));
+                        }
+                    }
+                }
+                let mut tensors: Vec<Vec<f32>> =
+                    locals.iter().map(|&l| self.slots[l].flat_grads()).collect();
+                let (start, len) = self.placement.host_range(class);
+                let group = self.view.subgroup(start, len);
+                {
+                    let _span = tele.span(Phase::GradComm);
+                    ctx.expert_allreduce(
+                        &group,
+                        tags.tag(WirePhase::GradSync, class, 0),
+                        &mut tensors,
+                        self.placement.replica_counts()[class],
+                        ReduceMode::Sum,
+                    )?;
+                }
+                self.optimizer.collect_grads_serve_class(
+                    ctx,
+                    &mut pending,
+                    &self.placement,
+                    class,
+                    &tensors[0],
+                    tags,
+                )?;
+                // Opportunistic sweep: step every class whose shard has
+                // already landed — hidden behind the remaining backward
+                // GEMMs and grad-syncs.
+                for (c, shard) in shards.iter_mut().enumerate() {
+                    if shard.is_none() {
+                        if let Some(g) =
+                            self.optimizer.collect_grads_try_take(ctx, &mut pending, c)?
+                        {
+                            grad_stats.hidden_bytes += g.len() as u64 * 4;
+                            *shard = Some(self.optimizer.step_class(c, &g));
+                        }
+                    }
                 }
             }
-        }
+            graph.complete(t_backward);
+            graph.complete(t_grad_sync);
+            graph.complete(t_grad_serve);
+            // Whatever is still outstanding is exposed comm: wait it out.
+            for (c, shard) in shards.iter_mut().enumerate() {
+                if shard.is_none() {
+                    let t0 = Instant::now();
+                    let g = self.optimizer.collect_grads_wait_take(ctx, &mut pending, c)?;
+                    grad_stats.exposed_ns += t0.elapsed().as_nanos() as u64;
+                    grad_stats.exposed_bytes += g.len() as u64 * 4;
+                    *shard = Some(self.optimizer.step_class(c, &g));
+                }
+            }
+            self.optimizer.collect_grads_finish(ctx, pending);
+            graph.complete(t_step);
+            shards.into_iter().map(|s| s.expect("every class stepped")).collect()
+        } else {
+            {
+                let _span = tele.span(Phase::ExpertFfn);
+                for (local, expert) in self.slots.iter_mut().enumerate() {
+                    expert.zero_grad();
+                    if !slot_dys[local].is_empty() {
+                        let rows = slot_dys[local].len() / d;
+                        let _ =
+                            expert.backward(&Matrix::from_vec(rows, d, slot_dys[local].clone()));
+                    }
+                }
+            }
+            graph.complete(t_backward);
 
-        // ---- §4.1: intra+inter rank gradient all-reduce per class. ----
-        let gradsync_span = tele.span(Phase::GradComm);
-        let mut class_grads: Vec<Option<Vec<f32>>> = vec![None; e];
-        for (class, locals) in self.placement.classes_on_rank(self.lrank) {
-            let mut tensors: Vec<Vec<f32>> =
-                locals.iter().map(|&l| self.slots[l].flat_grads()).collect();
-            // The host range is logical; the view maps it onto the (possibly
-            // non-contiguous) surviving physical ranks.
-            let (start, len) = self.placement.host_range(class);
-            let group = self.view.subgroup(start, len);
-            ctx.expert_allreduce(
-                &group,
-                tags.tag(WirePhase::GradSync, class, 0),
-                &mut tensors,
-                self.placement.replica_counts()[class],
-                ReduceMode::Sum,
-            )?;
-            class_grads[class] = Some(tensors.swap_remove(0));
-        }
-        drop(gradsync_span);
+            // §4.1: intra+inter rank gradient all-reduce per class.
+            let gradsync_span = tele.span(Phase::GradComm);
+            let mut class_grads: Vec<Option<Vec<f32>>> = vec![None; e];
+            for (class, locals) in self.placement.classes_on_rank(self.lrank) {
+                let mut tensors: Vec<Vec<f32>> =
+                    locals.iter().map(|&l| self.slots[l].flat_grads()).collect();
+                // The host range is logical; the view maps it onto the
+                // (possibly non-contiguous) surviving physical ranks.
+                let (start, len) = self.placement.host_range(class);
+                let group = self.view.subgroup(start, len);
+                ctx.expert_allreduce(
+                    &group,
+                    tags.tag(WirePhase::GradSync, class, 0),
+                    &mut tensors,
+                    self.placement.replica_counts()[class],
+                    ReduceMode::Sum,
+                )?;
+                class_grads[class] = Some(tensors.swap_remove(0));
+            }
+            drop(gradsync_span);
+            graph.complete(t_grad_sync);
 
-        // ---- Steps 5–8: collect shards, schedule, step, materialize. ----
-        // (The optimizer times its own GradComm/OptimizerStep/WeightComm.)
-        let grad_shards = self.optimizer.collect_grads(ctx, &self.placement, &class_grads, tags)?;
-        let weight_shards = self.optimizer.step(&grad_shards);
+            // (The optimizer times its own GradComm/OptimizerStep spans.)
+            graph.complete(t_grad_issue);
+            let grad_shards =
+                self.optimizer.collect_grads(ctx, &self.placement, &class_grads, tags)?;
+            graph.complete(t_grad_serve);
+            let shards = self.optimizer.step(&grad_shards);
+            graph.complete(t_step);
+            shards
+        };
 
         let rebalance_span = tele.span(Phase::Rebalance);
         let (next_placement, placement_churn) = if degraded {
@@ -797,36 +1032,65 @@ impl MoeLayerEngine {
             (p, churn)
         };
         drop(rebalance_span);
+        graph.complete(t_rebalance);
 
-        let new_weights =
-            self.optimizer.distribute_weights(ctx, &next_placement, &weight_shards, tags)?;
-        {
-            let _span = tele.span(Phase::WeightComm);
-            for (local, weights) in new_weights.into_iter().enumerate() {
-                self.slots[local].load_flat(&weights);
+        // ---- Step 8: issue the weight scatter under the new placement. ----
+        // Overlap mode leaves it in flight across the iteration boundary —
+        // the receives complete under iteration i+1's routing + popularity
+        // compute and the fence at the top of iteration i+1 installs the
+        // slots/placement. Sequential mode fences immediately (the blocking
+        // `distribute_weights` is exactly begin + finish, so the bytes on
+        // the wire are identical).
+        let pending_w =
+            self.optimizer.distribute_weights_begin(ctx, &next_placement, &weight_shards, tags)?;
+        graph.complete(t_weight_issue);
+        if self.overlap {
+            self.pending_weights =
+                Some(PendingWeights { state: pending_w, placement: next_placement });
+        } else {
+            let (new_weights, _) = self.optimizer.distribute_weights_finish(ctx, pending_w)?;
+            {
+                let _span = tele.span(Phase::WeightComm);
+                for (local, weights) in new_weights.into_iter().enumerate() {
+                    self.slots[local].load_flat(&weights);
+                }
             }
+            self.placement = next_placement;
         }
-        self.placement = next_placement;
         self.iteration += 1;
 
-        // Survived/dropped/kept-per-class are global: one more tiny
-        // all-reduce carrying [survived, dropped, kept_0..kept_E).
-        let mut counts = vec![survived_local as u64, (t_loc - survived_local) as u64];
-        counts.extend(taken.iter().map(|&k| k as u64));
-        let local_counts = counts.clone();
-        match ctx.allreduce_u64_sum(&world, tags.phase_tag(WirePhase::StatsSync), &mut counts) {
+        // ---- Single deferred advisory exchange (loss + stats). ----
+        // One f32 ring all-reduce carries [Σdy², survived, dropped,
+        // kept_0..kept_E) — the old mid-step LossSync barrier and trailing
+        // StatsSync are folded into it, and in overlap mode its ring gives
+        // the in-flight weight scatter one more compute-free window to
+        // drain under. The counts are small integers, exact in f32. The
+        // loss element is index 0 of chunk 0, so its per-element summation
+        // order is identical to the old 1-element LossSync buffer — the
+        // reported loss is bit-stable across the fold and across modes.
+        let mut advisory = vec![local_sq, survived_local as f32, (t_loc - survived_local) as f32];
+        advisory.extend(taken.iter().map(|&k| k as f32));
+        let local_advisory = advisory.clone();
+        match ctx.allreduce_sum(&world, tags.phase_tag(WirePhase::LossSync), &mut advisory) {
             Ok(()) => {}
-            Err(e) if Self::is_degradable(&e) => {
-                // Stats are advisory: fall back to the rank-local counts
-                // rather than aborting a fully-trained iteration.
+            Err(e) if Self::is_degradable(&e) || matches!(e, CommError::PeerGone { .. }) => {
+                // Loss and stats are advisory and every training-state
+                // mutation of this iteration is already committed, so fall
+                // back to the rank-local values rather than aborting a
+                // fully-trained iteration — even for a dead peer: the next
+                // iteration's mandatory collectives (popularity sync, the
+                // weight fence) surface a real death loudly.
                 degraded = true;
-                counts = local_counts;
+                advisory = local_advisory;
             }
             Err(e) => return Err(e),
         }
+        graph.complete(t_advisory);
+        let loss = advisory[0] / (t_global * d as f32);
         if degraded {
             self.degraded_iterations += 1;
         }
+        debug_assert!(graph.all_complete(), "iteration left tasks open: {:?}", graph.outstanding());
 
         // Wire-protocol health: fenced/stashed/timed-out messages flow into
         // the telemetry registry next to the phase timings.
@@ -841,14 +1105,25 @@ impl MoeLayerEngine {
             if degraded {
                 tele.counter("degraded_iterations_total").inc();
             }
+            // Overlap accounting: bytes whose transfer completed under
+            // compute (hidden) vs bytes the schedule had to block on
+            // (exposed), plus the blocked wall-clock. The fence stats
+            // belong to the scatter issued *last* iteration, landed here.
+            let mut overlap_stats = grad_stats;
+            if let Some(fs) = fence_stats {
+                overlap_stats.absorb(fs);
+            }
+            tele.gauge("overlap_hidden_bytes").set(overlap_stats.hidden_bytes as f64);
+            tele.gauge("overlap_exposed_bytes").set(overlap_stats.exposed_bytes as f64);
+            tele.gauge("overlap_exposed_ms").set(overlap_stats.exposed_ns as f64 / 1e6);
         }
 
         Ok(IterStats {
             loss,
             popularity,
-            survived: counts[0] as usize,
-            dropped: counts[1] as usize,
-            kept_per_class: counts[2..].to_vec(),
+            survived: advisory[1] as usize,
+            dropped: advisory[2] as usize,
+            kept_per_class: advisory[3..].iter().map(|&k| k as u64).collect(),
             replicas,
             placement_churn,
             degraded,
@@ -907,6 +1182,7 @@ mod tests {
             let x = token_matrix(ctx.rank(), 6, 8);
             let target = token_matrix(ctx.rank() + 100, 6, 8);
             let stats = engine.iteration(ctx, &x, &target).unwrap();
+            engine.drain(ctx).unwrap();
             (stats.popularity, stats.loss, engine.placement.replica_counts())
         });
         for r in 1..nodes {
@@ -924,6 +1200,9 @@ mod tests {
             let x = token_matrix(ctx.rank(), 16, 8);
             let target = Matrix::zeros(16, 8);
             let stats = engine.iteration(ctx, &x, &target).unwrap();
+            // Under SYMI_OVERLAP=on the rebalanced placement is still in
+            // flight after iteration(); the fence lands it.
+            engine.drain(ctx).unwrap();
             let hottest = (0..4).max_by_key(|&c| stats.popularity[c]).expect("non-empty");
             let counts = engine.placement.replica_counts();
             (hottest, counts)
@@ -944,6 +1223,7 @@ mod tests {
             let x = token_matrix(ctx.rank(), 8, 8);
             let target = Matrix::zeros(8, 8);
             let _ = engine.iteration(ctx, &x, &target).unwrap();
+            engine.drain(ctx).unwrap();
             // Report (class, weights) of each local slot.
             let s = engine.placement.slots_per_rank();
             (0..s)

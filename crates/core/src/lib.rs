@@ -36,10 +36,14 @@ pub mod optimizer;
 pub mod placement;
 pub mod policies;
 pub mod scheduler;
+pub mod taskgraph;
 
 pub use engine::{EngineConfig, EngineSnapshot, MoeLayerEngine, RecoveryStats};
 pub use metadata::LayerMetadataStore;
-pub use optimizer::{ReshardReport, ShardState, SymiOptimizer};
+pub use optimizer::{
+    GradCollectPending, ReshardReport, ShardState, SymiOptimizer, WeightDistributePending,
+};
 pub use placement::ExpertPlacement;
 pub use policies::{EmaPolicy, TracePolicy, WindowMaxPolicy};
 pub use scheduler::{compute_placement, supports_world, valid_replica_counts, SymiPolicy};
+pub use taskgraph::{TaskGraph, TaskId};

@@ -25,10 +25,11 @@
 
 use crate::placement::ExpertPlacement;
 use symi_collectives::coll::chunk_range;
-use symi_collectives::p2p::{RecvOp, SendOp};
+use symi_collectives::p2p::{OverlapStats, PendingBatch, RecvOp, SendOp};
 use symi_collectives::tag::with_step;
 use symi_collectives::{
-    decode_f16_into, encode_f16, CommError, MembershipView, RankCtx, TagSpace, WirePhase,
+    decode_f16_into, encode_f16, CommError, MembershipView, PendingRecv, RankCtx, TagSpace,
+    WirePhase,
 };
 use symi_telemetry::{Phase, TelemetryHandle};
 use symi_tensor::{AdamConfig, AdamShard};
@@ -198,6 +199,67 @@ fn reshard_plan(
         }
     }
     plan
+}
+
+/// One class's gradient-shard source in a split (issue/complete) grad
+/// collection.
+enum GradSource {
+    /// Class is hosted locally; its synchronized gradient has not been
+    /// handed over yet ([`SymiOptimizer::collect_grads_serve_class`]).
+    AwaitLocal,
+    /// Wire receive posted at issue time, not yet completed.
+    Wire(PendingRecv),
+    /// Shard available (local copy made, or wire op completed by a poll).
+    Ready(Vec<f32>),
+    /// Shard consumed by the caller (already stepped).
+    Taken,
+}
+
+/// The in-flight half of a split Grad Communication Phase: every receive
+/// for this rank's shard posted up-front, per-class sends issued as each
+/// class's synchronized gradient becomes available, per-class completions
+/// consumed in any order. Created by
+/// [`SymiOptimizer::collect_grads_begin`]; every class must end `Taken`
+/// before [`SymiOptimizer::collect_grads_finish`].
+pub struct GradCollectPending {
+    sources: Vec<GradSource>,
+    /// `ctx.protocol_stats().retries` at issue time, for the
+    /// `grad_collect_retries` gauge delta.
+    retries_before: u64,
+}
+
+impl GradCollectPending {
+    /// Classes whose shard has not been taken yet, in class order.
+    pub fn remaining(&self) -> Vec<usize> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, GradSource::Taken))
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+/// The in-flight half of a split Weight Communication Phase: fp16 shards
+/// encoded and sent, every receive posted, assembly deferred to
+/// [`SymiOptimizer::distribute_weights_finish`]. Between the two calls the
+/// transfers ride under the caller's compute — for the cross-iteration
+/// double buffer, the *next* iteration's routing and popularity phases.
+pub struct WeightDistributePending {
+    batch: PendingBatch,
+    /// This rank's own encoded shards (local assembly source).
+    half_shards: Vec<Vec<u16>>,
+    /// `classes_on_rank(lrank)` of the target placement, captured at issue.
+    my_classes: Vec<(usize, Vec<usize>)>,
+    slots_per_rank: usize,
+    retries_before: u64,
+}
+
+impl WeightDistributePending {
+    /// Wire receives not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.batch.outstanding()
+    }
 }
 
 /// Per-rank SYMI optimizer state: one Adam shard per expert class.
@@ -430,6 +492,174 @@ impl SymiOptimizer {
         Ok(out)
     }
 
+    /// The issue half of a split [`SymiOptimizer::collect_grads`]: advances
+    /// the fencing epoch and posts the wire receive for this rank's shard
+    /// of every class whose Algorithm-2 source is remote — *before* any
+    /// backward GEMM has run, so arrivals from faster peers drain into the
+    /// mailbox while this rank is still computing. Locally-sourced classes
+    /// wait for [`SymiOptimizer::collect_grads_serve_class`].
+    pub fn collect_grads_begin(
+        &self,
+        ctx: &mut RankCtx,
+        placement: &ExpertPlacement,
+        tags: TagSpace,
+    ) -> GradCollectPending {
+        let _span = self.telemetry.span(Phase::GradComm);
+        let e = self.shards.len();
+        ctx.begin_epoch(tags.iteration(), WirePhase::GradCollect);
+        let (ms, mt) = self.shard_range();
+        let retries_before = ctx.protocol_stats().retries;
+        let mut sources = Vec::with_capacity(e);
+        for class in 0..e {
+            if ms == mt {
+                // Zero-length shard: nothing to collect for any class.
+                sources.push(GradSource::Ready(Vec::new()));
+                continue;
+            }
+            let hosts = placement.host_ranks(class);
+            let src = get_source(&hosts, self.lrank);
+            if src == self.lrank {
+                sources.push(GradSource::AwaitLocal);
+            } else {
+                let src_phys = self.view.physical_of(src);
+                let op = ctx.irecv_sized(
+                    src_phys,
+                    tags.tag(WirePhase::GradCollect, class, src_phys),
+                    mt - ms,
+                );
+                sources.push(GradSource::Wire(op));
+            }
+        }
+        GradCollectPending { sources, retries_before }
+    }
+
+    /// Serves one hosted class's synchronized gradient into a split
+    /// collection: issues the shard sends to every rank whose `get_source`
+    /// picks this rank, and satisfies the local copy if this rank sources
+    /// the class for itself. Call exactly once per hosted class, as soon as
+    /// that class's gradient all-reduce completes — classes still in their
+    /// backward GEMMs are unaffected, which is the overlap.
+    pub fn collect_grads_serve_class(
+        &self,
+        ctx: &mut RankCtx,
+        pending: &mut GradCollectPending,
+        placement: &ExpertPlacement,
+        class: usize,
+        grad: &[f32],
+        tags: TagSpace,
+    ) -> Result<(), CommError> {
+        let _span = self.telemetry.span(Phase::GradComm);
+        let n = self.nodes();
+        let me_phys = self.my_phys();
+        let hosts = placement.host_ranks(class);
+        debug_assert!(hosts.contains(&self.lrank), "serve only hosted classes");
+        for dst in 0..n {
+            if dst == self.lrank {
+                continue;
+            }
+            if get_source(&hosts, dst) == self.lrank {
+                let (s, t) = chunk_range(self.param_count, n, dst);
+                if s == t {
+                    continue;
+                }
+                ctx.isend(
+                    self.view.physical_of(dst),
+                    tags.tag(WirePhase::GradCollect, class, me_phys),
+                    grad[s..t].to_vec(),
+                )?;
+            }
+        }
+        if matches!(pending.sources[class], GradSource::AwaitLocal) {
+            let (ms, mt) = self.shard_range();
+            pending.sources[class] = GradSource::Ready(grad[ms..mt].to_vec());
+        }
+        Ok(())
+    }
+
+    /// Nonblocking completion attempt for one class of a split collection:
+    /// returns the shard if it is already available (local copy made, or
+    /// the wire payload arrived while compute ran), `None` if still in
+    /// flight or not yet served. The shard is staged host-side exactly as
+    /// the blocking path stages it.
+    pub fn collect_grads_try_take(
+        &self,
+        ctx: &mut RankCtx,
+        pending: &mut GradCollectPending,
+        class: usize,
+    ) -> Result<Option<Vec<f32>>, CommError> {
+        match std::mem::replace(&mut pending.sources[class], GradSource::Taken) {
+            GradSource::Taken => panic!("class {class} gradient shard taken twice"),
+            GradSource::AwaitLocal => {
+                pending.sources[class] = GradSource::AwaitLocal;
+                Ok(None)
+            }
+            GradSource::Ready(shard) => {
+                ctx.record_host_device_bytes(shard.len() as u64 * 4);
+                Ok(Some(shard))
+            }
+            GradSource::Wire(op) => {
+                if op.poll(ctx)? {
+                    let shard = op.wait(ctx)?.into_f32()?;
+                    ctx.record_host_device_bytes(shard.len() as u64 * 4);
+                    Ok(Some(shard))
+                } else {
+                    pending.sources[class] = GradSource::Wire(op);
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Blocking completion for one class of a split collection. The class
+    /// must already have been served if its source is local.
+    pub fn collect_grads_wait_take(
+        &self,
+        ctx: &mut RankCtx,
+        pending: &mut GradCollectPending,
+        class: usize,
+    ) -> Result<Vec<f32>, CommError> {
+        let _span = self.telemetry.span(Phase::GradComm);
+        match std::mem::replace(&mut pending.sources[class], GradSource::Taken) {
+            GradSource::Taken => panic!("class {class} gradient shard taken twice"),
+            GradSource::AwaitLocal => {
+                panic!("class {class} waited on before its gradient was served")
+            }
+            GradSource::Ready(shard) => {
+                ctx.record_host_device_bytes(shard.len() as u64 * 4);
+                Ok(shard)
+            }
+            GradSource::Wire(op) => {
+                let shard = op.wait(ctx)?.into_f32()?;
+                ctx.record_host_device_bytes(shard.len() as u64 * 4);
+                Ok(shard)
+            }
+        }
+    }
+
+    /// Closes out a split collection: every class must have been taken.
+    /// Publishes the same `grad_collect_retries` gauge delta as the
+    /// blocking path.
+    pub fn collect_grads_finish(&self, ctx: &RankCtx, pending: GradCollectPending) {
+        assert!(
+            pending.remaining().is_empty(),
+            "grad collection finished with classes outstanding: {:?}",
+            pending.remaining()
+        );
+        if self.telemetry.is_enabled() {
+            let delta = ctx.protocol_stats().retries - pending.retries_before;
+            self.telemetry.gauge("grad_collect_retries").set(delta as f64);
+        }
+    }
+
+    /// Adam step over one class's shard — the eager per-class half of
+    /// [`SymiOptimizer::step`], fired as soon as that class's gradient
+    /// shard lands. Per-class shards are independent, so any completion
+    /// order produces bit-identical state.
+    pub fn step_class(&mut self, class: usize, grad_shard: &[f32]) -> Vec<f32> {
+        let _span = self.telemetry.span(Phase::OptimizerStep);
+        self.shards[class].step(grad_shard)
+    }
+
     /// Adam step over every class's shard; returns the updated fp16-rounded
     /// weight shards. Each shard's elementwise update runs in parallel
     /// chunks on the shared worker pool (`symi_tensor::pool`), bit-exact
@@ -472,9 +702,27 @@ impl SymiOptimizer {
         weight_shards: &[Vec<f32>],
         tags: TagSpace,
     ) -> Result<Vec<Vec<f32>>, CommError> {
+        let pending = self.distribute_weights_begin(ctx, new_placement, weight_shards, tags)?;
+        Ok(self.distribute_weights_finish(ctx, pending)?.0)
+    }
+
+    /// The issue half of [`SymiOptimizer::distribute_weights`]: advances
+    /// the fencing epoch, fp16-encodes and sends every shard, posts every
+    /// receive, and returns the in-flight state. The double-buffered
+    /// engine calls this at the end of iteration *i* and defers the finish
+    /// half past iteration *i+1*'s routing and popularity phases — the
+    /// weight traffic rides under that compute for free, and the epoch
+    /// carried in each structured tag keeps the cross-iteration traffic
+    /// fenced from every other phase.
+    pub fn distribute_weights_begin(
+        &self,
+        ctx: &mut RankCtx,
+        new_placement: &ExpertPlacement,
+        weight_shards: &[Vec<f32>],
+        tags: TagSpace,
+    ) -> Result<WeightDistributePending, CommError> {
         let _span = self.telemetry.span(Phase::WeightComm);
         let n = self.nodes();
-        let s = new_placement.slots_per_rank();
         assert_eq!(weight_shards.len(), self.shards.len(), "one weight shard per class");
         assert_eq!(new_placement.ranks(), n, "placement rank count mismatch");
         ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
@@ -490,7 +738,7 @@ impl SymiOptimizer {
         }
 
         // One send per (class, distinct remote host rank); my own slots are
-        // fed locally below.
+        // fed locally at finish.
         let (ms, mt) = self.shard_range();
         let mut sends = Vec::new();
         if ms != mt {
@@ -530,7 +778,46 @@ impl SymiOptimizer {
             }
         }
         let retries_before = ctx.protocol_stats().retries;
-        let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+        let batch = ctx.batch_issue(sends, &recvs)?;
+        Ok(WeightDistributePending {
+            batch,
+            half_shards,
+            my_classes,
+            slots_per_rank: new_placement.slots_per_rank(),
+            retries_before,
+        })
+    }
+
+    /// Nonblocking progress on an in-flight weight distribution; `true`
+    /// once every receive has landed (the fence will not block).
+    pub fn distribute_weights_poll(
+        &self,
+        ctx: &mut RankCtx,
+        pending: &mut WeightDistributePending,
+    ) -> Result<bool, CommError> {
+        pending.batch.poll(ctx)
+    }
+
+    /// The fence half of [`SymiOptimizer::distribute_weights`]: blocks out
+    /// the remaining receives, assembles one full vector per distinct
+    /// class, and fans out to the sibling slots — exactly the blocking
+    /// path's assembly, plus the hidden/exposed accounting of the wait.
+    pub fn distribute_weights_finish(
+        &self,
+        ctx: &mut RankCtx,
+        pending: WeightDistributePending,
+    ) -> Result<(Vec<Vec<f32>>, OverlapStats), CommError> {
+        let _span = self.telemetry.span(Phase::WeightComm);
+        let n = self.nodes();
+        let WeightDistributePending {
+            batch,
+            half_shards,
+            my_classes,
+            slots_per_rank,
+            retries_before,
+        } = pending;
+        let (payloads, stats) = batch.complete(ctx)?;
+        let mut received = payloads.into_iter();
         if self.telemetry.is_enabled() {
             // Retry attempts burned materializing the new placement — a
             // persistent nonzero here under a *healthy* plan would mean
@@ -561,7 +848,7 @@ impl SymiOptimizer {
             assembled.push(full);
         }
 
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); s];
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); slots_per_rank];
         for ((_, locals), full) in my_classes.iter().zip(assembled) {
             let (&last, rest) = locals.split_last().expect("class listed only when hosted");
             for &local in rest {
@@ -569,7 +856,7 @@ impl SymiOptimizer {
             }
             out[last] = full;
         }
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Re-shards optimizer ownership over the survivors of `new_view` —
