@@ -294,11 +294,12 @@ mod tests {
             v: vec![salt * 0.5; len],
             t: iteration,
         };
+        let total = c.slots_per_rank * world;
         EngineSnapshot {
             iteration,
             world_size: world,
             logical_rank: rank,
-            replica_counts: vec![2, 2],
+            replica_counts: vec![total / 2, total - total / 2],
             popularity: None,
             shards: vec![shard(0.0), shard(1.0)],
         }
@@ -370,6 +371,76 @@ mod tests {
         let removed = store.prune_engine(2, 2).unwrap();
         assert_eq!(removed, 3, "one stale set (2 files) + one tmp");
         assert_eq!(store.complete_engine_iterations(2).unwrap(), vec![4, 6]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn world_size_changes_keep_checkpoint_sets_separate_and_restorable() {
+        // One directory, one elastic run: world 4 history, a post-shrink
+        // world-3 set, a post-join world-5 set.
+        let store = temp_store("elastic_worlds");
+        let c = cfg();
+        write_set(&store, &c, 5, 4);
+        write_set(&store, &c, 9, 3);
+        write_set(&store, &c, 12, 5);
+
+        // Each world sees exactly its own complete sets — other-world sets
+        // are neither mixed in nor reported torn.
+        assert_eq!(store.complete_engine_iterations(4).unwrap(), vec![5]);
+        assert_eq!(store.complete_engine_iterations(3).unwrap(), vec![9]);
+        assert_eq!(store.complete_engine_iterations(5).unwrap(), vec![12]);
+
+        // Restore after scale-out picks the consistent grown set, with no
+        // rejection noise from the smaller-world history.
+        let latest = store.load_latest_engine(5, Some(&c)).unwrap();
+        let (it, snaps) = latest.loaded.unwrap();
+        assert_eq!(it, 12);
+        assert_eq!(snaps.len(), 5);
+        assert!(snaps.iter().enumerate().all(|(r, s)| s.world_size == 5 && s.logical_rank == r));
+        assert!(latest.rejected.is_empty());
+
+        // The pre-change sets stay restorable at their own world.
+        let old = store.load_latest_engine(4, Some(&c)).unwrap();
+        assert_eq!(old.loaded.unwrap().0, 5);
+        assert!(old.rejected.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn prune_under_one_world_never_touches_newer_other_world_sets() {
+        let store = temp_store("elastic_prune");
+        let c = cfg();
+        write_set(&store, &c, 2, 4);
+        write_set(&store, &c, 5, 4);
+        write_set(&store, &c, 9, 3); // post-shrink, newer
+        write_set(&store, &c, 12, 5); // post-join, newest
+
+        // Pruning with the *old* world keeps its newest set (iteration 5)
+        // and only deletes strictly older files — the newer post-change
+        // sets survive untouched.
+        let removed = store.prune_engine(1, 4).unwrap();
+        assert_eq!(removed, 4, "exactly the world-4 set at iteration 2");
+        assert_eq!(store.complete_engine_iterations(4).unwrap(), vec![5]);
+        assert_eq!(store.complete_engine_iterations(3).unwrap(), vec![9]);
+        assert_eq!(store.complete_engine_iterations(5).unwrap(), vec![12]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn same_iteration_rewrite_after_join_is_complete_only_for_the_grown_world() {
+        // A driver checkpointing at the join boundary rewrites the boundary
+        // iteration under the grown world's stamps (ranks 0..3 overwritten,
+        // rank 4 added): the result must be complete for world 5 only — the
+        // world-4 query neither mixes the superset in nor reports it torn.
+        let store = temp_store("elastic_boundary");
+        let c = cfg();
+        write_set(&store, &c, 7, 4); // pre-join boundary checkpoint
+        write_set(&store, &c, 7, 5); // post-join rewrite, same iteration
+        assert_eq!(store.complete_engine_iterations(5).unwrap(), vec![7]);
+        assert_eq!(store.complete_engine_iterations(4).unwrap(), Vec::<u64>::new());
+        let latest = store.load_latest_engine(5, Some(&c)).unwrap();
+        assert_eq!(latest.loaded.unwrap().0, 7);
+        assert!(latest.rejected.is_empty());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

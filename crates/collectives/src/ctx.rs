@@ -20,6 +20,12 @@ pub(crate) struct Message {
     /// phase)` for structured tags, the sender's current epoch for raw
     /// ones.
     pub epoch: u64,
+    /// Membership generation the sender was in when it stamped `seq`.
+    /// Sequence numbers restart at 0 on every generation bump, so the
+    /// generation namespaces the seq space: a joiner (or rejoiner) reusing
+    /// a physical rank id sends `(gen+1, seq 0)` and is *not* mistaken for
+    /// a duplicate of the old incarnation's `(gen, seq 0)`.
+    pub gen: u64,
     /// Per-(sender → receiver) wire sequence number, stamped once per
     /// logical send. An injected duplicate re-sends the *same* seq, which
     /// is exactly what makes it detectable at the receiver.
@@ -39,16 +45,54 @@ struct Held {
 /// delivered, plus the out-of-order seqs seen above it. Distinct logical
 /// messages always carry distinct seqs, so FIFO same-tag streams are
 /// untouched; only a re-delivery of an already-admitted seq is absorbed.
+///
+/// The watermark is namespaced by the sender's membership generation: a
+/// higher-generation message resets the filter (the sender legitimately
+/// restarted its seq stream after a membership change), while a
+/// lower-generation straggler is dropped as stale. Without this, a rank id
+/// reused by a joiner would start at seq 0 and every one of its messages
+/// would be swallowed as a "duplicate echo" of the previous incarnation.
 #[derive(Default)]
 struct SeqTracker {
-    /// All seqs `< watermark` have been admitted.
+    /// Generation the watermark belongs to, adopted from received traffic.
+    gen: u64,
+    /// All seqs `< watermark` (within `gen`) have been admitted.
     watermark: u64,
     /// Admitted seqs `> watermark` (sparse, drained as the watermark
     /// advances).
     ahead: BTreeSet<u64>,
 }
 
+/// Verdict of the generation-aware duplicate filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SeqAdmit {
+    /// First delivery — deliver it.
+    Fresh,
+    /// Re-delivery of an already-admitted seq — absorb it.
+    Duplicate,
+    /// Straggler from a pre-bump generation — drop it as stale.
+    Stale,
+}
+
 impl SeqTracker {
+    /// Admits `seq` under the sender's membership generation `gen`.
+    fn admit_at(&mut self, gen: u64, seq: u64) -> SeqAdmit {
+        if gen > self.gen {
+            // The sender moved to a new membership generation and restarted
+            // its seq stream; the old watermark no longer applies.
+            self.gen = gen;
+            self.watermark = 0;
+            self.ahead.clear();
+        } else if gen < self.gen {
+            return SeqAdmit::Stale;
+        }
+        if self.admit(seq) {
+            SeqAdmit::Fresh
+        } else {
+            SeqAdmit::Duplicate
+        }
+    }
+
     /// Returns `true` for a first delivery, `false` for a duplicate.
     fn admit(&mut self, seq: u64) -> bool {
         if seq < self.watermark || self.ahead.contains(&seq) {
@@ -205,6 +249,9 @@ pub struct ProtocolStats {
     pub retries: u64,
     /// Re-deliveries absorbed by the per-sender sequence filter.
     pub duplicates_dropped: u64,
+    /// Pre-bump-generation stragglers dropped by the sequence filter after
+    /// a membership-generation bump.
+    pub stale_gen_dropped: u64,
 }
 
 /// Tagged mailbox: messages are matched on `(from, tag)`; out-of-order
@@ -233,6 +280,11 @@ pub(crate) struct Mailbox {
     recv_timeout: Option<Duration>,
     retry: Option<RetryPolicy>,
     stats: ProtocolStats,
+    /// This rank's membership generation, stamped on every send. Bumped by
+    /// `RankCtx::set_membership_gen` when a membership agreement lands;
+    /// the bump restarts `next_seq` so the generation namespaces the seq
+    /// space end to end.
+    gen: u64,
     /// Next wire seq per destination rank.
     next_seq: Vec<u64>,
     /// Per-sender duplicate filters.
@@ -264,6 +316,7 @@ impl Mailbox {
             recv_timeout: None,
             retry: None,
             stats: ProtocolStats::default(),
+            gen: 0,
             next_seq: vec![0; world],
             seen: std::iter::repeat_with(SeqTracker::default).take(world).collect(),
             faults,
@@ -279,11 +332,27 @@ impl Mailbox {
     /// `poll` makes progress for *every* posted op, not just its own.
     fn drain_channel(&mut self) {
         while let Ok(msg) = self.rx.try_recv() {
-            if !self.seen[msg.from].admit(msg.seq) {
-                self.stats.duplicates_dropped += 1;
+            if !self.admit_msg(&msg) {
                 continue;
             }
             self.stash_push(msg);
+        }
+    }
+
+    /// Runs a message through the generation-aware duplicate filter,
+    /// counting duplicates and stale-generation drops. `true` means
+    /// deliver.
+    fn admit_msg(&mut self, msg: &Message) -> bool {
+        match self.seen[msg.from].admit_at(msg.gen, msg.seq) {
+            SeqAdmit::Fresh => true,
+            SeqAdmit::Duplicate => {
+                self.stats.duplicates_dropped += 1;
+                false
+            }
+            SeqAdmit::Stale => {
+                self.stats.stale_gen_dropped += 1;
+                false
+            }
         }
     }
 
@@ -401,7 +470,7 @@ impl Mailbox {
         let epoch = tag::epoch_of(tag).unwrap_or(self.epoch);
         let seq = self.next_seq[to];
         self.next_seq[to] += 1;
-        let msg = Message { from: self.rank, tag, payload, epoch, seq };
+        let msg = Message { from: self.rank, tag, payload, epoch, gen: self.gen, seq };
         let action = match &mut self.faults {
             Some(inj) => inj.on_send(to, tag, seq),
             None => SendAction::Deliver,
@@ -574,8 +643,7 @@ impl Mailbox {
                     }
                 }
             };
-            if !self.seen[msg.from].admit(msg.seq) {
-                self.stats.duplicates_dropped += 1;
+            if !self.admit_msg(&msg) {
                 continue;
             }
             // Fast path: the awaited message, same epoch, nothing queued
@@ -834,6 +902,26 @@ impl RankCtx {
         discarded + mb.cancel_pending_below(epoch_threshold)
     }
 
+    /// Moves this rank's *send side* to membership generation `gen`
+    /// (monotone; an older generation never rewinds a newer one). The bump
+    /// restarts the per-destination wire sequence numbers at 0 — receivers
+    /// namespace their duplicate-filter watermarks by the generation
+    /// carried on each message, so the restarted stream is admitted
+    /// instead of being swallowed as duplicate echoes of the previous
+    /// incarnation. Call this the moment a membership agreement commits a
+    /// new epoch, *before* any post-agreement send.
+    pub fn set_membership_gen(&mut self, gen: u64) {
+        if gen > self.mailbox.gen {
+            self.mailbox.gen = gen;
+            self.mailbox.next_seq = vec![0; self.mailbox.next_seq.len()];
+        }
+    }
+
+    /// This rank's current send-side membership generation.
+    pub fn membership_gen(&self) -> u64 {
+        self.mailbox.gen
+    }
+
     /// This rank's wire-protocol health counters (fenced messages, stash
     /// depth/peak, receive timeouts, retries, absorbed duplicates).
     pub fn protocol_stats(&self) -> ProtocolStats {
@@ -1071,6 +1159,71 @@ mod tests {
         });
         assert_eq!(results[0].as_ref().unwrap().0, 1, "the send was swallowed");
         assert!(results[1].as_ref().unwrap().1, "the receiver starved loudly, not silently");
+    }
+
+    #[test]
+    fn rejoined_rank_first_message_is_delivered_after_gen_bump() {
+        // A rank that sends, bumps its membership generation (as a joiner
+        // reusing a rank id does), and sends again restarts at seq 0. The
+        // receiver's generation-namespaced watermark must admit the new
+        // stream instead of dropping it as a duplicate echo of the old
+        // incarnation.
+        let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..3 {
+                    ctx.send(1, 9, vec![i as f32]).unwrap();
+                }
+                ctx.send(1, 11, vec![0.0f32]).unwrap(); // release the receiver
+                ctx.recv(1, 12).unwrap(); // old-gen traffic fully consumed
+                ctx.set_membership_gen(1);
+                ctx.send(1, 9, vec![42.0f32]).unwrap(); // gen 1, seq 0
+                (0.0, 0, 0)
+            } else {
+                for i in 0..3 {
+                    assert_eq!(ctx.recv_f32(0, 9).unwrap()[0], i as f32);
+                }
+                ctx.recv(0, 11).unwrap();
+                ctx.send(0, 12, vec![0.0f32]).unwrap();
+                let rejoined = ctx.recv_f32(0, 9).unwrap()[0];
+                let stats = ctx.protocol_stats();
+                (rejoined, stats.duplicates_dropped, stats.stale_gen_dropped)
+            }
+        });
+        let (rejoined, dups, stale) = results[1];
+        assert_eq!(rejoined, 42.0, "the rejoined rank's first message must be delivered");
+        assert_eq!(dups, 0, "a generation bump is not a duplicate");
+        assert_eq!(stale, 0, "no pre-bump stragglers were in flight");
+    }
+
+    #[test]
+    fn stale_generation_stragglers_are_dropped_not_replayed() {
+        use super::{SeqAdmit, SeqTracker};
+        let mut t = SeqTracker::default();
+        assert_eq!(t.admit_at(0, 0), SeqAdmit::Fresh);
+        assert_eq!(t.admit_at(0, 1), SeqAdmit::Fresh);
+        assert_eq!(t.admit_at(0, 1), SeqAdmit::Duplicate);
+        // Generation bump restarts the seq space.
+        assert_eq!(t.admit_at(1, 0), SeqAdmit::Fresh);
+        // A delayed gen-0 straggler (seq the new space has not reached)
+        // must not leak into the new generation.
+        assert_eq!(t.admit_at(0, 2), SeqAdmit::Stale);
+        assert_eq!(t.admit_at(1, 1), SeqAdmit::Fresh);
+    }
+
+    #[test]
+    fn membership_gen_is_monotone_and_restarts_seqs() {
+        let (results, _) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.set_membership_gen(3);
+                ctx.set_membership_gen(1); // older gen must not rewind
+                assert_eq!(ctx.membership_gen(), 3);
+                ctx.send(1, 5, vec![7.0f32]).unwrap();
+                0.0
+            } else {
+                ctx.recv_f32(0, 5).unwrap()[0]
+            }
+        });
+        assert_eq!(results[1], 7.0);
     }
 
     #[test]

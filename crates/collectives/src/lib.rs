@@ -55,7 +55,7 @@ pub use ctx::{PendingRecv, PendingSend, ProtocolStats, RankCtx, RetryPolicy};
 pub use error::{CommError, ProtocolFailure};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultStats, MsgMatch};
 pub use group::{CommGroup, GroupRegistry};
-pub use membership::{MembershipView, RECOVERY_LAYER};
+pub use membership::{MembershipView, JOIN_BOOT_ITER, RECOVERY_LAYER};
 pub use p2p::{OverlapStats, PendingBatch, RecvOp, SendOp};
 pub use payload::{decode_f16_into, encode_f16, Payload};
 pub use tag::{TagFields, TagSpace, WirePhase};

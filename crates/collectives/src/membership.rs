@@ -44,12 +44,19 @@ use crate::ctx::RankCtx;
 use crate::error::CommError;
 use crate::group::CommGroup;
 use crate::tag::{TagSpace, WirePhase};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tag-space layer reserved for recovery traffic (membership rounds and
 /// state-reconstruction transfers). The layer field is 6 bits, so 63 is the
 /// highest encodable layer; engines must keep their `layer_id` below it.
 pub const RECOVERY_LAYER: usize = 63;
+
+/// Iteration stamped on join-bootstrap tags: the maximum encodable
+/// iteration, so the bootstrap's fencing epoch is above every training
+/// epoch and `discard_stale_below` can never purge a bootstrap waiting in
+/// a standby rank's stash. The bootstrap payload carries the real
+/// membership epoch in-band.
+pub const JOIN_BOOT_ITER: u64 = (1 << 18) - 1;
 
 /// An agreed view of cluster membership: which physical ranks are alive,
 /// under which membership epoch. Logical ranks `0..size()` are the alive
@@ -67,6 +74,28 @@ impl MembershipView {
     pub fn full(world: usize) -> Self {
         assert!(world > 0, "membership needs at least one rank");
         Self { epoch: 0, alive: vec![true; world] }
+    }
+
+    /// A view over a `world`-rank physical cluster with only the first
+    /// `active` ranks participating, epoch 0 — the standby model for
+    /// scale-out: ranks `active..world` exist (threads, channels) but are
+    /// not members until a join admits them.
+    pub fn partial(world: usize, active: usize) -> Self {
+        assert!(active > 0, "membership needs at least one rank");
+        assert!(active <= world, "active {active} exceeds physical world {world}");
+        Self { epoch: 0, alive: (0..world).map(|r| r < active).collect() }
+    }
+
+    /// The view with `rank` additionally marked alive, **same epoch** —
+    /// the pre-agreement grown view both the survivors and the joiner feed
+    /// to [`RankCtx::agree_membership`], which bumps the epoch when the
+    /// grown membership commits.
+    pub fn with_joined(&self, rank: usize) -> Self {
+        assert!(rank < self.alive.len(), "rank {rank} out of the {}-rank world", self.alive.len());
+        assert!(!self.alive[rank], "rank {rank} is already a member");
+        let mut alive = self.alive.clone();
+        alive[rank] = true;
+        Self { epoch: self.epoch, alive }
     }
 
     /// Membership epoch (0 = initial full world; +1 per agreement).
@@ -315,6 +344,86 @@ impl RankCtx {
         }
         Ok((MembershipView::from_alive(view.epoch() + 1, alive), payloads))
     }
+
+    /// Survivor side of the join handshake: hands `joiner` the current
+    /// membership view (`[epoch, alive bitmap…]`) so it can enter the
+    /// agreement round that admits it. Sent on the reserved
+    /// [`JOIN_BOOT_ITER`] tag plane, whose fencing epoch sits above every
+    /// training epoch — a standby rank can therefore receive it no matter
+    /// how many stale-traffic purges happened while it waited.
+    pub fn send_join_bootstrap(
+        &mut self,
+        joiner: usize,
+        view: &MembershipView,
+    ) -> Result<(), CommError> {
+        let ts = TagSpace::new(RECOVERY_LAYER, JOIN_BOOT_ITER);
+        let mut msg = vec![view.epoch()];
+        msg.extend_from_slice(&encode_alive(&view.alive));
+        self.send(joiner, ts.tag(WirePhase::Control, joiner, self.rank()), msg)
+    }
+
+    /// Joiner side of the join handshake: probes every other physical rank
+    /// for a [`send_join_bootstrap`] message in short slices until one
+    /// lands or `deadline` expires, and returns the decoded pre-join view
+    /// plus the rank that sent it. The caller then builds
+    /// [`MembershipView::with_joined`] over its own rank and enters
+    /// [`agree_membership`] alongside the survivors.
+    ///
+    /// [`send_join_bootstrap`]: RankCtx::send_join_bootstrap
+    /// [`agree_membership`]: RankCtx::agree_membership
+    pub fn await_join_bootstrap(
+        &mut self,
+        deadline: Duration,
+    ) -> Result<(MembershipView, usize), CommError> {
+        let me = self.rank();
+        let world = self.world_size();
+        let ts = TagSpace::new(RECOVERY_LAYER, JOIN_BOOT_ITER);
+        let saved_timeout = self.recv_timeout();
+        let saved_retry = self.retry_policy();
+        self.set_retry_policy(None);
+        self.set_recv_timeout(Some(Duration::from_millis(50)));
+        let start = Instant::now();
+        let result = 'probe: loop {
+            for p in (0..world).filter(|&p| p != me) {
+                match self.recv_u64(p, ts.tag(WirePhase::Control, me, p)) {
+                    Ok(data) => break 'probe Ok((data, p)),
+                    Err(CommError::RecvTimeout { .. } | CommError::PeerGone { .. }) => continue,
+                    Err(other) => break 'probe Err(other),
+                }
+            }
+            if start.elapsed() >= deadline {
+                break Err(CommError::RecvTimeout {
+                    from: me,
+                    tag: "join-bootstrap".to_string(),
+                    waited_ms: start.elapsed().as_millis() as u64,
+                    fenced: 0,
+                    pending: Vec::new(),
+                });
+            }
+        };
+        self.set_recv_timeout(saved_timeout);
+        self.set_retry_policy(saved_retry);
+        let (data, from) = result?;
+        let words = bitmap_words(world);
+        assert!(data.len() == 1 + words, "join bootstrap from rank {from} has the wrong shape");
+        let epoch = data[0];
+        let alive = decode_alive(&data[1..], world);
+        Ok((MembershipView::from_alive(epoch, alive), from))
+    }
+
+    /// Consumes the redundant join bootstraps from `senders` (every
+    /// survivor sends one; the joiner acted on the first). They were sent
+    /// before each survivor's first agreement message on the same FIFO
+    /// channel, so once the agreement has converged they are already in
+    /// the stash — this just keeps them from lingering there forever.
+    pub fn drain_join_bootstraps(&mut self, senders: &[usize]) -> Result<(), CommError> {
+        let me = self.rank();
+        let ts = TagSpace::new(RECOVERY_LAYER, JOIN_BOOT_ITER);
+        for &p in senders.iter().filter(|&&p| p != me) {
+            self.recv_u64(p, ts.tag(WirePhase::Control, me, p))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -359,5 +468,80 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn view_cannot_lose_everyone() {
         let _ = MembershipView::full(2).without(&[0, 1]);
+    }
+
+    #[test]
+    fn partial_view_activates_a_prefix_of_the_physical_world() {
+        let v = MembershipView::partial(5, 3);
+        assert_eq!(v.epoch(), 0);
+        assert_eq!(v.world(), 5);
+        assert_eq!(v.size(), 3);
+        assert_eq!(v.survivors(), vec![0, 1, 2]);
+        assert_eq!(v.logical_of(2), Some(2));
+        assert_eq!(v.logical_of(4), None);
+    }
+
+    #[test]
+    fn with_joined_marks_alive_without_bumping_the_epoch() {
+        let v = MembershipView::partial(5, 4).without(&[2]); // epoch 1, {0,1,3}
+        let grown = v.with_joined(4);
+        assert_eq!(grown.epoch(), v.epoch(), "the agreement bumps the epoch, not the pre-view");
+        assert_eq!(grown.survivors(), vec![0, 1, 3, 4]);
+        assert_eq!(grown.logical_of(4), Some(3), "the joiner takes the next logical rank");
+        assert!(!v.is_alive(4), "with_joined does not mutate the source view");
+    }
+
+    #[test]
+    #[should_panic(expected = "already a member")]
+    fn with_joined_rejects_a_live_rank() {
+        let _ = MembershipView::full(3).with_joined(1);
+    }
+
+    #[test]
+    fn join_bootstrap_and_agreement_admit_a_standby_rank() {
+        use crate::cluster::{Cluster, ClusterSpec};
+        const WORLD: usize = 4;
+        const ACTIVE: usize = 3;
+        let (results, _) = Cluster::run(ClusterSpec::flat(WORLD), |ctx| {
+            let me = ctx.rank();
+            let view = MembershipView::partial(WORLD, ACTIVE);
+            let timeout = Duration::from_millis(500);
+            if me < ACTIVE {
+                // Survivor: hand the standby rank the current view, then
+                // run the admitting agreement over the grown pre-view.
+                ctx.send_join_bootstrap(WORLD - 1, &view).unwrap();
+                let pre = view.with_joined(WORLD - 1);
+                let (new_view, payloads) =
+                    ctx.agree_membership(&pre, &[], &[me as u64 + 10], timeout).unwrap();
+                ctx.set_membership_gen(new_view.epoch());
+                (new_view, payloads)
+            } else {
+                // Joiner: probe for the bootstrap, then enter the same
+                // agreement with its own payload.
+                let (boot, from) = ctx.await_join_bootstrap(Duration::from_secs(5)).unwrap();
+                assert!(from < ACTIVE);
+                assert_eq!(boot.epoch(), 0);
+                assert_eq!(boot.survivors(), vec![0, 1, 2]);
+                let pre = boot.with_joined(me);
+                ctx.set_membership_gen(pre.epoch() + 1);
+                let (new_view, payloads) =
+                    ctx.agree_membership(&pre, &[], &[me as u64 + 10], timeout).unwrap();
+                let others: Vec<usize> =
+                    new_view.survivors().into_iter().filter(|&p| p != from && p != me).collect();
+                ctx.drain_join_bootstraps(&others).unwrap();
+                (new_view, payloads)
+            }
+        });
+        for (rank, (view, payloads)) in results.iter().enumerate() {
+            assert_eq!(view.epoch(), 1, "rank {rank}");
+            assert_eq!(view.survivors(), vec![0, 1, 2, 3], "rank {rank}");
+            for (p, payload) in payloads.iter().enumerate() {
+                assert_eq!(
+                    payload.as_deref(),
+                    Some(&[p as u64 + 10][..]),
+                    "rank {rank}: payload of rank {p}"
+                );
+            }
+        }
     }
 }

@@ -123,6 +123,29 @@ pub struct RecoveryStats {
     pub reshard: ReshardReport,
 }
 
+/// What one successful scale-out did — identical on every member of the
+/// grown world, survivors ([`MoeLayerEngine::admit`]) and joiner
+/// ([`MoeLayerEngine::join`]) alike.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Membership epoch agreed by the grown world (strictly increases).
+    pub membership_epoch: u64,
+    /// Grown world size (`old_world + 1`).
+    pub world_size: usize,
+    /// Physical rank admitted by this agreement round.
+    pub joiner: usize,
+    /// First iteration the grown world will run. A join happens at a clean
+    /// iteration boundary, so unlike recovery nothing is skipped: this is
+    /// the iteration the survivors were about to run anyway.
+    pub resume_iteration: u64,
+    /// Stale messages purged from the mailbox before resuming.
+    pub stale_discarded: u64,
+    /// Optimizer re-shard accounting. On a grow, `reinitialized_params`
+    /// and `reseeded_params` are always 0 and `transferred_params` counts
+    /// the fp32 Adam slices moved to their new owners moments-and-all.
+    pub reshard: ReshardReport,
+}
+
 /// A rank's full training state: enough to rebuild a bit-identical engine
 /// on a fresh cluster via [`MoeLayerEngine::from_snapshot`]. Used by the
 /// recovery oracle tests and as the natural checkpoint payload.
@@ -186,6 +209,36 @@ pub fn assign_token_slots(
     (kept, kept_slot, taken)
 }
 
+/// Folds the survivors' join-agreement payloads
+/// (`[iterations, adam_step, pop_len, pop…]`, indexed by physical rank;
+/// the joiner's placeholder at index `joiner` is skipped): the resume
+/// iteration and Adam step are the maxima, and the freshest popularity
+/// wins (ties to the lowest physical rank, so every member picks the
+/// same).
+fn fold_join_payloads(
+    payloads: &[Option<Vec<u64>>],
+    joiner: usize,
+) -> (u64, u64, Option<Vec<u64>>) {
+    let mut resume_iter = 0u64;
+    let mut adam_t = 0u64;
+    let mut best: Option<(u64, Vec<u64>)> = None;
+    for (phys, p) in payloads.iter().enumerate() {
+        if phys == joiner {
+            continue;
+        }
+        let Some(p) = p else { continue };
+        let it = p[0];
+        resume_iter = resume_iter.max(it);
+        adam_t = adam_t.max(p[1]);
+        let len = p[2] as usize;
+        debug_assert!(p.len() >= 3 + len, "malformed join payload");
+        if len > 0 && best.as_ref().is_none_or(|(bi, _)| it > *bi) {
+            best = Some((it, p[3..3 + len].to_vec()));
+        }
+    }
+    (resume_iter, adam_t, best.map(|(_, pop)| pop))
+}
+
 /// Per-rank SYMI engine for one MoE layer.
 ///
 /// All internal geometry (placement, sharding, dispatch) runs over dense
@@ -221,6 +274,10 @@ pub struct MoeLayerEngine {
     /// The weight scatter currently in flight across an iteration boundary
     /// (overlap mode only).
     pending_weights: Option<PendingWeights>,
+    /// Cumulative NaN router probabilities observed (exported as the
+    /// `router.nan_logits` gauge). A NaN never panics the argmax — NaN
+    /// sorts last — but it signals upstream numeric trouble loudly.
+    nan_logits: u64,
     telemetry: TelemetryHandle,
 }
 
@@ -243,12 +300,22 @@ impl MoeLayerEngine {
     /// Builds the rank-local engine. All ranks construct identical initial
     /// expert weights, router, and placement from `cfg.seed`.
     pub fn new(rank: usize, nodes: usize, cfg: EngineConfig) -> Self {
+        Self::new_in_world(rank, nodes, nodes, cfg)
+    }
+
+    /// Builds the rank-local engine over a physical cluster of `world`
+    /// ranks of which only the first `active` participate — the standby
+    /// model for scale-out: ranks `active..world` exist (threads, channels)
+    /// but run no engine until [`MoeLayerEngine::join`] admits them. With
+    /// `active == world` this is exactly [`MoeLayerEngine::new`].
+    pub fn new_in_world(rank: usize, active: usize, world: usize, cfg: EngineConfig) -> Self {
         assert!(
             cfg.layer_id < RECOVERY_LAYER,
             "layer {} collides with the recovery tag plane",
             cfg.layer_id
         );
-        let placement = ExpertPlacement::uniform(cfg.expert_classes, nodes, cfg.slots_per_rank);
+        assert!(rank < active, "rank {rank} is a standby rank in a {active}-active world");
+        let placement = ExpertPlacement::uniform(cfg.expert_classes, active, cfg.slots_per_rank);
         // Canonical initial weights per class (deterministic in class id).
         let class_params: Vec<Vec<f32>> = (0..cfg.expert_classes)
             .map(|class| Self::canonical_class_params(&cfg, class))
@@ -262,12 +329,13 @@ impl MoeLayerEngine {
                 e
             })
             .collect();
-        let optimizer = SymiOptimizer::new(rank, nodes, cfg.adam, &class_params);
+        let view = MembershipView::partial(world, active);
+        let optimizer = SymiOptimizer::with_view(view.clone(), rank, cfg.adam, &class_params);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70c7);
         let router_w = init::normal(cfg.d_model, cfg.expert_classes, 0.3, &mut rng);
         Self {
             cfg,
-            view: MembershipView::full(nodes),
+            view,
             lrank: rank,
             slots,
             placement,
@@ -278,6 +346,7 @@ impl MoeLayerEngine {
             degraded_iterations: 0,
             overlap: overlap_from_env(),
             pending_weights: None,
+            nan_logits: 0,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -286,6 +355,13 @@ impl MoeLayerEngine {
     /// instead of aborting on a starved popularity/stats collective.
     pub fn degraded_iterations(&self) -> u64 {
         self.degraded_iterations
+    }
+
+    /// Cumulative NaN router probabilities observed (the `router.nan_logits`
+    /// gauge). Nonzero means something upstream produced inf/NaN logits;
+    /// routing survived by sorting NaN last.
+    pub fn nan_logits(&self) -> u64 {
+        self.nan_logits
     }
 
     /// Enables or disables the overlap scheduler (overrides `SYMI_OVERLAP`).
@@ -463,6 +539,12 @@ impl MoeLayerEngine {
         let timeout = ctx.default_membership_timeout();
         let (new_view, payloads) =
             ctx.agree_membership(&self.view, &suspects, &payload, timeout)?;
+        // Namespace every post-agreement message under the new membership
+        // generation (stragglers from the aborted epoch are dropped, a
+        // later re-join of the same physical rank starts a fresh sequence
+        // space), and record the epoch's world bound in the group registry.
+        ctx.set_membership_gen(new_view.epoch());
+        ctx.groups().register_epoch(new_view.epoch(), new_view.world());
         let dead_ranks: Vec<usize> = (0..self.view.world())
             .filter(|&r| self.view.is_alive(r) && !new_view.is_alive(r))
             .collect();
@@ -574,6 +656,219 @@ impl MoeLayerEngine {
         Ok(())
     }
 
+    /// The survivor side of **elastic scale-out** — the inverse of
+    /// [`MoeLayerEngine::recover`]: admit a standby physical rank into the
+    /// membership and grow every downstream structure with it. Call at a
+    /// clean iteration boundary on every current member, paired with
+    /// [`MoeLayerEngine::join`] on the joiner.
+    ///
+    /// Driver order:
+    /// 1. land any in-flight overlapped weight scatter
+    ///    (`complete_pending_weights`) — the join must not race a scatter
+    ///    issued under the old world's geometry;
+    /// 2. bootstrap the joiner ([`RankCtx::send_join_bootstrap`]): it
+    ///    cannot know the current view/epoch on its own;
+    /// 3. all members — joiner included — agree on the grown membership
+    ///    and a bumped epoch ([`RankCtx::agree_membership`]), survivors
+    ///    exchanging `(completed iterations, Adam step, latest popularity)`
+    ///    payloads;
+    /// 4. the membership generation bump namespaces every subsequent
+    ///    message, and the epoch's world bound is registered with the
+    ///    group registry so survivor↔joiner communicator groups resolve;
+    /// 5. Algorithm 1 re-runs over `total_slots` grown by the joiner's
+    ///    slots;
+    /// 6. optimizer ownership re-shards over `N+1` ranks
+    ///    ([`SymiOptimizer::reshard`], growing direction): shed fp32
+    ///    slices transfer to their new owners **moments and all** — a
+    ///    join never degrades optimizer state the way acquire-on-shrink
+    ///    legitimately does;
+    /// 7. the grown placement is materialized from the re-sharded masters
+    ///    (the joiner's fp16 slots arrive through the same distribute
+    ///    path every slot uses every iteration).
+    ///
+    /// Because a boundary join aborts nothing, `resume_iteration` is the
+    /// iteration the survivors were about to run anyway — zero degraded
+    /// iterations, and the grown cluster is bit-exact with a fresh
+    /// `N+1`-rank cluster restored from the post-join snapshots.
+    ///
+    /// # Panics
+    /// Panics if `joiner` is already a member, or if a survivor died
+    /// concurrently (mixed join+death changes must recover first).
+    pub fn admit(&mut self, ctx: &mut RankCtx, joiner: usize) -> Result<JoinStats, CommError> {
+        assert!(!self.view.is_alive(joiner), "rank {joiner} is already a member");
+        let me_phys = self.view.physical_of(self.lrank);
+        self.complete_pending_weights(ctx)?;
+        ctx.send_join_bootstrap(joiner, &self.view)?;
+
+        // Payload: [completed iterations, Adam step, pop length, pop…].
+        let mut payload = vec![self.iteration, self.optimizer.adam_step_count(), 0];
+        if let Some(pop) = self.metadata.latest(0) {
+            payload[2] = pop.len() as u64;
+            payload.extend_from_slice(pop);
+        }
+        let grown = self.view.with_joined(joiner);
+        let timeout = ctx.default_membership_timeout();
+        let (new_view, payloads) = ctx.agree_membership(&grown, &[], &payload, timeout)?;
+        ctx.set_membership_gen(new_view.epoch());
+        ctx.groups().register_epoch(new_view.epoch(), new_view.world());
+        for r in self.view.survivors() {
+            assert!(
+                new_view.is_alive(r),
+                "rank {r} died during the admission of rank {joiner} — mixed join+death \
+                 membership change is unsupported: recover the death first, then admit"
+            );
+        }
+        assert!(new_view.is_alive(joiner), "the agreement evicted the joiner it was admitting");
+
+        let (resume_iter, adam_t, popularity) = fold_join_payloads(&payloads, joiner);
+        debug_assert_eq!(self.iteration, resume_iter, "admit must run at a clean boundary");
+        debug_assert_eq!(self.optimizer.adam_step_count(), adam_t, "survivor Adam steps differ");
+
+        // Purge strictly-older traffic; the boundary iteration itself was
+        // never started, so nothing of it is in flight.
+        self.pending_weights = None;
+        let stale_discarded = ctx.discard_stale_below(resume_iter << 5);
+
+        // Algorithm 1 over the grown world: same classes, more slots.
+        let new_n = new_view.size();
+        let total = self.cfg.total_slots(new_n);
+        let counts = match &popularity {
+            Some(pop) => compute_placement(pop, total),
+            None => compute_placement(&vec![0u64; self.cfg.expert_classes], total),
+        };
+        let new_placement = ExpertPlacement::from_counts(&counts, self.cfg.slots_per_rank);
+
+        // Grow the optimizer geometry: shed slices travel with full state.
+        let cfg = self.cfg;
+        let report = self.optimizer.reshard(
+            ctx,
+            &new_view,
+            &self.placement,
+            &[],
+            &|class| Self::canonical_class_params(&cfg, class),
+            TagSpace::new(RECOVERY_LAYER, resume_iter),
+        )?;
+
+        // Adopt the grown world and materialize the new placement.
+        self.lrank = new_view.logical_of(me_phys).expect("agreement keeps the caller alive");
+        self.view = new_view;
+        self.placement = new_placement;
+        self.iteration = resume_iter;
+        if let Some(pop) = popularity {
+            self.metadata.record(0, pop);
+        }
+        self.materialize_slots(ctx)?;
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge("membership_epoch").set(self.view.epoch() as f64);
+            self.telemetry.gauge("world_size").set(new_n as f64);
+            self.telemetry.gauge("transferred_params").set(report.transferred_params as f64);
+            self.telemetry.counter("joins_total").inc();
+        }
+
+        Ok(JoinStats {
+            membership_epoch: self.view.epoch(),
+            world_size: new_n,
+            joiner,
+            resume_iteration: resume_iter,
+            stale_discarded,
+            reshard: report,
+        })
+    }
+
+    /// The joiner's side of elastic scale-out: blocks (up to `deadline`)
+    /// for a survivor's bootstrap announcing the current view, takes part
+    /// in the grown-membership agreement, receives its fp32 optimizer
+    /// shards over the wire — Adam moments included — and materializes its
+    /// fp16 slots through the standard distribute path. Pairs with
+    /// [`MoeLayerEngine::admit`] on every current member; on success the
+    /// engine is ready for the next collective [`MoeLayerEngine::iteration`].
+    pub fn join(
+        ctx: &mut RankCtx,
+        cfg: EngineConfig,
+        deadline: std::time::Duration,
+    ) -> Result<(Self, JoinStats), CommError> {
+        assert!(
+            cfg.layer_id < RECOVERY_LAYER,
+            "layer {} collides with the recovery tag plane",
+            cfg.layer_id
+        );
+        let me = ctx.rank();
+        let (boot_view, first_sender) = ctx.await_join_bootstrap(deadline)?;
+        assert!(boot_view.logical_of(me).is_none(), "a joiner must be new to the old view");
+        let grown = boot_view.with_joined(me);
+        // The agreement commits epoch+1; bump the generation *before*
+        // sending the first agreement message so this rank's traffic is
+        // never mistaken for a stale incarnation's.
+        ctx.set_membership_gen(grown.epoch() + 1);
+        // The joiner has no history: survivors skip its placeholder payload.
+        let payload = vec![0u64, 0, 0];
+        let timeout = ctx.default_membership_timeout();
+        let (new_view, payloads) = ctx.agree_membership(&grown, &[], &payload, timeout)?;
+        ctx.groups().register_epoch(new_view.epoch(), new_view.world());
+        // Every survivor sent a bootstrap; only the first was consumed.
+        let others: Vec<usize> =
+            boot_view.survivors().into_iter().filter(|&p| p != first_sender).collect();
+        ctx.drain_join_bootstraps(&others)?;
+
+        let (resume_iter, adam_t, popularity) = fold_join_payloads(&payloads, me);
+        ctx.discard_stale_below(resume_iter << 5);
+
+        let new_n = new_view.size();
+        let total = cfg.total_slots(new_n);
+        let counts = match &popularity {
+            Some(pop) => compute_placement(pop, total),
+            None => compute_placement(&vec![0u64; cfg.expert_classes], total),
+        };
+        let placement = ExpertPlacement::from_counts(&counts, cfg.slots_per_rank);
+
+        let param_count = Self::canonical_class_params(&cfg, 0).len();
+        let (optimizer, report) = SymiOptimizer::join(
+            ctx,
+            &boot_view,
+            &new_view,
+            cfg.adam,
+            cfg.expert_classes,
+            param_count,
+            adam_t,
+            TagSpace::new(RECOVERY_LAYER, resume_iter),
+        )?;
+
+        let mut metadata = LayerMetadataStore::new(1, 64);
+        if let Some(pop) = &popularity {
+            metadata.record(0, pop.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x70c7);
+        let router_w = init::normal(cfg.d_model, cfg.expert_classes, 0.3, &mut rng);
+        let lrank = new_view.logical_of(me).expect("the agreement admitted this rank");
+        let stats = JoinStats {
+            membership_epoch: new_view.epoch(),
+            world_size: new_n,
+            joiner: me,
+            resume_iteration: resume_iter,
+            stale_discarded: 0,
+            reshard: report,
+        };
+        let mut engine = Self {
+            cfg,
+            view: new_view,
+            lrank,
+            slots: Vec::new(),
+            placement,
+            optimizer,
+            metadata,
+            router_w,
+            iteration: resume_iter,
+            degraded_iterations: 0,
+            overlap: overlap_from_env(),
+            pending_weights: None,
+            nan_logits: 0,
+            telemetry: TelemetryHandle::disabled(),
+        };
+        engine.materialize_slots(ctx)?;
+        Ok((engine, stats))
+    }
+
     /// Captures this rank's full training state (snapshot support and the
     /// oracle side of the elastic recovery tests).
     pub fn snapshot(&self) -> EngineSnapshot {
@@ -638,6 +933,7 @@ impl MoeLayerEngine {
             degraded_iterations: 0,
             overlap: overlap_from_env(),
             pending_weights: None,
+            nan_logits: 0,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -705,10 +1001,20 @@ impl MoeLayerEngine {
         let mut popularity = vec![0u64; e];
         for t in 0..t_loc {
             let row = probs.row(t);
+            // NaN-last argmax: a NaN probability (softmax of an inf/NaN
+            // logit) must not panic the iteration — it loses to every
+            // finite entry and is counted into the `router.nan_logits`
+            // gauge so the numeric trouble upstream stays loud.
+            self.nan_logits += row.iter().filter(|p| p.is_nan()).count() as u64;
             let (best, &p) = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                .max_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Less,
+                    (false, true) => std::cmp::Ordering::Greater,
+                    (false, false) => a.1.partial_cmp(b.1).expect("both finite"),
+                })
                 .expect("at least one class");
             assignment.push(best);
             gates.push(p);
@@ -1102,6 +1408,7 @@ impl MoeLayerEngine {
             tele.gauge("protocol_retries").set(ps.retries as f64);
             tele.gauge("protocol_duplicates_dropped").set(ps.duplicates_dropped as f64);
             tele.gauge("degraded_iterations").set(self.degraded_iterations as f64);
+            tele.gauge("router.nan_logits").set(self.nan_logits as f64);
             if degraded {
                 tele.counter("degraded_iterations_total").inc();
             }
@@ -1373,6 +1680,28 @@ mod tests {
                 "param {i}: analytic grad {g} vs finite difference {fd}"
             );
         }
+    }
+
+    #[test]
+    fn nan_logits_do_not_panic_the_routing_argmax() {
+        // A NaN token row makes every router probability NaN (softmax of
+        // NaN logits); before the NaN-last ordering this panicked inside
+        // `partial_cmp(..).expect("finite probs")`. Now the iteration
+        // completes and the gauge counts what it saw.
+        let nodes = 2;
+        let (results, _) = Cluster::run(ClusterSpec::flat(nodes), |ctx| {
+            let mut engine = MoeLayerEngine::new(ctx.rank(), nodes, cfg());
+            let mut x = token_matrix(ctx.rank(), 4, 8);
+            if ctx.rank() == 0 {
+                x[(2, 3)] = f32::NAN;
+            }
+            let target = Matrix::zeros(4, 8);
+            let stats = engine.iteration(ctx, &x, &target).expect("NaN must not abort");
+            (stats.popularity.iter().sum::<u64>(), engine.nan_logits())
+        });
+        assert_eq!(results[0].0, 8, "every token still routes somewhere");
+        assert_eq!(results[0].1, 4, "all four probs of rank 0's NaN row are NaN");
+        assert_eq!(results[1].1, 0, "rank 1 saw only finite probs");
     }
 
     #[test]

@@ -96,13 +96,17 @@ impl ShardState {
 /// Accounting of one [`SymiOptimizer::reshard`]: how many parameters of
 /// this rank's new shard were kept (old chunk overlap, moments intact),
 /// how many were re-acquired with moments reset (the documented, bounded
-/// degradation), and — of those — how many had to fall back to canonical
-/// re-initialization because no surviving copy existed at all.
+/// degradation of a *shrink*), how many — of those — had to fall back to
+/// canonical re-initialization because no surviving copy existed at all,
+/// and how many arrived with their full fp32 Adam state over the wire (a
+/// *grow* transfers shed slices moments-and-all, so a join never degrades
+/// optimizer state).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReshardReport {
     pub kept_params: u64,
     pub reseeded_params: u64,
     pub reinitialized_params: u64,
+    pub transferred_params: u64,
 }
 
 /// Where an acquired re-shard segment's master weights come from, in
@@ -201,6 +205,65 @@ fn reshard_plan(
     plan
 }
 
+/// One contiguous segment `[start, end)` of the fp32 Adam state (identical
+/// geometry for every class) that `dst` must acquire from `src` during a
+/// *grow* re-shard. Both ranks are physical; `src` is the segment's old
+/// chunk owner, which a pure grow guarantees is still alive.
+#[derive(Clone, Copy, Debug)]
+struct GrowPiece {
+    dst: usize,
+    start: usize,
+    end: usize,
+    src: usize,
+}
+
+/// Deterministic grow-transfer plan, identical on every member of the new
+/// view (the joiner included — unlike the shrink plan it needs no old
+/// placement, because shed fp32 state moves owner-to-owner rather than
+/// being rebuilt from fp16 replicas): for each new chunk owner, the
+/// segments its new chunk acquires beyond its old chunk (the whole chunk,
+/// for a brand-new member), split by the old chunk geometry so each
+/// segment has exactly one source.
+fn grow_plan(
+    old_view: &MembershipView,
+    new_view: &MembershipView,
+    param_count: usize,
+) -> Vec<GrowPiece> {
+    let old_n = old_view.size();
+    let new_n = new_view.size();
+    let mut plan = Vec::new();
+    for dst_l in 0..new_n {
+        let dst = new_view.physical_of(dst_l);
+        let (ns, ne) = chunk_range(param_count, new_n, dst_l);
+        let (os, oe) = match old_view.logical_of(dst) {
+            Some(old_l) => chunk_range(param_count, old_n, old_l),
+            None => (ns, ns), // the joiner held nothing: acquire everything
+        };
+        // Acquired = new chunk minus old chunk: at most two segments.
+        let before = (ns, ne.min(os));
+        let after = (ns.max(oe), ne);
+        for (a, b) in [before, after] {
+            if a >= b {
+                continue;
+            }
+            for owner_l in 0..old_n {
+                let (cs, ce) = chunk_range(param_count, old_n, owner_l);
+                let (pa, pb) = (a.max(cs), b.min(ce));
+                if pa >= pb {
+                    continue;
+                }
+                plan.push(GrowPiece {
+                    dst,
+                    start: pa,
+                    end: pb,
+                    src: old_view.physical_of(owner_l),
+                });
+            }
+        }
+    }
+    plan
+}
+
 /// One class's gradient-shard source in a split (issue/complete) grad
 /// collection.
 enum GradSource {
@@ -278,15 +341,29 @@ impl SymiOptimizer {
     /// initial flat parameters (identical across ranks by construction),
     /// over the full `nodes`-rank world.
     pub fn new(rank: usize, nodes: usize, adam: AdamConfig, class_params: &[Vec<f32>]) -> Self {
+        Self::with_view(MembershipView::full(nodes), rank, adam, class_params)
+    }
+
+    /// Initializes this rank's shards over an explicit membership view —
+    /// the standby-world entry point: a cluster can run `active < world`
+    /// members (`MembershipView::partial`) with the idle ranks awaiting a
+    /// later join.
+    pub fn with_view(
+        view: MembershipView,
+        logical_rank: usize,
+        adam: AdamConfig,
+        class_params: &[Vec<f32>],
+    ) -> Self {
         assert!(!class_params.is_empty(), "need at least one expert class");
+        assert!(logical_rank < view.size(), "logical rank {logical_rank} out of the view");
         let param_count = class_params[0].len();
         assert!(class_params.iter().all(|p| p.len() == param_count), "uneven expert sizes");
-        let (start, end) = chunk_range(param_count, nodes, rank);
+        let (start, end) = chunk_range(param_count, view.size(), logical_rank);
         let shards =
             class_params.iter().map(|p| AdamShard::new(adam, start, &p[start..end])).collect();
         Self {
-            view: MembershipView::full(nodes),
-            lrank: rank,
+            view,
+            lrank: logical_rank,
             adam,
             param_count,
             shards,
@@ -365,6 +442,14 @@ impl SymiOptimizer {
 
     pub fn param_count(&self) -> usize {
         self.param_count
+    }
+
+    /// Adam's step counter (uniform across classes: [`SymiOptimizer::step`]
+    /// advances every class together; 0 before the first step). A join
+    /// carries this in the agreement payload so the joiner's bias
+    /// correction continues exactly where the cluster is.
+    pub fn adam_step_count(&self) -> u64 {
+        self.shards.first().map_or(0, AdamShard::step_count)
     }
 
     /// Optimizer-state bytes held on this rank (16 B/param accounting).
@@ -897,9 +982,15 @@ impl SymiOptimizer {
         canonical_init: &dyn Fn(usize) -> Vec<f32>,
         tags: TagSpace,
     ) -> Result<ReshardReport, CommError> {
+        assert!(new_view.epoch() > self.view.epoch(), "re-shard needs a successor view");
+        if new_view.size() > self.nodes() {
+            // The growing direction: shed slices transfer their full fp32
+            // Adam state owner-to-owner, so the old placement, the fp16
+            // replicas, and the canonical init never enter the geometry.
+            return self.reshard_grow(ctx, new_view, tags);
+        }
         let _span = self.telemetry.span(Phase::WeightComm);
         let e = self.shards.len();
-        assert!(new_view.epoch() > self.view.epoch(), "re-shard needs a successor view");
         assert_eq!(old_placement.ranks(), self.nodes(), "old placement rank count mismatch");
         let me_phys = self.my_phys();
         assert!(new_view.is_alive(me_phys), "a dead rank cannot re-shard");
@@ -1018,11 +1109,210 @@ impl SymiOptimizer {
         Ok(report)
     }
 
+    /// The survivor side of a *grow* re-shard ([`SymiOptimizer::reshard`]
+    /// dispatches here when `new_view` is larger): every member's chunk
+    /// shrinks to `1/(N+1)`, and each shed slice travels to its new owner
+    /// with its full fp32 Adam state — master weights **and** both moments
+    /// — so a join never degrades optimizer state the way acquire-on-shrink
+    /// legitimately does. Mixed join+death changes are rejected loudly:
+    /// recover (shrink) first, then admit.
+    fn reshard_grow(
+        &mut self,
+        ctx: &mut RankCtx,
+        new_view: &MembershipView,
+        tags: TagSpace,
+    ) -> Result<ReshardReport, CommError> {
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span(Phase::WeightComm);
+        let me_phys = self.my_phys();
+        assert!(new_view.is_alive(me_phys), "a dropped rank cannot re-shard");
+        for p in self.view.survivors() {
+            assert!(
+                new_view.is_alive(p),
+                "mixed join+death membership change is unsupported: rank {p} was dropped \
+                 while another joined — recover the death first, then admit the joiner"
+            );
+        }
+        let (shards, report) = grow_exchange(
+            ctx,
+            &self.view,
+            new_view,
+            me_phys,
+            self.shards.len(),
+            self.param_count,
+            self.adam,
+            Some(&self.shards),
+            0,
+            tags,
+        )?;
+        self.shards = shards;
+        self.lrank = new_view.logical_of(me_phys).expect("checked alive");
+        self.view = new_view.clone();
+        Ok(report)
+    }
+
+    /// The joiner's side of a grow re-shard: constructs a brand-new
+    /// optimizer whose shards arrive over the wire with their full fp32
+    /// Adam state, paired with the survivors' [`SymiOptimizer::reshard`]
+    /// over the same `(old, new)` view pair. `step_count` is the
+    /// survivors' Adam step counter (carried in the join agreement
+    /// payload), so the joiner's bias correction continues exactly where
+    /// the cluster is.
+    #[allow(clippy::too_many_arguments)]
+    pub fn join(
+        ctx: &mut RankCtx,
+        old_view: &MembershipView,
+        new_view: &MembershipView,
+        adam: AdamConfig,
+        expert_classes: usize,
+        param_count: usize,
+        step_count: u64,
+        tags: TagSpace,
+    ) -> Result<(Self, ReshardReport), CommError> {
+        let me_phys = ctx.rank();
+        assert!(old_view.logical_of(me_phys).is_none(), "a joiner must be new to the old view");
+        assert!(new_view.is_alive(me_phys), "the new view must admit the joiner");
+        assert!(new_view.epoch() > old_view.epoch(), "join needs a successor view");
+        assert!(expert_classes > 0, "need at least one expert class");
+        let (shards, report) = grow_exchange(
+            ctx,
+            old_view,
+            new_view,
+            me_phys,
+            expert_classes,
+            param_count,
+            adam,
+            None,
+            step_count,
+            tags,
+        )?;
+        let lrank = new_view.logical_of(me_phys).expect("checked alive");
+        Ok((
+            Self {
+                view: new_view.clone(),
+                lrank,
+                adam,
+                param_count,
+                shards,
+                telemetry: TelemetryHandle::disabled(),
+            },
+            report,
+        ))
+    }
+
     /// This rank's current fp32 master weights of `class`'s shard (testing
     /// and checkpoint support).
     pub fn master_shard(&self, class: usize) -> &[f32] {
         self.shards[class].master_weights()
     }
+}
+
+/// The wire exchange both sides of a grow re-shard share: walk the
+/// [`grow_plan`] (identical on every member), send each shed slice's
+/// `[master | m | v]` triple per class, receive each acquired slice's, and
+/// assemble the new chunk — kept overlap copied locally for survivors,
+/// everything else filled from the wire. `old_shards` is `None` on the
+/// joiner, whose old chunk is empty and whose Adam step counter comes from
+/// `t_join`.
+#[allow(clippy::too_many_arguments)]
+fn grow_exchange(
+    ctx: &mut RankCtx,
+    old_view: &MembershipView,
+    new_view: &MembershipView,
+    me_phys: usize,
+    expert_classes: usize,
+    param_count: usize,
+    adam: AdamConfig,
+    old_shards: Option<&[AdamShard]>,
+    t_join: u64,
+    tags: TagSpace,
+) -> Result<(Vec<AdamShard>, ReshardReport), CommError> {
+    let e = expert_classes;
+    let new_n = new_view.size();
+    let new_l = new_view.logical_of(me_phys).expect("a grow keeps every member");
+    let (ns, ne) = chunk_range(param_count, new_n, new_l);
+    let old_span =
+        old_view.logical_of(me_phys).map(|l| chunk_range(param_count, old_view.size(), l));
+    ctx.begin_epoch(tags.iteration(), WirePhase::WeightDistribute);
+    let plan = grow_plan(old_view, new_view, param_count);
+
+    // Per-destination piece counters give every wire message a unique step
+    // field; every member walks the identical plan, so the counters agree
+    // by construction. Distinct destinations are distinct receive channels,
+    // so counters never collide across them.
+    let mut piece_idx: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    for piece in &plan {
+        let idx = piece_idx.entry(piece.dst).or_insert(0);
+        let k = *idx;
+        *idx += 1;
+        let len = piece.end - piece.start;
+        if piece.src == me_phys {
+            let (os, _) = old_span.expect("a source rank owned its old chunk");
+            let shards = old_shards.expect("a source rank has old shards");
+            let r = piece.start - os..piece.end - os;
+            for (class, sh) in shards.iter().enumerate() {
+                let tag = with_step(tags.tag(WirePhase::WeightDistribute, class, me_phys), k);
+                let (m, v) = sh.moments();
+                let mut buf = Vec::with_capacity(3 * len);
+                buf.extend_from_slice(&sh.master_weights()[r.clone()]);
+                buf.extend_from_slice(&m[r.clone()]);
+                buf.extend_from_slice(&v[r.clone()]);
+                sends.push(SendOp::new(piece.dst, tag, buf));
+            }
+        } else if piece.dst == me_phys {
+            for class in 0..e {
+                let tag = with_step(tags.tag(WirePhase::WeightDistribute, class, piece.src), k);
+                recvs.push(RecvOp::sized(piece.src, tag, 3 * len));
+            }
+        }
+    }
+    let mut received = ctx.batch_isend_irecv(sends, &recvs)?.into_iter();
+
+    // Per-class (master, m, v, step) accumulators for this rank's new chunk.
+    type ShardParts = (Vec<f32>, Vec<f32>, Vec<f32>, u64);
+    let new_len = ne - ns;
+    let mut report = ReshardReport::default();
+    let mut new_shards: Vec<ShardParts> = (0..e)
+        .map(|class| {
+            let t = old_shards.map_or(t_join, |sh| sh[class].step_count());
+            (vec![0.0f32; new_len], vec![0.0f32; new_len], vec![0.0f32; new_len], t)
+        })
+        .collect();
+    if let (Some((os, oe)), Some(shards)) = (old_span, old_shards) {
+        let keep = (ns.max(os), ne.min(oe));
+        if keep.0 < keep.1 {
+            let dst_r = keep.0 - ns..keep.1 - ns;
+            let src_r = keep.0 - os..keep.1 - os;
+            for (class, sh) in shards.iter().enumerate() {
+                let (om, ov) = sh.moments();
+                new_shards[class].0[dst_r.clone()]
+                    .copy_from_slice(&sh.master_weights()[src_r.clone()]);
+                new_shards[class].1[dst_r.clone()].copy_from_slice(&om[src_r.clone()]);
+                new_shards[class].2[dst_r.clone()].copy_from_slice(&ov[src_r.clone()]);
+                report.kept_params += (keep.1 - keep.0) as u64;
+            }
+        }
+    }
+    for piece in plan.iter().filter(|p| p.dst == me_phys) {
+        let len = piece.end - piece.start;
+        let dst_r = piece.start - ns..piece.end - ns;
+        for shard in new_shards.iter_mut() {
+            let buf = received.next().expect("one receive per (piece, class)").into_f32()?;
+            let (master, rest) = buf.split_at(len);
+            let (m, v) = rest.split_at(len);
+            shard.0[dst_r.clone()].copy_from_slice(master);
+            shard.1[dst_r.clone()].copy_from_slice(m);
+            shard.2[dst_r.clone()].copy_from_slice(v);
+            report.transferred_params += len as u64;
+        }
+    }
+    let shards = new_shards
+        .into_iter()
+        .map(|(master, m, v, t)| AdamShard::from_parts(adam, ns, master, m, v, t))
+        .collect();
+    Ok((shards, report))
 }
 
 #[cfg(test)]
@@ -1113,6 +1403,122 @@ mod tests {
         );
         assert_eq!(restored.export_shard_states(), states);
         assert_eq!(restored.master_shard(0), opt.master_shard(0));
+    }
+
+    #[test]
+    fn grow_plan_covers_exactly_the_new_chunks() {
+        let old = MembershipView::partial(4, 3);
+        let new = old.with_joined(3).without(&[]); // epoch-bumped grown view
+        let p = 29usize;
+        let plan = grow_plan(&old, &new, p);
+        for dl in 0..4 {
+            let phys = new.physical_of(dl);
+            let (ns, ne) = chunk_range(p, 4, dl);
+            // Kept overlap (empty for the joiner) ∪ acquired pieces must
+            // tile the new chunk exactly, each piece sourced from its old
+            // owner.
+            let (os, oe) = old.logical_of(phys).map(|l| chunk_range(p, 3, l)).unwrap_or((ns, ns));
+            let mut covered: Vec<bool> = (ns..ne).map(|i| i >= os && i < oe).collect();
+            for piece in plan.iter().filter(|pc| pc.dst == phys) {
+                let (ss, se) = chunk_range(p, 3, old.logical_of(piece.src).expect("old owner"));
+                assert!(piece.start >= ss && piece.end <= se, "piece outside its source chunk");
+                for i in piece.start..piece.end {
+                    assert!(!covered[i - ns], "param {i} doubly sourced for dst {phys}");
+                    covered[i - ns] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "dst {phys} has holes");
+        }
+    }
+
+    #[test]
+    fn grow_reshard_transfers_full_adam_state_to_the_joiner() {
+        use symi_collectives::{Cluster, ClusterSpec};
+        const WORLD: usize = 3;
+        const ACTIVE: usize = 2;
+        const P: usize = 23; // deliberately indivisible by 2 and 3
+        const E: usize = 2;
+        let params: Vec<Vec<f32>> =
+            (0..E).map(|c| (0..P).map(|i| (c * P + i) as f32 * 0.01).collect()).collect();
+        let (results, _) = Cluster::run(ClusterSpec::flat(WORLD), {
+            let params = params.clone();
+            move |ctx| {
+                let old = MembershipView::partial(WORLD, ACTIVE);
+                let new = old.with_joined(2).without(&[]); // epoch-bumped grown view
+                let tags = TagSpace::new(0, 7);
+                if ctx.rank() < ACTIVE {
+                    let mut opt = SymiOptimizer::with_view(
+                        old.clone(),
+                        ctx.rank(),
+                        AdamConfig::default(),
+                        &params,
+                    );
+                    // Three Adam steps make master, m and v all nonzero.
+                    for s in 0..3usize {
+                        let (a, b) = opt.shard_range();
+                        let grads: Vec<Vec<f32>> = (0..E)
+                            .map(|c| {
+                                (a..b)
+                                    .map(|i| ((c + 1) * (i + 1) * (s + 1)) as f32 * 1e-3)
+                                    .collect()
+                            })
+                            .collect();
+                        let _ = opt.step(&grads);
+                    }
+                    let before = opt.export_shard_states();
+                    let report = opt
+                        .reshard(
+                            ctx,
+                            &new,
+                            &ExpertPlacement::uniform(E, ACTIVE, 1),
+                            &[],
+                            &|_| unreachable!("a grow never re-initializes"),
+                            tags,
+                        )
+                        .expect("grow reshard");
+                    (before, opt.export_shard_states(), report)
+                } else {
+                    let (opt, report) =
+                        SymiOptimizer::join(ctx, &old, &new, AdamConfig::default(), E, P, 3, tags)
+                            .expect("join");
+                    (Vec::new(), opt.export_shard_states(), report)
+                }
+            }
+        });
+        // The joiner received real state over the wire, and survivors
+        // report zero re-initialized params (a grow degrades nothing).
+        assert!(results[2].2.transferred_params > 0, "the joiner must receive moments");
+        for r in &results {
+            assert_eq!(r.2.reinitialized_params, 0, "a grow never re-initializes");
+        }
+        for class in 0..E {
+            // Concatenating the post-grow shards over the 3 new owners must
+            // reproduce the pre-grow global state bit-exactly — master
+            // weights AND both Adam moments AND the step counter.
+            let mut master = Vec::new();
+            let mut m = Vec::new();
+            let mut v = Vec::new();
+            for r in &results {
+                let s = &r.1[class];
+                assert_eq!(s.t, 3, "Adam step counter must carry over");
+                master.extend_from_slice(&s.master);
+                m.extend_from_slice(&s.m);
+                v.extend_from_slice(&s.v);
+            }
+            let mut old_master = Vec::new();
+            let mut old_m = Vec::new();
+            let mut old_v = Vec::new();
+            for r in &results[..ACTIVE] {
+                let s = &r.0[class];
+                old_master.extend_from_slice(&s.master);
+                old_m.extend_from_slice(&s.m);
+                old_v.extend_from_slice(&s.v);
+            }
+            assert_eq!(master, old_master, "class {class} master weights changed");
+            assert_eq!(m, old_m, "class {class} first moment changed (must transfer, not zero)");
+            assert_eq!(v, old_v, "class {class} second moment changed (must transfer, not zero)");
+            assert!(m.iter().any(|&x| x != 0.0), "moments must be nontrivial for the test to bite");
+        }
     }
 
     #[test]

@@ -119,6 +119,10 @@ impl PlacementPolicy for SymiPolicy {
     fn on_world_shrink(&mut self, total_slots: usize) {
         self.total_slots = total_slots;
     }
+
+    fn on_world_grow(&mut self, total_slots: usize) {
+        self.total_slots = total_slots;
+    }
 }
 
 #[cfg(test)]

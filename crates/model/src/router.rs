@@ -47,6 +47,10 @@ pub struct Router {
     scratch_dlogits: Matrix,
     scratch_order: Vec<usize>,
     scratch_f: Vec<f32>,
+    /// Cumulative NaN probabilities observed across forward passes (the
+    /// `router.nan_logits` telemetry gauge). A NaN never panics the top-k
+    /// sort — NaN orders last — but it flags numeric trouble upstream.
+    nan_logits: u64,
 }
 
 impl Router {
@@ -66,6 +70,7 @@ impl Router {
             scratch_dlogits: Matrix::zeros(0, 0),
             scratch_order: Vec::new(),
             scratch_f: Vec::new(),
+            nan_logits: 0,
         }
     }
 
@@ -75,6 +80,13 @@ impl Router {
 
     pub fn top_k(&self) -> usize {
         self.top_k
+    }
+
+    /// Cumulative NaN probabilities observed across forward passes — the
+    /// value the trainer exports as the `router.nan_logits` gauge. Nonzero
+    /// means inf/NaN logits reached the router and were routed around.
+    pub fn nan_logits(&self) -> u64 {
+        self.nan_logits
     }
 
     /// Routes every token (row of `x`) to its top-k experts.
@@ -90,9 +102,19 @@ impl Router {
         self.cached_top1.clear();
         for r in 0..t {
             let row = self.cached_probs.row(r);
+            // NaN-last descending sort: a NaN probability (softmax of an
+            // inf/NaN logit) must not panic routing — it loses to every
+            // finite entry and is tallied for the `router.nan_logits`
+            // gauge instead.
+            self.nan_logits += row.iter().filter(|p| p.is_nan()).count() as u64;
             self.scratch_order.clear();
             self.scratch_order.extend(0..e);
-            self.scratch_order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
+            self.scratch_order.sort_by(|&a, &b| match (row[a].is_nan(), row[b].is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => row[b].partial_cmp(&row[a]).expect("both finite"),
+            });
             let picks: Vec<(usize, f32)> =
                 self.scratch_order[..k].iter().map(|&c| (c, row[c])).collect();
             self.cached_top1.push(picks[0].0);
@@ -289,5 +311,37 @@ mod tests {
     #[should_panic(expected = "top_k must be in")]
     fn oversized_k_rejected() {
         let _ = Router::new(4, 3, 4, 0.0, 1);
+    }
+
+    #[test]
+    fn nan_probs_route_to_a_finite_class_without_panicking() {
+        // A NaN feature makes the whole row's softmax NaN; a partially
+        // huge feature can make *some* probs NaN. The sort used to panic
+        // on `partial_cmp(..).expect("finite probs")` — now NaN orders
+        // last, the token routes to the best finite class when one exists,
+        // and the counter reports what it saw.
+        let mut r = Router::new(4, 3, 2, 0.0, 7);
+        let mut x = Matrix::from_fn(5, 4, |i, c| ((i * 4 + c) as f32 * 0.37).sin());
+        x[(1, 2)] = f32::NAN; // row 1: every prob NaN
+        let routing = r.forward(&x);
+        assert_eq!(routing.assignment.len(), 5);
+        assert_eq!(routing.popularity.iter().sum::<u64>(), 10, "two counts per token");
+        assert_eq!(r.nan_logits(), 3, "row 1 contributes one NaN per class");
+        // Finite rows are untouched by the NaN-aware comparator.
+        for (t, picks) in routing.assignment.iter().enumerate() {
+            if t != 1 {
+                assert!(picks.iter().all(|&(_, g)| g.is_finite()), "token {t} gates finite");
+                assert!(picks[0].1 >= picks[1].1, "gates ordered descending");
+            }
+        }
+
+        // An inf logit also poisons its whole softmax row (the NaN row sum
+        // propagates) — still no panic, deterministic pick, counted.
+        let mut r2 = Router::new(2, 3, 1, 0.0, 9);
+        r2.w[(0, 0)] = f32::INFINITY;
+        let x2 = Matrix::from_fn(1, 2, |_, _| 1.0);
+        let routing2 = r2.forward(&x2);
+        assert_eq!(r2.nan_logits(), 3, "the inf logit must surface in the counter");
+        assert_eq!(routing2.assignment[0].len(), 1, "the token still routes");
     }
 }

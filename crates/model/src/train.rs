@@ -38,6 +38,14 @@ pub trait PlacementPolicy {
     fn on_world_shrink(&mut self, total_slots: usize) {
         let _ = total_slots;
     }
+
+    /// The world grew (elastic scale-out admitted a joiner): every
+    /// subsequent [`PlacementPolicy::next_replicas`] must sum to the
+    /// enlarged `total_slots`. Same contract as
+    /// [`PlacementPolicy::on_world_shrink`], opposite direction.
+    fn on_world_grow(&mut self, total_slots: usize) {
+        let _ = total_slots;
+    }
 }
 
 /// Static uniform replication (`r = sN/E`), as DeepSpeed provisions.
@@ -59,6 +67,10 @@ impl PlacementPolicy for UniformPolicy {
     fn on_world_shrink(&mut self, total_slots: usize) {
         // The divisibility assert above still applies: static uniform
         // replication only survives shrinks that keep `E | total_slots`.
+        self.total_slots = total_slots;
+    }
+
+    fn on_world_grow(&mut self, total_slots: usize) {
         self.total_slots = total_slots;
     }
 }
@@ -386,6 +398,32 @@ impl Trainer {
         self.policy.on_world_shrink(new_total);
     }
 
+    /// Adapts the trainer to a larger slot budget — the functional-side
+    /// counterpart of the distributed engine's scale-out, where a joining
+    /// rank adds its expert slots. The model's total slot count grows,
+    /// each layer's live allocation is padded by granting the freed slots
+    /// to its *least*-replicated classes (the mirror of the shrink
+    /// squeeze, so shrink-then-grow round-trips to a balanced allocation),
+    /// and the policy is notified so its subsequent allocations sum to the
+    /// new total.
+    ///
+    /// # Panics
+    /// Panics when `new_total` is below the current budget (use
+    /// [`Trainer::shrink_total_slots`] for that direction).
+    pub fn grow_total_slots(&mut self, new_total: usize) {
+        self.fence_rebalance();
+        let e = self.model.cfg.experts;
+        assert!(new_total >= self.model.cfg.total_slots, "grow cannot shrink the world");
+        self.model.cfg.total_slots = new_total;
+        for layer in &mut self.replicas {
+            while layer.iter().sum::<usize>() < new_total {
+                let i = (0..e).min_by_key(|&i| layer[i]).expect("at least one class");
+                layer[i] += 1;
+            }
+        }
+        self.policy.on_world_grow(new_total);
+    }
+
     /// Runs `iterations` training steps against the corpus.
     pub fn train(&mut self, corpus: &mut DriftingCorpus, iterations: usize) {
         for _ in 0..iterations {
@@ -566,6 +604,56 @@ mod tests {
         // policy fills exactly total_slots, so this also checks the hook).
         trainer.train(&mut corpus, 3);
         assert_eq!(trainer.record.losses.len(), 6);
+    }
+
+    #[test]
+    fn growing_total_slots_keeps_training_consistent() {
+        // Mirror of the shrink test: scale-out hands the trainer extra
+        // slots, the padding keeps the floor, subsequent steps fill the
+        // enlarged budget, and a shrink-then-grow round-trip balances.
+        struct Greedy {
+            total_slots: usize,
+        }
+        impl PlacementPolicy for Greedy {
+            fn name(&self) -> &'static str {
+                "test-greedy"
+            }
+            fn next_replicas(&mut self, _l: usize, pop: &[u64], _i: u64) -> Vec<usize> {
+                let e = pop.len();
+                let mut r = vec![1usize; e];
+                let mut left = self.total_slots - e;
+                while left > 0 {
+                    let hot = (0..e).max_by_key(|&c| pop[c] / r[c] as u64).unwrap();
+                    r[hot] += 1;
+                    left -= 1;
+                }
+                r
+            }
+            fn on_world_shrink(&mut self, total_slots: usize) {
+                self.total_slots = total_slots;
+            }
+            fn on_world_grow(&mut self, total_slots: usize) {
+                self.total_slots = total_slots;
+            }
+        }
+
+        let cfg = ModelConfig::tiny();
+        let mut corpus = corpus_for(&cfg);
+        let mut trainer = Trainer::new(cfg, Box::new(Greedy { total_slots: cfg.total_slots }));
+        trainer.train(&mut corpus, 3);
+
+        // Shrink (a rank died), train, then grow past the original budget
+        // (two ranks joined).
+        trainer.shrink_total_slots(cfg.total_slots - 2);
+        trainer.train(&mut corpus, 2);
+        let grown = cfg.total_slots + 2;
+        trainer.grow_total_slots(grown);
+        for layer in trainer.replicas() {
+            assert_eq!(layer.iter().sum::<usize>(), grown, "padding fills the new budget");
+            assert!(layer.iter().all(|&c| c >= 1), "padding respects the floor");
+        }
+        trainer.train(&mut corpus, 3);
+        assert_eq!(trainer.record.losses.len(), 8);
     }
 
     #[test]
