@@ -19,6 +19,7 @@
 use crate::ctx::RankCtx;
 use crate::error::CommError;
 use crate::group::CommGroup;
+use crate::tree::{TierMap, TreeStats};
 
 /// Reduction semantics for replica synchronization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +79,47 @@ impl RankCtx {
             other.copy_from_slice(rep);
         }
         Ok(())
+    }
+
+    /// [`RankCtx::expert_allreduce`] with the inter-rank step replaced by
+    /// the topology-aware tree collective: local replicas fold into the
+    /// slot representative, representatives tree-reduce across tier cells
+    /// ([`RankCtx::tree_allreduce_sum`]), and the result fans back to the
+    /// local slots. Returns the per-tier byte attribution of this rank's
+    /// share of the tree.
+    pub fn tree_expert_allreduce(
+        &mut self,
+        group: &CommGroup,
+        map: &TierMap,
+        tag: u64,
+        locals: &mut [Vec<f32>],
+        total_instances: usize,
+        mode: ReduceMode,
+    ) -> Result<TreeStats, CommError> {
+        assert!(!locals.is_empty(), "caller must hold at least one local replica");
+        let len = locals[0].len();
+        assert!(locals.iter().all(|l| l.len() == len), "replica tensors must have equal shape");
+        assert!(total_instances >= 1, "total_instances must be positive");
+
+        let (rep, rest) = locals.split_first_mut().expect("non-empty");
+        for other in rest.iter() {
+            for (r, v) in rep.iter_mut().zip(other) {
+                *r += v;
+            }
+        }
+
+        let stats = self.tree_allreduce_sum(group, map, tag, rep)?;
+
+        if mode == ReduceMode::Mean {
+            let inv = 1.0 / total_instances as f32;
+            for v in rep.iter_mut() {
+                *v *= inv;
+            }
+        }
+        for other in rest.iter_mut() {
+            other.copy_from_slice(rep);
+        }
+        Ok(stats)
     }
 }
 
@@ -198,5 +240,105 @@ mod tests {
         for r in &results {
             assert!((r - 42.0).abs() < 1e-3, "{r}");
         }
+    }
+
+    #[test]
+    fn single_member_group_mean_divides_by_local_instances() {
+        // Degenerate shape: one rank hosts every replica. Mean must divide
+        // by the *instance* count even though the ring never runs.
+        let (results, report) = Cluster::run(ClusterSpec::flat(2), |ctx| {
+            if ctx.rank() != 0 {
+                return vec![];
+            }
+            let group = ctx.groups().range(0, 1);
+            let mut locals = vec![vec![3.0f32, 9.0], vec![6.0, 0.0], vec![0.0, 3.0]];
+            ctx.expert_allreduce(&group, 21, &mut locals, 3, ReduceMode::Mean).unwrap();
+            locals.into_iter().flatten().collect::<Vec<f32>>()
+        });
+        // Sums (9, 12) / 3 instances = (3, 4), replicated to all slots.
+        assert_eq!(results[0], vec![3.0, 4.0, 3.0, 4.0, 3.0, 4.0]);
+        assert_eq!(report.total_bytes(), 0, "single-member sync is link-free");
+    }
+
+    /// Per-rank-varying replica counts, checked against a naive all-gather
+    /// oracle: every instance tensor is reconstructed independently and
+    /// summed sequentially.
+    #[test]
+    fn varying_replica_counts_match_all_gather_oracle() {
+        let replicas_of = |rank: usize| [3usize, 1, 2, 1][rank];
+        let value_of =
+            |rank: usize, slot: usize, i: usize| (rank * 100 + slot * 10 + i) as f32 * 0.25;
+        let len = 5usize;
+        for mode in [ReduceMode::Sum, ReduceMode::Mean] {
+            let total: usize = (0..4).map(replicas_of).sum();
+            let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+                let group = ctx.groups().range(0, 4);
+                let mut locals: Vec<Vec<f32>> = (0..replicas_of(ctx.rank()))
+                    .map(|s| (0..len).map(|i| value_of(ctx.rank(), s, i)).collect())
+                    .collect();
+                ctx.expert_allreduce(&group, 22, &mut locals, total, mode).unwrap();
+                locals
+            });
+            // Oracle: gather every instance, sum, normalize.
+            let oracle: Vec<f32> = (0..len)
+                .map(|i| {
+                    let sum: f32 = (0..4)
+                        .flat_map(|r| (0..replicas_of(r)).map(move |s| value_of(r, s, i)))
+                        .sum();
+                    if mode == ReduceMode::Mean {
+                        sum / total as f32
+                    } else {
+                        sum
+                    }
+                })
+                .collect();
+            for (rank, per_rank) in results.iter().enumerate() {
+                assert_eq!(per_rank.len(), replicas_of(rank), "every slot synchronized");
+                for slot in per_rank {
+                    for (a, b) in slot.iter().zip(&oracle) {
+                        assert!((a - b).abs() < 1e-4, "mode {mode:?} rank {rank}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_variant_matches_ring_variant_bitwise_on_integer_data() {
+        // Same fold → reduce → fan-out pipeline, tree inter-rank step:
+        // on exactly-representable data the two must agree bit for bit.
+        let map = TierMap::new(vec![2, 2]);
+        let map_ref = &map;
+        let replicas_of = |rank: usize| rank % 2 + 1;
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            let group = ctx.groups().range(0, 4);
+            let total: usize = (0..4).map(replicas_of).sum();
+            let mk = |rank: usize| -> Vec<Vec<f32>> {
+                (0..replicas_of(rank))
+                    .map(|s| (0..7).map(|i| ((rank * 5 + s * 3 + i) % 16) as f32).collect())
+                    .collect()
+            };
+            let mut ring_locals = mk(ctx.rank());
+            let mut tree_locals = mk(ctx.rank());
+            ctx.expert_allreduce(&group, 23, &mut ring_locals, total, ReduceMode::Sum).unwrap();
+            let stats = ctx
+                .tree_expert_allreduce(
+                    &group,
+                    map_ref,
+                    24,
+                    &mut tree_locals,
+                    total,
+                    ReduceMode::Sum,
+                )
+                .unwrap();
+            (ring_locals, tree_locals, stats.total_bytes())
+        });
+        for (rank, (ring, tree, _)) in results.iter().enumerate() {
+            for (a, b) in ring.iter().flatten().zip(tree.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank}");
+            }
+        }
+        let moved: u64 = results.iter().map(|(_, _, b)| b).sum();
+        assert!(moved > 0, "the tree step must actually communicate");
     }
 }

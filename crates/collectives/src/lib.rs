@@ -49,6 +49,7 @@ pub mod p2p;
 pub mod payload;
 pub mod tag;
 pub mod traffic;
+pub mod tree;
 
 pub use cluster::{Cluster, ClusterSpec};
 pub use ctx::{PendingRecv, PendingSend, ProtocolStats, RankCtx, RetryPolicy};
@@ -60,3 +61,4 @@ pub use p2p::{OverlapStats, PendingBatch, RecvOp, SendOp};
 pub use payload::{decode_f16_into, encode_f16, Payload};
 pub use tag::{TagFields, TagSpace, WirePhase};
 pub use traffic::{LinkClass, TrafficReport, TrafficStats};
+pub use tree::{TierMap, TreeStats};

@@ -1,0 +1,408 @@
+//! Topology-aware tree all-reduce.
+//!
+//! The flat ring in [`crate::coll`] spans the whole group regardless of where
+//! ranks physically sit, so one hop across an oversubscribed tier gates every
+//! step. This module composes the §4.1 idea — elect a representative, reduce
+//! beneath it, recurse — over an arbitrary tier hierarchy ([`TierMap`]):
+//!
+//! 1. partition the group's ranks by their innermost-tier cell and ring
+//!    all-reduce within each cell (fast links only);
+//! 2. each cell's lowest rank becomes its *representative* and recurses into
+//!    the next tier up, until one ring covers all remaining representatives;
+//! 3. representatives fan the reduced buffer back down, level by level, to
+//!    the ranks they represented.
+//!
+//! The result is **deterministic and identical on every rank**: reduction
+//! order depends only on the sorted member list and the tier map, never on
+//! message timing. On data whose sums are exactly representable (integers
+//! within f32's 2^24 window) it is bit-identical to the flat ring oracle;
+//! for general floats the two differ only by association order.
+//!
+//! Every send is attributed to the tier it crosses ([`TreeStats`]), which is
+//! how the runtime's per-tier byte telemetry is fed.
+
+use crate::coll::chunk_range;
+use crate::ctx::RankCtx;
+use crate::error::CommError;
+use crate::group::CommGroup;
+use symi_telemetry::MetricRegistry;
+
+/// A pure-arithmetic description of where ranks sit in the tier hierarchy:
+/// `arities[t]` children per tier-`t` cell, innermost first. Rank `r`'s
+/// tier-`t` cell is `r / (arities[0] · … · arities[t])` — the same addressing
+/// `symi-netsim`'s `Topology` uses, minus the bandwidth numbers the runtime
+/// doesn't need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierMap {
+    arities: Vec<usize>,
+}
+
+impl TierMap {
+    /// A map with the given per-tier arities (innermost first).
+    pub fn new(arities: Vec<usize>) -> Self {
+        assert!(!arities.is_empty(), "a tier map needs at least one tier");
+        assert!(arities.iter().all(|&a| a >= 1), "every tier needs arity >= 1");
+        Self { arities }
+    }
+
+    /// Single-tier map: the whole world is one cell (tree degenerates to
+    /// one flat ring).
+    pub fn flat(ranks: usize) -> Self {
+        Self::new(vec![ranks.max(1)])
+    }
+
+    pub fn num_tiers(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Ranks covered: the product of all arities.
+    pub fn ranks(&self) -> usize {
+        self.arities.iter().product()
+    }
+
+    /// Ranks per tier-`level` cell (product of arities up to and including
+    /// `level`).
+    pub fn cell_size(&self, level: usize) -> usize {
+        self.arities[..=level].iter().product()
+    }
+
+    /// Which tier-`level` cell `rank` belongs to.
+    pub fn cell_of(&self, rank: usize, level: usize) -> usize {
+        rank / self.cell_size(level)
+    }
+
+    /// Innermost tier whose cells contain both ranks (`None` for `a == b`).
+    pub fn tier_between(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        (0..self.num_tiers()).find(|&t| self.cell_of(a, t) == self.cell_of(b, t))
+    }
+}
+
+/// Per-tier accounting of what one rank sent during a tree collective.
+/// Aggregate across ranks for the cluster-wide per-tier volume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Bytes this rank sent across each tier (innermost first).
+    pub sent_bytes_by_tier: Vec<u64>,
+    /// Messages this rank sent across each tier.
+    pub messages_by_tier: Vec<u64>,
+}
+
+impl TreeStats {
+    fn zero(tiers: usize) -> Self {
+        Self { sent_bytes_by_tier: vec![0; tiers], messages_by_tier: vec![0; tiers] }
+    }
+
+    fn record(&mut self, tier: usize, bytes: u64, messages: u64) {
+        self.sent_bytes_by_tier[tier] += bytes;
+        self.messages_by_tier[tier] += messages;
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes_by_tier.iter().sum()
+    }
+
+    /// Folds another rank's stats into this one (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &TreeStats) {
+        assert_eq!(self.sent_bytes_by_tier.len(), other.sent_bytes_by_tier.len());
+        for (a, b) in self.sent_bytes_by_tier.iter_mut().zip(&other.sent_bytes_by_tier) {
+            *a += b;
+        }
+        for (a, b) in self.messages_by_tier.iter_mut().zip(&other.messages_by_tier) {
+            *a += b;
+        }
+    }
+
+    /// Publishes per-tier gauges (`tree.tier{t}.sent_bytes`,
+    /// `tree.tier{t}.messages`) to a metric registry.
+    pub fn publish(&self, metrics: &MetricRegistry) {
+        for (t, (&b, &m)) in self.sent_bytes_by_tier.iter().zip(&self.messages_by_tier).enumerate()
+        {
+            metrics.gauge(&format!("tree.tier{t}.sent_bytes")).set(b as f64);
+            metrics.gauge(&format!("tree.tier{t}.messages")).set(m as f64);
+        }
+    }
+}
+
+/// Elements a member at ring index `idx` sends during a ring all-reduce of
+/// `len` elements over `m` members (reduce-scatter + all-gather halves).
+fn ring_sent_elems(len: usize, m: usize, idx: usize) -> usize {
+    if m <= 1 || len == 0 {
+        return 0;
+    }
+    let mut total = 0;
+    for step in 0..m - 1 {
+        let rs_chunk = (idx + m - step) % m;
+        let ag_chunk = (idx + 1 + m - step) % m;
+        let (a, b) = chunk_range(len, m, rs_chunk);
+        let (c, d) = chunk_range(len, m, ag_chunk);
+        total += (b - a) + (d - c);
+    }
+    total
+}
+
+/// The up-phase plan: for each executed level, the cells (each a sorted
+/// rank list) that were active there. Identical on every rank.
+fn plan_levels(map: &TierMap, members: &[usize]) -> Vec<Vec<Vec<usize>>> {
+    let mut plan = Vec::new();
+    let mut active: Vec<usize> = members.to_vec();
+    for level in 0..map.num_tiers() {
+        if active.len() <= 1 {
+            break;
+        }
+        let mut cells: Vec<Vec<usize>> = Vec::new();
+        let mut cur = usize::MAX;
+        for &r in &active {
+            let c = map.cell_of(r, level);
+            if cells.is_empty() || c != cur {
+                cells.push(Vec::new());
+                cur = c;
+            }
+            cells.last_mut().expect("just pushed").push(r);
+        }
+        active = cells.iter().map(|c| c[0]).collect();
+        plan.push(cells);
+    }
+    assert!(active.len() <= 1, "outermost tier must contain the whole group");
+    plan
+}
+
+impl RankCtx {
+    /// In-place topology-aware tree all-reduce (sum) of `data` across
+    /// `group`, attributing every sent byte to the tier it crossed.
+    ///
+    /// All members must call with the same `group`, `map`, `tag`, and data
+    /// length. The reduction is deterministic and every member returns the
+    /// identical buffer (see module docs for the bit-exactness contract).
+    ///
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank is not a member.
+    pub fn tree_allreduce_sum(
+        &mut self,
+        group: &CommGroup,
+        map: &TierMap,
+        tag: u64,
+        data: &mut [f32],
+    ) -> Result<TreeStats, CommError> {
+        let me = self.rank();
+        if !group.contains(me) {
+            return Err(CommError::NotInGroup { rank: me });
+        }
+        assert!(
+            *group.ranks().last().expect("non-empty group") < map.ranks(),
+            "group rank beyond the tier map's {}-rank world",
+            map.ranks(),
+        );
+        let mut stats = TreeStats::zero(map.num_tiers());
+        if group.size() == 1 || data.is_empty() {
+            return Ok(stats);
+        }
+        let plan = plan_levels(map, group.ranks());
+
+        // Up phase: ring within my cell at each level while I remain the
+        // representative. `my_drop` records the level at which a higher-
+        // indexed... rather, at which my cell's lowest rank took over.
+        let mut my_drop: Option<(usize, usize)> = None; // (level, rep)
+        for (level, cells) in plan.iter().enumerate() {
+            let Some(cell) = cells.iter().find(|c| c.contains(&me)) else {
+                break; // no longer active at this level
+            };
+            if cell.len() > 1 {
+                let ring_tag = Self::subop_tag(tag, (2 * level + 3) as u8);
+                let cell_group = CommGroup::new(cell.clone());
+                let idx = cell_group.index_of(me).expect("member of own cell");
+                self.allreduce_sum(&cell_group, ring_tag, data)?;
+                let elems = ring_sent_elems(data.len(), cell.len(), idx) as u64;
+                stats.record(level, elems * 4, 2 * (cell.len() as u64 - 1));
+            }
+            if cell[0] != me {
+                my_drop = Some((level, cell[0]));
+                break;
+            }
+        }
+        // The final level is always a single cell (the plan only ends once
+        // one ring covers every remaining representative), and that ring
+        // leaves *all* its members — not just the lowest — with the global
+        // sum. A member "dropped" there is already synchronized and must
+        // still fan down to the cells it represents at inner levels.
+        if let Some((level, _)) = my_drop {
+            if level + 1 == plan.len() {
+                my_drop = None;
+            }
+        }
+
+        // Down phase, outermost level first. The final level's ring covered
+        // every remaining representative in one cell, so its members already
+        // hold the global sum and need no fan-down.
+        for level in (0..plan.len().saturating_sub(1)).rev() {
+            if let Some((drop_level, rep)) = my_drop {
+                if drop_level == level {
+                    let down_tag = Self::subop_tag(tag, (2 * level + 4) as u8);
+                    let incoming = self.recv_f32(rep, down_tag)?;
+                    debug_assert_eq!(incoming.len(), data.len());
+                    data.copy_from_slice(&incoming);
+                    my_drop = None;
+                }
+                continue; // not yet re-synchronized: nothing to send below
+            }
+            let Some(cell) = plan[level].iter().find(|c| c.first() == Some(&me)) else {
+                continue;
+            };
+            let down_tag = Self::subop_tag(tag, (2 * level + 4) as u8);
+            for &member in &cell[1..] {
+                self.send(member, down_tag, data.to_vec())?;
+                stats.record(level, data.len() as u64 * 4, 1);
+            }
+        }
+        debug_assert!(my_drop.is_none(), "every dropped rank is re-synchronized");
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+
+    /// Integer-valued payload: f32 addition over these is exact, so the
+    /// tree and the flat ring must agree *bitwise* no matter how either
+    /// associates the sum.
+    fn int_payload(rank: usize, len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((rank * 13 + i * 7) % 32) as f32 - 16.0).collect()
+    }
+
+    #[test]
+    fn tier_map_addressing() {
+        let map = TierMap::new(vec![2, 2, 2]);
+        assert_eq!(map.ranks(), 8);
+        assert_eq!(map.cell_size(0), 2);
+        assert_eq!(map.cell_size(2), 8);
+        assert_eq!(map.cell_of(5, 0), 2);
+        assert_eq!(map.cell_of(5, 1), 1);
+        assert_eq!(map.tier_between(0, 1), Some(0));
+        assert_eq!(map.tier_between(0, 2), Some(1));
+        assert_eq!(map.tier_between(0, 7), Some(2));
+        assert_eq!(map.tier_between(3, 3), None);
+        assert_eq!(TierMap::flat(6).tier_between(0, 5), Some(0));
+    }
+
+    #[test]
+    fn matches_flat_ring_bitwise_on_integer_data() {
+        let map = TierMap::new(vec![2, 2, 2]);
+        let map_ref = &map;
+        let len = 23; // not divisible by any cell size: uneven chunks
+        let (results, _) = Cluster::run(ClusterSpec::flat(8), |ctx| {
+            let world = ctx.groups().world();
+            let mut tree_data = int_payload(ctx.rank(), len);
+            let mut ring_data = tree_data.clone();
+            let stats = ctx.tree_allreduce_sum(&world, map_ref, 101, &mut tree_data).unwrap();
+            ctx.allreduce_sum(&world, 102, &mut ring_data).unwrap();
+            (tree_data, ring_data, stats)
+        });
+        let (first_tree, _, _) = &results[0];
+        for (rank, (tree, ring, _)) in results.iter().enumerate() {
+            for (i, (a, b)) in tree.iter().zip(ring).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank} elem {i}: {a} vs {b}");
+            }
+            assert_eq!(tree, first_tree, "rank {rank}: results must be rank-identical");
+        }
+    }
+
+    #[test]
+    fn per_tier_byte_attribution_is_exact() {
+        // 8 ranks as 2×2×2; full world; len divisible by every cell size so
+        // the ring volumes are exact. Per level ℓ the rings move
+        // 2(m−1)/m·len·4 bytes per member; every dropped member later
+        // receives one full buffer from its representative.
+        let map = TierMap::new(vec![2, 2, 2]);
+        let map_ref = &map;
+        let len = 64;
+        let (results, _) = Cluster::run(ClusterSpec::flat(8), |ctx| {
+            let world = ctx.groups().world();
+            let mut data = int_payload(ctx.rank(), len);
+            ctx.tree_allreduce_sum(&world, map_ref, 33, &mut data).unwrap()
+        });
+        let mut total = TreeStats::zero(3);
+        for s in &results {
+            total.merge(s);
+        }
+        let buf = (len * 4) as u64; // 256 bytes
+                                    // Level 0: 4 cells × 2 members ring (len bytes×4 each... 2(m−1)/m = 1
+                                    // buffer per member) + 4 fan-down sends of one buffer.
+        assert_eq!(total.sent_bytes_by_tier[0], 8 * buf + 4 * buf);
+        // Level 1: 2 cells × 2 reps + 2 fan-down sends.
+        assert_eq!(total.sent_bytes_by_tier[1], 4 * buf + 2 * buf);
+        // Level 2 (final ring over 2 reps): no fan-down needed.
+        assert_eq!(total.sent_bytes_by_tier[2], 2 * buf);
+        // Message counts: rings send 2(m−1) messages per member.
+        assert_eq!(total.messages_by_tier[0], 8 * 2 + 4);
+        assert_eq!(total.messages_by_tier[2], 2 * 2);
+        // Publishing exposes the same numbers as gauges.
+        let metrics = MetricRegistry::new();
+        total.publish(&metrics);
+        assert_eq!(metrics.gauge("tree.tier0.sent_bytes").get(), (8 * buf + 4 * buf) as f64);
+    }
+
+    #[test]
+    fn sparse_subgroup_reduces_correctly() {
+        // Only ranks {0, 3, 5, 6} of a 2×2×2 world participate; cells are
+        // partial and some are singletons at level 0.
+        let map = TierMap::new(vec![2, 2, 2]);
+        let map_ref = &map;
+        let members = [0usize, 3, 5, 6];
+        let (results, _) = Cluster::run(ClusterSpec::flat(8), |ctx| {
+            if !members.contains(&ctx.rank()) {
+                return Vec::new();
+            }
+            let group = CommGroup::new(members.to_vec());
+            let mut data = int_payload(ctx.rank(), 9);
+            ctx.tree_allreduce_sum(&group, map_ref, 55, &mut data).unwrap();
+            data
+        });
+        let expect: Vec<f32> =
+            (0..9).map(|i| members.iter().map(|&r| int_payload(r, 9)[i]).sum()).collect();
+        for &r in &members {
+            assert_eq!(results[r], expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_no_ops() {
+        let map = TierMap::new(vec![2, 2]);
+        let map_ref = &map;
+        let (results, report) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            // Single-member group: nothing moves.
+            if ctx.rank() == 2 {
+                let lone = CommGroup::new(vec![2]);
+                let mut data = vec![4.25f32; 3];
+                let stats = ctx.tree_allreduce_sum(&lone, map_ref, 9, &mut data).unwrap();
+                assert_eq!(stats.total_bytes(), 0);
+                assert_eq!(data, vec![4.25f32; 3]);
+            }
+            // Empty buffer across the full world: also nothing.
+            let world = ctx.groups().world();
+            let mut empty: Vec<f32> = Vec::new();
+            let stats = ctx.tree_allreduce_sum(&world, map_ref, 10, &mut empty).unwrap();
+            stats.total_bytes()
+        });
+        assert_eq!(results, vec![0, 0, 0, 0]);
+        assert_eq!(report.total_bytes(), 0);
+    }
+
+    #[test]
+    fn non_member_call_is_rejected() {
+        let map = TierMap::new(vec![2, 2]);
+        let map_ref = &map;
+        let (results, _) = Cluster::run(ClusterSpec::flat(4), |ctx| {
+            if ctx.rank() != 3 {
+                return None;
+            }
+            let group = CommGroup::new(vec![0, 1]);
+            let mut data = vec![1.0f32];
+            Some(ctx.tree_allreduce_sum(&group, map_ref, 11, &mut data).unwrap_err())
+        });
+        assert_eq!(results[3], Some(CommError::NotInGroup { rank: 3 }));
+    }
+}

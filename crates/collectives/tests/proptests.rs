@@ -3,7 +3,9 @@
 //! sequential specification. Driven by `symi_tensor::rng` with fixed seeds.
 
 use symi_collectives::hier::ReduceMode;
-use symi_collectives::{tag, Cluster, ClusterSpec, CommError, RecvOp, SendOp, TagSpace, WirePhase};
+use symi_collectives::{
+    tag, Cluster, ClusterSpec, CommError, CommGroup, RecvOp, SendOp, TagSpace, TierMap, WirePhase,
+};
 use symi_tensor::rng::{Rng, StdRng};
 
 #[test]
@@ -24,6 +26,96 @@ fn allreduce_equals_sequential_sum() {
         for res in &results {
             for (a, b) in res.iter().zip(&expect) {
                 assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_grid_covers_buffers_shorter_than_the_group() {
+    // Deterministic (len, group size) grid with len < m prominently
+    // included: short buffers make `chunk_range` hand out *empty* chunks,
+    // which every ring step must ship and apply without slipping an index.
+    // Both the world group and a non-contiguous subgroup are exercised.
+    for n in 1..=6usize {
+        for len in [0usize, 1, 2, 3, n.saturating_sub(1), n, n + 1, 17] {
+            let (results, _) = Cluster::run(ClusterSpec::flat(n), |ctx| {
+                let group = ctx.groups().world();
+                let mut data: Vec<f32> =
+                    (0..len).map(|i| ((ctx.rank() * 31 + i * 7) % 23) as f32).collect();
+                ctx.allreduce_sum(&group, 40, &mut data).unwrap();
+                data
+            });
+            let expect: Vec<f32> =
+                (0..len).map(|i| (0..n).map(|r| ((r * 31 + i * 7) % 23) as f32).sum()).collect();
+            for (rank, res) in results.iter().enumerate() {
+                // Integer-valued data: the sums are exact, compare bitwise.
+                assert_eq!(res, &expect, "world n={n} len={len} rank={rank}");
+            }
+        }
+    }
+    // Sparse subgroup {0, 2, 5} of 6: same grid of short buffers.
+    let members = [0usize, 2, 5];
+    for len in [0usize, 1, 2, 4, 9] {
+        let (results, _) = Cluster::run(ClusterSpec::flat(6), |ctx| {
+            if !members.contains(&ctx.rank()) {
+                return Vec::new();
+            }
+            let group = CommGroup::new(members.to_vec());
+            let mut data: Vec<f32> = (0..len).map(|i| (ctx.rank() * 10 + i) as f32).collect();
+            ctx.allreduce_sum(&group, 41, &mut data).unwrap();
+            data
+        });
+        let expect: Vec<f32> =
+            (0..len).map(|i| members.iter().map(|&r| (r * 10 + i) as f32).sum()).collect();
+        for &r in &members {
+            assert_eq!(results[r], expect, "subgroup len={len} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn tree_allreduce_is_bit_exact_vs_flat_ring_on_random_topologies() {
+    // The acceptance contract: on randomized tier maps, group subsets, and
+    // buffer lengths, the tree collective must agree with the flat ring
+    // oracle *bitwise*. Data is integer-valued so every partial sum is
+    // exactly representable and association order cannot matter.
+    let mut rng = StdRng::seed_from_u64(210);
+    for trial in 0..20u64 {
+        let tiers = rng.gen_range(1..4usize);
+        let arities: Vec<usize> = (0..tiers).map(|_| rng.gen_range(1..4usize)).collect();
+        let map = TierMap::new(arities.clone());
+        let world = map.ranks();
+        // Random non-empty member subset of the world.
+        let mut members: Vec<usize> = (0..world).filter(|_| rng.gen::<bool>()).collect();
+        if members.is_empty() {
+            members.push(rng.gen_range(0..world));
+        }
+        let len = rng.gen_range(0..30usize);
+        let members_ref = &members;
+        let map_ref = &map;
+        let (results, _) = Cluster::run(ClusterSpec::flat(world), |ctx| {
+            if !members_ref.contains(&ctx.rank()) {
+                return None;
+            }
+            let group = CommGroup::new(members_ref.clone());
+            let mut tree_data: Vec<f32> =
+                (0..len).map(|i| (((ctx.rank() + 1) * 17 + i * 5) % 64) as f32 - 32.0).collect();
+            let mut ring_data = tree_data.clone();
+            let stats = ctx.tree_allreduce_sum(&group, map_ref, 42, &mut tree_data).unwrap();
+            ctx.allreduce_sum(&group, 43, &mut ring_data).unwrap();
+            assert_eq!(stats.sent_bytes_by_tier.len(), map_ref.num_tiers());
+            Some((tree_data, ring_data))
+        });
+        for (rank, res) in results.iter().enumerate() {
+            let Some((tree, ring)) = res else { continue };
+            for (i, (a, b)) in tree.iter().zip(ring).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "trial {trial} arities {arities:?} members {members_ref:?} \
+                     rank {rank} elem {i}: tree {a} vs ring {b}"
+                );
             }
         }
     }

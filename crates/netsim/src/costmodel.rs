@@ -8,7 +8,8 @@
 //! `G`/`W` gradient/weight bytes per expert instance, `O` optimizer bytes
 //! per expert class.
 
-use crate::topology::HardwareSpec;
+use crate::placement::SlotPlacement;
+use crate::topology::{HardwareSpec, Topology};
 
 /// Which system's cost expression to evaluate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,6 +186,308 @@ impl CommCostModel {
     }
 }
 
+/// Where the optimizer state of each expert class is sharded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardScope {
+    /// Uniformly over all `N` ranks — SYMI's `k = 1` point.
+    Cluster,
+    /// Appendix A.1's k-group partitioning aligned to the cells of tier
+    /// `level`: cell `g` owns classes `[g·E/k, (g+1)·E/k)` and shards them
+    /// over its own ranks. Footprint-preserving (`E·O` total), but traffic
+    /// stays inside a cell whenever placement co-locates a class's replicas
+    /// with its owner cell.
+    TierCell {
+        /// Tier whose cells form the partitioning groups.
+        level: usize,
+    },
+    /// Coupled/ZeRO-style: each class's state is sharded across its own
+    /// host ranks (the EDP group), so the gradient shard is local after the
+    /// EDP all-reduce and only the weight all-gather crosses links.
+    EdpGroup,
+}
+
+/// Per-tier byte attribution plus the bottleneck-rank α–β time of one
+/// communication phase on a hierarchical topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierPhase {
+    /// Cluster-wide bytes crossing each tier (innermost first).
+    pub bytes_by_tier: Vec<f64>,
+    /// PCIe staging bytes on the busiest rank.
+    pub pci_bytes_per_rank: f64,
+    /// α–β seconds on the busiest rank (tier bytes over tier bandwidth,
+    /// plus per-peer-message latency, plus the PCIe term).
+    pub seconds: f64,
+}
+
+impl TierPhase {
+    /// An all-zero phase over `tiers` bandwidth classes.
+    pub fn zero(tiers: usize) -> Self {
+        Self { bytes_by_tier: vec![0.0; tiers], pci_bytes_per_rank: 0.0, seconds: 0.0 }
+    }
+
+    /// Total network bytes across all tiers.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_by_tier.iter().sum()
+    }
+
+    /// Element-wise accumulation (phases chain serially).
+    pub fn accumulate(&mut self, other: &TierPhase) {
+        assert_eq!(self.bytes_by_tier.len(), other.bytes_by_tier.len());
+        for (a, b) in self.bytes_by_tier.iter_mut().zip(&other.bytes_by_tier) {
+            *a += b;
+        }
+        self.pci_bytes_per_rank += other.pci_bytes_per_rank;
+        self.seconds += other.seconds;
+    }
+}
+
+/// §3.3's cost expressions generalized to a multi-tier [`Topology`]: every
+/// transfer is priced by the narrowest tier it crosses, and the result
+/// carries per-tier byte attribution. On a one-tier [`Topology::flat`] with
+/// zero latency this reproduces [`CommCostModel::costs`] exactly.
+#[derive(Clone, Debug)]
+pub struct TieredCostModel<'a> {
+    pub topo: &'a Topology,
+    /// Expert classes (`E`).
+    pub expert_classes: usize,
+    /// GPU↔host staging bandwidth, bytes/s.
+    pub bw_pci: f64,
+}
+
+impl<'a> TieredCostModel<'a> {
+    /// Wraps a flat [`CommCostModel`]'s parameters around a topology.
+    ///
+    /// # Panics
+    /// Panics when the topology's rank count differs from the model's.
+    pub fn from_flat(flat: &CommCostModel, topo: &'a Topology) -> Self {
+        assert_eq!(flat.nodes, topo.ranks(), "topology must match the model's rank count");
+        Self { topo, expert_classes: flat.expert_classes, bw_pci: flat.hw.bw_pci }
+    }
+
+    /// One shard-exchange phase: every instance moves `phase_bytes / |owners|`
+    /// to (grad) or from (weight) each owner of its class's state. The two
+    /// directions have identical per-pair volumes, so one routine prices
+    /// both; the bottleneck rank is the owner side either way.
+    ///
+    /// `ShardScope::EdpGroup` models the *weight all-gather* of a coupled
+    /// system (each host assembles the class from the other hosts' shards);
+    /// its gradient phase is link-free after the EDP sync and should be
+    /// priced as [`TierPhase::zero`] plus PCIe.
+    pub fn shard_exchange(
+        &self,
+        placement: &SlotPlacement,
+        scope: ShardScope,
+        phase_bytes: f64,
+    ) -> TierPhase {
+        let n = self.topo.ranks();
+        assert_eq!(placement.ranks(), n, "placement must cover the topology");
+        let tiers = self.topo.num_tiers();
+        let e = self.expert_classes;
+        let mut out = TierPhase::zero(tiers);
+
+        match scope {
+            ShardScope::Cluster => {
+                // Owners = all ranks, shard = X/N; every rank hosts
+                // `s` instances, so the exchange is rank-symmetric and the
+                // census gives the per-tier split in closed form.
+                let shard = phase_bytes / n as f64;
+                let s = placement.slots_per_rank() as f64;
+                let census = self.topo.tier_census();
+                let mut secs = 0.0;
+                for (t, &peers) in census.iter().enumerate() {
+                    let per_rank = peers as f64 * s * shard;
+                    out.bytes_by_tier[t] = n as f64 * per_rank;
+                    secs += per_rank / self.topo.bw(t) + peers as f64 * self.topo.latency(t);
+                }
+                out.pci_bytes_per_rank = e as f64 * shard;
+                out.seconds = secs + out.pci_bytes_per_rank / self.bw_pci;
+            }
+            ShardScope::TierCell { level } => {
+                let cell = self.topo.cell_size(level);
+                let k = n / cell;
+                assert!(
+                    e.is_multiple_of(k),
+                    "tier-cell sharding needs E ({e}) divisible by the {k} cells"
+                );
+                let shard = phase_bytes / cell as f64;
+                let classes_per_cell = e / k;
+                self.pairwise(
+                    placement,
+                    |class| {
+                        let owner_cell = class / classes_per_cell;
+                        (owner_cell * cell, cell, shard)
+                    },
+                    &mut out,
+                );
+                out.pci_bytes_per_rank = classes_per_cell as f64 * shard;
+                out.seconds += out.pci_bytes_per_rank / self.bw_pci;
+            }
+            ShardScope::EdpGroup => {
+                // Owners = the class's own host ranks; used for the weight
+                // all-gather (see the doc comment). Host sets are not
+                // contiguous in general, so fall through to the host list.
+                let hosts = placement.host_ranks(e);
+                let hw_counts = placement.hosts_with_counts(e);
+                let n_ranks = placement.ranks();
+                let mut per_rank_bytes = vec![vec![0.0f64; tiers]; n_ranks];
+                let mut per_rank_msgs = vec![vec![0.0f64; tiers]; n_ranks];
+                let mut pci = vec![0.0f64; n_ranks];
+                for class in 0..e {
+                    let owners = &hosts[class];
+                    if owners.is_empty() {
+                        continue;
+                    }
+                    let shard = phase_bytes / owners.len() as f64;
+                    for &(h, count) in &hw_counts[class] {
+                        for &o in owners {
+                            if o == h {
+                                continue;
+                            }
+                            let t = self.topo.tier_between(h, o).expect("h != o");
+                            out.bytes_by_tier[t] += count as f64 * shard;
+                            per_rank_bytes[o][t] += count as f64 * shard;
+                            per_rank_msgs[o][t] += 1.0;
+                        }
+                    }
+                    for &o in owners {
+                        pci[o] += shard;
+                    }
+                }
+                out.seconds = self.busiest(&per_rank_bytes, &per_rank_msgs);
+                out.pci_bytes_per_rank = pci.iter().copied().fold(0.0, f64::max);
+                out.seconds += out.pci_bytes_per_rank / self.bw_pci;
+            }
+        }
+        out
+    }
+
+    /// Pairwise accumulation for contiguous owner ranges: for each instance
+    /// of each class, `owner_of(class)` yields `(first_owner, owner_count,
+    /// shard_bytes)` and every (host, owner) pair is attributed to the tier
+    /// it crosses.
+    fn pairwise(
+        &self,
+        placement: &SlotPlacement,
+        owner_of: impl Fn(usize) -> (usize, usize, f64),
+        out: &mut TierPhase,
+    ) {
+        let tiers = self.topo.num_tiers();
+        let n = placement.ranks();
+        let mut per_rank_bytes = vec![vec![0.0f64; tiers]; n];
+        let mut per_rank_msgs = vec![vec![0.0f64; tiers]; n];
+        let hw_counts = placement.hosts_with_counts(self.expert_classes);
+        for (class, hosts) in hw_counts.iter().enumerate() {
+            let (first, count, shard) = owner_of(class);
+            for &(h, mult) in hosts {
+                for o in first..first + count {
+                    if o == h {
+                        continue;
+                    }
+                    let t = self.topo.tier_between(h, o).expect("h != o");
+                    out.bytes_by_tier[t] += mult as f64 * shard;
+                    per_rank_bytes[o][t] += mult as f64 * shard;
+                    per_rank_msgs[o][t] += 1.0;
+                }
+            }
+        }
+        out.seconds += self.busiest(&per_rank_bytes, &per_rank_msgs);
+    }
+
+    fn busiest(&self, bytes: &[Vec<f64>], msgs: &[Vec<f64>]) -> f64 {
+        bytes
+            .iter()
+            .zip(msgs)
+            .map(|(b, m)| {
+                b.iter()
+                    .zip(m)
+                    .enumerate()
+                    .map(|(t, (bb, mm))| bb / self.topo.bw(t) + mm * self.topo.latency(t))
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// α–β cost and per-tier bytes of a flat ring all-reduce over `hosts`.
+    /// Every step is gated by the slowest link in the ring, so one strided
+    /// hop across the spine poisons all `2(m−1)` steps — the failure mode
+    /// the tree collective removes.
+    pub fn ring_allreduce(&self, hosts: &[usize], bytes: f64) -> TierPhase {
+        let tiers = self.topo.num_tiers();
+        let m = hosts.len();
+        let mut out = TierPhase::zero(tiers);
+        if m <= 1 || bytes <= 0.0 {
+            return out;
+        }
+        let per_rank = 2.0 * (m as f64 - 1.0) / m as f64 * bytes;
+        let mut slowest_bw = f64::INFINITY;
+        let mut worst_lat = 0.0f64;
+        for i in 0..m {
+            let next = hosts[(i + 1) % m];
+            if hosts[i] == next {
+                continue;
+            }
+            let t = self.topo.tier_between(hosts[i], next).expect("distinct hosts");
+            out.bytes_by_tier[t] += per_rank;
+            slowest_bw = slowest_bw.min(self.topo.bw(t));
+            worst_lat = worst_lat.max(self.topo.latency(t));
+        }
+        out.seconds = 2.0 * (m as f64 - 1.0) * (bytes / m as f64 / slowest_bw + worst_lat);
+        out
+    }
+
+    /// α–β cost and per-tier bytes of the topology-aware tree all-reduce
+    /// (ring within each tier cell, representatives recurse up, fan back
+    /// down — the collective implemented in `symi-collectives::tree`).
+    /// Moves `3(m_c−1)` buffers per cell instead of the flat ring's
+    /// `2(m−1)`, but each stays on the fastest tier that contains it.
+    pub fn tree_allreduce(&self, hosts: &[usize], bytes: f64) -> TierPhase {
+        let tiers = self.topo.num_tiers();
+        let mut out = TierPhase::zero(tiers);
+        if hosts.len() <= 1 || bytes <= 0.0 {
+            return out;
+        }
+        let mut active: Vec<usize> = hosts.to_vec();
+        active.sort_unstable();
+        for level in 0..tiers {
+            if active.len() <= 1 {
+                break;
+            }
+            // Partition the actives by their tier-`level` cell.
+            let mut cells: Vec<Vec<usize>> = Vec::new();
+            let mut cur_cell = usize::MAX;
+            for &r in &active {
+                let c = self.topo.cell_of(r, level);
+                if c != cur_cell {
+                    cells.push(Vec::new());
+                    cur_cell = c;
+                }
+                cells.last_mut().expect("just pushed").push(r);
+            }
+            let mut level_secs = 0.0f64;
+            let mut next_active = Vec::with_capacity(cells.len());
+            for members in &cells {
+                next_active.push(members[0]);
+                let mc = members.len();
+                if mc <= 1 {
+                    continue;
+                }
+                // Ring among cell members (all cross exactly this tier)
+                // plus the representative's fan-down of the final buffer.
+                let ring = 2.0
+                    * (mc as f64 - 1.0)
+                    * (bytes / mc as f64 / self.topo.bw(level) + self.topo.latency(level));
+                let down =
+                    (mc as f64 - 1.0) * (bytes / self.topo.bw(level) + self.topo.latency(level));
+                level_secs = level_secs.max(ring + down);
+                out.bytes_by_tier[level] += 3.0 * (mc as f64 - 1.0) * bytes;
+            }
+            out.seconds += level_secs;
+            active = next_active;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +616,146 @@ mod tests {
         m.nodes = 128;
         let small = m.symi_overhead_ratio();
         assert!(big < small, "relative overhead must vanish as N grows");
+    }
+
+    // ---- Tiered model. ----
+
+    use crate::placement::SlotPlacement;
+    use crate::topology::Topology;
+
+    /// A flat single-tier topology with zero latency reproduces
+    /// `CommCostModel::costs` byte-for-byte — the compatibility contract.
+    #[test]
+    fn tiered_flat_zero_latency_matches_paper_formula() {
+        let mut m = paper_example();
+        m.hw.net_latency = 0.0;
+        let topo = Topology::flat(m.nodes, &m.hw);
+        let tiered = TieredCostModel::from_flat(&m, &topo);
+        let placement =
+            SlotPlacement::symi_contiguous(&vec![m.static_replicas(); 64], m.slots_per_rank);
+        let phase = tiered.shard_exchange(&placement, ShardScope::Cluster, m.grad_bytes);
+        let flat = m.costs(SystemKind::Symi).t_grad;
+        assert!(
+            (phase.seconds - flat).abs() / flat < 1e-12,
+            "tiered {} vs flat {flat}",
+            phase.seconds
+        );
+        // Global network volume = (N−1)/N · sN·G (the local shard stays put).
+        let expect = (m.nodes as f64 - 1.0) / m.nodes as f64 * m.grad_data_bytes();
+        assert!((phase.total_bytes() - expect).abs() / expect < 1e-12);
+    }
+
+    /// Tier-cell sharding with one cell spanning the whole world IS
+    /// cluster-uniform sharding (k = 1 ⇒ SYMI).
+    #[test]
+    fn tier_cell_k1_equals_cluster_scope() {
+        let mut m = paper_example();
+        m.nodes = 64;
+        m.hw.net_latency = 0.0;
+        let topo = Topology::flat(m.nodes, &m.hw);
+        let tiered = TieredCostModel::from_flat(&m, &topo);
+        let placement = SlotPlacement::symi_contiguous(
+            &vec![m.static_replicas(); m.expert_classes],
+            m.slots_per_rank,
+        );
+        let a = tiered.shard_exchange(&placement, ShardScope::Cluster, m.grad_bytes);
+        let b = tiered.shard_exchange(&placement, ShardScope::TierCell { level: 0 }, m.grad_bytes);
+        assert!((a.seconds - b.seconds).abs() / a.seconds < 1e-9);
+        assert!((a.total_bytes() - b.total_bytes()).abs() / a.total_bytes() < 1e-9);
+    }
+
+    /// On a hierarchical topology, pod-aligned sharding keeps the shard
+    /// exchange inside pods when placement is contiguous — strictly fewer
+    /// spine bytes than cluster-uniform sharding.
+    #[test]
+    fn pod_aligned_sharding_empties_the_spine() {
+        let n = 1024;
+        let topo = Topology::superpod(n); // 8 × 4 × 8 × 4: pods at level 2
+        let m = CommCostModel {
+            nodes: n,
+            expert_classes: 64,
+            slots_per_rank: 4,
+            grad_bytes: 1.0e9,
+            weight_bytes: 1.0e9,
+            optimizer_bytes: 8.0e9,
+            hw: HardwareSpec::paper_analysis_example(),
+        };
+        let tiered = TieredCostModel::from_flat(&m, &topo);
+        let placement = SlotPlacement::symi_contiguous(
+            &vec![m.static_replicas(); m.expert_classes],
+            m.slots_per_rank,
+        );
+        let uniform = tiered.shard_exchange(&placement, ShardScope::Cluster, m.grad_bytes);
+        let pod =
+            tiered.shard_exchange(&placement, ShardScope::TierCell { level: 2 }, m.grad_bytes);
+        let spine = topo.num_tiers() - 1;
+        assert!(uniform.bytes_by_tier[spine] > 0.0, "uniform sharding crosses the spine");
+        assert_eq!(pod.bytes_by_tier[spine], 0.0, "pod-aligned contiguous placement does not");
+        assert!(pod.seconds < uniform.seconds);
+        // Total footprint-preserving identity: both move the same PCIe bytes.
+        assert!((pod.pci_bytes_per_rank - uniform.pci_bytes_per_rank).abs() < 1e-6);
+    }
+
+    /// The tree collective is member-order-insensitive and keeps its
+    /// merges on the fastest containing tier. A ring whose member order
+    /// alternates pods crosses the spine on *every* hop — the tree
+    /// relocates those bytes inward and, for latency-bound buffers, beats
+    /// the ring outright.
+    #[test]
+    fn tree_relocates_spine_bytes_of_a_hostile_ring_order() {
+        let n = 256;
+        let topo = Topology::superpod(n); // 8 × 4 × 8, "pod" spine at level 2
+        let m = CommCostModel {
+            nodes: n,
+            expert_classes: 16,
+            slots_per_rank: 2,
+            grad_bytes: 1.0e9,
+            weight_bytes: 1.0e9,
+            optimizer_bytes: 8.0e9,
+            hw: HardwareSpec::paper_analysis_example(),
+        };
+        let tiered = TieredCostModel::from_flat(&m, &topo);
+        // Interleave two rack-distant node groups: every consecutive ring
+        // pair crosses the spine.
+        let hosts: Vec<usize> = (0..8).flat_map(|i| [i, 32 + i]).collect();
+        let bytes = 1.0e6;
+        let ring = tiered.ring_allreduce(&hosts, bytes);
+        let tree = tiered.tree_allreduce(&hosts, bytes);
+        let top = topo.num_tiers() - 1;
+        assert!(ring.bytes_by_tier[top] > 0.9 * ring.total_bytes(), "hostile order: all spine");
+        assert!(
+            tree.bytes_by_tier[top] < 0.2 * ring.bytes_by_tier[top],
+            "tree spine {} vs ring spine {}",
+            tree.bytes_by_tier[top],
+            ring.bytes_by_tier[top]
+        );
+        assert!(tree.seconds < ring.seconds, "tree {} vs ring {}", tree.seconds, ring.seconds);
+        // A contiguous group never touches the outer tiers at all.
+        let packed: Vec<usize> = (0..8).collect();
+        let t2 = tiered.tree_allreduce(&packed, bytes);
+        assert_eq!(t2.bytes_by_tier[top], 0.0);
+        assert!(t2.bytes_by_tier[0] > 0.0);
+    }
+
+    /// Flat single-tier ring cost equals the `2(m−1)/m` formula used by the
+    /// iteration simulator.
+    #[test]
+    fn flat_ring_matches_iteration_formula() {
+        let hw = HardwareSpec::paper_eval_cluster();
+        let topo = Topology::flat(16, &hw);
+        let m = CommCostModel {
+            nodes: 16,
+            expert_classes: 16,
+            slots_per_rank: 4,
+            grad_bytes: 1.0e8,
+            weight_bytes: 1.0e8,
+            optimizer_bytes: 8.0e8,
+            hw,
+        };
+        let tiered = TieredCostModel::from_flat(&m, &topo);
+        let hosts: Vec<usize> = (0..4).collect();
+        let got = tiered.ring_allreduce(&hosts, 1.0e8).seconds;
+        let want = 2.0 * 3.0 / 4.0 * 1.0e8 / hw.bw_net + 2.0 * hw.net_latency * 3.0;
+        assert!((got - want).abs() / want < 1e-12, "{got} vs {want}");
     }
 }

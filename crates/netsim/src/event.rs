@@ -9,14 +9,45 @@
 //! per-category breakdown along that path (Figure 12's latency breakdown).
 
 use std::collections::HashMap;
+use std::fmt;
 
 /// Opaque handle to a task in a [`TaskGraph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TaskId(usize);
 
+/// Rejected [`TaskGraph::try_add`] insertion.
+///
+/// `schedule` computes finish times in one pass over insertion order, so a
+/// dependency on a not-yet-inserted task would silently read a finish time
+/// of 0.0 and produce a bogus makespan — insertions are validated instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphError {
+    /// Duration was NaN, infinite, or negative.
+    BadDuration { duration: f64 },
+    /// A dependency referenced `task` itself or a task not yet inserted.
+    ForwardDependency { dep: TaskId, task: TaskId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadDuration { duration } => {
+                write!(f, "duration {duration} must be finite and >= 0")
+            }
+            GraphError::ForwardDependency { dep, task } => {
+                write!(f, "dependency {dep:?} must precede task {task:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 #[derive(Clone, Debug)]
 struct Task {
-    category: String,
+    /// Index into [`TaskGraph::categories`] — categories are interned so a
+    /// 4k-rank sweep's graphs don't clone a `String` per task per query.
+    category: u32,
     duration: f64,
     deps: Vec<TaskId>,
 }
@@ -25,6 +56,8 @@ struct Task {
 #[derive(Clone, Debug, Default)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
+    categories: Vec<String>,
+    category_index: HashMap<String, u32>,
 }
 
 /// Finish times of a scheduled graph.
@@ -43,15 +76,59 @@ impl TaskGraph {
     /// topological order by construction).
     ///
     /// # Panics
-    /// Panics on negative/NaN durations or forward-referencing deps.
+    /// Panics on negative/NaN durations or forward-referencing deps; use
+    /// [`TaskGraph::try_add`] for a typed error instead.
     pub fn add(&mut self, category: impl Into<String>, duration: f64, deps: &[TaskId]) -> TaskId {
-        assert!(duration.is_finite() && duration >= 0.0, "duration must be finite and >= 0");
-        let id = TaskId(self.tasks.len());
-        for d in deps {
-            assert!(d.0 < id.0, "dependency {:?} must precede task {:?}", d, id);
+        match self.try_add(category, duration, deps) {
+            Ok(id) => id,
+            Err(GraphError::BadDuration { .. }) => {
+                panic!("duration must be finite and >= 0")
+            }
+            Err(GraphError::ForwardDependency { dep, task }) => {
+                panic!("dependency {:?} must precede task {:?}", dep, task)
+            }
         }
-        self.tasks.push(Task { category: category.into(), duration, deps: deps.to_vec() });
-        id
+    }
+
+    /// Adds a task, validating topological order at insertion.
+    pub fn try_add(
+        &mut self,
+        category: impl Into<String>,
+        duration: f64,
+        deps: &[TaskId],
+    ) -> Result<TaskId, GraphError> {
+        if !(duration.is_finite() && duration >= 0.0) {
+            return Err(GraphError::BadDuration { duration });
+        }
+        let id = TaskId(self.tasks.len());
+        for &d in deps {
+            if d.0 >= id.0 {
+                return Err(GraphError::ForwardDependency { dep: d, task: id });
+            }
+        }
+        let category = self.intern(category.into());
+        self.tasks.push(Task { category, duration, deps: deps.to_vec() });
+        Ok(id)
+    }
+
+    fn intern(&mut self, name: String) -> u32 {
+        if let Some(&i) = self.category_index.get(&name) {
+            return i;
+        }
+        let i = u32::try_from(self.categories.len()).expect("fewer than 2^32 categories");
+        self.category_index.insert(name.clone(), i);
+        self.categories.push(name);
+        i
+    }
+
+    /// The category a task was inserted under (borrowed, not cloned).
+    pub fn category(&self, id: TaskId) -> &str {
+        &self.categories[self.tasks[id.0].category as usize]
+    }
+
+    /// Distinct categories interned so far.
+    pub fn num_categories(&self) -> usize {
+        self.categories.len()
     }
 
     pub fn len(&self) -> usize {
@@ -106,14 +183,23 @@ impl TaskGraph {
     }
 
     /// Sums task durations per category along the critical path — the
-    /// latency breakdown of the makespan.
+    /// latency breakdown of the makespan. Accumulates over interned
+    /// category ids, cloning one `String` per *distinct* category in the
+    /// result rather than one per task.
     pub fn breakdown(&self, schedule: &Schedule) -> HashMap<String, f64> {
-        let mut out: HashMap<String, f64> = HashMap::new();
+        let mut by_cat = vec![0.0f64; self.categories.len()];
+        let mut seen = vec![false; self.categories.len()];
         for id in self.critical_path(schedule) {
             let t = &self.tasks[id.0];
-            *out.entry(t.category.clone()).or_insert(0.0) += t.duration;
+            by_cat[t.category as usize] += t.duration;
+            seen[t.category as usize] = true;
         }
-        out
+        self.categories
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| seen[i])
+            .map(|(i, name)| (name.clone(), by_cat[i]))
+            .collect()
     }
 }
 
@@ -206,6 +292,52 @@ mod tests {
     fn forward_reference_rejected() {
         let mut g = TaskGraph::new();
         let _a = g.add("a", 1.0, &[TaskId(5)]);
+    }
+
+    #[test]
+    fn try_add_reports_typed_errors() {
+        let mut g = TaskGraph::new();
+        let a = g.try_add("a", 1.0, &[]).expect("valid");
+        // Forward and self references are rejected with the offending ids.
+        assert_eq!(
+            g.try_add("b", 1.0, &[TaskId(7)]),
+            Err(GraphError::ForwardDependency { dep: TaskId(7), task: TaskId(1) })
+        );
+        assert!(matches!(
+            g.try_add("b", f64::NAN, &[a]),
+            Err(GraphError::BadDuration { duration }) if duration.is_nan()
+        ));
+        assert!(g.try_add("b", -1.0, &[a]).is_err());
+        assert!(g.try_add("b", f64::INFINITY, &[a]).is_err());
+        // Rejected insertions must not have grown the graph.
+        assert_eq!(g.len(), 1);
+        let b = g.try_add("b", 2.0, &[a]).expect("valid");
+        assert_eq!(g.schedule().finish(b), 3.0);
+        let err = GraphError::ForwardDependency { dep: TaskId(7), task: TaskId(1) };
+        assert!(err.to_string().contains("must precede"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be finite and >= 0")]
+    fn negative_duration_rejected() {
+        let mut g = TaskGraph::new();
+        let _ = g.add("a", -0.5, &[]);
+    }
+
+    #[test]
+    fn categories_are_interned_once() {
+        let mut g = TaskGraph::new();
+        let a = g.add("comm", 1.0, &[]);
+        let b = g.add("compute", 2.0, &[a]);
+        let c = g.add("comm", 3.0, &[b]);
+        assert_eq!(g.num_categories(), 2, "repeated categories share one entry");
+        assert_eq!(g.category(a), "comm");
+        assert_eq!(g.category(c), "comm");
+        let s = g.schedule();
+        let bd = g.breakdown(&s);
+        assert_eq!(bd.len(), 2);
+        assert_eq!(bd["comm"], 4.0);
+        assert_eq!(bd["compute"], 2.0);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! all-to-all phases take the **max over ranks**, driven by the actual
 //! placement (contiguous slot assignment, as Algorithm 1 produces).
 
+use crate::costmodel::{CommCostModel, ShardScope, TierPhase, TieredCostModel};
 use crate::event::TaskGraph;
-use crate::topology::{HardwareSpec, ModelCostConfig};
+use crate::placement::SlotPlacement;
+use crate::topology::{HardwareSpec, ModelCostConfig, Topology};
 
 /// Which system's iteration to simulate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +52,10 @@ pub struct IterationBreakdown {
     pub survived_fraction: f64,
     /// Peak GPU bytes on the most loaded rank.
     pub gpu_peak_bytes: f64,
+    /// Cluster-wide network bytes attributed to each topology tier
+    /// (innermost first). Empty for the flat [`IterationSim::simulate`],
+    /// which has no tiers to attribute to.
+    pub comm_bytes_by_tier: Vec<f64>,
 }
 
 impl IterationBreakdown {
@@ -161,52 +167,17 @@ impl IterationSim {
         // DeepSpeed stripes classes round-robin so replicas land on distinct
         // ranks (it has no intra-rank EDP, §4.1); FlexMoE likewise spreads
         // replicas across ranks, greedily.
-        let slot_class: Vec<usize> = match system {
-            SimSystem::Symi => {
-                let mut v = Vec::with_capacity(self.total_slots());
-                for (class, &r) in replicas_per_class.iter().enumerate() {
-                    v.extend(std::iter::repeat_n(class, r));
-                }
-                v
-            }
-            SimSystem::DeepSpeedStatic => (0..self.total_slots()).map(|k| k % e).collect(),
-            SimSystem::FlexMoE => {
-                // Greedy spread: replicas of each class go to the currently
-                // emptiest ranks, avoiding ranks already hosting the class.
-                let mut free = vec![s; n];
-                let mut hosts: Vec<Vec<bool>> = vec![vec![false; e]; n];
-                let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
-                let mut order: Vec<usize> = (0..e).collect();
-                order.sort_by_key(|&c| std::cmp::Reverse(replicas_per_class[c]));
-                for &class in &order {
-                    for _ in 0..replicas_per_class[class] {
-                        let rank = (0..n)
-                            .filter(|&r| free[r] > 0)
-                            .max_by_key(|&r| (free[r], !hosts[r][class], std::cmp::Reverse(r)))
-                            .expect("slots available by the sum invariant");
-                        free[rank] -= 1;
-                        hosts[rank][class] = true;
-                        assignment[rank].push(class);
-                    }
-                }
-                assignment.into_iter().flatten().collect()
-            }
-        };
-        debug_assert_eq!(slot_class.len(), self.total_slots());
+        let placement = self.placement(replicas_per_class, system);
+        debug_assert_eq!(placement.total_slots(), self.total_slots());
 
         // Per-class distinct host ranks (EDP ring sizes) and per-rank load.
-        let mut host_ranks: Vec<Vec<usize>> = vec![Vec::new(); e];
+        let host_ranks = placement.host_ranks(e);
+        let rank_classes = placement.rank_classes(e);
         let mut rank_tokens = vec![0.0f64; n];
-        let mut rank_classes: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (slot, &class) in slot_class.iter().enumerate() {
-            let rank = slot / s;
-            rank_tokens[rank] += survived[class] / replicas_per_class[class] as f64;
-            if !rank_classes[rank].contains(&class) {
-                rank_classes[rank].push(class);
-            }
-            if !host_ranks[class].contains(&rank) {
-                host_ranks[class].push(rank);
-            }
+        for slot in 0..placement.total_slots() {
+            let class = placement.class_of_slot(slot);
+            rank_tokens[placement.rank_of_slot(slot)] +=
+                survived[class] / replicas_per_class[class] as f64;
         }
         let ranks_hosting: Vec<usize> = host_ranks.iter().map(Vec::len).collect();
         let static_ring = self.total_slots() / e;
@@ -383,7 +354,260 @@ impl IterationSim {
             (schedule.makespan() - components.iter().map(|c| c.seconds).sum::<f64>()).abs() < 1e-9
         );
 
-        IterationBreakdown { components, survived_fraction, gpu_peak_bytes }
+        IterationBreakdown {
+            components,
+            survived_fraction,
+            gpu_peak_bytes,
+            comm_bytes_by_tier: Vec::new(),
+        }
+    }
+
+    /// The slot placement each system's scheduler would produce.
+    pub fn placement(&self, replicas_per_class: &[usize], system: SimSystem) -> SlotPlacement {
+        match system {
+            SimSystem::Symi => {
+                SlotPlacement::symi_contiguous(replicas_per_class, self.slots_per_rank)
+            }
+            SimSystem::DeepSpeedStatic => {
+                SlotPlacement::striped(self.expert_classes, self.nodes, self.slots_per_rank)
+            }
+            SimSystem::FlexMoE => {
+                SlotPlacement::greedy_spread(replicas_per_class, self.nodes, self.slots_per_rank)
+            }
+        }
+    }
+
+    /// Simulates one iteration on a hierarchical topology, pricing every
+    /// network phase by the narrowest tier each transfer crosses.
+    ///
+    /// `symi_scope` selects SYMI's optimizer-sharding domain for the grad
+    /// and weight phases — [`ShardScope::Cluster`] is the paper's uniform
+    /// `k = 1` point, [`ShardScope::TierCell`] the pod-aligned k-group
+    /// variant of Appendix A.1. It is ignored for the coupled baselines,
+    /// whose shard lives inside the EDP group by construction.
+    ///
+    /// The flat [`IterationSim::simulate`] remains the 16-rank oracle; on a
+    /// single-tier [`Topology::flat`] with zero latency the two agree on the
+    /// phases they price identically (see tests).
+    pub fn simulate_hier(
+        &self,
+        topo: &Topology,
+        tokens_per_class: &[f64],
+        replicas_per_class: &[usize],
+        system: SimSystem,
+        rebalance: RebalanceSpec,
+        symi_scope: ShardScope,
+    ) -> IterationBreakdown {
+        assert_eq!(topo.ranks(), self.nodes, "topology must cover exactly the simulated ranks");
+        assert_eq!(tokens_per_class.len(), self.expert_classes, "one token count per class");
+        assert_eq!(replicas_per_class.len(), self.expert_classes, "one replica count per class");
+        let total_replicas: usize = replicas_per_class.iter().sum();
+        assert_eq!(total_replicas, self.total_slots(), "replicas must fill all slots");
+
+        let hw = &self.hw;
+        let m = &self.model;
+        let n = self.nodes;
+        let s = self.slots_per_rank;
+        let e = self.expert_classes;
+        let layers = m.layers as f64;
+        let g_bytes = m.expert_grad_bytes();
+        let w_bytes = m.expert_weight_bytes();
+        let o_bytes = m.expert_optimizer_bytes();
+        let tiers = topo.num_tiers();
+        let census = topo.tier_census();
+        let flat_model = CommCostModel {
+            nodes: n,
+            expert_classes: e,
+            slots_per_rank: s,
+            grad_bytes: g_bytes,
+            weight_bytes: w_bytes,
+            optimizer_bytes: o_bytes,
+            hw: *hw,
+        };
+        let tiered = TieredCostModel::from_flat(&flat_model, topo);
+        let mut bytes_by_tier = vec![0.0f64; tiers];
+
+        // ---- Token survival (identical to the flat path). ----
+        let slot_cap = self.slot_capacity();
+        let survived: Vec<f64> = tokens_per_class
+            .iter()
+            .zip(replicas_per_class)
+            .map(|(&t, &r)| t.min(slot_cap * r as f64))
+            .collect();
+        let total_tokens: f64 = tokens_per_class.iter().sum();
+        let total_survived: f64 = survived.iter().sum();
+        let survived_fraction =
+            if total_tokens > 0.0 { total_survived / total_tokens } else { 1.0 };
+
+        let placement = self.placement(replicas_per_class, system);
+        let host_ranks = placement.host_ranks(e);
+        let rank_classes = placement.rank_classes(e);
+        let mut rank_tokens = vec![0.0f64; n];
+        for slot in 0..placement.total_slots() {
+            let class = placement.class_of_slot(slot);
+            rank_tokens[placement.rank_of_slot(slot)] +=
+                survived[class] / replicas_per_class[class] as f64;
+        }
+
+        // ---- Compute phases: topology-independent. ----
+        let tokens_per_rank = m.tokens_per_batch as f64 / n as f64;
+        let emb = m.token_embedding_bytes();
+        let gpu = hw.gpu_flops;
+        let dense_fwd = layers
+            * (tokens_per_rank * m.dense_flops_per_token(self.seq_len) / gpu
+                + hw.framework_layer_overhead);
+        let dense_bwd = 2.0 * dense_fwd;
+        let max_recv_tokens = rank_tokens.iter().copied().fold(0.0, f64::max);
+        let max_rank_flops = max_recv_tokens * m.expert_flops_per_token();
+        let expert_fwd = layers * max_rank_flops / gpu;
+        let expert_bwd = 2.0 * expert_fwd;
+
+        // ---- All-to-all: token routing is uniform over peers, so the
+        // busiest rank's bytes split across tiers in census proportion —
+        // the tier census says how many of its n−1 peers sit behind each
+        // bandwidth class.
+        let sent_tokens = total_survived / n as f64;
+        let a2a_bytes = max_recv_tokens.max(sent_tokens) * emb;
+        let mut a2a_once = 0.0;
+        for t in 0..tiers {
+            let share = a2a_bytes * census[t] as f64 / (n as f64 - 1.0);
+            a2a_once += share / topo.bw(t) + census[t] as f64 * topo.latency(t);
+            // dispatch+combine, forward and backward: 4 traversals/layer.
+            bytes_by_tier[t] += layers * 4.0 * n as f64 * share;
+        }
+        let a2a_fwd = layers * 2.0 * a2a_once;
+        let a2a_bwd = layers * 2.0 * a2a_once;
+
+        // ---- EDP gradient sync, priced per class over its host ranks.
+        // The packed contiguous groups SYMI produces ring over fast inner
+        // tiers; the striped/spread baselines ring across the spine. SYMI's
+        // runtime picks the cheaper of ring and tier-tree per group (§4.1's
+        // hierarchical all-reduce generalized to the topology).
+        let mut class_sync: Vec<TierPhase> = Vec::with_capacity(e);
+        for hosts in &host_ranks {
+            let ring = tiered.ring_allreduce(hosts, g_bytes);
+            let phase = match system {
+                SimSystem::Symi => {
+                    let tree = tiered.tree_allreduce(hosts, g_bytes);
+                    if tree.seconds < ring.seconds {
+                        tree
+                    } else {
+                        ring
+                    }
+                }
+                _ => ring,
+            };
+            class_sync.push(phase);
+        }
+        let edp_sync = layers
+            * (0..n)
+                .map(|rank| rank_classes[rank].iter().map(|&c| class_sync[c].seconds).sum::<f64>())
+                .fold(0.0, f64::max);
+        for phase in &class_sync {
+            for (acc, b) in bytes_by_tier.iter_mut().zip(&phase.bytes_by_tier) {
+                *acc += layers * b;
+            }
+        }
+
+        // ---- Grad and weight phases via the tiered shard exchange. ----
+        let static_ring = self.total_slots() / e;
+        let (grad_phase, weight_phase) = match system {
+            SimSystem::Symi => {
+                // Decoupled: every instance pushes shards to the owners
+                // (§3.3's (sN−s)/N identity), owners push weights back.
+                let grad = tiered.shard_exchange(&placement, symi_scope, g_bytes);
+                let weight = tiered.shard_exchange(&placement, symi_scope, w_bytes);
+                (grad, weight)
+            }
+            SimSystem::DeepSpeedStatic | SimSystem::FlexMoE => {
+                // Coupled: the grad shard is local after the EDP all-reduce
+                // (PCIe staging only); the weight all-gather spans the EDP
+                // group wherever the stripe scattered it.
+                let mut grad = TierPhase::zero(tiers);
+                grad.pci_bytes_per_rank = s as f64 * g_bytes / static_ring as f64;
+                grad.seconds = grad.pci_bytes_per_rank / hw.bw_pci;
+                let weight = tiered.shard_exchange(&placement, ShardScope::EdpGroup, w_bytes);
+                (grad, weight)
+            }
+        };
+        let grad_comm = layers * grad_phase.seconds;
+        let weight_comm = layers * weight_phase.seconds;
+        for (t, acc) in bytes_by_tier.iter_mut().enumerate() {
+            *acc += layers * (grad_phase.bytes_by_tier[t] + weight_phase.bytes_by_tier[t]);
+        }
+
+        let opt_step = layers * (e as f64 * o_bytes / n as f64) / hw.host_opt_bytes_per_s;
+
+        // ---- SYMI's control plane: the popularity all-reduce crosses the
+        // whole cluster, so it pays the outermost tier's α and β.
+        let router_meta = match system {
+            SimSystem::Symi => {
+                let pop_ar = 2.0 * (n as f64).log2().ceil() * topo.max_latency()
+                    + e as f64 * 8.0 / topo.narrowest_bw();
+                let scheduler = e as f64 * 2.0e-6 + 1.0e-4;
+                let metadata = 5.0e-5;
+                layers * (pop_ar + scheduler + metadata)
+            }
+            _ => 0.0,
+        };
+
+        // ---- FlexMoE migration: coupled state drags across whatever tier
+        // separates source and destination — worst case, the spine.
+        let migration = match system {
+            SimSystem::FlexMoE => {
+                let moved = rebalance.moved_replicas_per_layer as f64;
+                let state_move = moved
+                    * ((w_bytes + o_bytes) / topo.narrowest_bw() + (w_bytes + o_bytes) / hw.bw_pci);
+                let group_rebuild = moved * hw.group_init_per_rank * (static_ring as f64 + 1.0);
+                bytes_by_tier[tiers - 1] += layers * moved * (w_bytes + o_bytes);
+                layers * (state_move + group_rebuild)
+            }
+            _ => 0.0,
+        };
+
+        // ---- GPU memory: same accounting as the flat path. ----
+        let dense_params_bytes = layers * 12.0 * (m.d_model * m.d_model) as f64 * 2.0;
+        let activations = tokens_per_rank * m.d_model as f64 * layers * 34.0 * 2.0;
+        let expert_mem = layers * s as f64 * (w_bytes + g_bytes);
+        let coupled_opt_on_gpu = match system {
+            SimSystem::FlexMoE => layers * s as f64 * o_bytes / static_ring as f64,
+            _ => 0.0,
+        };
+        let migration_transient = match system {
+            SimSystem::FlexMoE if rebalance.moved_replicas_per_layer > 0 => {
+                layers * (w_bytes + o_bytes)
+            }
+            _ => 0.0,
+        };
+        let gpu_peak_bytes = dense_params_bytes
+            + activations
+            + expert_mem
+            + coupled_opt_on_gpu
+            + migration_transient;
+
+        let mut components = vec![
+            Component { name: "dense_fwd", seconds: dense_fwd },
+            Component { name: "router_meta", seconds: router_meta },
+            Component { name: "a2a_fwd", seconds: a2a_fwd },
+            Component { name: "expert_fwd", seconds: expert_fwd },
+            Component { name: "dense_bwd", seconds: dense_bwd },
+            Component { name: "a2a_bwd", seconds: a2a_bwd },
+            Component { name: "expert_bwd", seconds: expert_bwd },
+            Component { name: "edp_sync", seconds: edp_sync },
+            Component { name: "grad_comm", seconds: grad_comm },
+            Component { name: "opt_step", seconds: opt_step },
+            Component { name: "weight_comm", seconds: weight_comm },
+        ];
+        if migration > 0.0 {
+            components.push(Component { name: "migration", seconds: migration });
+        }
+
+        IterationBreakdown {
+            components,
+            survived_fraction,
+            gpu_peak_bytes,
+            comm_bytes_by_tier: bytes_by_tier,
+        }
     }
 
     /// Uniform static replication vector (`r = sN/E` each).
@@ -603,5 +827,75 @@ mod tests {
         let mut r = s.uniform_replicas();
         r[0] += 1;
         let _ = s.simulate(&uniform_tokens(&s), &r, SimSystem::Symi, RebalanceSpec::default());
+    }
+
+    #[test]
+    fn hier_on_flat_topology_matches_flat_simulate_for_deepspeed() {
+        // On a single-tier topology the tiered pricing must collapse to the
+        // flat formulas. DeepSpeed's phases are priced identically in both
+        // paths (the flat weight phase carries no α term, so zero latency).
+        let mut s = sim();
+        s.hw.net_latency = 0.0;
+        let topo = crate::topology::Topology::flat(s.nodes, &s.hw);
+        let tokens = uniform_tokens(&s);
+        let r = s.uniform_replicas();
+        let flat = s.simulate(&tokens, &r, SimSystem::DeepSpeedStatic, RebalanceSpec::default());
+        let hier = s.simulate_hier(
+            &topo,
+            &tokens,
+            &r,
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+            ShardScope::Cluster,
+        );
+        for c in &flat.components {
+            let h = hier.component(c.name);
+            assert!(
+                (h - c.seconds).abs() <= 1e-9 * c.seconds.max(1.0),
+                "{}: hier {} vs flat {}",
+                c.name,
+                h,
+                c.seconds
+            );
+        }
+        assert_eq!(hier.comm_bytes_by_tier.len(), 1);
+        assert!(hier.comm_bytes_by_tier[0].is_finite() && hier.comm_bytes_by_tier[0] > 0.0);
+        assert!(flat.comm_bytes_by_tier.is_empty());
+    }
+
+    #[test]
+    fn hier_symi_beats_deepspeed_on_a_superpod_too() {
+        // The packed-placement win survives (and grows) once the striped
+        // baseline's EDP rings have to cross real tier boundaries.
+        let s = sim();
+        let topo = crate::topology::Topology::superpod(s.nodes);
+        let tokens = uniform_tokens(&s);
+        let r = s.uniform_replicas();
+        let symi = s.simulate_hier(
+            &topo,
+            &tokens,
+            &r,
+            SimSystem::Symi,
+            RebalanceSpec::default(),
+            ShardScope::Cluster,
+        );
+        let ds = s.simulate_hier(
+            &topo,
+            &tokens,
+            &r,
+            SimSystem::DeepSpeedStatic,
+            RebalanceSpec::default(),
+            ShardScope::Cluster,
+        );
+        assert!(
+            symi.component("edp_sync") < ds.component("edp_sync"),
+            "packed rings must be cheaper: symi {} vs ds {}",
+            symi.component("edp_sync"),
+            ds.component("edp_sync")
+        );
+        for b in symi.comm_bytes_by_tier.iter().chain(&ds.comm_bytes_by_tier) {
+            assert!(b.is_finite() && *b >= 0.0);
+        }
+        assert_eq!(symi.comm_bytes_by_tier.len(), topo.num_tiers());
     }
 }

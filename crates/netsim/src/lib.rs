@@ -14,9 +14,11 @@
 pub mod costmodel;
 pub mod event;
 pub mod iteration;
+pub mod placement;
 pub mod topology;
 
-pub use costmodel::{CommCostModel, CommCosts, SystemKind};
-pub use event::{TaskGraph, TaskId};
-pub use iteration::{IterationBreakdown, IterationSim, RebalanceSpec};
-pub use topology::{HardwareSpec, ModelCostConfig};
+pub use costmodel::{CommCostModel, CommCosts, ShardScope, SystemKind, TierPhase, TieredCostModel};
+pub use event::{GraphError, TaskGraph, TaskId};
+pub use iteration::{IterationBreakdown, IterationSim, RebalanceSpec, SimSystem};
+pub use placement::SlotPlacement;
+pub use topology::{HardwareSpec, ModelCostConfig, TierSpec, Topology};

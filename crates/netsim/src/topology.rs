@@ -182,6 +182,222 @@ impl ModelCostConfig {
     }
 }
 
+/// One level of a hierarchical interconnect.
+///
+/// A level-`t` *cell* groups `arity` cells of the level below (ranks, at
+/// level 0). Crossing the boundary between two level-(t−1) cells inside the
+/// same level-`t` cell uses this level's link class: `bw` bytes/s available
+/// to each rank across the tier and `latency` seconds per message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierSpec {
+    /// Human-readable tier name ("node", "rack", "pod", "cluster").
+    pub name: &'static str,
+    /// Sub-cells (ranks at level 0) per cell of this level.
+    pub arity: usize,
+    /// Per-rank bandwidth across this tier, bytes/s. Outer tiers are
+    /// typically oversubscribed, so this shrinks going outward.
+    pub bw: f64,
+    /// Per-message latency across this tier, seconds.
+    pub latency: f64,
+}
+
+/// A multi-tier cluster topology: ranks addressed by tier coordinates.
+///
+/// Tiers are listed innermost first; the rank count is the product of the
+/// arities, and the cells of the outermost tier jointly cover the whole
+/// world. Two ranks communicate over the link class of the *narrowest tier
+/// they cross* — the innermost level at which they share a cell
+/// ([`Topology::tier_between`]). A flat world is the one-level special case
+/// ([`Topology::flat`]), which reproduces the single-`bw_net` pricing of
+/// [`HardwareSpec`] exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    name: &'static str,
+    levels: Vec<TierSpec>,
+}
+
+impl Topology {
+    /// A topology from explicit tier levels (innermost first).
+    ///
+    /// # Panics
+    /// Panics on an empty level list, a zero arity, or a non-finite /
+    /// non-positive bandwidth.
+    pub fn new(name: &'static str, levels: Vec<TierSpec>) -> Self {
+        assert!(!levels.is_empty(), "topology needs at least one tier");
+        for l in &levels {
+            assert!(l.arity >= 1, "tier {} has zero arity", l.name);
+            assert!(l.bw.is_finite() && l.bw > 0.0, "tier {} bandwidth must be positive", l.name);
+            assert!(l.latency.is_finite() && l.latency >= 0.0, "tier {} latency invalid", l.name);
+        }
+        Self { name, levels }
+    }
+
+    /// Single-tier world pricing every cross-rank transfer at `hw.bw_net` —
+    /// the pre-hierarchy behaviour, kept as the compatibility baseline.
+    pub fn flat(ranks: usize, hw: &HardwareSpec) -> Self {
+        Self::new(
+            "flat",
+            vec![TierSpec { name: "net", arity: ranks, bw: hw.bw_net, latency: hw.net_latency }],
+        )
+    }
+
+    /// Two-tier preset: 8-GPU NVLink nodes under one oversubscribed
+    /// network tier.
+    pub fn rack_cluster(ranks: usize) -> Self {
+        Self::from_template(
+            "rack_cluster",
+            ranks,
+            &[("node", 8, 250.0e9, 1.5e-6)],
+            ("cluster", 12.5e9, 10.0e-6),
+        )
+    }
+
+    /// Four-tier "superpod" preset: 8-GPU NVLink nodes, 4-node racks on
+    /// 400 Gbps IB, 8-rack pods at half that, and an oversubscribed
+    /// cluster spine. Outer tiers are dropped when `ranks` is small.
+    pub fn superpod(ranks: usize) -> Self {
+        Self::from_template(
+            "superpod",
+            ranks,
+            &[
+                ("node", 8, 250.0e9, 1.5e-6),
+                ("rack", 4, 50.0e9, 5.0e-6),
+                ("pod", 8, 25.0e9, 7.0e-6),
+            ],
+            ("cluster", 12.5e9, 10.0e-6),
+        )
+    }
+
+    /// Builds a topology by filling the template innermost-out: each entry
+    /// takes `min(template arity, remaining)` ranks, and whatever is left
+    /// becomes the outermost tier. `ranks` must be a power of two so every
+    /// split divides evenly.
+    fn from_template(
+        name: &'static str,
+        ranks: usize,
+        inner: &[(&'static str, usize, f64, f64)],
+        outer: (&'static str, f64, f64),
+    ) -> Self {
+        assert!(ranks >= 2 && ranks.is_power_of_two(), "preset needs a power-of-two rank count");
+        let mut levels = Vec::new();
+        let mut rem = ranks;
+        for &(tier_name, arity, bw, latency) in inner {
+            if rem == 1 {
+                break;
+            }
+            let a = arity.min(rem);
+            levels.push(TierSpec { name: tier_name, arity: a, bw, latency });
+            rem /= a;
+        }
+        if rem > 1 {
+            let (tier_name, bw, latency) = outer;
+            levels.push(TierSpec { name: tier_name, arity: rem, bw, latency });
+        }
+        Self::new(name, levels)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn levels(&self) -> &[TierSpec] {
+        &self.levels
+    }
+
+    pub fn num_tiers(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total ranks: the product of tier arities.
+    pub fn ranks(&self) -> usize {
+        self.levels.iter().map(|l| l.arity).product()
+    }
+
+    /// Ranks per cell of tier `level` (product of arities 0..=level).
+    pub fn cell_size(&self, level: usize) -> usize {
+        self.levels[..=level].iter().map(|l| l.arity).product()
+    }
+
+    /// Index of the tier-`level` cell containing `rank`.
+    pub fn cell_of(&self, rank: usize, level: usize) -> usize {
+        rank / self.cell_size(level)
+    }
+
+    /// Tier coordinates of `rank`, innermost digit first.
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.levels.len());
+        let mut rem = rank;
+        for l in &self.levels {
+            out.push(rem % l.arity);
+            rem /= l.arity;
+        }
+        out
+    }
+
+    /// Inverse of [`Topology::coords`].
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.levels.len(), "one coordinate per tier");
+        let mut rank = 0;
+        let mut stride = 1;
+        for (c, l) in coords.iter().zip(&self.levels) {
+            assert!(*c < l.arity, "coordinate {c} out of arity {}", l.arity);
+            rank += c * stride;
+            stride *= l.arity;
+        }
+        rank
+    }
+
+    /// The narrowest tier crossed between two ranks: the innermost level at
+    /// which they share a cell. `None` when `a == b` (no link crossed).
+    pub fn tier_between(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        let mut size = 1;
+        for (t, l) in self.levels.iter().enumerate() {
+            size *= l.arity;
+            if a / size == b / size {
+                return Some(t);
+            }
+        }
+        panic!("ranks {a}/{b} outside the {}-rank world", self.ranks());
+    }
+
+    /// For any rank: how many peers sit at each tier distance
+    /// (`cell_size(t) − cell_size(t−1)` — position-independent because the
+    /// topology is a full product of arities). Sums to `ranks() − 1`.
+    pub fn tier_census(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.levels.len());
+        let mut inner = 1;
+        for l in &self.levels {
+            let size = inner * l.arity;
+            out.push(size - inner);
+            inner = size;
+        }
+        out
+    }
+
+    /// Bandwidth of tier `level`, bytes/s.
+    pub fn bw(&self, level: usize) -> f64 {
+        self.levels[level].bw
+    }
+
+    /// Per-message latency of tier `level`, seconds.
+    pub fn latency(&self, level: usize) -> f64 {
+        self.levels[level].latency
+    }
+
+    /// The slowest (narrowest) bandwidth across any tier.
+    pub fn narrowest_bw(&self) -> f64 {
+        self.levels.iter().map(|l| l.bw).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest per-message latency across any tier.
+    pub fn max_latency(&self) -> f64 {
+        self.levels.iter().map(|l| l.latency).fold(0.0, f64::max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +438,65 @@ mod tests {
             assert!(hw.bw_pci > hw.bw_net, "PCIe beats the network in both presets");
             assert!(hw.gpu_flops > 1e13);
         }
+    }
+
+    #[test]
+    fn flat_topology_is_one_tier_at_net_bandwidth() {
+        let hw = HardwareSpec::paper_eval_cluster();
+        let t = Topology::flat(16, &hw);
+        assert_eq!(t.num_tiers(), 1);
+        assert_eq!(t.ranks(), 16);
+        assert_eq!(t.bw(0), hw.bw_net);
+        assert_eq!(t.tier_between(0, 15), Some(0));
+        assert_eq!(t.tier_between(3, 3), None);
+        assert_eq!(t.tier_census(), vec![15]);
+    }
+
+    #[test]
+    fn superpod_factorizations_cover_the_sweep_grid() {
+        for n in [16usize, 64, 256, 1024, 4096] {
+            let t = Topology::superpod(n);
+            assert_eq!(t.ranks(), n, "n = {n}");
+            assert_eq!(t.tier_census().iter().sum::<usize>(), n - 1);
+            // Bandwidth must shrink going outward (oversubscription).
+            for w in t.levels().windows(2) {
+                assert!(w[0].bw > w[1].bw, "n = {n}: outer tiers are narrower");
+                assert!(w[0].latency < w[1].latency);
+            }
+        }
+        // 4096 = 8 × 4 × 8 × 16: the full four-tier shape.
+        assert_eq!(Topology::superpod(4096).num_tiers(), 4);
+        // 16 = 8 × 2: small worlds drop the outer tiers.
+        assert_eq!(Topology::superpod(16).num_tiers(), 2);
+    }
+
+    #[test]
+    fn coords_round_trip_and_tier_between_is_the_first_shared_cell() {
+        let t = Topology::superpod(256); // 8 × 4 × 8
+        for rank in [0usize, 1, 7, 8, 31, 32, 255] {
+            assert_eq!(t.rank_of(&t.coords(rank)), rank);
+        }
+        assert_eq!(t.tier_between(0, 1), Some(0), "same node");
+        assert_eq!(t.tier_between(0, 8), Some(1), "same rack, different node");
+        assert_eq!(t.tier_between(0, 32), Some(2), "same pod, different rack");
+        assert_eq!(t.tier_between(0, 255), Some(2), "256 ranks = one pod");
+        let big = Topology::superpod(1024);
+        assert_eq!(big.tier_between(0, 256), Some(3), "different pod crosses the spine");
+        assert!(big.narrowest_bw() < big.bw(0));
+    }
+
+    #[test]
+    fn census_counts_peers_per_tier() {
+        let t = Topology::superpod(1024); // 8 × 4 × 8 × 4
+        assert_eq!(t.tier_census(), vec![7, 24, 224, 768]);
+        assert_eq!(t.cell_size(2), 256);
+        assert_eq!(t.cell_of(255, 2), 0);
+        assert_eq!(t.cell_of(256, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero arity")]
+    fn zero_arity_rejected() {
+        let _ = Topology::new("bad", vec![TierSpec { name: "x", arity: 0, bw: 1.0, latency: 0.0 }]);
     }
 }
